@@ -1,0 +1,374 @@
+package napmon
+
+// One benchmark per table and figure of the paper's evaluation, plus the
+// ablations called out in DESIGN.md. Each benchmark regenerates its
+// artifact at reduced scale (training is hoisted out of the timed loop and
+// cached across benchmarks); the full-scale numbers in EXPERIMENTS.md come
+// from cmd/napmon-experiment. Custom metrics report the reproduced
+// quantities (accuracies, out-of-pattern rates) alongside the usual
+// ns/op, so `go test -bench=.` prints the shape of every result.
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/exp"
+	"repro/internal/frontcar"
+	"repro/internal/nn"
+	"repro/internal/rng"
+)
+
+// benchScale shrinks datasets so the full bench suite completes in
+// minutes on one core.
+const benchScale = 0.12
+
+var (
+	benchOnce  sync.Once
+	benchMNIST *exp.Model
+	benchGTSRB *exp.Model
+	benchErr   error
+)
+
+// benchModels trains the two Table I networks once, shared by all
+// benchmarks.
+func benchModels(b *testing.B) (*exp.Model, *exp.Model) {
+	b.Helper()
+	benchOnce.Do(func() {
+		opts := exp.Options{Scale: benchScale, Seed: 1}
+		benchMNIST, benchErr = exp.TrainMNIST(opts)
+		if benchErr != nil {
+			return
+		}
+		benchGTSRB, benchErr = exp.TrainGTSRB(opts)
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchMNIST, benchGTSRB
+}
+
+// BenchmarkTableI_Accuracies regenerates Table I: per-network train and
+// validation accuracy under the paper's architectures.
+func BenchmarkTableI_Accuracies(b *testing.B) {
+	m1, m2 := benchModels(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m1.TrainAcc = nn.Accuracy(m1.Net, m1.Data.Train)
+		m1.ValAcc = nn.Accuracy(m1.Net, m1.Data.Val)
+		m2.TrainAcc = nn.Accuracy(m2.Net, m2.Data.Train)
+		m2.ValAcc = nn.Accuracy(m2.Net, m2.Data.Val)
+	}
+	b.ReportMetric(100*m1.TrainAcc, "mnist_train_acc_%")
+	b.ReportMetric(100*m1.ValAcc, "mnist_val_acc_%")
+	b.ReportMetric(100*m2.TrainAcc, "gtsrb_train_acc_%")
+	b.ReportMetric(100*m2.ValAcc, "gtsrb_val_acc_%")
+}
+
+// BenchmarkTableII_MNIST regenerates Table II rows for network 1: build
+// the all-classes monitor on ReLU(fc(40)) and sweep γ ∈ {0,1,2}.
+func BenchmarkTableII_MNIST(b *testing.B) {
+	m1, _ := benchModels(b)
+	var rows []exp.Table2Row
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, _, err = exp.Table2ForModel(m1, []int{0, 1, 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(100*r.Metrics.OutOfPatternRate(),
+			"g"+string(rune('0'+r.Gamma))+"_oop_%")
+	}
+	b.ReportMetric(100*rows[0].Metrics.MisclassificationRate(), "misclass_%")
+}
+
+// BenchmarkTableII_GTSRB regenerates Table II rows for network 2: the
+// stop-sign-only monitor over the top 25% of ReLU(fc(84)) neurons chosen
+// by gradient analysis, γ ∈ {0..3}.
+func BenchmarkTableII_GTSRB(b *testing.B) {
+	_, m2 := benchModels(b)
+	var rows []exp.Table2Row
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, _, err = exp.Table2ForModel(m2, []int{0, 1, 2, 3})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(100*r.Metrics.OutOfPatternRate(),
+			"g"+string(rune('0'+r.Gamma))+"_oop_%")
+	}
+	b.ReportMetric(100*rows[0].Metrics.MisclassificationRate(), "misclass_%")
+}
+
+// BenchmarkFigure1_Workflow runs the deployment-time loop of Figure 1-(b):
+// classify one input and supplement the decision with the monitor's
+// membership query. ns/op is the per-decision monitoring overhead.
+func BenchmarkFigure1_Workflow(b *testing.B) {
+	m1, _ := benchModels(b)
+	mon, err := core.Build(m1.Net, m1.Data.Train, exp.MNISTMonitorConfig(m1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	mon.SetGamma(2)
+	val := m1.Data.Val
+	flagged := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if v := mon.Watch(m1.Net, val[i%len(val)].Input); v.OutOfPattern {
+			flagged++
+		}
+	}
+	b.ReportMetric(float64(flagged)/float64(b.N)*100, "flagged_%")
+}
+
+// BenchmarkFigure2_Coarseness regenerates the Figure 2 sweep: the
+// out-of-pattern rate trajectory from the finest abstraction (γ=0) toward
+// over-generalization as γ grows.
+func BenchmarkFigure2_Coarseness(b *testing.B) {
+	m1, _ := benchModels(b)
+	var pts []exp.Figure2Point
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mon, err := core.Build(m1.Net, m1.Data.Train, exp.MNISTMonitorConfig(m1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		pts = exp.Figure2Sweep(m1, mon, 8)
+	}
+	b.ReportMetric(100*pts[0].OutRate, "gamma0_oop_%")
+	b.ReportMetric(100*pts[len(pts)-1].OutRate, "gamma8_oop_%")
+}
+
+// BenchmarkFigure3_FrontCar regenerates the case study: monitor firing
+// rates on ordinary versus distribution-shifted traffic.
+func BenchmarkFigure3_FrontCar(b *testing.B) {
+	var res *exp.FrontCarResult
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, _, err = exp.FrontCarStudy(exp.Options{Scale: 0.3, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100*res.InDist.OutOfPatternRate(), "indist_oop_%")
+	b.ReportMetric(100*res.Shifted.OutOfPatternRate(), "shifted_oop_%")
+	b.ReportMetric(100*res.ValAcc, "val_acc_%")
+}
+
+// BenchmarkAblation_NeuronSelection compares monitored-neuron fractions
+// for the stop-sign monitor (the paper monitors 25%): smaller fractions
+// shrink the BDD but coarsen the abstraction.
+func BenchmarkAblation_NeuronSelection(b *testing.B) {
+	_, m2 := benchModels(b)
+	out := m2.Net.Layer(m2.Net.NumLayers() - 1).(*nn.Dense)
+	for _, fraction := range []float64{0.10, 0.25, 0.50, 1.00} {
+		name := map[float64]string{0.10: "10pct", 0.25: "25pct", 0.50: "50pct", 1.00: "100pct"}[fraction]
+		b.Run(name, func(b *testing.B) {
+			neurons, err := core.SelectNeuronsByWeight(out, dataset.StopSignClass, fraction)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var met core.Metrics
+			var nodes int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				mon, err := core.Build(m2.Net, m2.Data.Train, core.Config{
+					Layer:   m2.MonitorLayer,
+					Gamma:   1,
+					Classes: []int{dataset.StopSignClass},
+					Neurons: neurons,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				met = core.Evaluate(m2.Net, mon, m2.Data.Val)
+				nodes = mon.StorageNodes()
+			}
+			b.ReportMetric(100*met.OutOfPatternRate(), "oop_%")
+			b.ReportMetric(float64(nodes), "bdd_nodes")
+		})
+	}
+}
+
+// BenchmarkAblation_BDDvsExact compares the BDD comfort zone against the
+// exact hash-set + Hamming-scan reference on identical pattern sets: build
+// cost and per-query latency as γ grows. The BDD's query time is flat in
+// γ (the paper's linear-in-neurons guarantee); the exact monitor's decay
+// query degrades with γ because misses scan every stored pattern.
+func BenchmarkAblation_BDDvsExact(b *testing.B) {
+	const width = 40
+	const nPatterns = 400
+	r := rng.New(7)
+	patterns := make([]core.Pattern, nPatterns)
+	for i := range patterns {
+		p := make(core.Pattern, width)
+		for j := range p {
+			p[j] = r.Bool(0.5)
+		}
+		patterns[i] = p
+	}
+	queries := make([]core.Pattern, 256)
+	for i := range queries {
+		p := make(core.Pattern, width)
+		for j := range p {
+			p[j] = r.Bool(0.5)
+		}
+		queries[i] = p
+	}
+	for _, gamma := range []int{0, 1, 2} {
+		g := gamma
+		b.Run("bdd/gamma"+string(rune('0'+g)), func(b *testing.B) {
+			z := core.NewZone(width)
+			for _, p := range patterns {
+				z.Insert(p)
+			}
+			z.SetGamma(g)
+			runtime.GC() // exclude collection of the build-time arena from the query loop
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				z.Contains(queries[i%len(queries)])
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(z.NodeCount()), "bdd_nodes")
+		})
+		b.Run("exact/gamma"+string(rune('0'+g)), func(b *testing.B) {
+			z := core.NewExactZone(width)
+			for _, p := range patterns {
+				z.Insert(p)
+			}
+			z.SetGamma(g)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				z.Contains(queries[i%len(queries)])
+			}
+		})
+	}
+}
+
+// BenchmarkAblation_MonitorBuild measures Algorithm 1's offline cost
+// (pattern extraction plus BDD construction) per training sample.
+func BenchmarkAblation_MonitorBuild(b *testing.B) {
+	m1, _ := benchModels(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Build(m1.Net, m1.Data.Train, exp.MNISTMonitorConfig(m1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblation_DistributionShift quantifies the §I motivation: the
+// monitor's firing-rate gap between in-distribution and shifted inputs.
+func BenchmarkAblation_DistributionShift(b *testing.B) {
+	m1, _ := benchModels(b)
+	mon, err := core.Build(m1.Net, m1.Data.Train, exp.MNISTMonitorConfig(m1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	mon.SetGamma(1)
+	shifted := dataset.ApplyShift(m1.Data.Val, dataset.ShiftOcclusion, 5)
+	var in, out core.Metrics
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in = core.Evaluate(m1.Net, mon, m1.Data.Val)
+		out = core.Evaluate(m1.Net, mon, shifted)
+	}
+	b.ReportMetric(100*in.OutOfPatternRate(), "indist_oop_%")
+	b.ReportMetric(100*out.OutOfPatternRate(), "shifted_oop_%")
+}
+
+// BenchmarkAblation_AbstractDomains compares the four abstraction domains
+// implemented for the paper's §V extension on the same model and data:
+// binary BDD patterns (the paper), thermometer-quantized patterns, and
+// per-pattern box / DBM value zones. Reported metrics show the precision/
+// firing-rate trade: finer domains flag more, with higher misclassified
+// share among flags.
+func BenchmarkAblation_AbstractDomains(b *testing.B) {
+	m1, _ := benchModels(b)
+	layer := m1.MonitorLayer
+
+	b.Run("binary", func(b *testing.B) {
+		var met core.Metrics
+		for i := 0; i < b.N; i++ {
+			mon, err := core.Build(m1.Net, m1.Data.Train, core.Config{Layer: layer, Gamma: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			met = core.Evaluate(m1.Net, mon, m1.Data.Val)
+		}
+		b.ReportMetric(100*met.OutOfPatternRate(), "oop_%")
+		b.ReportMetric(100*met.OutOfPatternPrecision(), "precision_%")
+	})
+	b.Run("quantized4", func(b *testing.B) {
+		var met core.Metrics
+		for i := 0; i < b.N; i++ {
+			mon, err := core.BuildQuantized(m1.Net, m1.Data.Train, core.QuantizedConfig{
+				Layer: layer, Levels: 4, Gamma: 1,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			met = core.EvaluateQuantized(m1.Net, mon, m1.Data.Val)
+		}
+		b.ReportMetric(100*met.OutOfPatternRate(), "oop_%")
+		b.ReportMetric(100*met.OutOfPatternPrecision(), "precision_%")
+	})
+	b.Run("box", func(b *testing.B) {
+		var met core.Metrics
+		for i := 0; i < b.N; i++ {
+			mon, err := core.BuildRefined(m1.Net, m1.Data.Train, core.RefinedConfig{
+				Layer: layer, Domain: core.DomainBox, PerPattern: true, Epsilon: 0.5,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			met = core.EvaluateRefined(m1.Net, mon, m1.Data.Val)
+		}
+		b.ReportMetric(100*met.OutOfPatternRate(), "oop_%")
+		b.ReportMetric(100*met.OutOfPatternPrecision(), "precision_%")
+	})
+	b.Run("dbm", func(b *testing.B) {
+		var met core.Metrics
+		for i := 0; i < b.N; i++ {
+			mon, err := core.BuildRefined(m1.Net, m1.Data.Train, core.RefinedConfig{
+				Layer: layer, Domain: core.DomainDBM, PerPattern: true, Epsilon: 0.5,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			met = core.EvaluateRefined(m1.Net, mon, m1.Data.Val)
+		}
+		b.ReportMetric(100*met.OutOfPatternRate(), "oop_%")
+		b.ReportMetric(100*met.OutOfPatternPrecision(), "precision_%")
+	})
+}
+
+// BenchmarkFrontCarDecision measures the per-scene latency of the full
+// deployed pipeline (selector inference + monitor query), the number that
+// must fit a real-time budget on a vehicle.
+func BenchmarkFrontCarDecision(b *testing.B) {
+	p, _, err := frontcar.BuildPipeline(frontcar.TrainConfig{
+		TrainScenes: 1500, Epochs: 10, Gamma: 1, Seed: 3,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.New(4)
+	scenes := make([]frontcar.Scene, 64)
+	for i := range scenes {
+		scenes[i] = frontcar.GenScene(frontcar.DefaultSceneConfig(), r)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Decide(&scenes[i%len(scenes)])
+	}
+}

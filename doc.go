@@ -1,0 +1,34 @@
+// Package napmon is a Go implementation of runtime neuron activation
+// pattern monitoring (Cheng, Nührenberg, Yasuoka — "Runtime Monitoring
+// Neuron Activation Patterns", DATE 2019).
+//
+// A monitor answers, at inference time, whether a neural network's
+// classification decision is supported by prior similarities in training:
+// after training, the training set is fed through the network once more
+// and the binary ReLU on/off activation pattern of a close-to-output layer
+// is recorded per class in a binary decision diagram (BDD). Each class's
+// pattern set is enlarged to its γ-comfort zone — every pattern within
+// Hamming distance γ of a visited one — using BDD existential
+// quantification. In deployment, an input whose activation pattern falls
+// outside the predicted class's comfort zone is flagged as out-of-pattern:
+// the network is extrapolating beyond its training experience.
+//
+// The package exposes the full workflow:
+//
+//	net, _ := napmon.BuildNetwork(specs, rng) // or napmon.LoadModel
+//	napmon.Train(net, samples, cfg)          // SGD training
+//	mon, _ := napmon.BuildMonitor(net, samples, napmon.Config{
+//		Layer: 3,   // a hidden ReLU layer
+//		Gamma: 2,   // Hamming enlargement
+//	})
+//	v := mon.Watch(net, input)
+//	if v.OutOfPattern {
+//		// decision not supported by training data
+//	}
+//
+// Everything is implemented from scratch on the standard library: the
+// tensor math and neural-network substrate, the ROBDD engine, the
+// synthetic MNIST-like/GTSRB-like datasets and the highway front-car case
+// study the experiments run on. See DESIGN.md for the system inventory and
+// EXPERIMENTS.md for the reproduction of the paper's tables and figures.
+package napmon

@@ -1,0 +1,55 @@
+// Grid detection monitoring (paper §V, extension 1): the monitor applies
+// to object-detection networks that partition an image into a grid whose
+// cells offer object proposals (YOLO-style). This example trains a shared
+// per-cell proposal network on synthetic scenes, monitors its penultimate
+// layer, and shows per-cell out-of-pattern warnings when scenes contain a
+// shape class the detector never trained on.
+//
+// Run with: go run ./examples/griddetect
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/objdet"
+)
+
+func main() {
+	fmt.Println("training grid detector on synthetic scenes...")
+	det, _, err := objdet.BuildMonitoredDetector(objdet.TrainConfig{
+		Scenes: 500, Epochs: 6, Gamma: 1, Seed: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	val := objdet.Scenes(100, objdet.DefaultSceneConfig(), 50)
+	in := det.Evaluate(val)
+	fmt.Printf("validation: cell accuracy %.1f%%, object cells flagged %.1f%%\n",
+		100*in.CellAccuracy(), 100*in.ObjectFlagRate())
+
+	shifted := objdet.ShiftedScenes(100, objdet.DefaultSceneConfig(), 51)
+	out := det.Evaluate(shifted)
+	fmt.Printf("novel-shape scenes: object cells flagged %.1f%%\n",
+		100*out.ObjectFlagRate())
+
+	// Render one shifted scene's detections as a grid.
+	fmt.Println("\nper-cell proposals on one novel-shape scene ('!' = out of pattern):")
+	s := &shifted[0]
+	dets := det.Detect(s)
+	names := []string{".", "sq", "cr", "di", "tr"}
+	for row := 0; row < objdet.GridSize; row++ {
+		for col := 0; col < objdet.GridSize; col++ {
+			d := dets[row*objdet.GridSize+col]
+			mark := " "
+			if d.OutOfPattern {
+				mark = "!"
+			}
+			fmt.Printf("  %3s%s", names[d.Class], mark)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nflagged cells carry proposals not supported by training data —")
+	fmt.Println("downstream fusion should not trust them.")
+}

@@ -1,0 +1,93 @@
+// Stop-sign monitor: reproduces the configuration of the paper's network 2
+// experiment at reduced scale — train a CNN on the 43-class GTSRB-like
+// dataset, monitor only the stop-sign class (c = 14) over the 25% most
+// decision-relevant neurons of the ReLU(fc(84)) layer (gradient-based
+// selection), and sweep the Hamming enlargement γ to pick the coarseness
+// of abstraction on the validation set.
+//
+// Run with: go run ./examples/gtsrb-stopsign   (takes a few minutes)
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	napmon "repro"
+)
+
+func main() {
+	fmt.Println("generating GTSRB-like dataset (43 classes)...")
+	ds := napmon.GTSRBLike(2150, 1075, 7)
+
+	// The paper's network 2: ReLU(BN(Conv(40))), MaxPool,
+	// ReLU(BN(Conv(20))), MaxPool, ReLU(fc(240)), ReLU(fc(84)), fc(43).
+	specs := []napmon.LayerSpec{
+		{Kind: napmon.KindConv, Out: 40, InC: 3, KH: 5, KW: 5, Stride: 1},
+		{Kind: napmon.KindBN, Ch: 40},
+		{Kind: napmon.KindReLU},
+		{Kind: napmon.KindMaxPool, Size: 2},
+		{Kind: napmon.KindConv, Out: 20, InC: 40, KH: 5, KW: 5, Stride: 1},
+		{Kind: napmon.KindBN, Ch: 20},
+		{Kind: napmon.KindReLU},
+		{Kind: napmon.KindMaxPool, Size: 2},
+		{Kind: napmon.KindFlatten},
+		{Kind: napmon.KindDense, In: 500, Out: 240},
+		{Kind: napmon.KindReLU},
+		{Kind: napmon.KindDense, In: 240, Out: 84},
+		{Kind: napmon.KindReLU}, // monitored layer, index 12
+		{Kind: napmon.KindDense, In: 84, Out: 43},
+	}
+	const monitoredLayer = 12
+	net, err := napmon.BuildNetwork(specs, napmon.NewRNG(8))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("training network 2 (reduced scale)...")
+	napmon.Train(net, ds.Train, napmon.TrainConfig{
+		Epochs: 5, BatchSize: 32, LR: 0.015, LRDecay: 0.85, Seed: 9, Log: os.Stderr,
+	})
+	fmt.Printf("accuracy: train %.2f%%, validation %.2f%%\n",
+		100*napmon.Accuracy(net, ds.Train), 100*napmon.Accuracy(net, ds.Val))
+
+	// Select the top 25% of the 84 monitored-layer neurons by their
+	// influence on the stop-sign logit. Samples of the stop-sign class
+	// drive the gradient-based sensitivity analysis.
+	var stopSamples []napmon.Sample
+	for _, s := range ds.Train {
+		if s.Label == napmon.StopSignClass {
+			stopSamples = append(stopSamples, s)
+		}
+	}
+	neurons, err := napmon.SelectNeuronsForClass(
+		net, stopSamples[:min(20, len(stopSamples))], monitoredLayer, napmon.StopSignClass, 0.25)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("monitoring %d of 84 neurons: %v\n", len(neurons), neurons)
+
+	mon, err := napmon.BuildMonitor(net, ds.Train, napmon.Config{
+		Layer:   monitoredLayer,
+		Classes: []int{napmon.StopSignClass},
+		Neurons: neurons,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Sweep gamma as the paper's Table II does for network 2.
+	gammas := []int{0, 1, 2, 3}
+	metrics := napmon.GammaSweep(net, mon, ds.Val, gammas)
+	fmt.Println("\ngamma  out-of-pattern/watched  misclassified|out-of-pattern")
+	for i, m := range metrics {
+		fmt.Printf("%5d  %21.2f%%  %27.2f%%\n",
+			gammas[i], 100*m.OutOfPatternRate(), 100*m.OutOfPatternPrecision())
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

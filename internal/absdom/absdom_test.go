@@ -1,0 +1,319 @@
+package absdom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func randPoint(r *rng.Source, dim int) []float64 {
+	p := make([]float64, dim)
+	for i := range p {
+		p[i] = r.Range(-3, 3)
+	}
+	return p
+}
+
+func TestBoxEmpty(t *testing.T) {
+	b := NewBox(3)
+	if !b.IsEmpty() {
+		t.Fatal("new box not empty")
+	}
+	if b.Contains([]float64{0, 0, 0}, 0) {
+		t.Fatal("empty box contains a point")
+	}
+}
+
+func TestBoxFromPoint(t *testing.T) {
+	p := []float64{1, -2, 3}
+	b := BoxFromPoint(p)
+	if !b.Contains(p, 0) {
+		t.Fatal("box does not contain its defining point")
+	}
+	if b.Contains([]float64{1, -2, 3.1}, 0) {
+		t.Fatal("degenerate box contains other point")
+	}
+	if b.Contains([]float64{1, -2, 3.1}, 0.2) == false {
+		t.Fatal("eps enlargement not applied")
+	}
+}
+
+func TestBoxJoinSoundness(t *testing.T) {
+	// Every joined point must be contained afterwards.
+	check := func(seed uint32, nRaw uint8) bool {
+		r := rng.New(uint64(seed))
+		n := int(nRaw%10) + 1
+		b := NewBox(4)
+		pts := make([][]float64, n)
+		for i := range pts {
+			pts[i] = randPoint(r, 4)
+			b.Join(pts[i])
+		}
+		for _, p := range pts {
+			if !b.Contains(p, 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoxJoinBox(t *testing.T) {
+	a := BoxFromPoint([]float64{0, 0})
+	b := BoxFromPoint([]float64{2, -1})
+	a.JoinBox(b)
+	if !a.Contains([]float64{1, -0.5}, 0) {
+		t.Fatal("joined box misses interior point")
+	}
+	if !a.ContainsBox(b) {
+		t.Fatal("join does not contain operand")
+	}
+}
+
+func TestBoxContainsBoxEmptyCases(t *testing.T) {
+	empty := NewBox(2)
+	full := BoxFromPoint([]float64{1, 1})
+	if !full.ContainsBox(empty) {
+		t.Fatal("everything contains the empty box")
+	}
+	if empty.ContainsBox(full) {
+		t.Fatal("empty box contains nothing")
+	}
+}
+
+func TestBoxVolume(t *testing.T) {
+	b := BoxFromPoint([]float64{0, 0})
+	b.Join([]float64{2, 3})
+	if got := b.Volume(); got != 6 {
+		t.Fatalf("Volume = %v, want 6", got)
+	}
+	if NewBox(2).Volume() != 0 {
+		t.Fatal("empty box volume must be 0")
+	}
+}
+
+func TestBoxDimMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewBox(2).Join([]float64{1})
+}
+
+func TestDBMEmpty(t *testing.T) {
+	d := NewDBM(3)
+	if !d.IsEmpty() {
+		t.Fatal("new DBM not empty")
+	}
+	if d.Contains([]float64{0, 0, 0}, 1) {
+		t.Fatal("empty DBM contains a point")
+	}
+}
+
+func TestDBMFromPoint(t *testing.T) {
+	p := []float64{1, 2, -1}
+	d := DBMFromPoint(p)
+	if !d.Contains(p, 0) {
+		t.Fatal("DBM does not contain defining point")
+	}
+	if d.Contains([]float64{1, 2, -0.5}, 0) {
+		t.Fatal("point DBM contains other point")
+	}
+}
+
+func TestDBMJoinSoundnessProperty(t *testing.T) {
+	check := func(seed uint32, nRaw uint8) bool {
+		r := rng.New(uint64(seed))
+		n := int(nRaw%8) + 1
+		d := NewDBM(4)
+		pts := make([][]float64, n)
+		for i := range pts {
+			pts[i] = randPoint(r, 4)
+			d.Join(pts[i])
+		}
+		d.Canonicalize()
+		for _, p := range pts {
+			if !d.Contains(p, 1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDBMTighterThanBox(t *testing.T) {
+	// Points on the line x1 == x2: the DBM keeps the relation, the box
+	// projection loses it.
+	d := NewDBM(2)
+	for _, v := range []float64{0, 1, 2, 3} {
+		d.Join([]float64{v, v})
+	}
+	d.Canonicalize()
+	offDiagonal := []float64{0, 3} // inside the bounding box, off the line
+	if d.Contains(offDiagonal, 0.01) {
+		t.Fatal("DBM lost the x1==x2 relation")
+	}
+	if !d.Box().Contains(offDiagonal, 0) {
+		t.Fatal("box projection should contain the off-diagonal point")
+	}
+	if !d.Contains([]float64{2.5, 2.5}, 0.01) {
+		t.Fatal("DBM rejects an on-line point inside bounds")
+	}
+}
+
+func TestDBMCanonicalizeTightens(t *testing.T) {
+	// Join of points then manual widening of one entry: closure must
+	// restore consistency of derived bounds (m[i][j] <= m[i][k]+m[k][j]).
+	r := rng.New(3)
+	d := NewDBM(3)
+	for i := 0; i < 5; i++ {
+		d.Join(randPoint(r, 3))
+	}
+	d.Canonicalize()
+	for i := 0; i <= 3; i++ {
+		for j := 0; j <= 3; j++ {
+			for k := 0; k <= 3; k++ {
+				if d.Bound(i, j) > d.Bound(i, k)+d.Bound(k, j)+1e-9 {
+					t.Fatalf("triangle inequality violated at (%d,%d,%d)", i, j, k)
+				}
+			}
+		}
+	}
+}
+
+func TestDBMJoinDBM(t *testing.T) {
+	a := DBMFromPoint([]float64{0, 0})
+	b := DBMFromPoint([]float64{1, 2})
+	a.JoinDBM(b)
+	a.Canonicalize()
+	if !a.Contains([]float64{0, 0}, 0) || !a.Contains([]float64{1, 2}, 1e-12) {
+		t.Fatal("JoinDBM lost an operand point")
+	}
+	// Joining into an empty DBM copies.
+	c := NewDBM(2)
+	c.JoinDBM(b)
+	if !c.Contains([]float64{1, 2}, 1e-12) {
+		t.Fatal("join into empty DBM failed")
+	}
+}
+
+func TestDBMBoxProjection(t *testing.T) {
+	d := NewDBM(2)
+	d.Join([]float64{1, 5})
+	d.Join([]float64{3, 4})
+	d.Canonicalize()
+	b := d.Box()
+	if b.Lo[0] != 1 || b.Hi[0] != 3 || b.Lo[1] != 4 || b.Hi[1] != 5 {
+		t.Fatalf("projection = [%v,%v]x[%v,%v]", b.Lo[0], b.Hi[0], b.Lo[1], b.Hi[1])
+	}
+}
+
+func TestDBMSubsumesItsBoxPoints(t *testing.T) {
+	// Any point the DBM accepts must also be accepted by its box
+	// projection (box is coarser).
+	check := func(seed uint32) bool {
+		r := rng.New(uint64(seed))
+		d := NewDBM(3)
+		for i := 0; i < 6; i++ {
+			d.Join(randPoint(r, 3))
+		}
+		d.Canonicalize()
+		box := d.Box()
+		for i := 0; i < 50; i++ {
+			p := randPoint(r, 3)
+			if d.Contains(p, 0) && !box.Contains(p, 1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDBMEpsEnlargement(t *testing.T) {
+	d := DBMFromPoint([]float64{1, 1})
+	d.Canonicalize()
+	if d.Contains([]float64{1.5, 1}, 0.1) {
+		t.Fatal("eps 0.1 should not admit distance 0.5")
+	}
+	if !d.Contains([]float64{1.05, 1}, 0.1) {
+		t.Fatal("eps 0.1 should admit distance 0.05")
+	}
+}
+
+func TestDBMCloneIndependent(t *testing.T) {
+	d := DBMFromPoint([]float64{1, 2})
+	c := d.Clone()
+	c.Join([]float64{5, 5})
+	if d.Contains([]float64{5, 5}, 1e-9) {
+		t.Fatal("clone shares state with original")
+	}
+}
+
+func TestDBMBoundRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewDBM(2).Bound(3, 0)
+}
+
+func TestDBMInfinityHandling(t *testing.T) {
+	d := NewDBM(2)
+	if !math.IsInf(d.Bound(1, 2), -1) {
+		t.Fatal("empty DBM bound should be -Inf sentinel")
+	}
+	d.Join([]float64{1, 1})
+	if math.IsInf(d.Bound(1, 2), 0) {
+		t.Fatal("joined DBM bound should be finite")
+	}
+}
+
+func BenchmarkDBMJoin40(b *testing.B) {
+	r := rng.New(1)
+	d := NewDBM(40)
+	p := randPoint(r, 40)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Join(p)
+	}
+}
+
+func BenchmarkDBMContains40(b *testing.B) {
+	r := rng.New(2)
+	d := NewDBM(40)
+	for i := 0; i < 50; i++ {
+		d.Join(randPoint(r, 40))
+	}
+	d.Canonicalize()
+	p := randPoint(r, 40)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Contains(p, 0.1)
+	}
+}
+
+func BenchmarkDBMCanonicalize40(b *testing.B) {
+	r := rng.New(3)
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		d := NewDBM(40)
+		for k := 0; k < 20; k++ {
+			d.Join(randPoint(r, 40))
+		}
+		b.StartTimer()
+		d.Canonicalize()
+	}
+}

@@ -1,0 +1,133 @@
+// Package absdom implements the numerical abstract domains the paper's
+// conclusion proposes for refining activation-pattern monitors (§V,
+// extension 2): interval boxes and difference bound matrices (DBMs, Miné
+// 2001). Where the BDD monitor abstracts each neuron to one on/off bit,
+// these domains retain the neuron *values*, so a comfort zone can
+// distinguish "slightly positive" from "hugely positive" activations.
+//
+// Both domains support the operations a monitor needs: abstraction of a
+// single activation vector (FromPoint), least-upper-bound accumulation
+// over the training set (Join), widening by a tolerance (the numerical
+// analogue of the Hamming-γ enlargement), and a containment query.
+package absdom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Box is an interval abstraction: for each tracked dimension a closed
+// interval [Lo[i], Hi[i]]. The zero-dimension Box is valid and contains
+// only the empty vector.
+type Box struct {
+	Lo, Hi []float64
+}
+
+// NewBox returns the empty box (containing nothing) over dim dimensions.
+func NewBox(dim int) *Box {
+	b := &Box{Lo: make([]float64, dim), Hi: make([]float64, dim)}
+	for i := 0; i < dim; i++ {
+		b.Lo[i] = math.Inf(1)
+		b.Hi[i] = math.Inf(-1)
+	}
+	return b
+}
+
+// BoxFromPoint returns the degenerate box containing exactly p.
+func BoxFromPoint(p []float64) *Box {
+	b := &Box{Lo: append([]float64(nil), p...), Hi: append([]float64(nil), p...)}
+	return b
+}
+
+// Dim returns the number of tracked dimensions.
+func (b *Box) Dim() int { return len(b.Lo) }
+
+// IsEmpty reports whether the box contains no point.
+func (b *Box) IsEmpty() bool {
+	for i := range b.Lo {
+		if b.Lo[i] > b.Hi[i] {
+			return true
+		}
+	}
+	return false
+}
+
+// Join widens b in place to also cover p (least upper bound with the
+// degenerate box of p).
+func (b *Box) Join(p []float64) {
+	if len(p) != len(b.Lo) {
+		panic(fmt.Sprintf("absdom: Join dimension %d != box dimension %d", len(p), len(b.Lo)))
+	}
+	for i, v := range p {
+		if v < b.Lo[i] {
+			b.Lo[i] = v
+		}
+		if v > b.Hi[i] {
+			b.Hi[i] = v
+		}
+	}
+}
+
+// JoinBox widens b in place to cover other.
+func (b *Box) JoinBox(other *Box) {
+	if other.Dim() != b.Dim() {
+		panic("absdom: JoinBox dimension mismatch")
+	}
+	for i := range b.Lo {
+		if other.Lo[i] < b.Lo[i] {
+			b.Lo[i] = other.Lo[i]
+		}
+		if other.Hi[i] > b.Hi[i] {
+			b.Hi[i] = other.Hi[i]
+		}
+	}
+}
+
+// Contains reports whether p lies inside the box enlarged by eps in every
+// direction (eps plays the role of the BDD monitor's γ).
+func (b *Box) Contains(p []float64, eps float64) bool {
+	if len(p) != len(b.Lo) {
+		panic("absdom: Contains dimension mismatch")
+	}
+	for i, v := range p {
+		if v < b.Lo[i]-eps || v > b.Hi[i]+eps {
+			return false
+		}
+	}
+	return true
+}
+
+// ContainsBox reports whether other is entirely inside b (no tolerance).
+func (b *Box) ContainsBox(other *Box) bool {
+	if other.IsEmpty() {
+		return true
+	}
+	if b.IsEmpty() {
+		return false
+	}
+	for i := range b.Lo {
+		if other.Lo[i] < b.Lo[i] || other.Hi[i] > b.Hi[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Volume returns the product of interval widths; empty boxes yield 0.
+// Degenerate (point) dimensions contribute factor 0, so Volume is mainly
+// useful after widening.
+func (b *Box) Volume() float64 {
+	if b.IsEmpty() {
+		return 0
+	}
+	v := 1.0
+	for i := range b.Lo {
+		v *= b.Hi[i] - b.Lo[i]
+	}
+	return v
+}
+
+// Clone returns a deep copy.
+func (b *Box) Clone() *Box {
+	return &Box{Lo: append([]float64(nil), b.Lo...), Hi: append([]float64(nil), b.Hi...)}
+}

@@ -1,0 +1,207 @@
+package absdom
+
+import (
+	"fmt"
+	"math"
+)
+
+// DBM is a difference bound matrix (Miné 2001) over n variables
+// x_1..x_n plus the zero variable x_0 = 0. Entry m[i][j] is the tightest
+// known upper bound on x_i - x_j; +Inf means unconstrained. The domain
+// captures octagonal-style relations of the form x_i - x_j <= c as well
+// as absolute bounds via the zero row/column (x_i <= m[i][0],
+// -x_j <= m[0][j]). It is strictly more precise than Box, which it
+// subsumes through the zero row and column.
+type DBM struct {
+	n int         // number of real variables
+	m [][]float64 // (n+1) × (n+1), row i col j bounds x_i - x_j
+	// canonical records whether m is in shortest-path closed form.
+	canonical bool
+	empty     bool
+	seeded    bool // at least one point joined
+}
+
+// NewDBM returns the empty DBM (containing no point) over dim variables.
+func NewDBM(dim int) *DBM {
+	d := &DBM{n: dim, m: make([][]float64, dim+1)}
+	for i := range d.m {
+		d.m[i] = make([]float64, dim+1)
+		for j := range d.m[i] {
+			d.m[i][j] = math.Inf(-1) // sentinel: nothing joined yet
+		}
+	}
+	d.canonical = true
+	return d
+}
+
+// Dim returns the number of tracked variables.
+func (d *DBM) Dim() int { return d.n }
+
+// DBMFromPoint returns the DBM containing exactly p.
+func DBMFromPoint(p []float64) *DBM {
+	d := NewDBM(len(p))
+	d.Join(p)
+	return d
+}
+
+// IsEmpty reports whether the DBM contains no point.
+func (d *DBM) IsEmpty() bool { return !d.seeded }
+
+// Join widens d in place to also cover point p: every difference bound is
+// relaxed to max(current, observed difference).
+func (d *DBM) Join(p []float64) {
+	if len(p) != d.n {
+		panic(fmt.Sprintf("absdom: Join dimension %d != DBM dimension %d", len(p), d.n))
+	}
+	val := func(i int) float64 {
+		if i == 0 {
+			return 0
+		}
+		return p[i-1]
+	}
+	for i := 0; i <= d.n; i++ {
+		for j := 0; j <= d.n; j++ {
+			diff := val(i) - val(j)
+			if !d.seeded || diff > d.m[i][j] {
+				d.m[i][j] = diff
+			}
+		}
+	}
+	d.seeded = true
+	// A join of canonical operands with a point stays canonical: the
+	// element-wise max of two shortest-path-closed matrices is closed.
+	// We keep the flag conservative and re-canonicalize on demand.
+	d.canonical = false
+}
+
+// JoinDBM widens d to cover other (element-wise max of bounds).
+func (d *DBM) JoinDBM(other *DBM) {
+	if other.n != d.n {
+		panic("absdom: JoinDBM dimension mismatch")
+	}
+	if other.IsEmpty() {
+		return
+	}
+	if !d.seeded {
+		for i := range d.m {
+			copy(d.m[i], other.m[i])
+		}
+		d.seeded = true
+		d.canonical = other.canonical
+		return
+	}
+	for i := range d.m {
+		for j := range d.m[i] {
+			if other.m[i][j] > d.m[i][j] {
+				d.m[i][j] = other.m[i][j]
+			}
+		}
+	}
+	d.canonical = false
+}
+
+// Canonicalize closes the bound matrix under shortest paths
+// (Floyd–Warshall), producing the tightest equivalent representation.
+// O(n³); call once after building, before repeated queries.
+func (d *DBM) Canonicalize() {
+	if d.canonical || !d.seeded {
+		d.canonical = true
+		return
+	}
+	n := d.n + 1
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			ik := d.m[i][k]
+			if math.IsInf(ik, 1) {
+				continue
+			}
+			row := d.m[i]
+			mk := d.m[k]
+			for j := 0; j < n; j++ {
+				if v := ik + mk[j]; v < row[j] {
+					row[j] = v
+				}
+			}
+		}
+	}
+	// A decidedly negative diagonal means inconsistency. Joins of points
+	// are always consistent, but floating-point closure can push the
+	// diagonal a few ulps below zero, so compare against a small
+	// tolerance rather than exact zero, and clamp.
+	const diagTol = 1e-9
+	for i := 0; i < n; i++ {
+		if d.m[i][i] < -diagTol {
+			d.seeded = false
+			break
+		}
+		if d.m[i][i] < 0 {
+			d.m[i][i] = 0
+		}
+	}
+	d.canonical = true
+}
+
+// Contains reports whether p satisfies every difference bound relaxed by
+// eps (the numerical enlargement analogous to γ).
+func (d *DBM) Contains(p []float64, eps float64) bool {
+	if len(p) != d.n {
+		panic("absdom: Contains dimension mismatch")
+	}
+	if !d.seeded {
+		return false
+	}
+	val := func(i int) float64 {
+		if i == 0 {
+			return 0
+		}
+		return p[i-1]
+	}
+	for i := 0; i <= d.n; i++ {
+		for j := 0; j <= d.n; j++ {
+			if i == j {
+				continue
+			}
+			if val(i)-val(j) > d.m[i][j]+eps {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Bound returns the current upper bound on x_i - x_j (1-based variable
+// indices; 0 is the zero variable).
+func (d *DBM) Bound(i, j int) float64 {
+	if i < 0 || i > d.n || j < 0 || j > d.n {
+		panic("absdom: Bound index out of range")
+	}
+	if !d.seeded {
+		return math.Inf(-1)
+	}
+	return d.m[i][j]
+}
+
+// Box projects the DBM onto its per-variable interval bounds, discarding
+// relational information.
+func (d *DBM) Box() *Box {
+	b := NewBox(d.n)
+	if !d.seeded {
+		return b
+	}
+	for i := 1; i <= d.n; i++ {
+		b.Hi[i-1] = d.m[i][0]  // x_i - 0 <= hi
+		b.Lo[i-1] = -d.m[0][i] // 0 - x_i <= -lo
+	}
+	return b
+}
+
+// Clone returns a deep copy.
+func (d *DBM) Clone() *DBM {
+	c := NewDBM(d.n)
+	for i := range d.m {
+		copy(c.m[i], d.m[i])
+	}
+	c.canonical = d.canonical
+	c.seeded = d.seeded
+	return c
+}

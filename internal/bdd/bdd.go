@@ -1,0 +1,167 @@
+// Package bdd implements Reduced Ordered Binary Decision Diagrams (ROBDDs)
+// in the style of Bryant (1992), the data structure the paper uses to store
+// neuron activation pattern sets. A Manager owns an arena of nodes shared
+// by all diagrams it creates; diagrams are referenced by opaque Node
+// handles. Structural sharing plus a unique table guarantee canonicity:
+// two Nodes are equal iff they denote the same Boolean function.
+//
+// The operations provided are exactly those Algorithm 1 of the paper needs
+// (encode a pattern as a cube, union via Or, Hamming enlargement via
+// Exists) plus the general toolkit (And, Not, Xor, Diff, ITE, SatCount,
+// Eval) required by tests, metrics and serialization.
+package bdd
+
+import (
+	"fmt"
+	"math"
+)
+
+// Node is a handle to a BDD rooted at a node in a Manager's arena.
+// The zero value is the constant-false diagram.
+type Node int32
+
+// Reserved handles for the two terminal nodes.
+const (
+	falseNode Node = 0
+	trueNode  Node = 1
+)
+
+// node is one decision node: if variable "level" is true follow hi,
+// otherwise lo. Terminals use level == terminalLevel.
+type node struct {
+	level int32
+	lo    Node
+	hi    Node
+}
+
+// Manager owns the node arena, the unique table enforcing canonicity and
+// the memoization caches. It is not safe for concurrent mutation; build
+// monitors from a single goroutine (queries via Eval are read-only and may
+// run concurrently once building is done).
+type Manager struct {
+	numVars  int
+	nodes    []node
+	unique   map[node]Node
+	binCache map[binKey]Node
+	qCache   map[binKey]Node // existential quantification cache
+	notCache map[Node]Node
+}
+
+type binKey struct {
+	op   uint8
+	a, b Node
+}
+
+// Operation codes for the binary apply cache.
+const (
+	opAnd uint8 = iota
+	opOr
+	opXor
+	opDiff
+	opExists // a = variable, b = function
+)
+
+// terminalLevel is the pseudo-level assigned to the two terminals so they
+// sort after every variable.
+const terminalLevel = math.MaxInt32
+
+// NewManager creates a manager for functions over numVars Boolean
+// variables, indexed 0..numVars-1 with the natural variable order.
+func NewManager(numVars int) *Manager {
+	if numVars <= 0 {
+		panic("bdd: manager needs at least one variable")
+	}
+	m := &Manager{
+		numVars:  numVars,
+		nodes:    make([]node, 2, 1024),
+		unique:   make(map[node]Node),
+		binCache: make(map[binKey]Node),
+		qCache:   make(map[binKey]Node),
+		notCache: make(map[Node]Node),
+	}
+	m.nodes[falseNode] = node{level: terminalLevel}
+	m.nodes[trueNode] = node{level: terminalLevel}
+	return m
+}
+
+// NumVars returns the number of variables the manager was created with.
+func (m *Manager) NumVars() int { return m.numVars }
+
+// Size returns the total number of live nodes in the arena, including the
+// two terminals. It measures cumulative memory, not the size of any one
+// diagram (use NodeCount for that).
+func (m *Manager) Size() int { return len(m.nodes) }
+
+// False returns the constant-false diagram (the empty pattern set).
+func (m *Manager) False() Node { return falseNode }
+
+// True returns the constant-true diagram (the set of all patterns).
+func (m *Manager) True() Node { return trueNode }
+
+// IsFalse reports whether n denotes the empty set.
+func (m *Manager) IsFalse(n Node) bool { return n == falseNode }
+
+// IsTrue reports whether n denotes the universal set.
+func (m *Manager) IsTrue(n Node) bool { return n == trueNode }
+
+// Var returns the diagram for variable v (the set of patterns whose v-th
+// bit is 1).
+func (m *Manager) Var(v int) Node {
+	m.checkVar(v)
+	return m.mk(int32(v), falseNode, trueNode)
+}
+
+// NVar returns the diagram for the negation of variable v.
+func (m *Manager) NVar(v int) Node {
+	m.checkVar(v)
+	return m.mk(int32(v), trueNode, falseNode)
+}
+
+func (m *Manager) checkVar(v int) {
+	if v < 0 || v >= m.numVars {
+		panic(fmt.Sprintf("bdd: variable %d out of range [0,%d)", v, m.numVars))
+	}
+}
+
+// mk returns the canonical node (level, lo, hi), applying the two ROBDD
+// reduction rules: skip redundant tests (lo == hi) and share isomorphic
+// subgraphs via the unique table.
+func (m *Manager) mk(level int32, lo, hi Node) Node {
+	if lo == hi {
+		return lo
+	}
+	key := node{level: level, lo: lo, hi: hi}
+	if n, ok := m.unique[key]; ok {
+		return n
+	}
+	m.nodes = append(m.nodes, key)
+	n := Node(len(m.nodes) - 1)
+	m.unique[key] = n
+	return n
+}
+
+// Lo returns the low (variable=0) child of n. Terminals return n itself.
+func (m *Manager) Lo(n Node) Node {
+	if n <= trueNode {
+		return n
+	}
+	return m.nodes[n].lo
+}
+
+// Hi returns the high (variable=1) child of n. Terminals return n itself.
+func (m *Manager) Hi(n Node) Node {
+	if n <= trueNode {
+		return n
+	}
+	return m.nodes[n].hi
+}
+
+// Level returns the variable index tested at n, or NumVars() for the
+// terminals.
+func (m *Manager) Level(n Node) int {
+	lv := m.nodes[n].level
+	if lv == terminalLevel {
+		return m.numVars
+	}
+	return int(lv)
+}

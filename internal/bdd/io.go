@@ -1,0 +1,143 @@
+package bdd
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Serialization lets a monitor built offline (Algorithm 1 runs once, after
+// training) be shipped to the vehicle and loaded at startup. The format is
+// a compact little-endian stream of the nodes reachable from the given
+// roots, with node handles remapped to a dense range.
+
+const ioMagic = 0x42444431 // "BDD1"
+
+// Serialize writes the sub-diagrams reachable from roots to w. The same
+// roots, in order, are recoverable with Deserialize.
+func (m *Manager) Serialize(w io.Writer, roots []Node) error {
+	bw := bufio.NewWriter(w)
+	// Collect reachable nodes in a deterministic order (post-order DFS) so
+	// children precede parents and the file is reproducible.
+	remap := map[Node]uint32{falseNode: 0, trueNode: 1}
+	var order []Node
+	var walk func(n Node)
+	walk = func(n Node) {
+		if _, ok := remap[n]; ok {
+			return
+		}
+		nd := m.nodes[n]
+		walk(nd.lo)
+		walk(nd.hi)
+		remap[n] = uint32(len(order) + 2)
+		order = append(order, n)
+	}
+	for _, r := range roots {
+		walk(r)
+	}
+
+	write := func(v uint32) error {
+		return binary.Write(bw, binary.LittleEndian, v)
+	}
+	if err := write(ioMagic); err != nil {
+		return err
+	}
+	if err := write(uint32(m.numVars)); err != nil {
+		return err
+	}
+	if err := write(uint32(len(order))); err != nil {
+		return err
+	}
+	for _, n := range order {
+		nd := m.nodes[n]
+		if err := write(uint32(nd.level)); err != nil {
+			return err
+		}
+		if err := write(remap[nd.lo]); err != nil {
+			return err
+		}
+		if err := write(remap[nd.hi]); err != nil {
+			return err
+		}
+	}
+	if err := write(uint32(len(roots))); err != nil {
+		return err
+	}
+	for _, r := range roots {
+		if err := write(remap[r]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Deserialize reads a stream produced by Serialize into the manager,
+// returning the root handles. The manager must have the same NumVars as
+// the one that wrote the stream. Nodes are re-canonicalized through the
+// unique table, so deserializing into a non-empty manager is safe.
+func (m *Manager) Deserialize(r io.Reader) ([]Node, error) {
+	br := bufio.NewReader(r)
+	read := func() (uint32, error) {
+		var v uint32
+		err := binary.Read(br, binary.LittleEndian, &v)
+		return v, err
+	}
+	magic, err := read()
+	if err != nil {
+		return nil, fmt.Errorf("bdd: reading magic: %w", err)
+	}
+	if magic != ioMagic {
+		return nil, fmt.Errorf("bdd: bad magic %#x", magic)
+	}
+	nv, err := read()
+	if err != nil {
+		return nil, err
+	}
+	if int(nv) != m.numVars {
+		return nil, fmt.Errorf("bdd: stream has %d variables, manager has %d", nv, m.numVars)
+	}
+	count, err := read()
+	if err != nil {
+		return nil, err
+	}
+	handles := make([]Node, count+2)
+	handles[0], handles[1] = falseNode, trueNode
+	for i := uint32(0); i < count; i++ {
+		lvl, err := read()
+		if err != nil {
+			return nil, err
+		}
+		lo, err := read()
+		if err != nil {
+			return nil, err
+		}
+		hi, err := read()
+		if err != nil {
+			return nil, err
+		}
+		if lo >= i+2 || hi >= i+2 {
+			return nil, fmt.Errorf("bdd: node %d references later node", i)
+		}
+		if lvl >= uint32(m.numVars) {
+			return nil, fmt.Errorf("bdd: node %d has level %d out of range", i, lvl)
+		}
+		handles[i+2] = m.mk(int32(lvl), handles[lo], handles[hi])
+	}
+	nRoots, err := read()
+	if err != nil {
+		return nil, err
+	}
+	roots := make([]Node, nRoots)
+	for i := range roots {
+		h, err := read()
+		if err != nil {
+			return nil, err
+		}
+		if h >= uint32(len(handles)) {
+			return nil, fmt.Errorf("bdd: root %d out of range", h)
+		}
+		roots[i] = handles[h]
+	}
+	return roots, nil
+}

@@ -1,0 +1,86 @@
+package bdd
+
+// Exists returns ∃v.f — the disjunction of the two cofactors of f on v.
+// On a pattern set this is exactly the paper's Hamming enlargement
+// primitive: bdd.exists(j, Z) contains every pattern that agrees with some
+// member of Z on all variables except possibly the j-th.
+func (m *Manager) Exists(v int, f Node) Node {
+	m.checkVar(v)
+	return m.exists(int32(v), f)
+}
+
+func (m *Manager) exists(v int32, f Node) Node {
+	lv := m.nodes[f].level
+	if lv > v {
+		return f // f does not depend on v
+	}
+	key := binKey{op: opExists, a: Node(v), b: f}
+	if r, ok := m.qCache[key]; ok {
+		return r
+	}
+	n := m.nodes[f]
+	var r Node
+	if lv == v {
+		r = m.Or(n.lo, n.hi)
+	} else {
+		r = m.mk(lv, m.exists(v, n.lo), m.exists(v, n.hi))
+	}
+	m.qCache[key] = r
+	return r
+}
+
+// ExistsSet existentially quantifies every variable in vars (in order).
+func (m *Manager) ExistsSet(vars []int, f Node) Node {
+	for _, v := range vars {
+		f = m.Exists(v, f)
+	}
+	return f
+}
+
+// ExpandHamming1 returns the union of f with every pattern at Hamming
+// distance exactly 1 from some member of f, i.e. line 12 of the paper's
+// Algorithm 1: ⋃_j ∃x_j.f. Applying it γ times yields the γ-comfort zone.
+func (m *Manager) ExpandHamming1(f Node) Node {
+	out := f
+	for v := 0; v < m.numVars; v++ {
+		out = m.Or(out, m.exists(int32(v), f))
+	}
+	return out
+}
+
+// ExpandHamming1Subset behaves like ExpandHamming1 but only flips the
+// listed variables; other variables keep their polarity. Used when only a
+// monitored subset of neurons participates in the abstraction.
+func (m *Manager) ExpandHamming1Subset(f Node, vars []int) Node {
+	out := f
+	for _, v := range vars {
+		m.checkVar(v)
+		out = m.Or(out, m.exists(int32(v), f))
+	}
+	return out
+}
+
+// Support returns the sorted list of variables f depends on.
+func (m *Manager) Support(f Node) []int {
+	seen := map[Node]bool{}
+	inSupport := make([]bool, m.numVars)
+	var walk func(n Node)
+	walk = func(n Node) {
+		if n <= trueNode || seen[n] {
+			return
+		}
+		seen[n] = true
+		nd := m.nodes[n]
+		inSupport[nd.level] = true
+		walk(nd.lo)
+		walk(nd.hi)
+	}
+	walk(f)
+	var vars []int
+	for v, in := range inSupport {
+		if in {
+			vars = append(vars, v)
+		}
+	}
+	return vars
+}

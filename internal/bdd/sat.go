@@ -1,0 +1,162 @@
+package bdd
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// SatCount returns the number of satisfying assignments of f over all
+// NumVars() variables (the cardinality of the pattern set). The count is
+// exact as long as it fits a float64 mantissa and remains a faithful
+// magnitude beyond that; monitored layers have at most a few hundred
+// variables so the value always fits float64's exponent range.
+func (m *Manager) SatCount(f Node) float64 {
+	memo := map[Node]float64{}
+	var count func(n Node) float64 // models over variables [Level(n), numVars)
+	count = func(n Node) float64 {
+		if n == falseNode {
+			return 0
+		}
+		if n == trueNode {
+			return 1
+		}
+		if c, ok := memo[n]; ok {
+			return c
+		}
+		nd := m.nodes[n]
+		cLo := count(nd.lo) * pow2(m.gap(n, nd.lo))
+		cHi := count(nd.hi) * pow2(m.gap(n, nd.hi))
+		c := cLo + cHi
+		memo[n] = c
+		return c
+	}
+	return count(f) * pow2(m.Level(f))
+}
+
+// gap returns the number of skipped (free) variables between node n and its
+// child c, exclusive of n's own variable.
+func (m *Manager) gap(n, c Node) int {
+	return m.Level(c) - m.Level(n) - 1
+}
+
+func pow2(k int) float64 {
+	v := 1.0
+	for i := 0; i < k; i++ {
+		v *= 2
+	}
+	return v
+}
+
+// NodeCount returns the number of decision nodes in the diagram rooted at
+// f, excluding terminals. This is the monitor's storage cost measure.
+func (m *Manager) NodeCount(f Node) int {
+	seen := map[Node]bool{}
+	var walk func(n Node) int
+	walk = func(n Node) int {
+		if n <= trueNode || seen[n] {
+			return 0
+		}
+		seen[n] = true
+		nd := m.nodes[n]
+		return 1 + walk(nd.lo) + walk(nd.hi)
+	}
+	return walk(f)
+}
+
+// AnySat returns one satisfying assignment of f as a full bit-vector over
+// all variables (free variables default to false). ok is false when f is
+// unsatisfiable.
+func (m *Manager) AnySat(f Node) (bits []bool, ok bool) {
+	if f == falseNode {
+		return nil, false
+	}
+	bits = make([]bool, m.numVars)
+	for f > trueNode {
+		nd := m.nodes[f]
+		if nd.lo != falseNode {
+			f = nd.lo
+		} else {
+			bits[nd.level] = true
+			f = nd.hi
+		}
+	}
+	return bits, true
+}
+
+// AllSat enumerates every satisfying assignment of f over all variables,
+// invoking visit with a reused buffer. Enumeration stops early if visit
+// returns false. Intended for tests and small diagrams only — the number of
+// assignments is exponential in the number of free variables.
+func (m *Manager) AllSat(f Node, visit func(bits []bool) bool) {
+	bits := make([]bool, m.numVars)
+	var rec func(n Node, v int) bool
+	rec = func(n Node, v int) bool {
+		if n == falseNode {
+			return true
+		}
+		if v == m.numVars {
+			return visit(bits)
+		}
+		lv := m.Level(n)
+		if lv > v {
+			// Free variable: branch on both values.
+			bits[v] = false
+			if !rec(n, v+1) {
+				return false
+			}
+			bits[v] = true
+			defer func() { bits[v] = false }()
+			return rec(n, v+1)
+		}
+		nd := m.nodes[n]
+		bits[v] = false
+		if !rec(nd.lo, v+1) {
+			return false
+		}
+		bits[v] = true
+		ok := rec(nd.hi, v+1)
+		bits[v] = false
+		return ok
+	}
+	rec(f, 0)
+}
+
+// Dot renders the diagram rooted at f in Graphviz DOT format, for
+// debugging and documentation.
+func (m *Manager) Dot(f Node, name string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", name)
+	b.WriteString("  f0 [label=\"0\", shape=box];\n  f1 [label=\"1\", shape=box];\n")
+	seen := map[Node]bool{}
+	var order []Node
+	var walk func(n Node)
+	walk = func(n Node) {
+		if n <= trueNode || seen[n] {
+			return
+		}
+		seen[n] = true
+		order = append(order, n)
+		walk(m.nodes[n].lo)
+		walk(m.nodes[n].hi)
+	}
+	walk(f)
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	nodeName := func(n Node) string {
+		if n == falseNode {
+			return "f0"
+		}
+		if n == trueNode {
+			return "f1"
+		}
+		return fmt.Sprintf("n%d", n)
+	}
+	for _, n := range order {
+		nd := m.nodes[n]
+		fmt.Fprintf(&b, "  n%d [label=\"x%d\"];\n", n, nd.level)
+		fmt.Fprintf(&b, "  n%d -> %s [style=dashed];\n", n, nodeName(nd.lo))
+		fmt.Fprintf(&b, "  n%d -> %s;\n", n, nodeName(nd.hi))
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

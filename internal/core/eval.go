@@ -1,0 +1,122 @@
+package core
+
+import (
+	"repro/internal/nn"
+)
+
+// Metrics aggregates the quantities Table II of the paper reports for one
+// (monitor, dataset) pair.
+type Metrics struct {
+	// Total is the number of evaluated samples.
+	Total int
+	// Misclassified counts samples the network classified incorrectly
+	// (over all samples, matching the paper's per-network
+	// "misclassification rate" column).
+	Misclassified int
+	// Watched counts samples whose predicted class is monitored; the
+	// out-of-pattern statistics are relative to this population. With all
+	// classes monitored, Watched == Total.
+	Watched int
+	// OutOfPattern counts watched samples whose activation pattern fell
+	// outside the predicted class's comfort zone.
+	OutOfPattern int
+	// OutOfPatternMisclassified counts out-of-pattern samples that were
+	// also misclassified.
+	OutOfPatternMisclassified int
+}
+
+// MisclassificationRate returns Misclassified / Total.
+func (m Metrics) MisclassificationRate() float64 {
+	return ratio(m.Misclassified, m.Total)
+}
+
+// OutOfPatternRate returns the paper's column
+// "#out-of-pattern images / #total images", with the denominator being
+// the watched population.
+func (m Metrics) OutOfPatternRate() float64 {
+	return ratio(m.OutOfPattern, m.Watched)
+}
+
+// OutOfPatternPrecision returns the paper's column
+// "#out-of-pattern misclassified images / #out-of-pattern images": the
+// probability that a flagged decision is indeed wrong.
+func (m Metrics) OutOfPatternPrecision() float64 {
+	return ratio(m.OutOfPatternMisclassified, m.OutOfPattern)
+}
+
+func ratio(num, den int) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+// Evaluate runs the monitor over a labelled dataset (typically the
+// validation set, per §III's procedure for deciding the coarseness of
+// abstraction) and aggregates the Table II statistics. Inference and
+// pattern extraction run in parallel; zone queries are sequential and
+// read-only.
+func Evaluate(net *nn.Network, m *Monitor, samples []nn.Sample) Metrics {
+	type obs struct {
+		pred    int
+		pattern Pattern
+	}
+	results := nn.ParallelMap(net, samples, func(w *nn.Network, s nn.Sample) obs {
+		logits, acts := w.ForwardCapture(s.Input, m.cfg.Layer)
+		return obs{pred: logits.ArgMax(), pattern: PatternOfSubset(acts, m.neurons)}
+	})
+	var out Metrics
+	out.Total = len(samples)
+	for i, r := range results {
+		mis := r.pred != samples[i].Label
+		if mis {
+			out.Misclassified++
+		}
+		z, ok := m.zones[r.pred]
+		if !ok {
+			continue
+		}
+		out.Watched++
+		if !z.Contains(r.pattern) {
+			out.OutOfPattern++
+			if mis {
+				out.OutOfPatternMisclassified++
+			}
+		}
+	}
+	return out
+}
+
+// GammaSweep evaluates the monitor at each γ in gammas (ascending order is
+// cheapest because enlargements are cached) and returns one Metrics per γ.
+// The monitor is left at the last γ.
+func GammaSweep(net *nn.Network, m *Monitor, samples []nn.Sample, gammas []int) []Metrics {
+	out := make([]Metrics, len(gammas))
+	for i, g := range gammas {
+		m.SetGamma(g)
+		out[i] = Evaluate(net, m, samples)
+	}
+	return out
+}
+
+// InferGamma implements the paper's "infer when to stop enlarging"
+// procedure: starting from γ = 0 it grows γ until the out-of-pattern
+// precision on the validation set reaches minPrecision (the flagged
+// decisions are likely misclassifications) or the out-of-pattern rate
+// falls below minRate (the monitor has become too coarse to ever fire),
+// whichever comes first, capped at maxGamma. It returns the chosen γ and
+// the metrics observed at each level tried.
+func InferGamma(net *nn.Network, m *Monitor, validation []nn.Sample,
+	minPrecision, minRate float64, maxGamma int) (int, []Metrics) {
+	var history []Metrics
+	for g := 0; g <= maxGamma; g++ {
+		m.SetGamma(g)
+		metrics := Evaluate(net, m, validation)
+		history = append(history, metrics)
+		if metrics.OutOfPatternPrecision() >= minPrecision || metrics.OutOfPatternRate() <= minRate {
+			return g, history
+		}
+	}
+	m.SetGamma(maxGamma)
+	return maxGamma, history
+}

@@ -1,0 +1,79 @@
+package core
+
+// ExactZone is a reference implementation of the γ-comfort zone that
+// stores the visited patterns in a hash set and answers membership by
+// scanning for a stored pattern within Hamming distance γ. It is
+// semantically identical to Zone (tests cross-check them) and serves as
+// the ablation baseline for the BDD representation: queries cost
+// O(#patterns · width) instead of O(width), and memory grows linearly
+// with the number of distinct patterns.
+type ExactZone struct {
+	width    int
+	gamma    int
+	patterns map[string]Pattern
+}
+
+// NewExactZone returns an empty exact zone over width neurons with γ = 0.
+func NewExactZone(width int) *ExactZone {
+	return &ExactZone{width: width, patterns: map[string]Pattern{}}
+}
+
+// Width returns the number of monitored neurons.
+func (z *ExactZone) Width() int { return z.width }
+
+// Gamma returns the current Hamming threshold.
+func (z *ExactZone) Gamma() int { return z.gamma }
+
+// SetGamma sets the Hamming threshold used by Contains. Unlike the BDD
+// zone there is nothing to precompute; the threshold is applied per query.
+func (z *ExactZone) SetGamma(gamma int) {
+	if gamma < 0 {
+		panic("core: negative gamma")
+	}
+	z.gamma = gamma
+}
+
+// Insert adds a visited pattern.
+func (z *ExactZone) Insert(p Pattern) {
+	if len(p) != z.width {
+		panic("core: pattern width mismatch")
+	}
+	z.patterns[p.Key()] = p.Clone()
+}
+
+// DistinctPatterns returns the number of distinct visited patterns.
+func (z *ExactZone) DistinctPatterns() int { return len(z.patterns) }
+
+// Contains reports whether some visited pattern lies within Hamming
+// distance γ of p.
+func (z *ExactZone) Contains(p Pattern) bool {
+	if len(p) != z.width {
+		panic("core: pattern width mismatch")
+	}
+	if _, ok := z.patterns[p.Key()]; ok {
+		return true // exact hit, the common case
+	}
+	if z.gamma == 0 {
+		return false
+	}
+	for _, q := range z.patterns {
+		if withinHamming(p, q, z.gamma) {
+			return true
+		}
+	}
+	return false
+}
+
+// withinHamming reports H(p, q) <= limit with early exit.
+func withinHamming(p, q Pattern, limit int) bool {
+	d := 0
+	for i := range p {
+		if p[i] != q[i] {
+			d++
+			if d > limit {
+				return false
+			}
+		}
+	}
+	return true
+}

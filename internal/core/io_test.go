@@ -1,0 +1,87 @@
+package core
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/rng"
+)
+
+func TestMonitorSaveLoadFile(t *testing.T) {
+	net, layer, train, val := trainedToyNet(t, 60)
+	mon, err := Build(net, train, Config{Layer: layer, Gamma: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "toy.monitor")
+	if err := mon.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := Evaluate(net, mon, val), Evaluate(net, loaded, val); a != b {
+		t.Fatalf("metrics differ after file round trip: %+v vs %+v", a, b)
+	}
+}
+
+func TestLoadFileMissing(t *testing.T) {
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "absent.monitor")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestLoadTruncatedStream(t *testing.T) {
+	// Corrupt/truncated monitor files must fail cleanly, never panic.
+	net, layer, train, _ := trainedToyNet(t, 61)
+	mon, err := Build(net, train, Config{Layer: layer, Gamma: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := mon.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{1, len(full) / 4, len(full) / 2, len(full) - 3} {
+		if _, err := Load(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncation at %d bytes accepted", cut)
+		}
+	}
+}
+
+func TestLoadCorruptedHeader(t *testing.T) {
+	net, layer, train, _ := trainedToyNet(t, 62)
+	mon, err := Build(net, train, Config{Layer: layer, Gamma: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := mon.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	corrupted := append([]byte("{\"format\":\"other\"}\n"), buf.Bytes()...)
+	if _, err := Load(bytes.NewReader(corrupted)); err == nil {
+		t.Fatal("wrong format header accepted")
+	}
+}
+
+func TestBuildRejectsNonDenseOutput(t *testing.T) {
+	// probeDims requires a fully-connected output layer.
+	r := rng.New(63)
+	net := nn.New(nn.NewDense(4, 4, r), nn.NewReLU())
+	if _, err := Build(net, nil, Config{Layer: 1}); err == nil {
+		t.Fatal("network without dense output accepted")
+	}
+}
+
+func TestBuildRejectsMonitoredLayerBeforeAnyDense(t *testing.T) {
+	r := rng.New(64)
+	net := nn.New(nn.NewFlatten(), nn.NewDense(4, 2, r))
+	if _, err := Build(net, nil, Config{Layer: 0}); err == nil {
+		t.Fatal("monitored layer before any dense layer accepted")
+	}
+}

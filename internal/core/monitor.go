@@ -1,0 +1,233 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Config specifies how a monitor is built.
+type Config struct {
+	// Layer is the index (into the network's layer list) of the monitored
+	// layer; its output must be the ReLU-activated vector whose on/off
+	// pattern is abstracted. The paper monitors a close-to-output
+	// fully-connected ReLU layer.
+	Layer int
+	// Gamma is the Hamming-distance enlargement of Definition 2.
+	Gamma int
+	// Classes lists the classes to monitor; nil monitors every class
+	// (the paper's network 2 monitor covers only the stop-sign class).
+	Classes []int
+	// Neurons lists the monitored neuron indices within the layer output
+	// (sorted ascending); nil monitors all neurons. Use SelectNeurons to
+	// pick important neurons by gradient-based sensitivity analysis.
+	Neurons []int
+}
+
+// Monitor is the neuron activation pattern monitor of Definition 3: one
+// γ-comfort zone per monitored class, consulted after each classification
+// decision.
+type Monitor struct {
+	cfg     Config
+	neurons []int // resolved monitored neuron indices (always non-nil)
+	width   int   // layer output width d_l
+	zones   map[int]*Zone
+}
+
+// Verdict is the outcome of watching one input.
+type Verdict struct {
+	// Class is the network's classification decision dec_f(in).
+	Class int
+	// Monitored reports whether the predicted class has a comfort zone;
+	// when false the monitor abstains and OutOfPattern is meaningless.
+	Monitored bool
+	// OutOfPattern is true when the input's activation pattern is not in
+	// the predicted class's γ-comfort zone — the decision is not supported
+	// by prior similarities in training.
+	OutOfPattern bool
+	// Pattern is the extracted activation pattern over monitored neurons.
+	Pattern Pattern
+}
+
+// Build runs Algorithm 1: it feeds every training sample through the
+// network, records the activation pattern of each correctly classified
+// sample in its ground-truth class's zone, and enlarges every zone to the
+// configured γ. The network is not modified.
+func Build(net *nn.Network, train []nn.Sample, cfg Config) (*Monitor, error) {
+	m, err := newMonitor(net, cfg)
+	if err != nil {
+		return nil, err
+	}
+	// Extract (prediction, pattern) pairs in parallel; zone insertion is
+	// sequential because the BDD manager is single-writer.
+	type obs struct {
+		pred    int
+		pattern Pattern
+	}
+	results := nn.ParallelMap(net, train, func(w *nn.Network, s nn.Sample) obs {
+		logits, acts := w.ForwardCapture(s.Input, cfg.Layer)
+		return obs{pred: logits.ArgMax(), pattern: PatternOfSubset(acts, m.neurons)}
+	})
+	for i, r := range results {
+		// Line 5 of Algorithm 1: only correctly predicted training images
+		// contribute their pattern, to the zone of their true class.
+		if r.pred != train[i].Label {
+			continue
+		}
+		z, ok := m.zones[train[i].Label]
+		if !ok {
+			continue // class not monitored
+		}
+		z.Insert(r.pattern)
+	}
+	m.SetGamma(cfg.Gamma)
+	return m, nil
+}
+
+// newMonitor validates cfg against the network and allocates empty zones.
+func newMonitor(net *nn.Network, cfg Config) (*Monitor, error) {
+	if cfg.Layer < 0 || cfg.Layer >= net.NumLayers() {
+		return nil, fmt.Errorf("core: monitored layer %d out of range [0,%d)",
+			cfg.Layer, net.NumLayers())
+	}
+	if cfg.Gamma < 0 {
+		return nil, fmt.Errorf("core: negative gamma %d", cfg.Gamma)
+	}
+	numClasses, width, err := probeDims(net, cfg.Layer)
+	if err != nil {
+		return nil, err
+	}
+	neurons := cfg.Neurons
+	if neurons == nil {
+		neurons = make([]int, width)
+		for i := range neurons {
+			neurons[i] = i
+		}
+	} else {
+		if len(neurons) == 0 {
+			return nil, fmt.Errorf("core: empty monitored neuron list")
+		}
+		if !sort.IntsAreSorted(neurons) {
+			return nil, fmt.Errorf("core: monitored neurons must be sorted ascending")
+		}
+		for i, n := range neurons {
+			if n < 0 || n >= width {
+				return nil, fmt.Errorf("core: neuron %d out of range [0,%d)", n, width)
+			}
+			if i > 0 && neurons[i-1] == n {
+				return nil, fmt.Errorf("core: duplicate monitored neuron %d", n)
+			}
+		}
+	}
+	classes := cfg.Classes
+	if classes == nil {
+		classes = make([]int, numClasses)
+		for i := range classes {
+			classes[i] = i
+		}
+	}
+	zones := make(map[int]*Zone, len(classes))
+	for _, c := range classes {
+		if c < 0 || c >= numClasses {
+			return nil, fmt.Errorf("core: monitored class %d out of range [0,%d)", c, numClasses)
+		}
+		if _, dup := zones[c]; dup {
+			return nil, fmt.Errorf("core: duplicate monitored class %d", c)
+		}
+		zones[c] = NewZone(len(neurons))
+	}
+	return &Monitor{cfg: cfg, neurons: neurons, width: width, zones: zones}, nil
+}
+
+// probeDims determines the network's class count and the monitored layer's
+// output width from the static shapes of its fully-connected layers: the
+// final layer must be Dense (its row count is the class count) and the
+// monitored layer must sit at or after a Dense layer (whose row count is
+// the layer width). Convolutional layer outputs depend on the input size
+// and are not supported as monitored layers, matching the paper's setup of
+// monitoring close-to-output fully-connected layers.
+func probeDims(net *nn.Network, layer int) (numClasses, width int, err error) {
+	last, ok := net.Layer(net.NumLayers() - 1).(*nn.Dense)
+	if !ok {
+		return 0, 0, fmt.Errorf("core: network's final layer must be fully-connected")
+	}
+	numClasses = last.Weights().Dim(0)
+	// The monitored layer is typically ReLU following a Dense layer; find
+	// the nearest Dense at or before the monitored index to learn width.
+	for i := layer; i >= 0; i-- {
+		if d, ok := net.Layer(i).(*nn.Dense); ok {
+			return numClasses, d.Weights().Dim(0), nil
+		}
+	}
+	return 0, 0, fmt.Errorf("core: no fully-connected layer at or before monitored layer %d", layer)
+}
+
+// Config returns the configuration the monitor was built with.
+func (m *Monitor) Config() Config { return m.cfg }
+
+// Neurons returns the monitored neuron indices.
+func (m *Monitor) Neurons() []int { return m.neurons }
+
+// LayerWidth returns the monitored layer's full width d_l.
+func (m *Monitor) LayerWidth() int { return m.width }
+
+// Zone returns the comfort zone for class c, or nil when c is unmonitored.
+func (m *Monitor) Zone(c int) *Zone { return m.zones[c] }
+
+// Classes returns the monitored classes in ascending order.
+func (m *Monitor) Classes() []int {
+	cs := make([]int, 0, len(m.zones))
+	for c := range m.zones {
+		cs = append(cs, c)
+	}
+	sort.Ints(cs)
+	return cs
+}
+
+// SetGamma changes the enlargement level of every zone (recomputed
+// incrementally from cached levels).
+func (m *Monitor) SetGamma(gamma int) {
+	for _, z := range m.zones {
+		z.SetGamma(gamma)
+	}
+	m.cfg.Gamma = gamma
+}
+
+// Gamma returns the current enlargement level.
+func (m *Monitor) Gamma() int { return m.cfg.Gamma }
+
+// Watch supplements one classification decision (Figure 1-(b)): it runs
+// inference, extracts the activation pattern at the monitored layer, and
+// checks it against the comfort zone of the predicted class.
+func (m *Monitor) Watch(net *nn.Network, x *tensor.Tensor) Verdict {
+	logits, acts := net.ForwardCapture(x, m.cfg.Layer)
+	pred := logits.ArgMax()
+	p := PatternOfSubset(acts, m.neurons)
+	z, ok := m.zones[pred]
+	if !ok {
+		return Verdict{Class: pred, Monitored: false, Pattern: p}
+	}
+	return Verdict{Class: pred, Monitored: true, OutOfPattern: !z.Contains(p), Pattern: p}
+}
+
+// WatchPattern checks a pre-extracted pattern against class c's zone.
+// It reports (outOfPattern, monitored).
+func (m *Monitor) WatchPattern(c int, p Pattern) (outOfPattern, monitored bool) {
+	z, ok := m.zones[c]
+	if !ok {
+		return false, false
+	}
+	return !z.Contains(p), true
+}
+
+// StorageNodes returns the total BDD node count across all zones at the
+// current γ.
+func (m *Monitor) StorageNodes() int {
+	total := 0
+	for _, z := range m.zones {
+		total += z.NodeCount()
+	}
+	return total
+}

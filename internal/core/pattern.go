@@ -1,0 +1,93 @@
+// Package core implements the paper's contribution: runtime monitoring of
+// neuron activation patterns. After training, Algorithm 1 feeds the
+// training set back through the network, records the binary ReLU on/off
+// pattern of a chosen close-to-output layer per class inside a BDD, and
+// enlarges each class's pattern set to the γ-comfort zone by adding every
+// pattern within Hamming distance γ (Definition 2) via BDD existential
+// quantification. In operation the monitor flags a classification whose
+// activation pattern falls outside the comfort zone of the predicted
+// class: the decision is not supported by prior similarities in training.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Pattern is a neuron activation pattern (Definition 1): one bit per
+// monitored neuron, true when the neuron's output is strictly positive
+// (the ReLU "activated" case of prelu).
+type Pattern []bool
+
+// PatternOf extracts the activation pattern of a full layer output
+// (pat(f^(l)(in)) in the paper).
+func PatternOf(acts *tensor.Tensor) Pattern {
+	p := make(Pattern, acts.Len())
+	for i, v := range acts.Data() {
+		p[i] = v > 0
+	}
+	return p
+}
+
+// PatternOfSubset extracts the activation pattern restricted to the listed
+// neuron indices, in order. Used when gradient-based selection monitors
+// only a subset of a wide layer.
+func PatternOfSubset(acts *tensor.Tensor, neurons []int) Pattern {
+	p := make(Pattern, len(neurons))
+	data := acts.Data()
+	for i, n := range neurons {
+		if n < 0 || n >= len(data) {
+			panic(fmt.Sprintf("core: neuron index %d out of range [0,%d)", n, len(data)))
+		}
+		p[i] = data[n] > 0
+	}
+	return p
+}
+
+// Hamming returns the Hamming distance H(p, q) between two equal-length
+// patterns.
+func Hamming(p, q Pattern) int {
+	if len(p) != len(q) {
+		panic("core: Hamming distance of unequal-length patterns")
+	}
+	d := 0
+	for i := range p {
+		if p[i] != q[i] {
+			d++
+		}
+	}
+	return d
+}
+
+// Clone returns a copy of p.
+func (p Pattern) Clone() Pattern { return append(Pattern(nil), p...) }
+
+// String renders the pattern as a 0/1 string, most significant neuron
+// first, e.g. "0101".
+func (p Pattern) String() string {
+	b := make([]byte, len(p))
+	for i, v := range p {
+		if v {
+			b[i] = '1'
+		} else {
+			b[i] = '0'
+		}
+	}
+	return string(b)
+}
+
+// Key packs the pattern into a compact string usable as a map key (8
+// neurons per byte). Patterns of different lengths never collide because
+// the length is prefixed.
+func (p Pattern) Key() string {
+	b := make([]byte, 2+(len(p)+7)/8)
+	b[0] = byte(len(p) >> 8)
+	b[1] = byte(len(p))
+	for i, v := range p {
+		if v {
+			b[2+i/8] |= 1 << (i % 8)
+		}
+	}
+	return string(b)
+}

@@ -1,0 +1,186 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/nn"
+)
+
+func buildRefined(t *testing.T, net *nn.Network, train []nn.Sample, layer int, cfg RefinedConfig) *RefinedMonitor {
+	t.Helper()
+	cfg.Layer = layer
+	m, err := BuildRefined(net, train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestRefinedSoundness(t *testing.T) {
+	// Correctly classified training samples must never be flagged, for
+	// both domains and both granularities, at epsilon 0.
+	net, layer, train, _ := trainedToyNet(t, 30)
+	for _, domain := range []RefinedDomain{DomainBox, DomainDBM} {
+		for _, perPattern := range []bool{false, true} {
+			m := buildRefined(t, net, train, layer, RefinedConfig{
+				Domain: domain, PerPattern: perPattern, Epsilon: 1e-9,
+			})
+			for _, s := range train {
+				v := m.Watch(net, s.Input)
+				if v.Class != s.Label {
+					continue
+				}
+				if v.OutOfPattern {
+					t.Fatalf("domain=%v perPattern=%v: training sample flagged",
+						domain, perPattern)
+				}
+			}
+		}
+	}
+}
+
+func TestRefinedPerPatternStricterThanBDDGamma0(t *testing.T) {
+	// Per-pattern refined monitors must flag a superset of what the
+	// pattern (BDD) monitor flags at gamma 0: an unseen pattern is always
+	// out, and seen patterns can additionally be rejected on values.
+	net, layer, train, val := trainedToyNet(t, 31)
+	bddMon, err := Build(net, train, Config{Layer: layer, Gamma: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refined := buildRefined(t, net, train, layer, RefinedConfig{
+		Domain: DomainBox, PerPattern: true, Epsilon: 0,
+	})
+	for _, s := range val {
+		b := bddMon.Watch(net, s.Input)
+		r := refined.Watch(net, s.Input)
+		if b.OutOfPattern && !r.OutOfPattern {
+			t.Fatal("refined monitor accepted a pattern the BDD monitor rejects")
+		}
+	}
+}
+
+func TestRefinedDBMStricterThanBox(t *testing.T) {
+	// With identical configuration, every input the DBM accepts must be
+	// accepted by the box (the DBM abstraction is contained in its box
+	// projection).
+	net, layer, train, val := trainedToyNet(t, 32)
+	box := buildRefined(t, net, train, layer, RefinedConfig{
+		Domain: DomainBox, PerPattern: false, Epsilon: 0.05,
+	})
+	dbm := buildRefined(t, net, train, layer, RefinedConfig{
+		Domain: DomainDBM, PerPattern: false, Epsilon: 0.05,
+	})
+	for _, s := range val {
+		vb := box.Watch(net, s.Input)
+		vd := dbm.Watch(net, s.Input)
+		if !vd.OutOfPattern && vb.OutOfPattern {
+			t.Fatal("box rejected an input the DBM accepts")
+		}
+	}
+}
+
+func TestRefinedEpsilonMonotone(t *testing.T) {
+	// Larger epsilon can only reduce the number of flags.
+	net, layer, train, val := trainedToyNet(t, 33)
+	flags := func(eps float64) int {
+		m := buildRefined(t, net, train, layer, RefinedConfig{
+			Domain: DomainBox, PerPattern: true, Epsilon: eps,
+		})
+		return EvaluateRefined(net, m, val).OutOfPattern
+	}
+	a, b, c := flags(0), flags(0.5), flags(5)
+	if b > a || c > b {
+		t.Fatalf("flag counts not monotone in epsilon: %d, %d, %d", a, b, c)
+	}
+}
+
+func TestRefinedEvaluateConsistentWithWatch(t *testing.T) {
+	net, layer, train, val := trainedToyNet(t, 34)
+	m := buildRefined(t, net, train, layer, RefinedConfig{
+		Domain: DomainDBM, PerPattern: true, Epsilon: 0.1,
+	})
+	want := Metrics{Total: len(val)}
+	for _, s := range val {
+		v := m.Watch(net, s.Input)
+		mis := v.Class != s.Label
+		if mis {
+			want.Misclassified++
+		}
+		if v.Monitored {
+			want.Watched++
+			if v.OutOfPattern {
+				want.OutOfPattern++
+				if mis {
+					want.OutOfPatternMisclassified++
+				}
+			}
+		}
+	}
+	if got := EvaluateRefined(net, m, val); got != want {
+		t.Fatalf("EvaluateRefined = %+v, want %+v", got, want)
+	}
+}
+
+func TestRefinedClassSubsetAndElements(t *testing.T) {
+	net, layer, train, _ := trainedToyNet(t, 35)
+	m := buildRefined(t, net, train, layer, RefinedConfig{
+		Domain: DomainBox, PerPattern: true, Classes: []int{1},
+	})
+	if m.Elements(0) != 0 {
+		t.Fatal("unmonitored class has elements")
+	}
+	if m.Elements(1) == 0 {
+		t.Fatal("monitored class has no elements")
+	}
+	whole := buildRefined(t, net, train, layer, RefinedConfig{
+		Domain: DomainBox, PerPattern: false, Classes: []int{1},
+	})
+	if whole.Elements(1) != 1 {
+		t.Fatalf("whole-class zone has %d elements, want 1", whole.Elements(1))
+	}
+}
+
+func TestRefinedRejectsNegativeEpsilon(t *testing.T) {
+	net, layer, train, _ := trainedToyNet(t, 36)
+	if _, err := BuildRefined(net, train, RefinedConfig{Layer: layer, Epsilon: -1}); err == nil {
+		t.Fatal("negative epsilon accepted")
+	}
+}
+
+func TestRefinedDomainString(t *testing.T) {
+	if DomainBox.String() != "box" || DomainDBM.String() != "dbm" {
+		t.Fatal("domain names wrong")
+	}
+	if RefinedDomain(9).String() == "" {
+		t.Fatal("unknown domain must still render")
+	}
+}
+
+func TestRefinedNeuronSubset(t *testing.T) {
+	net, layer, train, _ := trainedToyNet(t, 37)
+	m := buildRefined(t, net, train, layer, RefinedConfig{
+		Domain: DomainDBM, PerPattern: false, Neurons: []int{0, 3, 6},
+	})
+	if got := len(m.Neurons()); got != 3 {
+		t.Fatalf("monitored %d neurons, want 3", got)
+	}
+	v := m.Watch(net, train[0].Input)
+	if len(v.Pattern) != 3 {
+		t.Fatalf("verdict pattern width %d", len(v.Pattern))
+	}
+}
+
+func BenchmarkRefinedWatchDBM(b *testing.B) {
+	net, layer, train, val := trainedToyNet(b, 38)
+	m, err := BuildRefined(net, train, RefinedConfig{
+		Layer: layer, Domain: DomainDBM, PerPattern: true, Epsilon: 0.1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Watch(net, val[i%len(val)].Input)
+	}
+}

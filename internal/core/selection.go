@@ -1,0 +1,106 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/nn"
+)
+
+// Gradient-based neuron selection (paper §II, "Neuron selection via
+// gradient analysis"): BDDs have a practical variable limit of a couple of
+// hundred, so wide layers are monitored through the subset of neurons
+// whose influence |∂n_c/∂n_i| on the class output is largest.
+
+// SelectNeuronsForClass ranks the neurons of the monitored layer by the
+// mean absolute gradient of class's logit with respect to each neuron's
+// activation, averaged over the provided samples (typically training
+// samples of that class), and returns the indices of the top fraction,
+// sorted ascending. fraction must be in (0, 1].
+func SelectNeuronsForClass(net *nn.Network, samples []nn.Sample, layer, class int, fraction float64) ([]int, error) {
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("core: neuron selection needs at least one sample")
+	}
+	scores, err := neuronScores(net, samples, layer, class)
+	if err != nil {
+		return nil, err
+	}
+	return topFraction(scores, fraction)
+}
+
+// SelectNeurons ranks neurons for a multi-class monitor: each sample
+// contributes the gradient of its own ground-truth class's logit, so the
+// score reflects how strongly a neuron drives the decisions the monitor
+// must certify. The top fraction is returned sorted ascending.
+func SelectNeurons(net *nn.Network, samples []nn.Sample, layer int, fraction float64) ([]int, error) {
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("core: neuron selection needs at least one sample")
+	}
+	var scores []float64
+	for _, s := range samples {
+		g := net.GradientAtLayer(s.Input, s.Label, layer)
+		if scores == nil {
+			scores = make([]float64, g.Len())
+		}
+		for i, v := range g.Data() {
+			scores[i] += math.Abs(v)
+		}
+	}
+	net.ZeroGrads()
+	return topFraction(scores, fraction)
+}
+
+// SelectNeuronsByWeight implements the paper's special case: when the
+// monitored layer feeds a linear output layer directly, ∂n_c/∂n_i is
+// simply the weight connecting neuron i to output c, so selection needs no
+// backpropagation. out is the network's final fully-connected layer.
+func SelectNeuronsByWeight(out *nn.Dense, class int, fraction float64) ([]int, error) {
+	w := out.Weights()
+	if class < 0 || class >= w.Dim(0) {
+		return nil, fmt.Errorf("core: class %d out of range [0,%d)", class, w.Dim(0))
+	}
+	scores := make([]float64, w.Dim(1))
+	for i := range scores {
+		scores[i] = math.Abs(w.At(class, i))
+	}
+	return topFraction(scores, fraction)
+}
+
+// neuronScores accumulates |∂ logit_class / ∂ n_i| over samples.
+func neuronScores(net *nn.Network, samples []nn.Sample, layer, class int) ([]float64, error) {
+	var scores []float64
+	for _, s := range samples {
+		g := net.GradientAtLayer(s.Input, class, layer)
+		if scores == nil {
+			scores = make([]float64, g.Len())
+		} else if len(scores) != g.Len() {
+			return nil, fmt.Errorf("core: inconsistent layer width across samples")
+		}
+		for i, v := range g.Data() {
+			scores[i] += math.Abs(v)
+		}
+	}
+	net.ZeroGrads()
+	return scores, nil
+}
+
+// topFraction returns the indices of the ceil(fraction*len) highest
+// scores, sorted ascending. Ties resolve toward lower indices.
+func topFraction(scores []float64, fraction float64) ([]int, error) {
+	if fraction <= 0 || fraction > 1 {
+		return nil, fmt.Errorf("core: fraction %v outside (0,1]", fraction)
+	}
+	k := int(math.Ceil(fraction * float64(len(scores))))
+	if k < 1 {
+		k = 1
+	}
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return scores[idx[a]] > scores[idx[b]] })
+	top := append([]int(nil), idx[:k]...)
+	sort.Ints(top)
+	return top, nil
+}

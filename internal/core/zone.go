@@ -1,0 +1,134 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/bdd"
+)
+
+// Zone is the γ-comfort zone of one class (Definition 2): the set of
+// activation patterns visited by correctly classified training inputs,
+// enlarged with every pattern within Hamming distance γ of a visited one.
+// The set is stored as a BDD over one variable per monitored neuron, so
+// the deployment-time membership query costs at most one node visit per
+// neuron regardless of how many patterns the zone holds.
+type Zone struct {
+	m     *bdd.Manager
+	roots []bdd.Node // roots[i] is Z^i; roots[0] is the visited-pattern set
+	gamma int        // current query level, an index into roots
+	base  int        // number of Insert calls (visited patterns, with duplicates)
+}
+
+// NewZone returns an empty comfort zone over width monitored neurons with
+// γ = 0.
+func NewZone(width int) *Zone {
+	m := bdd.NewManager(width)
+	return &Zone{m: m, roots: []bdd.Node{m.False()}}
+}
+
+// Width returns the number of monitored neurons.
+func (z *Zone) Width() int { return z.m.NumVars() }
+
+// Gamma returns the current Hamming enlargement level used by Contains.
+func (z *Zone) Gamma() int { return z.gamma }
+
+// InsertCount returns how many patterns have been inserted (counting
+// duplicates).
+func (z *Zone) InsertCount() int { return z.base }
+
+// Insert adds a visited activation pattern to Z⁰ (line 6 of Algorithm 1:
+// Z⁰_c ← bdd.or(Z⁰_c, bdd.encode(pat))). Inserting invalidates previously
+// computed enlargements, so they are recomputed lazily by SetGamma.
+func (z *Zone) Insert(p Pattern) {
+	if len(p) != z.m.NumVars() {
+		panic(fmt.Sprintf("core: pattern width %d does not match zone width %d",
+			len(p), z.m.NumVars()))
+	}
+	z.roots = z.roots[:1]
+	z.roots[0] = z.m.Or(z.roots[0], z.m.Cube(p))
+	if z.gamma > 0 {
+		g := z.gamma
+		z.gamma = 0
+		z.SetGamma(g)
+	}
+	z.base++
+}
+
+// SetGamma sets the Hamming enlargement level used by Contains, computing
+// Zᵞ from Z⁰ by γ applications of the existential-quantification expansion
+// (lines 9-14 of Algorithm 1). Intermediate levels are cached, so sweeping
+// γ upward is incremental.
+func (z *Zone) SetGamma(gamma int) {
+	if gamma < 0 {
+		panic("core: negative gamma")
+	}
+	for len(z.roots) <= gamma {
+		prev := z.roots[len(z.roots)-1]
+		z.roots = append(z.roots, z.m.ExpandHamming1(prev))
+	}
+	z.gamma = gamma
+}
+
+// Contains reports whether p lies inside the current γ-comfort zone — the
+// monitor's runtime membership query, linear in the number of monitored
+// neurons.
+func (z *Zone) Contains(p Pattern) bool {
+	if len(p) != z.m.NumVars() {
+		panic(fmt.Sprintf("core: pattern width %d does not match zone width %d",
+			len(p), z.m.NumVars()))
+	}
+	return z.m.EvalBits(z.roots[z.gamma], p)
+}
+
+// ContainsAt reports membership at an explicit enlargement level without
+// changing the zone's current γ (the level is computed and cached if
+// needed).
+func (z *Zone) ContainsAt(gamma int, p Pattern) bool {
+	saved := z.gamma
+	z.SetGamma(gamma)
+	in := z.Contains(p)
+	z.gamma = saved
+	return in
+}
+
+// PatternCount returns the exact number of patterns inside the zone at the
+// current γ (BDD model count). With w monitored neurons the universe has
+// 2^w patterns.
+func (z *Zone) PatternCount() float64 {
+	return z.m.SatCount(z.roots[z.gamma])
+}
+
+// NodeCount returns the number of BDD nodes representing the zone at the
+// current γ — the monitor's storage cost.
+func (z *Zone) NodeCount() int {
+	return z.m.NodeCount(z.roots[z.gamma])
+}
+
+// Manager exposes the underlying BDD manager (primarily for tests and
+// diagnostics such as DOT export).
+func (z *Zone) Manager() *bdd.Manager { return z.m }
+
+// Root returns the BDD root of the zone at the current γ.
+func (z *Zone) Root() bdd.Node { return z.roots[z.gamma] }
+
+// save writes the zone's Z⁰..Zᵞ roots.
+func (z *Zone) save(w io.Writer) error {
+	return z.m.Serialize(w, z.roots)
+}
+
+// loadZone reads a zone previously written with save.
+func loadZone(r io.Reader, width, gamma, base int) (*Zone, error) {
+	m := bdd.NewManager(width)
+	roots, err := m.Deserialize(r)
+	if err != nil {
+		return nil, err
+	}
+	if len(roots) == 0 {
+		return nil, fmt.Errorf("core: zone stream has no roots")
+	}
+	if gamma >= len(roots) {
+		return nil, fmt.Errorf("core: zone gamma %d exceeds %d stored levels", gamma, len(roots))
+	}
+	return &Zone{m: m, roots: roots, gamma: gamma, base: base}, nil
+}

@@ -1,0 +1,61 @@
+// Package dataset provides the synthetic image classification workloads
+// the experiments run on. The paper evaluates on MNIST and GTSRB; this
+// repository is built offline, so both are replaced by procedural
+// renderers that preserve what the monitor experiments need — a
+// multi-class image problem a small CNN learns to high-but-imperfect
+// accuracy, with identically distributed train/validation splits and
+// controllable distribution shifts (see DESIGN.md, "Substitutions").
+//
+// Every generator is deterministic per seed: the same seed yields the
+// same samples on every machine and run.
+package dataset
+
+import (
+	"fmt"
+
+	"repro/internal/nn"
+	"repro/internal/rng"
+)
+
+// Dataset is a labelled train/validation pair.
+type Dataset struct {
+	Name       string
+	NumClasses int
+	Train      []nn.Sample
+	Val        []nn.Sample
+}
+
+// ClassCounts returns how many samples of each class the slice contains.
+func ClassCounts(samples []nn.Sample, numClasses int) []int {
+	counts := make([]int, numClasses)
+	for _, s := range samples {
+		if s.Label < 0 || s.Label >= numClasses {
+			panic(fmt.Sprintf("dataset: label %d out of range [0,%d)", s.Label, numClasses))
+		}
+		counts[s.Label]++
+	}
+	return counts
+}
+
+// OfClass returns the subset of samples with the given label.
+func OfClass(samples []nn.Sample, class int) []nn.Sample {
+	var out []nn.Sample
+	for _, s := range samples {
+		if s.Label == class {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// balancedLabels yields n labels cycling through numClasses classes and
+// then shuffles them, so every generated split is class-balanced up to
+// rounding but in random order.
+func balancedLabels(n, numClasses int, r *rng.Source) []int {
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = i % numClasses
+	}
+	r.Shuffle(n, func(i, j int) { labels[i], labels[j] = labels[j], labels[i] })
+	return labels
+}

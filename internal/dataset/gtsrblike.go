@@ -1,0 +1,292 @@
+package dataset
+
+import (
+	"repro/internal/nn"
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// GTSRB-like traffic signs: 43 classes, each a parametric combination of
+// sign plate shape, plate/border colours and an inner glyph, rendered at
+// 32×32 RGB over a random background with geometric jitter, brightness/
+// contrast perturbation and pixel noise. Class 14 is pinned to a red
+// octagon with a white bar — the stop sign the paper's network-2 monitor
+// certifies.
+
+// GTSRBImageSize is the side length of generated sign images.
+const GTSRBImageSize = 32
+
+// GTSRBNumClasses matches the real benchmark's class count.
+const GTSRBNumClasses = 43
+
+// StopSignClass is the class index of the stop sign, as in the real GTSRB.
+const StopSignClass = 14
+
+type rgb struct{ r, g, b float64 }
+
+var (
+	colRed    = rgb{0.82, 0.10, 0.12}
+	colBlue   = rgb{0.12, 0.25, 0.80}
+	colYellow = rgb{0.92, 0.80, 0.15}
+	colWhite  = rgb{0.92, 0.92, 0.92}
+	colBlack  = rgb{0.08, 0.08, 0.08}
+)
+
+// Sign plate shapes.
+const (
+	shapeCircle = iota
+	shapeTriUp
+	shapeTriDown
+	shapeDiamond
+	shapeOctagon
+	shapeSquare
+	numShapes
+)
+
+// Inner glyphs.
+const (
+	glyphNone = iota
+	glyphHBar
+	glyphVBar
+	glyphCross
+	glyphX
+	glyphDot
+	glyphArrowUp
+	glyphArrowRight
+	glyphArrowLeft
+	glyphChevron
+	glyphTwoDots
+	glyphLBend
+	numGlyphs
+)
+
+// signDesc parameterizes one sign class.
+type signDesc struct {
+	shape        int
+	fill, border rgb
+	glyph        int
+	glyphCol     rgb
+}
+
+// signClasses holds the 43 class descriptors, generated deterministically
+// by cycling through shape/colour/glyph combinations so that every class
+// differs from every other in at least one attribute, with the stop sign
+// pinned at index 14.
+var signClasses = buildSignClasses()
+
+func buildSignClasses() [GTSRBNumClasses]signDesc {
+	fills := []rgb{colWhite, colBlue, colYellow, colRed}
+	borders := []rgb{colRed, colWhite, colBlack, colBlue}
+	glyphCols := []rgb{colBlack, colWhite, colRed, colBlue}
+	var out [GTSRBNumClasses]signDesc
+	seen := map[[4]int]bool{}
+	idx := 0
+	// Enumerate combinations in a fixed order, skipping degenerate
+	// fill==glyph colour pairs, until 43 classes exist.
+	for spin := 0; idx < GTSRBNumClasses; spin++ {
+		shape := spin % numShapes
+		fill := (spin / numShapes) % len(fills)
+		glyph := (spin / (numShapes * len(fills))) % numGlyphs
+		border := (spin + glyph) % len(borders)
+		key := [4]int{shape, fill, glyph, border}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		gc := glyphCols[(fill+1)%len(glyphCols)]
+		if gc == fills[fill] {
+			gc = colBlack
+		}
+		out[idx] = signDesc{
+			shape:    shape,
+			fill:     fills[fill],
+			border:   borders[border],
+			glyph:    glyph,
+			glyphCol: gc,
+		}
+		idx++
+	}
+	// Pin the stop sign: red octagon, white border, white bar.
+	out[StopSignClass] = signDesc{
+		shape: shapeOctagon, fill: colRed, border: colWhite,
+		glyph: glyphHBar, glyphCol: colWhite,
+	}
+	return out
+}
+
+// shapePoly returns the plate polygon for a shape in unit coordinates.
+func shapePoly(shape int) []pt {
+	const c, r = 0.5, 0.36
+	switch shape {
+	case shapeCircle:
+		return circlePoly(pt{c, c}, r, 20)
+	case shapeTriUp:
+		return []pt{{0.5, 0.12}, {0.88, 0.84}, {0.12, 0.84}}
+	case shapeTriDown:
+		return []pt{{0.12, 0.16}, {0.88, 0.16}, {0.5, 0.88}}
+	case shapeDiamond:
+		return []pt{{0.5, 0.1}, {0.9, 0.5}, {0.5, 0.9}, {0.1, 0.5}}
+	case shapeOctagon:
+		return circlePoly(pt{c, c}, 0.4, 8)
+	case shapeSquare:
+		return []pt{{0.16, 0.16}, {0.84, 0.16}, {0.84, 0.84}, {0.16, 0.84}}
+	default:
+		panic("dataset: unknown shape")
+	}
+}
+
+// glyphStrokes returns the stroke skeleton of a glyph in unit coordinates.
+func glyphStrokes(glyph int) []stroke {
+	switch glyph {
+	case glyphNone:
+		return nil
+	case glyphHBar:
+		return []stroke{{pt{0.32, 0.5}, pt{0.68, 0.5}}}
+	case glyphVBar:
+		return []stroke{{pt{0.5, 0.3}, pt{0.5, 0.7}}}
+	case glyphCross:
+		return []stroke{{pt{0.34, 0.5}, pt{0.66, 0.5}}, {pt{0.5, 0.34}, pt{0.5, 0.66}}}
+	case glyphX:
+		return []stroke{{pt{0.36, 0.36}, pt{0.64, 0.64}}, {pt{0.64, 0.36}, pt{0.36, 0.64}}}
+	case glyphDot:
+		return []stroke{circleStroke(pt{0.5, 0.5}, 0.07, 0.07, 8)}
+	case glyphArrowUp:
+		return []stroke{{pt{0.5, 0.68}, pt{0.5, 0.32}}, {pt{0.38, 0.44}, pt{0.5, 0.32}, pt{0.62, 0.44}}}
+	case glyphArrowRight:
+		return []stroke{{pt{0.32, 0.5}, pt{0.68, 0.5}}, {pt{0.56, 0.38}, pt{0.68, 0.5}, pt{0.56, 0.62}}}
+	case glyphArrowLeft:
+		return []stroke{{pt{0.68, 0.5}, pt{0.32, 0.5}}, {pt{0.44, 0.38}, pt{0.32, 0.5}, pt{0.44, 0.62}}}
+	case glyphChevron:
+		return []stroke{{pt{0.34, 0.6}, pt{0.5, 0.4}, pt{0.66, 0.6}}}
+	case glyphTwoDots:
+		return []stroke{circleStroke(pt{0.42, 0.5}, 0.05, 0.05, 8), circleStroke(pt{0.58, 0.5}, 0.05, 0.05, 8)}
+	case glyphLBend:
+		return []stroke{{pt{0.4, 0.32}, pt{0.4, 0.6}, pt{0.64, 0.6}}}
+	default:
+		panic("dataset: unknown glyph")
+	}
+}
+
+// GTSRBConfig controls sign generation.
+type GTSRBConfig struct {
+	Noise              float64
+	MaxRotation        float64
+	MinScale, MaxScale float64
+	MaxShift           float64
+	// BrightnessJitter scales the whole image by 1±BrightnessJitter.
+	BrightnessJitter float64
+	// BorderWidth is the plate border thickness in pixels.
+	BorderWidth float64
+}
+
+// DefaultGTSRBConfig produces a task noticeably harder than the digits
+// (smaller signs, colour jitter, stronger noise), so the trained network
+// shows the few-percent misclassification rate of the paper's network 2.
+func DefaultGTSRBConfig() GTSRBConfig {
+	return GTSRBConfig{
+		Noise:            0.08,
+		MaxRotation:      0.18,
+		MinScale:         0.75,
+		MaxScale:         1.1,
+		MaxShift:         0.08,
+		BrightnessJitter: 0.25,
+		BorderWidth:      2.0,
+	}
+}
+
+// RenderSign draws one sign of the given class as a (3, 32, 32) tensor.
+func RenderSign(class int, cfg GTSRBConfig, r *rng.Source) *tensor.Tensor {
+	if class < 0 || class >= GTSRBNumClasses {
+		panic("dataset: sign class out of range")
+	}
+	desc := signClasses[class]
+	const n = GTSRBImageSize
+	img := tensor.New(3, n, n)
+
+	// Background: a random muted colour with vertical gradient.
+	bg := rgb{r.Range(0.2, 0.6), r.Range(0.25, 0.65), r.Range(0.2, 0.6)}
+	grad := r.Range(-0.15, 0.15)
+	for y := 0; y < n; y++ {
+		f := 1 + grad*(float64(y)/n-0.5)
+		for x := 0; x < n; x++ {
+			img.Set(clamp01(bg.r*f), 0, y, x)
+			img.Set(clamp01(bg.g*f), 1, y, x)
+			img.Set(clamp01(bg.b*f), 2, y, x)
+		}
+	}
+
+	// Transform the plate polygon into pixel space.
+	t := jitteredTransform(n, n, r, cfg.MaxRotation, cfg.MinScale, cfg.MaxScale, cfg.MaxShift)
+	poly := shapePoly(desc.shape)
+	px := make([]pt, len(poly))
+	for i, p := range poly {
+		x, y := t.apply(p)
+		px[i] = pt{x, y}
+	}
+
+	// Paint plate fill and border.
+	for y := 0; y < n; y++ {
+		for x := 0; x < n; x++ {
+			fx, fy := float64(x)+0.5, float64(y)+0.5
+			if !insidePoly(px, fx, fy) {
+				continue
+			}
+			col := desc.fill
+			if polyEdgeDistance(px, fx, fy) < cfg.BorderWidth {
+				col = desc.border
+			}
+			img.Set(col.r, 0, y, x)
+			img.Set(col.g, 1, y, x)
+			img.Set(col.b, 2, y, x)
+		}
+	}
+
+	// Draw the glyph into a mask and composite.
+	if strokes := glyphStrokes(desc.glyph); strokes != nil {
+		mask := make([]float64, n*n)
+		drawStrokes(mask, n, n, strokes, t, 2.2)
+		for i, v := range mask {
+			if v <= 0 {
+				continue
+			}
+			y, x := i/n, i%n
+			img.Set(mix(img.At(0, y, x), desc.glyphCol.r, v), 0, y, x)
+			img.Set(mix(img.At(1, y, x), desc.glyphCol.g, v), 1, y, x)
+			img.Set(mix(img.At(2, y, x), desc.glyphCol.b, v), 2, y, x)
+		}
+	}
+
+	// Global brightness jitter and noise.
+	bright := 1 + r.Range(-cfg.BrightnessJitter, cfg.BrightnessJitter)
+	for i := range img.Data() {
+		img.Data()[i] = clamp01(img.Data()[i] * bright)
+	}
+	addNoise(img.Data(), cfg.Noise, r)
+	return img
+}
+
+func mix(a, b, t float64) float64 { return a + (b-a)*t }
+
+// GTSRBLike generates a balanced, deterministic GTSRB-like dataset.
+func GTSRBLike(nTrain, nVal int, seed uint64) Dataset {
+	return GTSRBLikeWithConfig(nTrain, nVal, seed, DefaultGTSRBConfig())
+}
+
+// GTSRBLikeWithConfig is GTSRBLike with explicit generation parameters.
+func GTSRBLikeWithConfig(nTrain, nVal int, seed uint64, cfg GTSRBConfig) Dataset {
+	r := rng.New(seed)
+	gen := func(n int, rr *rng.Source) []nn.Sample {
+		labels := balancedLabels(n, GTSRBNumClasses, rr)
+		out := make([]nn.Sample, n)
+		for i, label := range labels {
+			out[i] = nn.Sample{Input: RenderSign(label, cfg, rr), Label: label}
+		}
+		return out
+	}
+	return Dataset{
+		Name:       "gtsrb-like",
+		NumClasses: GTSRBNumClasses,
+		Train:      gen(nTrain, r.Split()),
+		Val:        gen(nVal, r.Split()),
+	}
+}

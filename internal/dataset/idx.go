@@ -1,0 +1,212 @@
+package dataset
+
+import (
+	"bufio"
+	"compress/gzip"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// IDX is the file format of the original MNIST distribution
+// (train-images-idx3-ubyte etc.). The experiments default to the
+// synthetic renderer because this module is built offline, but a user who
+// has the real files can load them with LoadIDXDataset and run the same
+// monitors — nothing else in the pipeline changes.
+
+// idxMagic checks the 4-byte IDX header: two zero bytes, a type code and
+// the dimension count.
+const (
+	idxTypeUint8 = 0x08
+)
+
+// ReadIDX parses an IDX stream, returning the dimension sizes and the raw
+// uint8 payload in row-major order. Only the uint8 element type (the one
+// MNIST uses) is supported.
+func ReadIDX(r io.Reader) (dims []int, data []byte, err error) {
+	br := bufio.NewReader(r)
+	var header [4]byte
+	if _, err := io.ReadFull(br, header[:]); err != nil {
+		return nil, nil, fmt.Errorf("dataset: reading IDX header: %w", err)
+	}
+	if header[0] != 0 || header[1] != 0 {
+		return nil, nil, fmt.Errorf("dataset: bad IDX magic % x", header)
+	}
+	if header[2] != idxTypeUint8 {
+		return nil, nil, fmt.Errorf("dataset: unsupported IDX element type %#x", header[2])
+	}
+	nDims := int(header[3])
+	if nDims == 0 || nDims > 4 {
+		return nil, nil, fmt.Errorf("dataset: implausible IDX dimension count %d", nDims)
+	}
+	dims = make([]int, nDims)
+	total := 1
+	for i := range dims {
+		var sz uint32
+		if err := binary.Read(br, binary.BigEndian, &sz); err != nil {
+			return nil, nil, fmt.Errorf("dataset: reading IDX dimension %d: %w", i, err)
+		}
+		if sz == 0 || sz > 1<<28 {
+			return nil, nil, fmt.Errorf("dataset: implausible IDX dimension %d", sz)
+		}
+		dims[i] = int(sz)
+		total *= int(sz)
+	}
+	data = make([]byte, total)
+	if _, err := io.ReadFull(br, data); err != nil {
+		return nil, nil, fmt.Errorf("dataset: reading IDX payload: %w", err)
+	}
+	return dims, data, nil
+}
+
+// openMaybeGzip opens path, transparently decompressing .gz files.
+func openMaybeGzip(path string) (io.ReadCloser, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	if !strings.HasSuffix(path, ".gz") {
+		return f, nil
+	}
+	gz, err := gzip.NewReader(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &gzipFile{gz: gz, f: f}, nil
+}
+
+type gzipFile struct {
+	gz *gzip.Reader
+	f  *os.File
+}
+
+func (g *gzipFile) Read(p []byte) (int, error) { return g.gz.Read(p) }
+
+func (g *gzipFile) Close() error {
+	gzErr := g.gz.Close()
+	fErr := g.f.Close()
+	if gzErr != nil {
+		return gzErr
+	}
+	return fErr
+}
+
+// LoadIDXSamples reads an MNIST-style image/label file pair (optionally
+// gzipped) into samples with pixel values scaled to [0, 1] and shape
+// (1, rows, cols).
+func LoadIDXSamples(imagePath, labelPath string) ([]nn.Sample, error) {
+	ir, err := openMaybeGzip(imagePath)
+	if err != nil {
+		return nil, err
+	}
+	defer ir.Close()
+	imgDims, imgData, err := ReadIDX(ir)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: %s: %w", imagePath, err)
+	}
+	if len(imgDims) != 3 {
+		return nil, fmt.Errorf("dataset: %s: want 3-D image file, got %d-D", imagePath, len(imgDims))
+	}
+	lr, err := openMaybeGzip(labelPath)
+	if err != nil {
+		return nil, err
+	}
+	defer lr.Close()
+	lblDims, lblData, err := ReadIDX(lr)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: %s: %w", labelPath, err)
+	}
+	if len(lblDims) != 1 || lblDims[0] != imgDims[0] {
+		return nil, fmt.Errorf("dataset: label count %v does not match image count %d",
+			lblDims, imgDims[0])
+	}
+	n, h, w := imgDims[0], imgDims[1], imgDims[2]
+	samples := make([]nn.Sample, n)
+	for i := 0; i < n; i++ {
+		px := make([]float64, h*w)
+		base := i * h * w
+		for j := range px {
+			px[j] = float64(imgData[base+j]) / 255
+		}
+		samples[i] = nn.Sample{
+			Input: tensor.FromSlice(px, 1, h, w),
+			Label: int(lblData[i]),
+		}
+	}
+	return samples, nil
+}
+
+// LoadIDXDataset assembles a Dataset from the four canonical MNIST files
+// under dir (gzipped or not): train-images-idx3-ubyte[.gz],
+// train-labels-idx1-ubyte[.gz], t10k-images-idx3-ubyte[.gz],
+// t10k-labels-idx1-ubyte[.gz].
+func LoadIDXDataset(dir string, numClasses int) (Dataset, error) {
+	find := func(stem string) (string, error) {
+		for _, suffix := range []string{"", ".gz"} {
+			p := dir + "/" + stem + suffix
+			if _, err := os.Stat(p); err == nil {
+				return p, nil
+			}
+		}
+		return "", fmt.Errorf("dataset: %s not found under %s", stem, dir)
+	}
+	trainImg, err := find("train-images-idx3-ubyte")
+	if err != nil {
+		return Dataset{}, err
+	}
+	trainLbl, err := find("train-labels-idx1-ubyte")
+	if err != nil {
+		return Dataset{}, err
+	}
+	valImg, err := find("t10k-images-idx3-ubyte")
+	if err != nil {
+		return Dataset{}, err
+	}
+	valLbl, err := find("t10k-labels-idx1-ubyte")
+	if err != nil {
+		return Dataset{}, err
+	}
+	train, err := LoadIDXSamples(trainImg, trainLbl)
+	if err != nil {
+		return Dataset{}, err
+	}
+	val, err := LoadIDXSamples(valImg, valLbl)
+	if err != nil {
+		return Dataset{}, err
+	}
+	return Dataset{Name: "mnist-idx", NumClasses: numClasses, Train: train, Val: val}, nil
+}
+
+// WriteIDX emits an IDX stream (the inverse of ReadIDX), used by tests
+// and by tools exporting synthetic data for external comparison.
+func WriteIDX(w io.Writer, dims []int, data []byte) error {
+	if len(dims) == 0 || len(dims) > 4 {
+		return fmt.Errorf("dataset: WriteIDX needs 1-4 dimensions")
+	}
+	total := 1
+	for _, d := range dims {
+		total *= d
+	}
+	if total != len(data) {
+		return fmt.Errorf("dataset: WriteIDX dims %v need %d bytes, got %d", dims, total, len(data))
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write([]byte{0, 0, idxTypeUint8, byte(len(dims))}); err != nil {
+		return err
+	}
+	for _, d := range dims {
+		if err := binary.Write(bw, binary.BigEndian, uint32(d)); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.Write(data); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,160 @@
+package dataset
+
+import (
+	"bytes"
+	"compress/gzip"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestIDXRoundTrip(t *testing.T) {
+	dims := []int{3, 4, 5}
+	data := make([]byte, 60)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	var buf bytes.Buffer
+	if err := WriteIDX(&buf, dims, data); err != nil {
+		t.Fatal(err)
+	}
+	gotDims, gotData, err := ReadIDX(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotDims) != 3 || gotDims[0] != 3 || gotDims[1] != 4 || gotDims[2] != 5 {
+		t.Fatalf("dims = %v", gotDims)
+	}
+	for i := range data {
+		if gotData[i] != data[i] {
+			t.Fatalf("payload byte %d differs", i)
+		}
+	}
+}
+
+func TestReadIDXRejectsBadMagic(t *testing.T) {
+	if _, _, err := ReadIDX(bytes.NewReader([]byte{1, 2, 3, 4, 5, 6, 7, 8})); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestReadIDXRejectsWrongType(t *testing.T) {
+	if _, _, err := ReadIDX(bytes.NewReader([]byte{0, 0, 0x0D, 1, 0, 0, 0, 1, 0, 0, 0, 0})); err == nil {
+		t.Fatal("float IDX type accepted")
+	}
+}
+
+func TestReadIDXRejectsTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteIDX(&buf, []int{10}, make([]byte, 10)); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-3]
+	if _, _, err := ReadIDX(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("truncated stream accepted")
+	}
+}
+
+func TestWriteIDXValidates(t *testing.T) {
+	if err := WriteIDX(&bytes.Buffer{}, []int{2, 2}, make([]byte, 3)); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+	if err := WriteIDX(&bytes.Buffer{}, nil, nil); err == nil {
+		t.Fatal("empty dims accepted")
+	}
+}
+
+// writeMNISTFixture writes a tiny MNIST-style file quartet under dir,
+// gzipped when gz is true.
+func writeMNISTFixture(t *testing.T, dir string, gz bool) {
+	t.Helper()
+	const n, h, w = 6, 4, 4
+	images := make([]byte, n*h*w)
+	labels := make([]byte, n)
+	for i := 0; i < n; i++ {
+		labels[i] = byte(i % 3)
+		for j := 0; j < h*w; j++ {
+			images[i*h*w+j] = byte(i*40 + j)
+		}
+	}
+	write := func(name string, dims []int, data []byte) {
+		var buf bytes.Buffer
+		if err := WriteIDX(&buf, dims, data); err != nil {
+			t.Fatal(err)
+		}
+		payload := buf.Bytes()
+		if gz {
+			var zbuf bytes.Buffer
+			zw := gzip.NewWriter(&zbuf)
+			if _, err := zw.Write(payload); err != nil {
+				t.Fatal(err)
+			}
+			if err := zw.Close(); err != nil {
+				t.Fatal(err)
+			}
+			payload = zbuf.Bytes()
+			name += ".gz"
+		}
+		if err := os.WriteFile(filepath.Join(dir, name), payload, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("train-images-idx3-ubyte", []int{n, h, w}, images)
+	write("train-labels-idx1-ubyte", []int{n}, labels)
+	write("t10k-images-idx3-ubyte", []int{n, h, w}, images)
+	write("t10k-labels-idx1-ubyte", []int{n}, labels)
+}
+
+func TestLoadIDXDataset(t *testing.T) {
+	for _, gz := range []bool{false, true} {
+		dir := t.TempDir()
+		writeMNISTFixture(t, dir, gz)
+		ds, err := LoadIDXDataset(dir, 3)
+		if err != nil {
+			t.Fatalf("gz=%v: %v", gz, err)
+		}
+		if len(ds.Train) != 6 || len(ds.Val) != 6 {
+			t.Fatalf("gz=%v: sizes %d/%d", gz, len(ds.Train), len(ds.Val))
+		}
+		s := ds.Train[1]
+		if s.Label != 1 {
+			t.Fatalf("label = %d", s.Label)
+		}
+		shape := s.Input.Shape()
+		if shape[0] != 1 || shape[1] != 4 || shape[2] != 4 {
+			t.Fatalf("shape = %v", shape)
+		}
+		// Pixel scaling: byte 40 -> 40/255.
+		if got := s.Input.Data()[0]; got != 40.0/255 {
+			t.Fatalf("pixel = %v", got)
+		}
+	}
+}
+
+func TestLoadIDXDatasetMissingFile(t *testing.T) {
+	if _, err := LoadIDXDataset(t.TempDir(), 10); err == nil {
+		t.Fatal("missing files accepted")
+	}
+}
+
+func TestLoadIDXSamplesLabelCountMismatch(t *testing.T) {
+	dir := t.TempDir()
+	var img, lbl bytes.Buffer
+	if err := WriteIDX(&img, []int{2, 2, 2}, make([]byte, 8)); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteIDX(&lbl, []int{3}, make([]byte, 3)); err != nil {
+		t.Fatal(err)
+	}
+	imgPath := filepath.Join(dir, "img")
+	lblPath := filepath.Join(dir, "lbl")
+	if err := os.WriteFile(imgPath, img.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(lblPath, lbl.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadIDXSamples(imgPath, lblPath); err == nil {
+		t.Fatal("count mismatch accepted")
+	}
+}

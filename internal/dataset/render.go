@@ -1,0 +1,178 @@
+package dataset
+
+import (
+	"math"
+
+	"repro/internal/rng"
+)
+
+// Drawing primitives shared by the MNIST-like and GTSRB-like renderers.
+// Geometry lives in a unit square with y growing downward; an affine
+// transform (rotation, anisotropic scale, translation) maps it to pixel
+// space at rasterization time.
+
+// pt is a 2-D point in unit coordinates.
+type pt struct{ x, y float64 }
+
+// affine is a 2-D affine transform p -> A·p + b.
+type affine struct {
+	a11, a12, a21, a22 float64
+	bx, by             float64
+}
+
+// identity returns the identity transform scaled to a w×h pixel grid.
+func pixelTransform(w, h float64) affine {
+	return affine{a11: w, a22: h}
+}
+
+// jitteredTransform composes a random rotation, scale and translation with
+// the pixel mapping, centred on the unit square's midpoint.
+func jitteredTransform(w, h float64, r *rng.Source, maxRot, minScale, maxScale, maxShift float64) affine {
+	theta := r.Range(-maxRot, maxRot)
+	sx := r.Range(minScale, maxScale)
+	sy := r.Range(minScale, maxScale)
+	cos, sin := math.Cos(theta), math.Sin(theta)
+	dx := r.Range(-maxShift, maxShift)
+	dy := r.Range(-maxShift, maxShift)
+	// Rotate and scale about the centre (0.5, 0.5), then shift.
+	t := affine{
+		a11: sx * cos, a12: -sy * sin,
+		a21: sx * sin, a22: sy * cos,
+	}
+	cx, cy := t.apply(pt{0.5, 0.5})
+	t.bx = 0.5 - cx + dx
+	t.by = 0.5 - cy + dy
+	// Compose with pixel scaling.
+	return affine{
+		a11: w * t.a11, a12: w * t.a12, bx: w * t.bx,
+		a21: h * t.a21, a22: h * t.a22, by: h * t.by,
+	}
+}
+
+func (t affine) apply(p pt) (x, y float64) {
+	return t.a11*p.x + t.a12*p.y + t.bx, t.a21*p.x + t.a22*p.y + t.by
+}
+
+// stroke is an open polyline.
+type stroke []pt
+
+// drawStrokes rasterizes the strokes into img (h×w, row-major, values
+// accumulated up to 1) with the given transform and stroke thickness in
+// pixels. Anti-aliasing is a linear ramp one pixel wide.
+func drawStrokes(img []float64, w, h int, strokes []stroke, t affine, thickness float64) {
+	for _, s := range strokes {
+		for i := 0; i+1 < len(s); i++ {
+			x1, y1 := t.apply(s[i])
+			x2, y2 := t.apply(s[i+1])
+			drawSegment(img, w, h, x1, y1, x2, y2, thickness)
+		}
+	}
+}
+
+// drawSegment splats one thick line segment in pixel coordinates.
+func drawSegment(img []float64, w, h int, x1, y1, x2, y2, thickness float64) {
+	r := thickness/2 + 1
+	xmin := clampInt(int(math.Floor(math.Min(x1, x2)-r)), 0, w-1)
+	xmax := clampInt(int(math.Ceil(math.Max(x1, x2)+r)), 0, w-1)
+	ymin := clampInt(int(math.Floor(math.Min(y1, y2)-r)), 0, h-1)
+	ymax := clampInt(int(math.Ceil(math.Max(y1, y2)+r)), 0, h-1)
+	for py := ymin; py <= ymax; py++ {
+		for px := xmin; px <= xmax; px++ {
+			d := segmentDistance(float64(px)+0.5, float64(py)+0.5, x1, y1, x2, y2)
+			v := (thickness/2 + 0.5 - d)
+			if v <= 0 {
+				continue
+			}
+			if v > 1 {
+				v = 1
+			}
+			idx := py*w + px
+			if v > img[idx] {
+				img[idx] = v
+			}
+		}
+	}
+}
+
+// segmentDistance returns the distance from point (px,py) to the segment
+// (x1,y1)-(x2,y2).
+func segmentDistance(px, py, x1, y1, x2, y2 float64) float64 {
+	dx, dy := x2-x1, y2-y1
+	lenSq := dx*dx + dy*dy
+	t := 0.0
+	if lenSq > 0 {
+		t = ((px-x1)*dx + (py-y1)*dy) / lenSq
+		t = math.Max(0, math.Min(1, t))
+	}
+	cx, cy := x1+t*dx, y1+t*dy
+	return math.Hypot(px-cx, py-cy)
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// addNoise perturbs every value with Gaussian noise of the given standard
+// deviation and clamps to [0, 1].
+func addNoise(img []float64, stddev float64, r *rng.Source) {
+	for i := range img {
+		img[i] = clamp01(img[i] + r.NormScaled(0, stddev))
+	}
+}
+
+// circlePoly approximates a circle of radius rad centred at c with n
+// polygon vertices.
+func circlePoly(c pt, rad float64, n int) []pt {
+	poly := make([]pt, n)
+	for i := range poly {
+		a := 2 * math.Pi * float64(i) / float64(n)
+		poly[i] = pt{c.x + rad*math.Cos(a), c.y + rad*math.Sin(a)}
+	}
+	return poly
+}
+
+// insidePoly reports whether (x, y) lies inside the polygon (even-odd
+// rule).
+func insidePoly(poly []pt, x, y float64) bool {
+	in := false
+	j := len(poly) - 1
+	for i := range poly {
+		if (poly[i].y > y) != (poly[j].y > y) &&
+			x < (poly[j].x-poly[i].x)*(y-poly[i].y)/(poly[j].y-poly[i].y)+poly[i].x {
+			in = !in
+		}
+		j = i
+	}
+	return in
+}
+
+// polyEdgeDistance returns the shortest distance from (x, y) to the
+// polygon boundary.
+func polyEdgeDistance(poly []pt, x, y float64) float64 {
+	best := math.Inf(1)
+	j := len(poly) - 1
+	for i := range poly {
+		d := segmentDistance(x, y, poly[j].x, poly[j].y, poly[i].x, poly[i].y)
+		if d < best {
+			best = d
+		}
+		j = i
+	}
+	return best
+}

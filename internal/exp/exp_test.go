@@ -1,0 +1,199 @@
+package exp
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/nn"
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+func TestMNISTNetSpecsShape(t *testing.T) {
+	specs, layer := MNISTNetSpecs()
+	net, err := nn.Build(specs, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.New(1, dataset.MNISTImageSize, dataset.MNISTImageSize)
+	logits, captured := net.ForwardCapture(x, layer)
+	if logits.Len() != 10 {
+		t.Fatalf("logits length = %d, want 10", logits.Len())
+	}
+	if captured.Len() != 40 {
+		t.Fatalf("monitored layer width = %d, want 40 (ReLU(fc(40)))", captured.Len())
+	}
+	// The monitored layer must be a ReLU, per the paper.
+	if _, ok := net.Layer(layer).(*nn.ReLU); !ok {
+		t.Fatalf("monitored layer %d is %T, want *nn.ReLU", layer, net.Layer(layer))
+	}
+}
+
+func TestGTSRBNetSpecsShape(t *testing.T) {
+	specs, layer := GTSRBNetSpecs()
+	net, err := nn.Build(specs, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.New(3, dataset.GTSRBImageSize, dataset.GTSRBImageSize)
+	logits, captured := net.ForwardCapture(x, layer)
+	if logits.Len() != 43 {
+		t.Fatalf("logits length = %d, want 43", logits.Len())
+	}
+	if captured.Len() != 84 {
+		t.Fatalf("monitored layer width = %d, want 84 (ReLU(fc(84)))", captured.Len())
+	}
+	if _, ok := net.Layer(layer).(*nn.ReLU); !ok {
+		t.Fatalf("monitored layer %d is %T, want *nn.ReLU", layer, net.Layer(layer))
+	}
+}
+
+func TestOptionsScaled(t *testing.T) {
+	o := Options{Scale: 0.5}
+	if got := o.scaled(100); got != 50 {
+		t.Fatalf("scaled(100) = %d", got)
+	}
+	if got := o.scaled(1); got != 1 {
+		t.Fatalf("scaled floor broken: %d", got)
+	}
+	o.Scale = 0 // unset means full
+	if got := o.scaled(100); got != 100 {
+		t.Fatalf("scaled with zero Scale = %d", got)
+	}
+}
+
+// tinyModels trains both networks once at a very small scale, shared
+// across the tests below.
+var (
+	tinyOnce       sync.Once
+	tinyM1, tinyM2 *Model
+	tinyErr        error
+)
+
+func tinyModels(t *testing.T) (*Model, *Model) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("training test skipped in -short mode")
+	}
+	tinyOnce.Do(func() {
+		opts := Options{Scale: 0.06, Seed: 3}
+		tinyM1, tinyErr = TrainMNIST(opts)
+		if tinyErr != nil {
+			return
+		}
+		tinyM2, tinyErr = TrainGTSRB(opts)
+	})
+	if tinyErr != nil {
+		t.Fatal(tinyErr)
+	}
+	return tinyM1, tinyM2
+}
+
+func TestTable1RowsAndRender(t *testing.T) {
+	m1, m2 := tinyModels(t)
+	rows := Table1Rows(m1, m2)
+	if len(rows) != 2 || rows[0].ID != 1 || rows[1].ID != 2 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	out := RenderTable1(rows)
+	for _, frag := range []string{"TABLE I", "MNIST", "GTSRB", "conv(40)", "fc(43)"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("Table I output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestTable2MNIST(t *testing.T) {
+	m1, _ := tinyModels(t)
+	rows, mon, err := Table2ForModel(m1, []int{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	// Column 4 (out-of-pattern rate) must be non-increasing in gamma.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Metrics.OutOfPattern > rows[i-1].Metrics.OutOfPattern {
+			t.Fatalf("out-of-pattern counts not monotone: %+v", rows)
+		}
+	}
+	// All 10 classes monitored: watched == total.
+	if rows[0].Metrics.Watched != rows[0].Metrics.Total {
+		t.Fatal("MNIST monitor must watch every class")
+	}
+	if mon.Gamma() != 2 {
+		t.Fatalf("monitor left at gamma %d, want 2", mon.Gamma())
+	}
+	out := RenderTable2(rows)
+	if !strings.Contains(out, "TABLE II") || !strings.Contains(out, "gamma") {
+		t.Fatalf("Table II render malformed:\n%s", out)
+	}
+}
+
+func TestTable2GTSRBStopSignOnly(t *testing.T) {
+	_, m2 := tinyModels(t)
+	rows, mon, err := Table2ForModel(m2, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	classes := mon.Classes()
+	if len(classes) != 1 || classes[0] != dataset.StopSignClass {
+		t.Fatalf("monitored classes = %v, want [14]", classes)
+	}
+	if got := len(mon.Neurons()); got != 21 { // ceil(0.25 * 84)
+		t.Fatalf("monitored neurons = %d, want 21", got)
+	}
+	// Only stop-sign-predicted images are watched.
+	if rows[0].Metrics.Watched > rows[0].Metrics.Total {
+		t.Fatal("watched exceeds total")
+	}
+}
+
+func TestFigure2SweepShape(t *testing.T) {
+	m1, _ := tinyModels(t)
+	mon, err := core.Build(m1.Net, m1.Data.Train, MNISTMonitorConfig(m1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := Figure2Sweep(m1, mon, 6)
+	if len(pts) != 7 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].OutRate > pts[i-1].OutRate {
+			t.Fatal("out-of-pattern rate increased with gamma")
+		}
+		if pts[i].ZonePatterns < pts[i-1].ZonePatterns {
+			t.Fatal("zone size shrank with gamma")
+		}
+	}
+	out := RenderFigure2(pts)
+	if !strings.Contains(out, "FIGURE 2") || !strings.Contains(out, "alpha_1") {
+		t.Fatalf("Figure 2 render malformed:\n%s", out)
+	}
+}
+
+func TestFrontCarStudySmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test skipped in -short mode")
+	}
+	res, p, err := FrontCarStudy(Options{Scale: 0.15, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p == nil || res == nil {
+		t.Fatal("nil result")
+	}
+	if res.Shifted.OutOfPatternRate() <= res.InDist.OutOfPatternRate() {
+		t.Fatalf("shift not detected: in %.3f vs shifted %.3f",
+			res.InDist.OutOfPatternRate(), res.Shifted.OutOfPatternRate())
+	}
+	out := RenderFrontCar(res)
+	if !strings.Contains(out, "FIGURE 3") || !strings.Contains(out, "shifted traffic") {
+		t.Fatalf("front-car render malformed:\n%s", out)
+	}
+}

@@ -1,0 +1,184 @@
+package frontcar
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/nn"
+	"repro/internal/rng"
+)
+
+func TestLaneCenter(t *testing.T) {
+	l := Lane{Offset: 0.1, Curvature: 0.2, HalfWidth: 0.1}
+	if got := l.CenterAt(0); math.Abs(got-0.6) > 1e-12 {
+		t.Fatalf("CenterAt(0) = %v", got)
+	}
+	if got := l.CenterAt(1); math.Abs(got-0.8) > 1e-12 {
+		t.Fatalf("CenterAt(1) = %v", got)
+	}
+}
+
+func TestLabelNearestInLane(t *testing.T) {
+	s := Scene{
+		Lane: Lane{HalfWidth: 0.1},
+		Vehicles: []Vehicle{
+			{X: 0.5, Y: 0.6}, // in lane, far
+			{X: 0.5, Y: 0.3}, // in lane, near -> front car
+			{X: 0.9, Y: 0.2}, // out of lane
+		},
+	}
+	if got := s.label(); got != 1 {
+		t.Fatalf("label = %d, want 1", got)
+	}
+}
+
+func TestLabelNoFrontCar(t *testing.T) {
+	s := Scene{Lane: Lane{HalfWidth: 0.05}}
+	if got := s.label(); got != NoFrontCar {
+		t.Fatalf("empty scene label = %d, want %d", got, NoFrontCar)
+	}
+	s.Vehicles = []Vehicle{{X: 0.95, Y: 0.5}}
+	if got := s.label(); got != NoFrontCar {
+		t.Fatalf("out-of-lane label = %d, want %d", got, NoFrontCar)
+	}
+}
+
+// Property: the labelled front car is always laterally within the lane,
+// and no in-lane vehicle is nearer.
+func TestLabelProperty(t *testing.T) {
+	cfg := DefaultSceneConfig()
+	cfg.SensorNoise = 0 // noise is applied after labelling; disable for the check
+	check := func(seed uint32) bool {
+		s := GenScene(cfg, rng.New(uint64(seed)))
+		if s.FrontCar == NoFrontCar {
+			for _, v := range s.Vehicles {
+				if math.Abs(v.X-s.Lane.CenterAt(v.Y)) <= s.Lane.HalfWidth {
+					return false // an in-lane vehicle was ignored
+				}
+			}
+			return true
+		}
+		fc := s.Vehicles[s.FrontCar]
+		if math.Abs(fc.X-s.Lane.CenterAt(fc.Y)) > s.Lane.HalfWidth {
+			return false
+		}
+		for _, v := range s.Vehicles {
+			if math.Abs(v.X-s.Lane.CenterAt(v.Y)) <= s.Lane.HalfWidth && v.Y < fc.Y {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFeaturesEncoding(t *testing.T) {
+	s := Scene{
+		Lane:     Lane{Offset: 0.1, Curvature: -0.2, HalfWidth: 0.12},
+		Vehicles: []Vehicle{{X: 0.4, Y: 0.5, W: 0.1, H: 0.08}},
+	}
+	f := s.Features()
+	if f.Len() != FeatureDim {
+		t.Fatalf("feature length = %d", f.Len())
+	}
+	if f.Data()[0] != 0.1 || f.Data()[1] != -0.2 || f.Data()[2] != 0.12 {
+		t.Fatal("lane features wrong")
+	}
+	if f.Data()[3] != 1 || f.Data()[4] != 0.4 {
+		t.Fatal("vehicle slot 0 wrong")
+	}
+	// Slot 1 must be empty.
+	for i := 9; i < 15; i++ {
+		if f.Data()[i] != 0 {
+			t.Fatal("empty slot not zeroed")
+		}
+	}
+}
+
+func TestSamplesDeterministic(t *testing.T) {
+	a := Samples(50, DefaultSceneConfig(), 5)
+	b := Samples(50, DefaultSceneConfig(), 5)
+	for i := range a {
+		if a[i].Label != b[i].Label {
+			t.Fatal("labels differ across identical seeds")
+		}
+		for j := range a[i].Input.Data() {
+			if a[i].Input.Data()[j] != b[i].Input.Data()[j] {
+				t.Fatal("features differ across identical seeds")
+			}
+		}
+	}
+}
+
+func TestSamplesLabelDistribution(t *testing.T) {
+	samples := Samples(2000, DefaultSceneConfig(), 6)
+	counts := make([]int, NumClasses)
+	for _, s := range samples {
+		counts[s.Label]++
+	}
+	// Every class must occur (front car in each slot and "#").
+	for c, n := range counts {
+		if n == 0 {
+			t.Fatalf("class %d never generated: %v", c, counts)
+		}
+	}
+}
+
+func TestPipelineEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test skipped in -short mode")
+	}
+	cfg := TrainConfig{TrainScenes: 3000, Epochs: 30, Gamma: 1, Seed: 7}
+	p, train, err := BuildPipeline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := nn.Accuracy(p.Selector, train); acc < 0.85 {
+		t.Fatalf("selector train accuracy %v too low", acc)
+	}
+	val := Samples(800, DefaultSceneConfig(), 100)
+	inDist := core.Evaluate(p.Selector, p.Monitor, val)
+
+	shifted := Samples(800, ShiftedSceneConfig(), 101)
+	outDist := core.Evaluate(p.Selector, p.Monitor, shifted)
+
+	// The monitor must fire far more often under distribution shift.
+	if outDist.OutOfPatternRate() <= inDist.OutOfPatternRate() {
+		t.Fatalf("shifted out-of-pattern rate %.3f not above in-distribution %.3f",
+			outDist.OutOfPatternRate(), inDist.OutOfPatternRate())
+	}
+	// And stay comparatively quiet in distribution.
+	if inDist.OutOfPatternRate() > 0.5 {
+		t.Fatalf("monitor fires on %.0f%% of in-distribution scenes — abstraction too fine",
+			100*inDist.OutOfPatternRate())
+	}
+	// Decide agrees with Watch.
+	r := rng.New(9)
+	s := GenScene(DefaultSceneConfig(), r)
+	v := p.Decide(&s)
+	if v.Class < 0 || v.Class >= NumClasses {
+		t.Fatalf("verdict class %d out of range", v.Class)
+	}
+}
+
+func TestShiftedConfigDiffers(t *testing.T) {
+	a, b := DefaultSceneConfig(), ShiftedSceneConfig()
+	if a == b {
+		t.Fatal("shifted config identical to default")
+	}
+	if b.MaxHalfWidth >= a.MinHalfWidth {
+		t.Fatal("shifted lanes should be narrower than any training lane")
+	}
+}
+
+func BenchmarkGenScene(b *testing.B) {
+	cfg := DefaultSceneConfig()
+	r := rng.New(1)
+	for i := 0; i < b.N; i++ {
+		GenScene(cfg, r)
+	}
+}

@@ -1,0 +1,76 @@
+package frontcar
+
+import (
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/nn"
+	"repro/internal/rng"
+)
+
+// MonitoredLayer is the index of the selector's penultimate ReLU layer,
+// whose activation pattern the monitor abstracts.
+const MonitoredLayer = 3
+
+// monitoredWidth is the width of the monitored layer.
+const monitoredWidth = 24
+
+// NewSelector builds the front-car selection network: a small
+// fully-connected ReLU classifier over the scene features, mirroring the
+// case study's "neural network-based classifier" that takes lane
+// information and vehicle bounding boxes.
+func NewSelector(seed uint64) *nn.Network {
+	r := rng.New(seed)
+	return nn.New(
+		nn.NewDense(FeatureDim, 64, r), nn.NewReLU(),
+		nn.NewDense(64, monitoredWidth, r), nn.NewReLU(), // MonitoredLayer = 3
+		nn.NewDense(monitoredWidth, NumClasses, r),
+	)
+}
+
+// Pipeline bundles the trained selector with its activation monitor — the
+// deployable unit of Figure 3's front-car selection block.
+type Pipeline struct {
+	Selector *nn.Network
+	Monitor  *core.Monitor
+}
+
+// TrainConfig sizes a pipeline training run.
+type TrainConfig struct {
+	TrainScenes int
+	Epochs      int
+	Gamma       int
+	Seed        uint64
+	Log         io.Writer
+}
+
+// DefaultTrainConfig trains on enough scenes for a high-accuracy selector.
+func DefaultTrainConfig() TrainConfig {
+	return TrainConfig{TrainScenes: 6000, Epochs: 30, Gamma: 1, Seed: 1}
+}
+
+// BuildPipeline trains a selector on simulated ordinary traffic and
+// constructs its activation monitor per Algorithm 1.
+func BuildPipeline(cfg TrainConfig) (*Pipeline, []nn.Sample, error) {
+	train := Samples(cfg.TrainScenes, DefaultSceneConfig(), cfg.Seed)
+	sel := NewSelector(cfg.Seed + 1)
+	nn.Train(sel, train, nn.TrainConfig{
+		Epochs:    cfg.Epochs,
+		BatchSize: 32,
+		LR:        0.05,
+		LRDecay:   0.97,
+		Seed:      cfg.Seed + 2,
+		Log:       cfg.Log,
+	})
+	mon, err := core.Build(sel, train, core.Config{Layer: MonitoredLayer, Gamma: cfg.Gamma})
+	if err != nil {
+		return nil, nil, err
+	}
+	return &Pipeline{Selector: sel, Monitor: mon}, train, nil
+}
+
+// Decide runs the full pipeline on one scene: the selector classifies and
+// the monitor reports whether the decision is supported by training data.
+func (p *Pipeline) Decide(s *Scene) core.Verdict {
+	return p.Monitor.Watch(p.Selector, s.Features())
+}

@@ -1,0 +1,196 @@
+// Package frontcar reproduces the paper's §III case study: a vision-based
+// front-car detection unit for highway piloting (Figure 3). The authors'
+// system is proprietary, so the vision stack is replaced by a kinematic
+// scene simulator that produces exactly the inputs the front-car selection
+// network consumes — ego-lane geometry from the lane-detection component
+// and vehicle bounding boxes from the vehicle-detection component. The
+// selector network maps those features to either the index of the bounding
+// box that is the front car or the special class "#" (no front car), and
+// the activation monitor runs on its penultimate ReLU layer.
+package frontcar
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/nn"
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// MaxVehicles is the number of bounding-box slots the selector receives.
+const MaxVehicles = 4
+
+// NoFrontCar is the class "#": no detected vehicle is the front car.
+const NoFrontCar = MaxVehicles
+
+// NumClasses is the selector's output arity (one per slot plus "#").
+const NumClasses = MaxVehicles + 1
+
+// Vehicle is one detected bounding box in normalized image coordinates
+// (x, y is the bottom-centre of the box; y grows toward the horizon, so
+// larger y means farther away).
+type Vehicle struct {
+	X, Y, W, H float64
+}
+
+// Lane is the ego-lane geometry reported by lane detection: the lateral
+// offset of the lane centre at the ego position, its curvature, and the
+// lane's half-width, all in normalized image units.
+type Lane struct {
+	Offset    float64
+	Curvature float64
+	HalfWidth float64
+}
+
+// CenterAt returns the lane centre's lateral position at longitudinal
+// position y (0 = ego bumper, 1 = horizon).
+func (l Lane) CenterAt(y float64) float64 {
+	return 0.5 + l.Offset + l.Curvature*y*y
+}
+
+// Scene is one simulated highway situation with ground truth.
+type Scene struct {
+	Lane     Lane
+	Vehicles []Vehicle // at most MaxVehicles entries, sorted nearest-first
+	// FrontCar is the ground-truth label: the index of the front car in
+	// Vehicles, or NoFrontCar.
+	FrontCar int
+}
+
+// label computes the ground-truth front car: among vehicles laterally
+// inside the ego lane at their own longitudinal position, the nearest one
+// (smallest y). Vehicles outside the lane or scenes with no in-lane
+// vehicle yield NoFrontCar.
+func (s *Scene) label() int {
+	best := NoFrontCar
+	bestY := math.Inf(1)
+	for i, v := range s.Vehicles {
+		if math.Abs(v.X-s.Lane.CenterAt(v.Y)) > s.Lane.HalfWidth {
+			continue
+		}
+		if v.Y < bestY {
+			bestY = v.Y
+			best = i
+		}
+	}
+	return best
+}
+
+// SceneConfig controls the traffic distribution of the simulator.
+type SceneConfig struct {
+	// MaxOffset bounds the lane-centre offset.
+	MaxOffset float64
+	// MaxCurvature bounds the road curvature.
+	MaxCurvature float64
+	// MinHalfWidth and MaxHalfWidth bound the lane half-width.
+	MinHalfWidth, MaxHalfWidth float64
+	// VehicleProb is the probability that each slot holds a vehicle.
+	VehicleProb float64
+	// SensorNoise perturbs reported box and lane values (detection error).
+	SensorNoise float64
+}
+
+// DefaultSceneConfig models ordinary highway traffic.
+func DefaultSceneConfig() SceneConfig {
+	return SceneConfig{
+		MaxOffset:    0.12,
+		MaxCurvature: 0.15,
+		MinHalfWidth: 0.08,
+		MaxHalfWidth: 0.14,
+		VehicleProb:  0.65,
+		SensorNoise:  0.005,
+	}
+}
+
+// ShiftedSceneConfig models a distribution shift the training never
+// covered: a narrow construction-zone corridor with strong curvature,
+// denser traffic and degraded detections — the case study's motivation for
+// monitoring (the network's decisions there are not supported by training
+// data).
+func ShiftedSceneConfig() SceneConfig {
+	return SceneConfig{
+		MaxOffset:    0.3,
+		MaxCurvature: 0.45,
+		MinHalfWidth: 0.03,
+		MaxHalfWidth: 0.06,
+		VehicleProb:  0.95,
+		SensorNoise:  0.06,
+	}
+}
+
+// GenScene draws one random scene from the configured distribution and
+// computes its ground-truth label.
+func GenScene(cfg SceneConfig, r *rng.Source) Scene {
+	s := Scene{
+		Lane: Lane{
+			Offset:    r.Range(-cfg.MaxOffset, cfg.MaxOffset),
+			Curvature: r.Range(-cfg.MaxCurvature, cfg.MaxCurvature),
+			HalfWidth: r.Range(cfg.MinHalfWidth, cfg.MaxHalfWidth),
+		},
+	}
+	for i := 0; i < MaxVehicles; i++ {
+		if !r.Bool(cfg.VehicleProb) {
+			continue
+		}
+		y := r.Range(0.1, 0.9)
+		// Perspective: distant vehicles are smaller.
+		w := (1 - 0.8*y) * r.Range(0.08, 0.14)
+		v := Vehicle{
+			X: r.Range(0.1, 0.9),
+			Y: y,
+			W: w,
+			H: w * r.Range(0.7, 0.9),
+		}
+		s.Vehicles = append(s.Vehicles, v)
+	}
+	// Vehicle detection reports boxes nearest-first, as range-sorted
+	// detection lists do.
+	sort.Slice(s.Vehicles, func(i, j int) bool { return s.Vehicles[i].Y < s.Vehicles[j].Y })
+	s.FrontCar = s.label()
+	// Sensor noise corrupts the *reported* features after labelling, so
+	// borderline scenes are genuinely ambiguous (a misclassified tail).
+	for i := range s.Vehicles {
+		s.Vehicles[i].X += r.NormScaled(0, cfg.SensorNoise)
+		s.Vehicles[i].Y += r.NormScaled(0, cfg.SensorNoise)
+	}
+	s.Lane.Offset += r.NormScaled(0, cfg.SensorNoise)
+	return s
+}
+
+// FeatureDim is the length of the selector's input vector: three lane
+// values plus six per vehicle slot (presence flag, box geometry, and the
+// box's lateral deviation from the lane centre at its position — a derived
+// feature the sensor-fusion front end provides alongside the raw boxes).
+const FeatureDim = 3 + 6*MaxVehicles
+
+// Features encodes the scene as the selector's input vector. Empty slots
+// are all-zero with presence flag 0.
+func (s *Scene) Features() *tensor.Tensor {
+	f := make([]float64, FeatureDim)
+	f[0] = s.Lane.Offset
+	f[1] = s.Lane.Curvature
+	f[2] = s.Lane.HalfWidth
+	for i, v := range s.Vehicles {
+		base := 3 + 6*i
+		f[base] = 1
+		f[base+1] = v.X
+		f[base+2] = v.Y
+		f[base+3] = v.W
+		f[base+4] = v.H
+		f[base+5] = v.X - s.Lane.CenterAt(v.Y)
+	}
+	return tensor.FromSlice(f, FeatureDim)
+}
+
+// Samples generates n labelled selector samples from the given traffic
+// distribution.
+func Samples(n int, cfg SceneConfig, seed uint64) []nn.Sample {
+	r := rng.New(seed)
+	out := make([]nn.Sample, n)
+	for i := range out {
+		s := GenScene(cfg, r)
+		out[i] = nn.Sample{Input: s.Features(), Label: s.FrontCar}
+	}
+	return out
+}

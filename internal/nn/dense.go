@@ -1,0 +1,196 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// Dense is a fully-connected layer computing y = Wx + b for a flat input
+// vector x of length in and output of length out.
+type Dense struct {
+	in, out int
+	w       *tensor.Tensor // (out, in)
+	b       *tensor.Tensor // (out)
+	gw      *tensor.Tensor
+	gb      *tensor.Tensor
+	lastIn  *tensor.Tensor // cached input for Backward
+}
+
+// NewDense returns a He-initialized fully-connected layer.
+func NewDense(in, out int, r *rng.Source) *Dense {
+	d := &Dense{
+		in:  in,
+		out: out,
+		w:   tensor.New(out, in),
+		b:   tensor.New(out),
+		gw:  tensor.New(out, in),
+		gb:  tensor.New(out),
+	}
+	heInit(d.w, in, r)
+	return d
+}
+
+// Name implements Layer.
+func (d *Dense) Name() string { return fmt.Sprintf("fc(%d)", d.out) }
+
+// Spec implements Layer.
+func (d *Dense) Spec() Spec { return Spec{Kind: KindDense, In: d.in, Out: d.out} }
+
+// Weights exposes the weight matrix (out, in). The monitor's gradient-based
+// neuron selection reads it directly when the monitored layer feeds a
+// linear output layer (the paper's special case where ∂n_c/∂n_i is simply
+// the connecting weight).
+func (d *Dense) Weights() *tensor.Tensor { return d.w }
+
+// Forward implements Layer.
+func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Len() != d.in {
+		panic(fmt.Sprintf("nn: %s got input of %d elements, want %d", d.Name(), x.Len(), d.in))
+	}
+	if train {
+		d.lastIn = x
+	}
+	y := tensor.MatVec(d.w, x.Data())
+	for i := range y {
+		y[i] += d.b.Data()[i]
+	}
+	return tensor.FromSlice(y, d.out)
+}
+
+// Backward implements Layer.
+func (d *Dense) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	if d.lastIn == nil {
+		panic("nn: Dense.Backward before training-mode Forward")
+	}
+	g := gradOut.Data()
+	x := d.lastIn.Data()
+	// dW[i][j] += g[i] * x[j]; db[i] += g[i]
+	for i := 0; i < d.out; i++ {
+		gi := g[i]
+		d.gb.Data()[i] += gi
+		if gi == 0 {
+			continue
+		}
+		row := d.gw.Data()[i*d.in : (i+1)*d.in]
+		for j, xv := range x {
+			row[j] += gi * xv
+		}
+	}
+	// dx = Wᵀ g
+	gin := make([]float64, d.in)
+	for i := 0; i < d.out; i++ {
+		gi := g[i]
+		if gi == 0 {
+			continue
+		}
+		row := d.w.Data()[i*d.in : (i+1)*d.in]
+		for j, wv := range row {
+			gin[j] += wv * gi
+		}
+	}
+	return tensor.FromSlice(gin, d.in)
+}
+
+// Params implements Layer.
+func (d *Dense) Params() []Param {
+	return []Param{
+		{Name: d.Name() + ".w", Value: d.w, Grad: d.gw},
+		{Name: d.Name() + ".b", Value: d.b, Grad: d.gb},
+	}
+}
+
+func (d *Dense) clone() Layer {
+	c := *d
+	c.lastIn = nil
+	return &c
+}
+
+// ReLU applies the rectifier max(0, x) element-wise. Its on/off pattern is
+// what the monitor abstracts (Definition 1 of the paper).
+type ReLU struct {
+	mask []bool // which inputs were positive in the last training Forward
+}
+
+// NewReLU returns a ReLU layer.
+func NewReLU() *ReLU { return &ReLU{} }
+
+// Name implements Layer.
+func (l *ReLU) Name() string { return "relu" }
+
+// Spec implements Layer.
+func (l *ReLU) Spec() Spec { return Spec{Kind: KindReLU} }
+
+// Forward implements Layer.
+func (l *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	out := x.Clone()
+	if train {
+		if cap(l.mask) < out.Len() {
+			l.mask = make([]bool, out.Len())
+		}
+		l.mask = l.mask[:out.Len()]
+	}
+	for i, v := range out.Data() {
+		pos := v > 0
+		if !pos {
+			out.Data()[i] = 0
+		}
+		if train {
+			l.mask[i] = pos
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (l *ReLU) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	if len(l.mask) != gradOut.Len() {
+		panic("nn: ReLU.Backward before training-mode Forward")
+	}
+	gin := gradOut.Clone()
+	for i := range gin.Data() {
+		if !l.mask[i] {
+			gin.Data()[i] = 0
+		}
+	}
+	return gin
+}
+
+// Params implements Layer.
+func (l *ReLU) Params() []Param { return nil }
+
+func (l *ReLU) clone() Layer { return &ReLU{} }
+
+// Flatten reshapes any tensor to a flat vector, remembering the original
+// shape for the backward pass.
+type Flatten struct {
+	shape []int
+}
+
+// NewFlatten returns a Flatten layer.
+func NewFlatten() *Flatten { return &Flatten{} }
+
+// Name implements Layer.
+func (l *Flatten) Name() string { return "flatten" }
+
+// Spec implements Layer.
+func (l *Flatten) Spec() Spec { return Spec{Kind: KindFlatten} }
+
+// Forward implements Layer.
+func (l *Flatten) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if train {
+		l.shape = append(l.shape[:0], x.Shape()...)
+	}
+	return x.Reshape(x.Len())
+}
+
+// Backward implements Layer.
+func (l *Flatten) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	return gradOut.Reshape(l.shape...)
+}
+
+// Params implements Layer.
+func (l *Flatten) Params() []Param { return nil }
+
+func (l *Flatten) clone() Layer { return &Flatten{} }

@@ -1,0 +1,83 @@
+package nn
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ParallelCount runs pred over every sample using per-worker network
+// clones (shared parameters, private caches) and returns how many samples
+// satisfied the predicate. Used for fast dataset-level evaluation.
+func ParallelCount(net *Network, samples []Sample, pred func(*Network, Sample) bool) int {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(samples) {
+		workers = len(samples)
+	}
+	if workers <= 1 {
+		count := 0
+		for _, s := range samples {
+			if pred(net, s) {
+				count++
+			}
+		}
+		return count
+	}
+	var count int64
+	var next int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			clone := net.CloneShared()
+			local := 0
+			for {
+				i := atomic.AddInt64(&next, 1) - 1
+				if int(i) >= len(samples) {
+					break
+				}
+				if pred(clone, samples[i]) {
+					local++
+				}
+			}
+			atomic.AddInt64(&count, int64(local))
+		}()
+	}
+	wg.Wait()
+	return int(count)
+}
+
+// ParallelMap computes f over every sample with per-worker network clones,
+// writing results into the returned slice in input order.
+func ParallelMap[T any](net *Network, samples []Sample, f func(*Network, Sample) T) []T {
+	out := make([]T, len(samples))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(samples) {
+		workers = len(samples)
+	}
+	if workers <= 1 {
+		for i, s := range samples {
+			out[i] = f(net, s)
+		}
+		return out
+	}
+	var next int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			clone := net.CloneShared()
+			for {
+				i := atomic.AddInt64(&next, 1) - 1
+				if int(i) >= len(samples) {
+					break
+				}
+				out[i] = f(clone, samples[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}

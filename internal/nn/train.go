@@ -1,0 +1,144 @@
+package nn
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// Sample is one labelled training or evaluation example.
+type Sample struct {
+	Input *tensor.Tensor
+	Label int
+}
+
+// SGD is a stochastic gradient descent optimizer with classical momentum
+// and optional L2 weight decay.
+type SGD struct {
+	LR          float64
+	Momentum    float64
+	WeightDecay float64
+
+	velocity map[*tensor.Tensor]*tensor.Tensor
+}
+
+// NewSGD returns an SGD optimizer with the given learning rate and
+// momentum 0.9.
+func NewSGD(lr float64) *SGD {
+	return &SGD{LR: lr, Momentum: 0.9, velocity: map[*tensor.Tensor]*tensor.Tensor{}}
+}
+
+// Step applies one update to every parameter from its accumulated gradient
+// scaled by 1/batchSize, then clears the gradients.
+func (o *SGD) Step(params []Param, batchSize int) {
+	if o.velocity == nil {
+		o.velocity = map[*tensor.Tensor]*tensor.Tensor{}
+	}
+	inv := 1.0 / float64(batchSize)
+	for _, p := range params {
+		v, ok := o.velocity[p.Value]
+		if !ok {
+			v = tensor.New(p.Value.Shape()...)
+			o.velocity[p.Value] = v
+		}
+		vd, gd, wd := v.Data(), p.Grad.Data(), p.Value.Data()
+		for i := range vd {
+			g := gd[i]*inv + o.WeightDecay*wd[i]
+			vd[i] = o.Momentum*vd[i] - o.LR*g
+			wd[i] += vd[i]
+		}
+		p.Grad.Zero()
+	}
+}
+
+// TrainConfig controls a training run.
+type TrainConfig struct {
+	Epochs    int
+	BatchSize int
+	LR        float64
+	// LRDecay multiplies the learning rate after each epoch (1 = constant).
+	LRDecay     float64
+	Momentum    float64
+	WeightDecay float64
+	// Seed drives shuffling.
+	Seed uint64
+	// Log, when non-nil, receives one line per epoch.
+	Log io.Writer
+}
+
+// EpochStats summarizes one training epoch.
+type EpochStats struct {
+	Epoch    int
+	Loss     float64
+	Accuracy float64
+}
+
+// Train runs mini-batch SGD over the samples and returns per-epoch stats.
+func Train(net *Network, samples []Sample, cfg TrainConfig) []EpochStats {
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 32
+	}
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 1
+	}
+	if cfg.LRDecay == 0 {
+		cfg.LRDecay = 1
+	}
+	opt := NewSGD(cfg.LR)
+	if cfg.Momentum != 0 {
+		opt.Momentum = cfg.Momentum
+	}
+	opt.WeightDecay = cfg.WeightDecay
+	r := rng.New(cfg.Seed)
+	params := net.Params()
+	var stats []EpochStats
+	idx := make([]int, len(samples))
+	for i := range idx {
+		idx[i] = i
+	}
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		r.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		totalLoss, correct := 0.0, 0
+		for start := 0; start < len(idx); start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > len(idx) {
+				end = len(idx)
+			}
+			for _, si := range idx[start:end] {
+				s := samples[si]
+				loss, pred := net.TrainStep(s.Input, s.Label)
+				totalLoss += loss
+				if pred == s.Label {
+					correct++
+				}
+			}
+			opt.Step(params, end-start)
+		}
+		st := EpochStats{
+			Epoch:    epoch,
+			Loss:     totalLoss / float64(len(samples)),
+			Accuracy: float64(correct) / float64(len(samples)),
+		}
+		stats = append(stats, st)
+		if cfg.Log != nil {
+			fmt.Fprintf(cfg.Log, "epoch %2d  loss %.4f  acc %.2f%%\n",
+				st.Epoch, st.Loss, 100*st.Accuracy)
+		}
+		opt.LR *= cfg.LRDecay
+	}
+	return stats
+}
+
+// Accuracy evaluates the fraction of samples the network classifies
+// correctly, running inference in parallel across shared-parameter clones.
+func Accuracy(net *Network, samples []Sample) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	correct := ParallelCount(net, samples, func(n *Network, s Sample) bool {
+		return n.Predict(s.Input) == s.Label
+	})
+	return float64(correct) / float64(len(samples))
+}

@@ -1,0 +1,154 @@
+package objdet
+
+import (
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/nn"
+	"repro/internal/rng"
+)
+
+// MonitoredLayer is the index of the detector's penultimate ReLU layer.
+const MonitoredLayer = 7
+
+// NewDetector builds the shared per-cell proposal network: a small CNN
+// classifying one grid cell as background or one of the object shapes.
+func NewDetector(seed uint64) *nn.Network {
+	r := rng.New(seed)
+	return nn.New(
+		nn.NewConv2D(8, 1, 3, 3, 1, r), // 12→10
+		nn.NewReLU(),
+		nn.NewMaxPool(2), // 10→5
+		nn.NewFlatten(),
+		nn.NewDense(8*5*5, 32, r),
+		nn.NewReLU(),
+		nn.NewDense(32, 24, r),
+		nn.NewReLU(), // MonitoredLayer = 7
+		nn.NewDense(24, NumClasses, r),
+	)
+}
+
+// Detection is one monitored per-cell proposal.
+type Detection struct {
+	Cell  int
+	Class int
+	// OutOfPattern marks proposals not supported by training data.
+	OutOfPattern bool
+}
+
+// MonitoredDetector couples the shared cell network with its activation
+// monitor.
+type MonitoredDetector struct {
+	Net     *nn.Network
+	Monitor *core.Monitor
+}
+
+// TrainConfig sizes detector training.
+type TrainConfig struct {
+	Scenes int
+	Epochs int
+	Gamma  int
+	Seed   uint64
+	Log    io.Writer
+}
+
+// DefaultTrainConfig trains on enough scenes for a high-accuracy
+// detector.
+func DefaultTrainConfig() TrainConfig {
+	return TrainConfig{Scenes: 800, Epochs: 6, Gamma: 1, Seed: 1}
+}
+
+// BuildMonitoredDetector trains the cell network on random scenes and
+// constructs its activation monitor per Algorithm 1 over the per-cell
+// training samples.
+func BuildMonitoredDetector(cfg TrainConfig) (*MonitoredDetector, []nn.Sample, error) {
+	scenes := Scenes(cfg.Scenes, DefaultSceneConfig(), cfg.Seed)
+	train := CellSamples(scenes)
+	net := NewDetector(cfg.Seed + 1)
+	nn.Train(net, train, nn.TrainConfig{
+		Epochs:    cfg.Epochs,
+		BatchSize: 32,
+		LR:        0.03,
+		LRDecay:   0.9,
+		Seed:      cfg.Seed + 2,
+		Log:       cfg.Log,
+	})
+	mon, err := core.Build(net, train, core.Config{Layer: MonitoredLayer, Gamma: cfg.Gamma})
+	if err != nil {
+		return nil, nil, err
+	}
+	return &MonitoredDetector{Net: net, Monitor: mon}, train, nil
+}
+
+// Detect runs the shared network on every grid cell and supplements each
+// proposal with the monitor's verdict — the per-cell analogue of
+// Figure 1-(b).
+func (d *MonitoredDetector) Detect(s *Scene) []Detection {
+	out := make([]Detection, NumCells)
+	for i := 0; i < NumCells; i++ {
+		v := d.Monitor.Watch(d.Net, Cell(s.Image, i))
+		out[i] = Detection{Cell: i, Class: v.Class, OutOfPattern: v.OutOfPattern}
+	}
+	return out
+}
+
+// SceneMetrics aggregates detection quality and monitor statistics over
+// scenes.
+type SceneMetrics struct {
+	Cells        int
+	CellErrors   int
+	OutOfPattern int
+	// ObjectCellsFlagged counts out-of-pattern verdicts on cells that
+	// contain an object (where a shifted shape would sit).
+	ObjectCellsFlagged int
+	ObjectCells        int
+}
+
+// CellAccuracy returns the fraction of correctly classified cells.
+func (m SceneMetrics) CellAccuracy() float64 {
+	if m.Cells == 0 {
+		return 0
+	}
+	return 1 - float64(m.CellErrors)/float64(m.Cells)
+}
+
+// OutOfPatternRate returns the fraction of cell proposals flagged.
+func (m SceneMetrics) OutOfPatternRate() float64 {
+	if m.Cells == 0 {
+		return 0
+	}
+	return float64(m.OutOfPattern) / float64(m.Cells)
+}
+
+// ObjectFlagRate returns the flagged fraction among object cells only.
+func (m SceneMetrics) ObjectFlagRate() float64 {
+	if m.ObjectCells == 0 {
+		return 0
+	}
+	return float64(m.ObjectCellsFlagged) / float64(m.ObjectCells)
+}
+
+// Evaluate runs monitored detection over scenes and aggregates metrics.
+func (d *MonitoredDetector) Evaluate(scenes []Scene) SceneMetrics {
+	var m SceneMetrics
+	for si := range scenes {
+		s := &scenes[si]
+		dets := d.Detect(s)
+		for i, det := range dets {
+			m.Cells++
+			if det.Class != s.Labels[i] {
+				m.CellErrors++
+			}
+			if det.OutOfPattern {
+				m.OutOfPattern++
+			}
+			if s.Labels[i] != Background {
+				m.ObjectCells++
+				if det.OutOfPattern {
+					m.ObjectCellsFlagged++
+				}
+			}
+		}
+	}
+	return m
+}

@@ -1,0 +1,163 @@
+package objdet
+
+import (
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/rng"
+)
+
+func TestGenSceneDeterministic(t *testing.T) {
+	a := Scenes(10, DefaultSceneConfig(), 1)
+	b := Scenes(10, DefaultSceneConfig(), 1)
+	for i := range a {
+		if a[i].Labels != b[i].Labels {
+			t.Fatal("labels differ across identical seeds")
+		}
+		for j := range a[i].Image.Data() {
+			if a[i].Image.Data()[j] != b[i].Image.Data()[j] {
+				t.Fatal("pixels differ across identical seeds")
+			}
+		}
+	}
+}
+
+func TestSceneLabelsConsistent(t *testing.T) {
+	r := rng.New(2)
+	for trial := 0; trial < 50; trial++ {
+		s := GenScene(DefaultSceneConfig(), r)
+		objects := 0
+		for _, l := range s.Labels {
+			if l < 0 || l >= NumClasses {
+				t.Fatalf("label %d out of range", l)
+			}
+			if l != Background {
+				objects++
+			}
+		}
+		if objects > DefaultSceneConfig().MaxObjects {
+			t.Fatalf("%d objects exceed max", objects)
+		}
+	}
+}
+
+func TestObjectCellsBrighter(t *testing.T) {
+	// A cell containing an object must have clearly more bright pixels
+	// than an empty cell on average.
+	r := rng.New(3)
+	var objSum, bgSum float64
+	var objN, bgN int
+	for trial := 0; trial < 30; trial++ {
+		s := GenScene(DefaultSceneConfig(), r)
+		for i := 0; i < NumCells; i++ {
+			c := Cell(s.Image, i)
+			if s.Labels[i] != Background {
+				objSum += c.Sum()
+				objN++
+			} else {
+				bgSum += c.Sum()
+				bgN++
+			}
+		}
+	}
+	if objN == 0 || bgN == 0 {
+		t.Skip("degenerate sample")
+	}
+	if objSum/float64(objN) < bgSum/float64(bgN)+3 {
+		t.Fatalf("object cells not distinguishable: obj %.1f vs bg %.1f",
+			objSum/float64(objN), bgSum/float64(bgN))
+	}
+}
+
+func TestCellExtractionGeometry(t *testing.T) {
+	s := GenScene(DefaultSceneConfig(), rng.New(4))
+	// Stamp a known value and confirm the right cell sees it.
+	s.Image.Set(0.777, 0, CellPixels+1, 2*CellPixels+3) // row block 1, col block 2 -> cell 5
+	c := Cell(s.Image, 1*GridSize+2)
+	if c.At(0, 1, 3) != 0.777 {
+		t.Fatal("cell extraction misaligned")
+	}
+}
+
+func TestCellSamplesCount(t *testing.T) {
+	scenes := Scenes(7, DefaultSceneConfig(), 5)
+	samples := CellSamples(scenes)
+	if len(samples) != 7*NumCells {
+		t.Fatalf("got %d samples", len(samples))
+	}
+	for _, s := range samples {
+		if s.Input.Dim(1) != CellPixels || s.Input.Dim(2) != CellPixels {
+			t.Fatal("cell sample has wrong shape")
+		}
+	}
+}
+
+func TestShiftedScenesUseNovelShape(t *testing.T) {
+	// Shifted scenes must differ pixel-wise from normal scenes generated
+	// with the same seed whenever objects are present.
+	norm := Scenes(20, DefaultSceneConfig(), 6)
+	shift := ShiftedScenes(20, DefaultSceneConfig(), 6)
+	differ := false
+	for i := range norm {
+		for j := range norm[i].Image.Data() {
+			if norm[i].Image.Data()[j] != shift[i].Image.Data()[j] {
+				differ = true
+			}
+		}
+	}
+	if !differ {
+		t.Fatal("shifted scenes identical to normal scenes")
+	}
+}
+
+func TestMonitoredDetectorEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test skipped in -short mode")
+	}
+	det, train, err := BuildMonitoredDetector(TrainConfig{
+		Scenes: 250, Epochs: 5, Gamma: 1, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := nn.Accuracy(det.Net, train); acc < 0.9 {
+		t.Fatalf("cell accuracy %v too low", acc)
+	}
+	val := Scenes(60, DefaultSceneConfig(), 100)
+	in := det.Evaluate(val)
+	if in.CellAccuracy() < 0.85 {
+		t.Fatalf("validation cell accuracy %v too low", in.CellAccuracy())
+	}
+	shifted := ShiftedScenes(60, DefaultSceneConfig(), 101)
+	out := det.Evaluate(shifted)
+	// Novel-shape object cells must be flagged far more often than
+	// trained-shape object cells.
+	if out.ObjectFlagRate() <= in.ObjectFlagRate() {
+		t.Fatalf("novel shapes not flagged: in %.3f vs shifted %.3f",
+			in.ObjectFlagRate(), out.ObjectFlagRate())
+	}
+	// Detections structurally sound.
+	dets := det.Detect(&val[0])
+	if len(dets) != NumCells {
+		t.Fatalf("got %d detections", len(dets))
+	}
+	for i, d := range dets {
+		if d.Cell != i || d.Class < 0 || d.Class >= NumClasses {
+			t.Fatalf("detection %d malformed: %+v", i, d)
+		}
+	}
+}
+
+func BenchmarkDetect(b *testing.B) {
+	det, _, err := BuildMonitoredDetector(TrainConfig{
+		Scenes: 120, Epochs: 3, Gamma: 1, Seed: 8,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	scenes := Scenes(16, DefaultSceneConfig(), 9)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		det.Detect(&scenes[i%len(scenes)])
+	}
+}

@@ -1,0 +1,212 @@
+// Package objdet implements the paper's §V extension 1: applying neuron
+// activation pattern monitoring to object detection networks "whose
+// underlying principle is to partition an image to a finite grid, with
+// each cell in the grid offering object proposals" (YOLO-style). The
+// detector here is a grid classifier: a shared CNN head runs on every
+// cell of a 3×3 partition and proposes either background or one of a few
+// object classes; the activation monitor supplements every per-cell
+// proposal exactly as it supplements whole-image classifications.
+package objdet
+
+import (
+	"repro/internal/nn"
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// Grid geometry: images are GridSize×GridSize cells of CellPixels pixels.
+const (
+	GridSize   = 3
+	CellPixels = 12
+	ImageSize  = GridSize * CellPixels
+	NumCells   = GridSize * GridSize
+)
+
+// Cell classes: background plus four object shapes.
+const (
+	Background = iota
+	ShapeSquare
+	ShapeCross
+	ShapeDisc
+	ShapeTriangle
+	NumClasses
+)
+
+// novelShape is rendered only by ShiftedScene — a class the detector
+// never trains on.
+const novelShape = NumClasses
+
+// Scene is one synthetic image with per-cell ground truth.
+type Scene struct {
+	Image  *tensor.Tensor // (1, ImageSize, ImageSize)
+	Labels [NumCells]int
+}
+
+// SceneConfig controls scene generation.
+type SceneConfig struct {
+	// MaxObjects bounds how many cells contain an object.
+	MaxObjects int
+	// Noise is the pixel noise standard deviation.
+	Noise float64
+	// Jitter shifts each object inside its cell by up to this many
+	// pixels.
+	Jitter int
+}
+
+// DefaultSceneConfig returns the training distribution.
+func DefaultSceneConfig() SceneConfig {
+	return SceneConfig{MaxObjects: 4, Noise: 0.12, Jitter: 2}
+}
+
+// GenScene draws a random scene: objects in distinct random cells over a
+// noisy background.
+func GenScene(cfg SceneConfig, r *rng.Source) Scene {
+	return genScene(cfg, r, false)
+}
+
+// ShiftedScene draws a scene whose objects are the novel shape the
+// detector never saw in training (labels still report the cells as
+// occupied by an arbitrary trained class, so misdetections surface).
+func ShiftedScene(cfg SceneConfig, r *rng.Source) Scene {
+	return genScene(cfg, r, true)
+}
+
+func genScene(cfg SceneConfig, r *rng.Source, novel bool) Scene {
+	s := Scene{Image: tensor.New(1, ImageSize, ImageSize)}
+	img := s.Image.Data()
+	for i := range img {
+		img[i] = clamp01(r.NormScaled(0.12, cfg.Noise))
+	}
+	nObjects := r.Intn(cfg.MaxObjects + 1)
+	cells := r.Perm(NumCells)[:nObjects]
+	for _, cell := range cells {
+		shape := 1 + r.Intn(NumShapeClasses())
+		drawn := shape
+		if novel {
+			drawn = novelShape
+		}
+		drawShapeInCell(img, cell, drawn, cfg.Jitter, r)
+		s.Labels[cell] = shape
+	}
+	return s
+}
+
+// NumShapeClasses returns the number of trained object shapes.
+func NumShapeClasses() int { return NumClasses - 1 }
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// drawShapeInCell stamps the given shape into the cell with positional
+// jitter and a bright intensity.
+func drawShapeInCell(img []float64, cell, shape, jitter int, r *rng.Source) {
+	cy := (cell / GridSize) * CellPixels
+	cx := (cell % GridSize) * CellPixels
+	dy := r.Intn(2*jitter+1) - jitter
+	dx := r.Intn(2*jitter+1) - jitter
+	intensity := r.Range(0.7, 1.0)
+	set := func(y, x int) {
+		y += cy + dy
+		x += cx + dx
+		if y < 0 || y >= ImageSize || x < 0 || x >= ImageSize {
+			return
+		}
+		img[y*ImageSize+x] = intensity
+	}
+	// Shapes are drawn inside the central 8×8 of the 12×12 cell.
+	const lo, hi, mid = 2, 9, 5
+	switch shape {
+	case ShapeSquare:
+		for y := lo; y <= hi; y++ {
+			for x := lo; x <= hi; x++ {
+				if y == lo || y == hi || x == lo || x == hi {
+					set(y, x)
+				}
+			}
+		}
+	case ShapeCross:
+		for i := lo; i <= hi; i++ {
+			set(mid, i)
+			set(i, mid)
+		}
+	case ShapeDisc:
+		for y := lo; y <= hi; y++ {
+			for x := lo; x <= hi; x++ {
+				dy := y - mid
+				dx := x - mid
+				if dy*dy+dx*dx <= 12 {
+					set(y, x)
+				}
+			}
+		}
+	case ShapeTriangle:
+		for y := lo; y <= hi; y++ {
+			half := (y - lo) / 2
+			for x := mid - half; x <= mid+half; x++ {
+				set(y, x)
+			}
+		}
+	case novelShape: // five-point star-ish asterisk, never trained
+		for i := lo; i <= hi; i++ {
+			set(mid, i)
+			set(i, mid)
+			set(i, i)
+			set(i, hi+lo-i)
+		}
+	default:
+		panic("objdet: unknown shape")
+	}
+}
+
+// Cell extracts cell i of the scene image as a (1, CellPixels,
+// CellPixels) tensor (copied).
+func Cell(img *tensor.Tensor, i int) *tensor.Tensor {
+	cy := (i / GridSize) * CellPixels
+	cx := (i % GridSize) * CellPixels
+	out := tensor.New(1, CellPixels, CellPixels)
+	for y := 0; y < CellPixels; y++ {
+		for x := 0; x < CellPixels; x++ {
+			out.Set(img.At(0, cy+y, cx+x), 0, y, x)
+		}
+	}
+	return out
+}
+
+// CellSamples flattens scenes into per-cell classification samples, the
+// detector's training set.
+func CellSamples(scenes []Scene) []nn.Sample {
+	out := make([]nn.Sample, 0, len(scenes)*NumCells)
+	for _, s := range scenes {
+		for i := 0; i < NumCells; i++ {
+			out = append(out, nn.Sample{Input: Cell(s.Image, i), Label: s.Labels[i]})
+		}
+	}
+	return out
+}
+
+// Scenes generates n random scenes.
+func Scenes(n int, cfg SceneConfig, seed uint64) []Scene {
+	r := rng.New(seed)
+	out := make([]Scene, n)
+	for i := range out {
+		out[i] = GenScene(cfg, r)
+	}
+	return out
+}
+
+// ShiftedScenes generates n novel-shape scenes.
+func ShiftedScenes(n int, cfg SceneConfig, seed uint64) []Scene {
+	r := rng.New(seed)
+	out := make([]Scene, n)
+	for i := range out {
+		out[i] = ShiftedScene(cfg, r)
+	}
+	return out
+}

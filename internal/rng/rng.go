@@ -1,0 +1,119 @@
+// Package rng provides small, fast, deterministic pseudo-random number
+// generators used throughout the repository. Experiments must be exactly
+// reproducible across runs and machines, so every component that needs
+// randomness takes an explicit *rng.Source seeded by the caller instead of
+// relying on global state.
+//
+// The generator is xoshiro256** seeded via SplitMix64, the combination
+// recommended by Blackman and Vigna. It is not cryptographically secure.
+package rng
+
+import "math"
+
+// Source is a deterministic pseudo-random number source. The zero value is
+// not usable; construct one with New.
+type Source struct {
+	s [4]uint64
+}
+
+// New returns a Source seeded from the given seed. Two Sources created with
+// the same seed produce identical streams.
+func New(seed uint64) *Source {
+	var src Source
+	sm := seed
+	for i := range src.s {
+		sm = splitMix64(&sm)
+		src.s[i] = sm
+	}
+	// xoshiro must not start from the all-zero state.
+	if src.s[0]|src.s[1]|src.s[2]|src.s[3] == 0 {
+		src.s[0] = 0x9e3779b97f4a7c15
+	}
+	return &src
+}
+
+// splitMix64 advances *x and returns the next SplitMix64 output.
+func splitMix64(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *Source) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Split returns a new Source whose stream is independent of r's continued
+// stream. It is used to hand child components their own generators.
+func (r *Source) Split() *Source {
+	return New(r.Uint64())
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *Source) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn called with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Range returns a uniform float64 in [lo, hi).
+func (r *Source) Range(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.Float64()
+}
+
+// Norm returns a normally distributed float64 with mean 0 and standard
+// deviation 1, using the Box-Muller transform.
+func (r *Source) Norm() float64 {
+	// Avoid log(0) by shifting the uniform variate away from zero.
+	u1 := 1 - r.Float64()
+	u2 := r.Float64()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// NormScaled returns a normal variate with the given mean and stddev.
+func (r *Source) NormScaled(mean, stddev float64) float64 {
+	return mean + stddev*r.Norm()
+}
+
+// Perm returns a pseudo-random permutation of [0, n) as a slice.
+func (r *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.Shuffle(len(p), func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}
+
+// Shuffle pseudo-randomizes the order of n elements using the provided swap
+// function (Fisher-Yates).
+func (r *Source) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Bool returns true with probability p.
+func (r *Source) Bool(p float64) bool {
+	return r.Float64() < p
+}

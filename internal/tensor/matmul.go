@@ -1,0 +1,152 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+)
+
+// matmulParallelThreshold is the minimum number of multiply-accumulate
+// operations before MatMul fans out across goroutines. Small products are
+// faster single-threaded.
+const matmulParallelThreshold = 1 << 16
+
+// MatMul computes C = A × B for A of shape (m, k) and B of shape (k, n),
+// returning a new (m, n) tensor. Rows of the output are computed in
+// parallel for large products.
+func MatMul(a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic("tensor: MatMul requires rank-2 tensors")
+	}
+	m, k := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic("tensor: MatMul inner dimensions differ")
+	}
+	c := New(m, n)
+	MatMulInto(c, a, b)
+	return c
+}
+
+// MatMulInto computes dst = A × B, overwriting dst. dst must have shape
+// (m, n) and must not alias a or b.
+func MatMulInto(dst, a, b *Tensor) {
+	m, k := a.shape[0], a.shape[1]
+	n := b.shape[1]
+	if b.shape[0] != k || dst.shape[0] != m || dst.shape[1] != n {
+		panic("tensor: MatMulInto shape mismatch")
+	}
+	dst.Zero()
+	work := m * n * k
+	if work < matmulParallelThreshold {
+		matmulRows(dst.data, a.data, b.data, 0, m, k, n)
+		return
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > m {
+		workers = m
+	}
+	var wg sync.WaitGroup
+	chunk := (m + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > m {
+			hi = m
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			matmulRows(dst.data, a.data, b.data, lo, hi, k, n)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// matmulRows computes rows [lo, hi) of C += A×B using an ikj loop order so
+// the inner loop streams through contiguous memory in both B and C.
+func matmulRows(c, a, b []float64, lo, hi, k, n int) {
+	for i := lo; i < hi; i++ {
+		ci := c[i*n : (i+1)*n]
+		ai := a[i*k : (i+1)*k]
+		for p, av := range ai {
+			if av == 0 {
+				continue
+			}
+			bp := b[p*n : (p+1)*n]
+			for j, bv := range bp {
+				ci[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulTransA computes C = Aᵀ × B for A of shape (k, m) and B of shape
+// (k, n), returning (m, n). Used by backpropagation for weight gradients.
+func MatMulTransA(a, b *Tensor) *Tensor {
+	k, m := a.shape[0], a.shape[1]
+	if b.shape[0] != k {
+		panic("tensor: MatMulTransA inner dimensions differ")
+	}
+	n := b.shape[1]
+	c := New(m, n)
+	// C[i][j] = sum_p A[p][i] * B[p][j]; iterate p outermost for locality.
+	for p := 0; p < k; p++ {
+		ap := a.data[p*m : (p+1)*m]
+		bp := b.data[p*n : (p+1)*n]
+		for i, av := range ap {
+			if av == 0 {
+				continue
+			}
+			ci := c.data[i*n : (i+1)*n]
+			for j, bv := range bp {
+				ci[j] += av * bv
+			}
+		}
+	}
+	return c
+}
+
+// MatMulTransB computes C = A × Bᵀ for A of shape (m, k) and B of shape
+// (n, k), returning (m, n). Used by backpropagation for input gradients.
+func MatMulTransB(a, b *Tensor) *Tensor {
+	m, k := a.shape[0], a.shape[1]
+	n := b.shape[0]
+	if b.shape[1] != k {
+		panic("tensor: MatMulTransB inner dimensions differ")
+	}
+	c := New(m, n)
+	for i := 0; i < m; i++ {
+		ai := a.data[i*k : (i+1)*k]
+		ci := c.data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			bj := b.data[j*k : (j+1)*k]
+			sum := 0.0
+			for p, av := range ai {
+				sum += av * bj[p]
+			}
+			ci[j] = sum
+		}
+	}
+	return c
+}
+
+// MatVec computes y = A × x for A of shape (m, n) and x of length n.
+func MatVec(a *Tensor, x []float64) []float64 {
+	m, n := a.shape[0], a.shape[1]
+	if len(x) != n {
+		panic("tensor: MatVec dimension mismatch")
+	}
+	y := make([]float64, m)
+	for i := 0; i < m; i++ {
+		row := a.data[i*n : (i+1)*n]
+		sum := 0.0
+		for j, v := range row {
+			sum += v * x[j]
+		}
+		y[i] = sum
+	}
+	return y
+}

@@ -1,0 +1,49 @@
+package tensor
+
+// MaxPool2D performs non-overlapping max pooling with a square window of
+// the given size over a CHW tensor. It returns the pooled tensor and, for
+// use by backpropagation, the flat input index of the maximum chosen for
+// each output element. Input height and width must be divisible by size.
+func MaxPool2D(input *Tensor, size int) (*Tensor, []int) {
+	c, h, w := input.shape[0], input.shape[1], input.shape[2]
+	if h%size != 0 || w%size != 0 {
+		panic("tensor: MaxPool2D input not divisible by window size")
+	}
+	outH, outW := h/size, w/size
+	out := New(c, outH, outW)
+	argmax := make([]int, c*outH*outW)
+	oi := 0
+	for ch := 0; ch < c; ch++ {
+		base := ch * h * w
+		for oy := 0; oy < outH; oy++ {
+			for ox := 0; ox < outW; ox++ {
+				bestIdx := base + (oy*size)*w + ox*size
+				best := input.data[bestIdx]
+				for py := 0; py < size; py++ {
+					rowBase := base + (oy*size+py)*w + ox*size
+					for px := 0; px < size; px++ {
+						if v := input.data[rowBase+px]; v > best {
+							best = v
+							bestIdx = rowBase + px
+						}
+					}
+				}
+				out.data[oi] = best
+				argmax[oi] = bestIdx
+				oi++
+			}
+		}
+	}
+	return out, argmax
+}
+
+// MaxPool2DBackward scatters the output gradient through the argmax map
+// produced by MaxPool2D, returning the gradient with respect to the input
+// of the given CHW shape.
+func MaxPool2DBackward(gradOut *Tensor, argmax []int, inC, inH, inW int) *Tensor {
+	gradIn := New(inC, inH, inW)
+	for i, g := range gradOut.data {
+		gradIn.data[argmax[i]] += g
+	}
+	return gradIn
+}

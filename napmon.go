@@ -1,0 +1,162 @@
+package napmon
+
+import (
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/nn"
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// The napmon package is the public facade over the repository's internal
+// packages: it re-exports the monitor workflow (the paper's contribution)
+// together with the network, tensor and dataset substrates a downstream
+// user needs to drive it.
+
+// Monitor is a neuron activation pattern monitor (paper Definition 3):
+// one γ-comfort zone per monitored class, stored as BDDs.
+type Monitor = core.Monitor
+
+// Config specifies which layer, classes and neurons a monitor covers and
+// its Hamming enlargement γ.
+type Config = core.Config
+
+// Verdict is the outcome of watching one input.
+type Verdict = core.Verdict
+
+// Pattern is a binary neuron activation pattern (paper Definition 1).
+type Pattern = core.Pattern
+
+// Zone is one class's γ-comfort zone (paper Definition 2).
+type Zone = core.Zone
+
+// Metrics aggregates monitor evaluation statistics (the paper's Table II
+// columns).
+type Metrics = core.Metrics
+
+// Network is a feed-forward neural network (convolutions, pooling, batch
+// normalization, fully-connected layers, ReLU).
+type Network = nn.Network
+
+// Sample is one labelled input.
+type Sample = nn.Sample
+
+// TrainConfig controls SGD training.
+type TrainConfig = nn.TrainConfig
+
+// LayerSpec describes one layer for building networks declaratively.
+type LayerSpec = nn.Spec
+
+// Tensor is a dense float64 array.
+type Tensor = tensor.Tensor
+
+// RNG is a deterministic random number source.
+type RNG = rng.Source
+
+// NewRNG returns a deterministic random source for the given seed.
+func NewRNG(seed uint64) *RNG { return rng.New(seed) }
+
+// NewTensor returns a zero tensor of the given shape.
+func NewTensor(shape ...int) *Tensor { return tensor.New(shape...) }
+
+// TensorFromSlice wraps data (not copied) in a tensor of the given shape.
+func TensorFromSlice(data []float64, shape ...int) *Tensor {
+	return tensor.FromSlice(data, shape...)
+}
+
+// BuildNetwork constructs a freshly initialized network from layer specs.
+func BuildNetwork(specs []LayerSpec, r *RNG) (*Network, error) {
+	return nn.Build(specs, r)
+}
+
+// Train runs mini-batch SGD over the samples and returns per-epoch stats.
+func Train(net *Network, samples []Sample, cfg TrainConfig) []nn.EpochStats {
+	return nn.Train(net, samples, cfg)
+}
+
+// Accuracy returns the fraction of samples the network classifies
+// correctly.
+func Accuracy(net *Network, samples []Sample) float64 {
+	return nn.Accuracy(net, samples)
+}
+
+// LoadModel reads a network written with Network.Save.
+func LoadModel(r io.Reader) (*Network, error) { return nn.Load(r) }
+
+// LoadModelFile reads a network from a file.
+func LoadModelFile(path string) (*Network, error) { return nn.LoadFile(path) }
+
+// BuildMonitor runs the paper's Algorithm 1: it records the activation
+// pattern of every correctly classified training sample in its class's
+// comfort zone and enlarges each zone to cfg.Gamma.
+func BuildMonitor(net *Network, train []Sample, cfg Config) (*Monitor, error) {
+	return core.Build(net, train, cfg)
+}
+
+// LoadMonitor reads a monitor written with Monitor.Save.
+func LoadMonitor(r io.Reader) (*Monitor, error) { return core.Load(r) }
+
+// LoadMonitorFile reads a monitor from a file.
+func LoadMonitorFile(path string) (*Monitor, error) { return core.LoadFile(path) }
+
+// EvaluateMonitor runs the monitor over a labelled dataset and aggregates
+// the paper's Table II statistics.
+func EvaluateMonitor(net *Network, m *Monitor, samples []Sample) Metrics {
+	return core.Evaluate(net, m, samples)
+}
+
+// GammaSweep evaluates the monitor at each γ in gammas.
+func GammaSweep(net *Network, m *Monitor, samples []Sample, gammas []int) []Metrics {
+	return core.GammaSweep(net, m, samples, gammas)
+}
+
+// InferGamma grows γ on a validation set until flagged decisions are
+// likely misclassifications (the paper's "infer when to stop enlarging").
+func InferGamma(net *Network, m *Monitor, validation []Sample,
+	minPrecision, minRate float64, maxGamma int) (int, []Metrics) {
+	return core.InferGamma(net, m, validation, minPrecision, minRate, maxGamma)
+}
+
+// SelectNeurons picks the most decision-relevant neurons of a layer by
+// gradient-based sensitivity analysis, for monitoring wide layers within
+// the BDD variable budget.
+func SelectNeurons(net *Network, samples []Sample, layer int, fraction float64) ([]int, error) {
+	return core.SelectNeurons(net, samples, layer, fraction)
+}
+
+// SelectNeuronsForClass ranks neurons by their influence on one class's
+// logit.
+func SelectNeuronsForClass(net *Network, samples []Sample, layer, class int, fraction float64) ([]int, error) {
+	return core.SelectNeuronsForClass(net, samples, layer, class, fraction)
+}
+
+// Dataset is a labelled train/validation pair.
+type Dataset = dataset.Dataset
+
+// MNISTLike generates the synthetic 28×28 digit dataset used by the
+// experiments (a procedural stand-in for MNIST; see DESIGN.md).
+func MNISTLike(nTrain, nVal int, seed uint64) Dataset {
+	return dataset.MNISTLike(nTrain, nVal, seed)
+}
+
+// GTSRBLike generates the synthetic 32×32 traffic-sign dataset (a
+// procedural stand-in for GTSRB with 43 classes; class 14 is the stop
+// sign).
+func GTSRBLike(nTrain, nVal int, seed uint64) Dataset {
+	return dataset.GTSRBLike(nTrain, nVal, seed)
+}
+
+// Layer spec kind names, re-exported for declarative network building.
+const (
+	KindConv    = nn.KindConv
+	KindDense   = nn.KindDense
+	KindReLU    = nn.KindReLU
+	KindMaxPool = nn.KindMaxPool
+	KindBN      = nn.KindBN
+	KindFlatten = nn.KindFlatten
+)
+
+// StopSignClass is the stop-sign class index in the GTSRB-like dataset.
+const StopSignClass = dataset.StopSignClass

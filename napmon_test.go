@@ -1,0 +1,166 @@
+package napmon_test
+
+// Black-box tests of the public facade: the full workflow a downstream
+// user follows, exercised through exported identifiers only.
+
+import (
+	"bytes"
+	"testing"
+
+	napmon "repro"
+)
+
+// toyData builds a small separable 3-class problem.
+func toyData(seed uint64, n int) []napmon.Sample {
+	r := napmon.NewRNG(seed)
+	centers := [][]float64{{2, 0, -2}, {-2, 2, 0}, {0, -2, 2}}
+	out := make([]napmon.Sample, n)
+	for i := range out {
+		label := i % 3
+		x := napmon.NewTensor(3)
+		for j := range x.Data() {
+			x.Data()[j] = centers[label][j] + 0.5*r.Norm()
+		}
+		out[i] = napmon.Sample{Input: x, Label: label}
+	}
+	return out
+}
+
+func toyNet(t *testing.T, seed uint64) *napmon.Network {
+	t.Helper()
+	net, err := napmon.BuildNetwork([]napmon.LayerSpec{
+		{Kind: napmon.KindDense, In: 3, Out: 12},
+		{Kind: napmon.KindReLU},
+		{Kind: napmon.KindDense, In: 12, Out: 8},
+		{Kind: napmon.KindReLU},
+		{Kind: napmon.KindDense, In: 8, Out: 3},
+	}, napmon.NewRNG(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func TestPublicWorkflow(t *testing.T) {
+	train := toyData(1, 300)
+	net := toyNet(t, 2)
+	stats := napmon.Train(net, train, napmon.TrainConfig{Epochs: 12, BatchSize: 16, LR: 0.05, Seed: 3})
+	if len(stats) != 12 {
+		t.Fatalf("got %d epoch stats", len(stats))
+	}
+	if acc := napmon.Accuracy(net, train); acc < 0.9 {
+		t.Fatalf("training accuracy %v", acc)
+	}
+
+	mon, err := napmon.BuildMonitor(net, train, napmon.Config{Layer: 3, Gamma: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	val := toyData(4, 150)
+	m := napmon.EvaluateMonitor(net, mon, val)
+	if m.Total != 150 || m.Watched != 150 {
+		t.Fatalf("metrics = %+v", m)
+	}
+
+	// Gamma sweep through the facade.
+	sweep := napmon.GammaSweep(net, mon, val, []int{0, 1, 2})
+	if len(sweep) != 3 {
+		t.Fatal("sweep length wrong")
+	}
+	if sweep[2].OutOfPattern > sweep[0].OutOfPattern {
+		t.Fatal("sweep not monotone")
+	}
+}
+
+func TestPublicModelRoundTrip(t *testing.T) {
+	train := toyData(5, 120)
+	net := toyNet(t, 6)
+	napmon.Train(net, train, napmon.TrainConfig{Epochs: 5, BatchSize: 16, LR: 0.05, Seed: 7})
+
+	var buf bytes.Buffer
+	if err := net.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := napmon.LoadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range train[:20] {
+		if loaded.Predict(s.Input) != net.Predict(s.Input) {
+			t.Fatal("prediction changed after round trip")
+		}
+	}
+}
+
+func TestPublicMonitorRoundTrip(t *testing.T) {
+	train := toyData(8, 200)
+	net := toyNet(t, 9)
+	napmon.Train(net, train, napmon.TrainConfig{Epochs: 8, BatchSize: 16, LR: 0.05, Seed: 10})
+	mon, err := napmon.BuildMonitor(net, train, napmon.Config{Layer: 3, Gamma: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := mon.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := napmon.LoadMonitor(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	val := toyData(11, 100)
+	for _, s := range val {
+		a, b := mon.Watch(net, s.Input), loaded.Watch(net, s.Input)
+		if a.OutOfPattern != b.OutOfPattern {
+			t.Fatal("verdict changed after round trip")
+		}
+	}
+}
+
+func TestPublicNeuronSelection(t *testing.T) {
+	train := toyData(12, 150)
+	net := toyNet(t, 13)
+	napmon.Train(net, train, napmon.TrainConfig{Epochs: 5, BatchSize: 16, LR: 0.05, Seed: 14})
+	sel, err := napmon.SelectNeurons(net, train[:20], 3, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel) != 4 { // ceil(0.5 * 8)
+		t.Fatalf("selected %d neurons", len(sel))
+	}
+	mon, err := napmon.BuildMonitor(net, train, napmon.Config{Layer: 3, Gamma: 0, Neurons: sel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(mon.Neurons()); got != 4 {
+		t.Fatalf("monitor has %d neurons", got)
+	}
+}
+
+func TestPublicInferGamma(t *testing.T) {
+	train := toyData(15, 200)
+	net := toyNet(t, 16)
+	napmon.Train(net, train, napmon.TrainConfig{Epochs: 8, BatchSize: 16, LR: 0.05, Seed: 17})
+	mon, err := napmon.BuildMonitor(net, train, napmon.Config{Layer: 3, Gamma: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, history := napmon.InferGamma(net, mon, toyData(18, 100), 0.5, 0.02, 4)
+	if g < 0 || g > 4 || len(history) == 0 {
+		t.Fatalf("InferGamma = %d with %d levels", g, len(history))
+	}
+}
+
+func TestPublicDatasets(t *testing.T) {
+	ds := napmon.MNISTLike(20, 10, 1)
+	if ds.NumClasses != 10 || len(ds.Train) != 20 || len(ds.Val) != 10 {
+		t.Fatalf("MNISTLike = %s %d/%d", ds.Name, len(ds.Train), len(ds.Val))
+	}
+	gs := napmon.GTSRBLike(43, 0, 2)
+	if gs.NumClasses != 43 {
+		t.Fatal("GTSRBLike class count wrong")
+	}
+	if napmon.StopSignClass != 14 {
+		t.Fatal("stop sign class must be 14")
+	}
+}
