@@ -1,0 +1,38 @@
+# Local invocations mirror .github/workflows/ci.yml exactly: CI calls these
+# same targets, so a green `make ci` locally means a green pipeline.
+
+GO ?= go
+
+.PHONY: build test race bench fmt vet ci
+
+## build: compile every package
+build:
+	$(GO) build ./...
+
+## test: run the full test suite
+test:
+	$(GO) test ./...
+
+## race: run the full test suite under the race detector (guards the
+## monitor's freeze-then-serve concurrency model). Race instrumentation
+## slows the experiment-reproduction tests ~10x, hence the long timeout.
+race:
+	$(GO) test -race -timeout 45m ./...
+
+## bench: smoke-run every benchmark once so perf code paths are compiled
+## and executed (use `go test -bench=. -benchtime=2s .` for real numbers)
+bench:
+	$(GO) test -bench=. -benchtime=1x ./...
+
+## fmt: fail if any file needs gofmt
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+## vet: static analysis
+vet:
+	$(GO) vet ./...
+
+## ci: everything the pipeline runs, in the same order
+ci: fmt vet build race bench

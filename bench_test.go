@@ -9,16 +9,18 @@ package napmon
 // ns/op, so `go test -bench=.` prints the shape of every result.
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"testing"
 
-	"repro/internal/core"
-	"repro/internal/dataset"
-	"repro/internal/exp"
-	"repro/internal/frontcar"
-	"repro/internal/nn"
-	"repro/internal/rng"
+	"napmon/internal/core"
+	"napmon/internal/dataset"
+	"napmon/internal/exp"
+	"napmon/internal/frontcar"
+	"napmon/internal/nn"
+	"napmon/internal/rng"
+	"napmon/internal/tensor"
 )
 
 // benchScale shrinks datasets so the full bench suite completes in
@@ -250,6 +252,71 @@ func BenchmarkAblation_BDDvsExact(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				z.Contains(queries[i%len(queries)])
 			}
+		})
+	}
+}
+
+// BenchmarkZoneBuild measures the core BDD hot path in isolation: encode
+// and union 400 random 40-neuron patterns into a zone, then enlarge to the
+// γ=2 comfort zone by existential quantification. This is the number the
+// storage-layer work optimizes; see DESIGN.md ("BDD manager internals").
+func BenchmarkZoneBuild(b *testing.B) {
+	const width = 40
+	const nPatterns = 400
+	r := rng.New(7)
+	patterns := make([]core.Pattern, nPatterns)
+	for i := range patterns {
+		p := make(core.Pattern, width)
+		for j := range p {
+			p[j] = r.Bool(0.5)
+		}
+		patterns[i] = p
+	}
+	var nodes int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		z := core.NewZone(width)
+		for _, p := range patterns {
+			z.Insert(p)
+		}
+		z.SetGamma(2)
+		nodes = z.NodeCount()
+	}
+	b.ReportMetric(float64(nodes), "bdd_nodes")
+}
+
+// BenchmarkWatchBatch measures the batched serving front end: one frozen
+// monitor, one batch of validation inputs, swept over worker-pool widths
+// so the multi-core scaling is visible in the inputs/s metric. workers=1
+// is the serial Watch loop baseline; the top width is GOMAXPROCS.
+func BenchmarkWatchBatch(b *testing.B) {
+	m1, _ := benchModels(b)
+	mon, err := core.Build(m1.Net, m1.Data.Train, exp.MNISTMonitorConfig(m1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	mon.SetGamma(2)
+	mon.Freeze()
+	inputs := make([]*tensor.Tensor, len(m1.Data.Val))
+	for i, s := range m1.Data.Val {
+		inputs[i] = s.Input
+	}
+	widths := []int{1, 2, 4, runtime.GOMAXPROCS(0)}
+	seen := map[int]bool{}
+	for _, w := range widths {
+		if w > runtime.GOMAXPROCS(0) || seen[w] {
+			continue
+		}
+		seen[w] = true
+		b.Run(fmt.Sprintf("workers%d", w), func(b *testing.B) {
+			prev := runtime.GOMAXPROCS(w)
+			defer runtime.GOMAXPROCS(prev)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				mon.WatchBatch(m1.Net, inputs)
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(len(inputs))*float64(b.N)/b.Elapsed().Seconds(), "inputs/s")
 		})
 	}
 }

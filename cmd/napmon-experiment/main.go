@@ -19,7 +19,7 @@ import (
 	"os"
 	"time"
 
-	"repro/internal/exp"
+	"napmon/internal/exp"
 )
 
 func main() {

@@ -14,9 +14,9 @@ import (
 	"log"
 	"os"
 
-	"repro/internal/exp"
-	"repro/internal/frontcar"
-	"repro/internal/rng"
+	"napmon/internal/exp"
+	"napmon/internal/frontcar"
+	"napmon/internal/rng"
 )
 
 func main() {

@@ -15,8 +15,8 @@ import (
 	"log"
 	"os"
 
-	"repro/internal/core"
-	"repro/internal/nn"
+	"napmon/internal/core"
+	"napmon/internal/nn"
 )
 
 func main() {

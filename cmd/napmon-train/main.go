@@ -14,7 +14,7 @@ import (
 	"log"
 	"os"
 
-	"repro/internal/exp"
+	"napmon/internal/exp"
 )
 
 func main() {

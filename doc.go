@@ -26,9 +26,21 @@
 //		// decision not supported by training data
 //	}
 //
+// For serving under heavy traffic, use the batched front end: the first
+// WatchBatch call freezes the monitor's BDD managers read-only, after
+// which batches fan out over a GOMAXPROCS worker pool and may be issued
+// from any number of goroutines concurrently (safety by construction —
+// the serving path performs no writes; see DESIGN.md,
+// "Freeze-then-serve concurrency model"):
+//
+//	verdicts := napmon.WatchBatch(net, mon, inputs)
+//
 // Everything is implemented from scratch on the standard library: the
-// tensor math and neural-network substrate, the ROBDD engine, the
-// synthetic MNIST-like/GTSRB-like datasets and the highway front-car case
-// study the experiments run on. See DESIGN.md for the system inventory and
-// EXPERIMENTS.md for the reproduction of the paper's tables and figures.
+// tensor math and neural-network substrate, the ROBDD engine (open-
+// addressed unique table, lossy computed table, cache statistics — see
+// DESIGN.md, "BDD manager internals"), the synthetic MNIST-like/
+// GTSRB-like datasets and the highway front-car case study the
+// experiments run on. See DESIGN.md for the system inventory; every PR is
+// gated by .github/workflows/ci.yml (gofmt, vet, build, race-detector
+// tests, benchmark smoke run), mirrored locally by `make ci`.
 package napmon

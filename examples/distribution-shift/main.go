@@ -14,8 +14,8 @@ import (
 	"log"
 	"os"
 
-	napmon "repro"
-	"repro/internal/dataset"
+	"napmon"
+	"napmon/internal/dataset"
 )
 
 func main() {

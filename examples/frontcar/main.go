@@ -13,9 +13,9 @@ import (
 	"fmt"
 	"log"
 
-	napmon "repro"
-	"repro/internal/frontcar"
-	"repro/internal/rng"
+	"napmon"
+	"napmon/internal/frontcar"
+	"napmon/internal/rng"
 )
 
 func main() {

@@ -12,7 +12,7 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/objdet"
+	"napmon/internal/objdet"
 )
 
 func main() {

@@ -13,7 +13,7 @@ import (
 	"log"
 	"os"
 
-	napmon "repro"
+	"napmon"
 )
 
 func main() {

@@ -10,7 +10,7 @@ import (
 	"fmt"
 	"log"
 
-	napmon "repro"
+	"napmon"
 )
 
 func main() {

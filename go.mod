@@ -1,0 +1,3 @@
+module napmon
+
+go 1.21

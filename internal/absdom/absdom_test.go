@@ -5,7 +5,7 @@ import (
 	"testing"
 	"testing/quick"
 
-	"repro/internal/rng"
+	"napmon/internal/rng"
 )
 
 func randPoint(r *rng.Source, dim int) []float64 {

@@ -9,6 +9,16 @@
 // (encode a pattern as a cube, union via Or, Hamming enlargement via
 // Exists) plus the general toolkit (And, Not, Xor, Diff, ITE, SatCount,
 // Eval) required by tests, metrics and serialization.
+//
+// Storage layout (see DESIGN.md, "BDD manager internals"): nodes live in a
+// flat arena indexed by their handle. Canonicity is enforced by an
+// open-addressed, power-of-two-sized unique table of int32 handles probed
+// inline against the arena — no boxed map keys, no per-node allocation.
+// Operation results are memoized in a single lossy direct-mapped computed
+// table shared by the binary ops, Not and Exists, sized in lockstep with
+// the unique table. After a diagram set is built, Freeze makes the manager
+// read-only: mutating operations panic, while Eval/EvalBits remain safe to
+// call from any number of goroutines concurrently.
 package bdd
 
 import (
@@ -35,35 +45,80 @@ type node struct {
 }
 
 // Manager owns the node arena, the unique table enforcing canonicity and
-// the memoization caches. It is not safe for concurrent mutation; build
-// monitors from a single goroutine (queries via Eval are read-only and may
-// run concurrently once building is done).
+// the memoization cache. It is not safe for concurrent mutation; build
+// monitors from a single goroutine, then call Freeze — queries via Eval
+// are read-only and may run concurrently once the manager is frozen.
 type Manager struct {
-	numVars  int
-	nodes    []node
-	unique   map[node]Node
-	binCache map[binKey]Node
-	qCache   map[binKey]Node // existential quantification cache
-	notCache map[Node]Node
+	numVars int
+	nodes   []node
+	frozen  bool
+
+	// unique is the open-addressed hash table enforcing canonicity. Slots
+	// hold node handles; 0 marks an empty slot (the terminals never enter
+	// the table, so handle 0 is free to act as the sentinel). Size is
+	// always a power of two; uniqueMask == len(unique)-1.
+	unique     []int32
+	uniqueMask uint32
+
+	// cache is the lossy direct-mapped computed table shared by apply,
+	// Not and exists. A zero entry has key.b == 0, which no live key can
+	// have (see cacheStore), so zero slots never produce false hits.
+	cache     []cacheEntry
+	cacheMask uint32
+
+	stats Stats
 }
 
-type binKey struct {
-	op   uint8
-	a, b Node
+// cacheEntry is one computed-table slot: (op, a, b) -> result.
+type cacheEntry struct {
+	a, b   Node
+	result Node
+	op     uint8
 }
 
-// Operation codes for the binary apply cache.
+// Operation codes for the computed table.
 const (
 	opAnd uint8 = iota
 	opOr
 	opXor
 	opDiff
 	opExists // a = variable, b = function
+	opNot    // a = b = operand
 )
 
 // terminalLevel is the pseudo-level assigned to the two terminals so they
 // sort after every variable.
 const terminalLevel = math.MaxInt32
+
+// Initial table sizes (powers of two). The unique table doubles at 3/4
+// load; the computed table doubles alongside it — so hit rates track the
+// arena size — but is capped: past maxCacheSize the marginal hit-rate gain
+// no longer pays for the resize traffic and memory (the table is lossy by
+// design, so a capped size stays correct).
+const (
+	initialUniqueSize = 1 << 10
+	initialCacheSize  = 1 << 11
+	maxCacheSize      = 1 << 21
+)
+
+// Stats reports the manager's cumulative storage and cache counters.
+// Hits/misses are counted since NewManager; capacities are current.
+type Stats struct {
+	// Nodes is the number of decision nodes in the arena (terminals
+	// excluded). Every node ever created is counted: the arena does not
+	// garbage-collect.
+	Nodes int
+	// UniqueHits counts mk calls answered by an existing canonical node;
+	// UniqueMisses counts node creations.
+	UniqueHits, UniqueMisses uint64
+	// CacheHits and CacheMisses count computed-table probes by apply,
+	// Not and Exists.
+	CacheHits, CacheMisses uint64
+	// UniqueCap and CacheCap are the current table capacities (slots).
+	UniqueCap, CacheCap int
+	// Frozen reports whether the manager has been frozen read-only.
+	Frozen bool
+}
 
 // NewManager creates a manager for functions over numVars Boolean
 // variables, indexed 0..numVars-1 with the natural variable order.
@@ -72,12 +127,12 @@ func NewManager(numVars int) *Manager {
 		panic("bdd: manager needs at least one variable")
 	}
 	m := &Manager{
-		numVars:  numVars,
-		nodes:    make([]node, 2, 1024),
-		unique:   make(map[node]Node),
-		binCache: make(map[binKey]Node),
-		qCache:   make(map[binKey]Node),
-		notCache: make(map[Node]Node),
+		numVars:    numVars,
+		nodes:      make([]node, 2, 1024),
+		unique:     make([]int32, initialUniqueSize),
+		uniqueMask: initialUniqueSize - 1,
+		cache:      make([]cacheEntry, initialCacheSize),
+		cacheMask:  initialCacheSize - 1,
 	}
 	m.nodes[falseNode] = node{level: terminalLevel}
 	m.nodes[trueNode] = node{level: terminalLevel}
@@ -91,6 +146,36 @@ func (m *Manager) NumVars() int { return m.numVars }
 // two terminals. It measures cumulative memory, not the size of any one
 // diagram (use NodeCount for that).
 func (m *Manager) Size() int { return len(m.nodes) }
+
+// Stats returns a snapshot of the manager's storage and cache counters.
+func (m *Manager) Stats() Stats {
+	s := m.stats
+	s.Nodes = len(m.nodes) - 2
+	s.UniqueCap = len(m.unique)
+	s.CacheCap = len(m.cache)
+	s.Frozen = m.frozen
+	return s
+}
+
+// Freeze makes the manager read-only: any operation that could create a
+// node or touch the memoization cache panics from now on, while Eval,
+// EvalBits and the structural accessors remain valid and are safe for
+// concurrent use from any number of goroutines. Freezing is irreversible;
+// it is the manager-level half of the monitor's freeze-then-serve
+// concurrency model (DESIGN.md).
+func (m *Manager) Freeze() { m.frozen = true }
+
+// Frozen reports whether Freeze has been called.
+func (m *Manager) Frozen() bool { return m.frozen }
+
+// checkMutable panics when the manager is frozen. Every operation that
+// could create nodes or write the computed table calls it on entry, so a
+// frozen manager fails loudly and deterministically instead of racing.
+func (m *Manager) checkMutable() {
+	if m.frozen {
+		panic("bdd: mutating operation on frozen manager")
+	}
+}
 
 // False returns the constant-false diagram (the empty pattern set).
 func (m *Manager) False() Node { return falseNode }
@@ -123,21 +208,112 @@ func (m *Manager) checkVar(v int) {
 	}
 }
 
+// hash3 mixes a (level, lo, hi) triple into a table index. Distinct odd
+// multipliers per field followed by an avalanche keep clustering low under
+// linear probing.
+func hash3(level int32, lo, hi Node) uint32 {
+	h := uint64(uint32(level))*0x9E3779B97F4A7C15 +
+		uint64(uint32(lo))*0xC2B2AE3D27D4EB4F +
+		uint64(uint32(hi))*0x165667B19E3779F9
+	h ^= h >> 32
+	h *= 0x2545F4914F6CDD1D
+	h ^= h >> 29
+	return uint32(h)
+}
+
 // mk returns the canonical node (level, lo, hi), applying the two ROBDD
 // reduction rules: skip redundant tests (lo == hi) and share isomorphic
-// subgraphs via the unique table.
+// subgraphs via the unique table. The probe runs inline over int32 slots
+// compared against the arena, so a hit costs no allocation and no hashing
+// of boxed keys.
 func (m *Manager) mk(level int32, lo, hi Node) Node {
 	if lo == hi {
 		return lo
 	}
-	key := node{level: level, lo: lo, hi: hi}
-	if n, ok := m.unique[key]; ok {
-		return n
+	m.checkMutable()
+	i := hash3(level, lo, hi) & m.uniqueMask
+	for {
+		slot := m.unique[i]
+		if slot == 0 {
+			break
+		}
+		n := &m.nodes[slot]
+		if n.level == level && n.lo == lo && n.hi == hi {
+			m.stats.UniqueHits++
+			return Node(slot)
+		}
+		i = (i + 1) & m.uniqueMask
 	}
-	m.nodes = append(m.nodes, key)
-	n := Node(len(m.nodes) - 1)
-	m.unique[key] = n
-	return n
+	m.stats.UniqueMisses++
+	m.nodes = append(m.nodes, node{level: level, lo: lo, hi: hi})
+	id := int32(len(m.nodes) - 1)
+	m.unique[i] = id
+	// Grow at 3/4 load. len(nodes)-2 counts exactly the slots in use.
+	if (len(m.nodes)-2)*4 >= len(m.unique)*3 {
+		m.growUnique()
+	}
+	return Node(id)
+}
+
+// growUnique doubles the unique table and rehashes every decision node
+// from the arena; the computed table doubles in lockstep so its hit rate
+// keeps tracking the arena size. Amortized over insertions this is O(1)
+// per node.
+func (m *Manager) growUnique() {
+	tab := make([]int32, 2*len(m.unique))
+	mask := uint32(len(tab) - 1)
+	for id := 2; id < len(m.nodes); id++ {
+		n := &m.nodes[id]
+		i := hash3(n.level, n.lo, n.hi) & mask
+		for tab[i] != 0 {
+			i = (i + 1) & mask
+		}
+		tab[i] = int32(id)
+	}
+	m.unique = tab
+	m.uniqueMask = mask
+
+	if len(m.cache) >= maxCacheSize {
+		return
+	}
+	cache := make([]cacheEntry, 2*len(m.cache))
+	cmask := uint32(len(cache) - 1)
+	for _, e := range m.cache {
+		if e.b != 0 {
+			cache[cacheHash(e.op, e.a, e.b)&cmask] = e
+		}
+	}
+	m.cache = cache
+	m.cacheMask = cmask
+}
+
+// cacheHash mixes a computed-table key into an index.
+func cacheHash(op uint8, a, b Node) uint32 {
+	h := (uint64(uint32(a))<<32 | uint64(uint32(b))) * 0x9E3779B97F4A7C15
+	h ^= uint64(op) * 0xFF51AFD7ED558CCD
+	h ^= h >> 31
+	return uint32(h)
+}
+
+// cacheLookup probes the computed table for (op, a, b).
+func (m *Manager) cacheLookup(op uint8, a, b Node) (Node, bool) {
+	e := &m.cache[cacheHash(op, a, b)&m.cacheMask]
+	if e.b == b && e.a == a && e.op == op {
+		m.stats.CacheHits++
+		return e.result, true
+	}
+	m.stats.CacheMisses++
+	return 0, false
+}
+
+// cacheStore records (op, a, b) -> r, evicting whatever occupied the slot
+// (the table is deliberately lossy, as in classic BDD packages). Every key
+// stored here has b >= 2: terminal operands are resolved before memoization
+// by terminalApply (binary ops), the Not fast path, and the exists
+// level-check, and commutative operands are ordered a <= b. That invariant
+// is what lets a zero-valued slot (b == 0) act as "empty".
+func (m *Manager) cacheStore(op uint8, a, b, r Node) {
+	m.cache[cacheHash(op, a, b)&m.cacheMask] = cacheEntry{a: a, b: b, result: r, op: op}
 }
 
 // Lo returns the low (variable=0) child of n. Terminals return n itself.

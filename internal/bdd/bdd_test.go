@@ -6,7 +6,7 @@ import (
 	"testing"
 	"testing/quick"
 
-	"repro/internal/rng"
+	"napmon/internal/rng"
 )
 
 // brute evaluates f on all 2^n assignments and returns the truth table,

@@ -19,18 +19,24 @@ const ioMagic = 0x42444431 // "BDD1"
 func (m *Manager) Serialize(w io.Writer, roots []Node) error {
 	bw := bufio.NewWriter(w)
 	// Collect reachable nodes in a deterministic order (post-order DFS) so
-	// children precede parents and the file is reproducible.
-	remap := map[Node]uint32{falseNode: 0, trueNode: 1}
+	// children precede parents and the file is reproducible. Handles are
+	// dense arena indices, so the remap is a flat slice, not a map; the
+	// terminals keep their identity mapping 0 -> 0, 1 -> 1.
+	remap := make([]uint32, len(m.nodes))
+	mapped := make([]bool, len(m.nodes))
+	mapped[falseNode], mapped[trueNode] = true, true
+	remap[trueNode] = 1
 	var order []Node
 	var walk func(n Node)
 	walk = func(n Node) {
-		if _, ok := remap[n]; ok {
+		if mapped[n] {
 			return
 		}
 		nd := m.nodes[n]
 		walk(nd.lo)
 		walk(nd.hi)
 		remap[n] = uint32(len(order) + 2)
+		mapped[n] = true
 		order = append(order, n)
 	}
 	for _, r := range roots {

@@ -12,20 +12,22 @@ func (m *Manager) Xor(a, b Node) Node { return m.apply(opXor, a, b) }
 // Diff returns a ∧ ¬b (set difference).
 func (m *Manager) Diff(a, b Node) Node { return m.apply(opDiff, a, b) }
 
-// Not returns the complement of a.
+// Not returns the complement of a. Results are memoized in the shared
+// computed table under opNot with the operand in both key positions.
 func (m *Manager) Not(a Node) Node {
+	m.checkMutable()
 	switch a {
 	case falseNode:
 		return trueNode
 	case trueNode:
 		return falseNode
 	}
-	if r, ok := m.notCache[a]; ok {
+	if r, ok := m.cacheLookup(opNot, a, a); ok {
 		return r
 	}
 	n := m.nodes[a]
 	r := m.mk(n.level, m.Not(n.lo), m.Not(n.hi))
-	m.notCache[a] = r
+	m.cacheStore(opNot, a, a, r)
 	return r
 }
 
@@ -38,7 +40,9 @@ func (m *Manager) ITE(f, g, h Node) Node {
 }
 
 // terminalApply resolves op on the operands if the result is determined,
-// returning (result, true); otherwise (0, false).
+// returning (result, true); otherwise (0, false). Together with the
+// commutative-operand ordering in apply, it guarantees every key reaching
+// the computed table has b >= 2.
 func terminalApply(op uint8, a, b Node) (Node, bool) {
 	switch op {
 	case opAnd:
@@ -94,15 +98,16 @@ func terminalApply(op uint8, a, b Node) (Node, bool) {
 // apply is Bryant's apply algorithm with memoization: recurse on the
 // top-most variable of the two operands, combining cofactors.
 func (m *Manager) apply(op uint8, a, b Node) Node {
+	m.checkMutable()
 	if r, ok := terminalApply(op, a, b); ok {
 		return r
 	}
-	// Canonicalize commutative operand order for better cache hit rates.
+	// Canonicalize commutative operand order for better cache hit rates
+	// (and to establish b >= 2 for the computed-table empty-slot sentinel).
 	if (op == opAnd || op == opOr || op == opXor) && a > b {
 		a, b = b, a
 	}
-	key := binKey{op: op, a: a, b: b}
-	if r, ok := m.binCache[key]; ok {
+	if r, ok := m.cacheLookup(op, a, b); ok {
 		return r
 	}
 	la, lb := m.nodes[a].level, m.nodes[b].level
@@ -123,7 +128,7 @@ func (m *Manager) apply(op uint8, a, b Node) Node {
 		bLo, bHi = m.nodes[b].lo, m.nodes[b].hi
 	}
 	r := m.mk(lv, m.apply(op, aLo, bLo), m.apply(op, aHi, bHi))
-	m.binCache[key] = r
+	m.cacheStore(op, a, b, r)
 	return r
 }
 
@@ -134,6 +139,7 @@ func (m *Manager) Restrict(f Node, v int, value bool) Node {
 }
 
 func (m *Manager) restrict(f Node, v int32, value bool) Node {
+	m.checkMutable()
 	lv := m.nodes[f].level
 	if lv > v {
 		return f
@@ -151,7 +157,9 @@ func (m *Manager) restrict(f Node, v int32, value bool) Node {
 // Eval evaluates the function at a complete assignment, reading variable
 // values through the callback. This is the runtime membership query of the
 // monitor: worst-case time linear in the number of variables (the property
-// the paper relies on for deployment).
+// the paper relies on for deployment). Eval touches only the node arena,
+// never the tables, so it is safe to call concurrently on a frozen
+// manager.
 func (m *Manager) Eval(f Node, value func(v int) bool) bool {
 	for f > trueNode {
 		n := m.nodes[f]
@@ -165,15 +173,28 @@ func (m *Manager) Eval(f Node, value func(v int) bool) bool {
 }
 
 // EvalBits evaluates the function on a bit-slice assignment of length
-// NumVars().
+// NumVars(). This is the monitor's per-decision fast path: a direct walk
+// down the arena with no closure and no allocation, concurrency-safe on a
+// frozen manager.
 func (m *Manager) EvalBits(f Node, bits []bool) bool {
-	return m.Eval(f, func(v int) bool { return bits[v] })
+	if len(bits) != m.numVars {
+		panic("bdd: EvalBits assignment length must equal NumVars")
+	}
+	for f > trueNode {
+		n := &m.nodes[f]
+		if bits[n.level] {
+			f = n.hi
+		} else {
+			f = n.lo
+		}
+	}
+	return f == trueNode
 }
 
 // Cube returns the conjunction of all variables, with polarity taken from
 // bits (bits[i] selects v_i or ¬v_i). This encodes a single activation
 // pattern; len(bits) must equal NumVars(). Built bottom-up so it costs
-// O(NumVars) node allocations.
+// O(NumVars) unique-table probes and allocates only when a probe misses.
 func (m *Manager) Cube(bits []bool) Node {
 	if len(bits) != m.numVars {
 		panic("bdd: Cube length must equal NumVars")

@@ -10,12 +10,12 @@ func (m *Manager) Exists(v int, f Node) Node {
 }
 
 func (m *Manager) exists(v int32, f Node) Node {
+	m.checkMutable()
 	lv := m.nodes[f].level
 	if lv > v {
-		return f // f does not depend on v
+		return f // f does not depend on v (includes the terminals)
 	}
-	key := binKey{op: opExists, a: Node(v), b: f}
-	if r, ok := m.qCache[key]; ok {
+	if r, ok := m.cacheLookup(opExists, Node(v), f); ok {
 		return r
 	}
 	n := m.nodes[f]
@@ -25,7 +25,7 @@ func (m *Manager) exists(v int32, f Node) Node {
 	} else {
 		r = m.mk(lv, m.exists(v, n.lo), m.exists(v, n.hi))
 	}
-	m.qCache[key] = r
+	m.cacheStore(opExists, Node(v), f, r)
 	return r
 }
 
@@ -60,9 +60,11 @@ func (m *Manager) ExpandHamming1Subset(f Node, vars []int) Node {
 	return out
 }
 
-// Support returns the sorted list of variables f depends on.
+// Support returns the sorted list of variables f depends on. The visited
+// set is a flat bit-slice over the arena rather than a map, so the walk
+// allocates O(Size) bytes once and never boxes a handle.
 func (m *Manager) Support(f Node) []int {
-	seen := map[Node]bool{}
+	seen := make([]bool, len(m.nodes))
 	inSupport := make([]bool, m.numVars)
 	var walk func(n Node)
 	walk = func(n Node) {

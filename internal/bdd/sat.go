@@ -10,9 +10,11 @@ import (
 // NumVars() variables (the cardinality of the pattern set). The count is
 // exact as long as it fits a float64 mantissa and remains a faithful
 // magnitude beyond that; monitored layers have at most a few hundred
-// variables so the value always fits float64's exponent range.
+// variables so the value always fits float64's exponent range. The memo is
+// a flat slice over the arena (handles are dense), not a map.
 func (m *Manager) SatCount(f Node) float64 {
-	memo := map[Node]float64{}
+	memo := make([]float64, len(m.nodes))
+	done := make([]bool, len(m.nodes))
 	var count func(n Node) float64 // models over variables [Level(n), numVars)
 	count = func(n Node) float64 {
 		if n == falseNode {
@@ -21,14 +23,15 @@ func (m *Manager) SatCount(f Node) float64 {
 		if n == trueNode {
 			return 1
 		}
-		if c, ok := memo[n]; ok {
-			return c
+		if done[n] {
+			return memo[n]
 		}
 		nd := m.nodes[n]
 		cLo := count(nd.lo) * pow2(m.gap(n, nd.lo))
 		cHi := count(nd.hi) * pow2(m.gap(n, nd.hi))
 		c := cLo + cHi
 		memo[n] = c
+		done[n] = true
 		return c
 	}
 	return count(f) * pow2(m.Level(f))
@@ -51,7 +54,7 @@ func pow2(k int) float64 {
 // NodeCount returns the number of decision nodes in the diagram rooted at
 // f, excluding terminals. This is the monitor's storage cost measure.
 func (m *Manager) NodeCount(f Node) int {
-	seen := map[Node]bool{}
+	seen := make([]bool, len(m.nodes))
 	var walk func(n Node) int
 	walk = func(n Node) int {
 		if n <= trueNode || seen[n] {
@@ -128,7 +131,7 @@ func (m *Manager) Dot(f Node, name string) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "digraph %q {\n", name)
 	b.WriteString("  f0 [label=\"0\", shape=box];\n  f1 [label=\"1\", shape=box];\n")
-	seen := map[Node]bool{}
+	seen := make([]bool, len(m.nodes))
 	var order []Node
 	var walk func(n Node)
 	walk = func(n Node) {

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"napmon/internal/nn"
+	"napmon/internal/rng"
+	"napmon/internal/tensor"
+)
+
+// TestWatchBatchMatchesWatch checks the batched front end returns exactly
+// the serial verdicts, in input order.
+func TestWatchBatchMatchesWatch(t *testing.T) {
+	net, layer, train, val := trainedToyNet(t, 11)
+	mon, err := Build(net, train, Config{Layer: layer, Gamma: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := make([]*tensor.Tensor, len(val))
+	want := make([]Verdict, len(val))
+	for i, s := range val {
+		inputs[i] = s.Input
+		want[i] = mon.Watch(net, s.Input)
+	}
+	got := mon.WatchBatch(net, inputs)
+	if !mon.Frozen() {
+		t.Fatal("WatchBatch did not freeze the monitor")
+	}
+	if len(got) != len(want) {
+		t.Fatalf("WatchBatch returned %d verdicts for %d inputs", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Class != want[i].Class ||
+			got[i].Monitored != want[i].Monitored ||
+			got[i].OutOfPattern != want[i].OutOfPattern {
+			t.Fatalf("verdict %d diverges: batch %+v, serial %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestWatchBatchConcurrent is the read-only-after-build guard: many
+// goroutines call WatchBatch against one frozen monitor simultaneously.
+// Run under -race (the CI workflow does) this fails if any serving path
+// still writes manager state.
+func TestWatchBatchConcurrent(t *testing.T) {
+	net, layer, train, val := trainedToyNet(t, 12)
+	mon, err := Build(net, train, Config{Layer: layer, Gamma: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := make([]*tensor.Tensor, len(val))
+	for i, s := range val {
+		inputs[i] = s.Input
+	}
+	want := mon.WatchBatch(net, inputs) // also freezes
+	if !mon.Frozen() {
+		t.Fatal("monitor not frozen after WatchBatch")
+	}
+	const goroutines = 8
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rep := 0; rep < 3; rep++ {
+				got := mon.WatchBatch(net, inputs)
+				for i := range want {
+					if got[i].Class != want[i].Class || got[i].OutOfPattern != want[i].OutOfPattern {
+						t.Errorf("verdict %d unstable under concurrency", i)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestFrozenMonitorRejectsMutation checks the freeze-then-serve contract:
+// after freezing, inserting into a zone panics, and SetGamma is legal only
+// for levels computed before the freeze.
+func TestFrozenMonitorRejectsMutation(t *testing.T) {
+	net, layer, train, _ := trainedToyNet(t, 13)
+	mon, err := Build(net, train, Config{Layer: layer, Gamma: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon.Freeze()
+	mon.Freeze() // idempotent
+	// Levels 0..2 were computed before the freeze: switching is allowed.
+	mon.SetGamma(1)
+	mon.SetGamma(2)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("SetGamma past the cached levels did not panic on frozen monitor")
+			}
+		}()
+		mon.SetGamma(3)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("Insert did not panic on frozen zone")
+			}
+		}()
+		c := mon.Classes()[0]
+		mon.Zone(c).Insert(make(Pattern, len(mon.Neurons())))
+	}()
+}
+
+// TestWatchBatchEmpty checks the degenerate batch.
+func TestWatchBatchEmpty(t *testing.T) {
+	net, layer, train, _ := trainedToyNet(t, 14)
+	mon, err := Build(net, train, Config{Layer: layer, Gamma: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mon.WatchBatch(net, nil); len(got) != 0 {
+		t.Fatalf("empty batch returned %d verdicts", len(got))
+	}
+}
+
+// TestParallelMapSliceOrder pins the ordering contract WatchBatch relies
+// on: results land at the index of their input.
+func TestParallelMapSliceOrder(t *testing.T) {
+	net := nn.New(nn.NewDense(2, 2, rng.New(1)))
+	idx := make([]int, 100)
+	for i := range idx {
+		idx[i] = i
+	}
+	out := nn.ParallelMapSlice(net, idx, func(_ *nn.Network, i int) int { return i * 2 })
+	for i, v := range out {
+		if v != i*2 {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i*2)
+		}
+	}
+}

@@ -5,9 +5,9 @@ import (
 	"testing"
 	"testing/quick"
 
-	"repro/internal/nn"
-	"repro/internal/rng"
-	"repro/internal/tensor"
+	"napmon/internal/nn"
+	"napmon/internal/rng"
+	"napmon/internal/tensor"
 )
 
 func TestPatternOf(t *testing.T) {

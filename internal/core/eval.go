@@ -1,7 +1,7 @@
 package core
 
 import (
-	"repro/internal/nn"
+	"napmon/internal/nn"
 )
 
 // Metrics aggregates the quantities Table II of the paper reports for one

@@ -5,8 +5,8 @@ import (
 	"path/filepath"
 	"testing"
 
-	"repro/internal/nn"
-	"repro/internal/rng"
+	"napmon/internal/nn"
+	"napmon/internal/rng"
 )
 
 func TestMonitorSaveLoadFile(t *testing.T) {

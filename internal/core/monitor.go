@@ -3,9 +3,10 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
 
-	"repro/internal/nn"
-	"repro/internal/tensor"
+	"napmon/internal/nn"
+	"napmon/internal/tensor"
 )
 
 // Config specifies how a monitor is built.
@@ -34,6 +35,12 @@ type Monitor struct {
 	neurons []int // resolved monitored neuron indices (always non-nil)
 	width   int   // layer output width d_l
 	zones   map[int]*Zone
+
+	// freezeOnce guards the build-to-serve transition: after Freeze (or
+	// the first WatchBatch, which freezes implicitly) every zone's BDD
+	// manager is read-only and membership queries are safe from any
+	// number of goroutines.
+	freezeOnce sync.Once
 }
 
 // Verdict is the outcome of watching one input.
@@ -198,6 +205,31 @@ func (m *Monitor) SetGamma(gamma int) {
 // Gamma returns the current enlargement level.
 func (m *Monitor) Gamma() int { return m.cfg.Gamma }
 
+// Freeze transitions the monitor from building to serving: every zone's
+// BDD manager becomes read-only (comfort-zone levels up to the current γ
+// stay queryable; growing a zone or enlarging past the deepest cached
+// level panics), after which Watch, WatchPattern and WatchBatch are safe
+// to call from any number of goroutines concurrently. Freeze is
+// idempotent and irreversible; WatchBatch calls it implicitly on first
+// use. SetGamma remains legal on a frozen monitor only for levels that
+// were computed before freezing, and must not run concurrently with
+// serving calls.
+func (m *Monitor) Freeze() {
+	m.freezeOnce.Do(func() {
+		for _, z := range m.zones {
+			z.Freeze()
+		}
+	})
+}
+
+// Frozen reports whether the monitor has been frozen for serving.
+func (m *Monitor) Frozen() bool {
+	for _, z := range m.zones {
+		return z.Frozen()
+	}
+	return true // a monitor with no zones has nothing left to mutate
+}
+
 // Watch supplements one classification decision (Figure 1-(b)): it runs
 // inference, extracts the activation pattern at the monitored layer, and
 // checks it against the comfort zone of the predicted class.
@@ -210,6 +242,20 @@ func (m *Monitor) Watch(net *nn.Network, x *tensor.Tensor) Verdict {
 		return Verdict{Class: pred, Monitored: false, Pattern: p}
 	}
 	return Verdict{Class: pred, Monitored: true, OutOfPattern: !z.Contains(p), Pattern: p}
+}
+
+// WatchBatch runs Watch over a batch of inputs on a GOMAXPROCS-sized
+// worker pool and returns one Verdict per input, in input order. Each
+// worker clones the network (shared parameters, private scratch buffers)
+// and zone queries are plain reads of frozen BDDs, so throughput scales
+// with cores: this is the serving front end for heavy multi-user traffic.
+// The monitor is frozen on first use (see Freeze); WatchBatch itself may
+// be called concurrently from many goroutines.
+func (m *Monitor) WatchBatch(net *nn.Network, inputs []*tensor.Tensor) []Verdict {
+	m.Freeze()
+	return nn.ParallelMapSlice(net, inputs, func(w *nn.Network, x *tensor.Tensor) Verdict {
+		return m.Watch(w, x)
+	})
 }
 
 // WatchPattern checks a pre-extracted pattern against class c's zone.

@@ -12,7 +12,7 @@ package core
 import (
 	"fmt"
 
-	"repro/internal/tensor"
+	"napmon/internal/tensor"
 )
 
 // Pattern is a neuron activation pattern (Definition 1): one bit per

@@ -4,8 +4,8 @@ import (
 	"fmt"
 	"sort"
 
-	"repro/internal/nn"
-	"repro/internal/tensor"
+	"napmon/internal/nn"
+	"napmon/internal/tensor"
 )
 
 // Quantized monitors generalize Definition 1 from on/off bits to K

@@ -3,9 +3,9 @@ package core
 import (
 	"fmt"
 
-	"repro/internal/absdom"
-	"repro/internal/nn"
-	"repro/internal/tensor"
+	"napmon/internal/absdom"
+	"napmon/internal/nn"
+	"napmon/internal/tensor"
 )
 
 // Refined monitors implement the paper's §V extension 2: instead of

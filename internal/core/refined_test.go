@@ -3,7 +3,7 @@ package core
 import (
 	"testing"
 
-	"repro/internal/nn"
+	"napmon/internal/nn"
 )
 
 func buildRefined(t *testing.T, net *nn.Network, train []nn.Sample, layer int, cfg RefinedConfig) *RefinedMonitor {

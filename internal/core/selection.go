@@ -5,7 +5,7 @@ import (
 	"math"
 	"sort"
 
-	"repro/internal/nn"
+	"napmon/internal/nn"
 )
 
 // Gradient-based neuron selection (paper §II, "Neuron selection via

@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"io"
 
-	"repro/internal/bdd"
+	"napmon/internal/bdd"
 )
 
 // Zone is the γ-comfort zone of one class (Definition 2): the set of
@@ -41,6 +41,11 @@ func (z *Zone) InsertCount() int { return z.base }
 // Z⁰_c ← bdd.or(Z⁰_c, bdd.encode(pat))). Inserting invalidates previously
 // computed enlargements, so they are recomputed lazily by SetGamma.
 func (z *Zone) Insert(p Pattern) {
+	if z.m.Frozen() {
+		// Fail before touching roots: a panic mid-update would leave the
+		// zone with a truncated level stack.
+		panic("core: Insert on frozen zone")
+	}
 	if len(p) != z.m.NumVars() {
 		panic(fmt.Sprintf("core: pattern width %d does not match zone width %d",
 			len(p), z.m.NumVars()))
@@ -69,6 +74,16 @@ func (z *Zone) SetGamma(gamma int) {
 	}
 	z.gamma = gamma
 }
+
+// Freeze makes the zone's BDD manager read-only: Contains (and ContainsAt
+// for already-computed levels) become safe for unlimited concurrent use,
+// while Insert and SetGamma to a level beyond the deepest computed one
+// panic. Freezing is irreversible — it is the per-zone half of the
+// monitor's freeze-then-serve concurrency model (see DESIGN.md).
+func (z *Zone) Freeze() { z.m.Freeze() }
+
+// Frozen reports whether the zone has been frozen.
+func (z *Zone) Frozen() bool { return z.m.Frozen() }
 
 // Contains reports whether p lies inside the current γ-comfort zone — the
 // monitor's runtime membership query, linear in the number of monitored

@@ -13,8 +13,8 @@ package dataset
 import (
 	"fmt"
 
-	"repro/internal/nn"
-	"repro/internal/rng"
+	"napmon/internal/nn"
+	"napmon/internal/rng"
 )
 
 // Dataset is a labelled train/validation pair.

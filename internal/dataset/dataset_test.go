@@ -4,8 +4,8 @@ import (
 	"math"
 	"testing"
 
-	"repro/internal/nn"
-	"repro/internal/rng"
+	"napmon/internal/nn"
+	"napmon/internal/rng"
 )
 
 func TestMNISTDeterministic(t *testing.T) {

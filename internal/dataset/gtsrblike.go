@@ -1,9 +1,9 @@
 package dataset
 
 import (
-	"repro/internal/nn"
-	"repro/internal/rng"
-	"repro/internal/tensor"
+	"napmon/internal/nn"
+	"napmon/internal/rng"
+	"napmon/internal/tensor"
 )
 
 // GTSRB-like traffic signs: 43 classes, each a parametric combination of

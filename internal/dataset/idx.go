@@ -9,8 +9,8 @@ import (
 	"os"
 	"strings"
 
-	"repro/internal/nn"
-	"repro/internal/tensor"
+	"napmon/internal/nn"
+	"napmon/internal/tensor"
 )
 
 // IDX is the file format of the original MNIST distribution

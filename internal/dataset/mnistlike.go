@@ -1,9 +1,9 @@
 package dataset
 
 import (
-	"repro/internal/nn"
-	"repro/internal/rng"
-	"repro/internal/tensor"
+	"napmon/internal/nn"
+	"napmon/internal/rng"
+	"napmon/internal/tensor"
 )
 
 // MNIST-like digits: each class is a hand-designed stroke skeleton in the

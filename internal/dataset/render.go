@@ -3,7 +3,7 @@ package dataset
 import (
 	"math"
 
-	"repro/internal/rng"
+	"napmon/internal/rng"
 )
 
 // Drawing primitives shared by the MNIST-like and GTSRB-like renderers.

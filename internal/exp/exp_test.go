@@ -5,11 +5,11 @@ import (
 	"sync"
 	"testing"
 
-	"repro/internal/core"
-	"repro/internal/dataset"
-	"repro/internal/nn"
-	"repro/internal/rng"
-	"repro/internal/tensor"
+	"napmon/internal/core"
+	"napmon/internal/dataset"
+	"napmon/internal/nn"
+	"napmon/internal/rng"
+	"napmon/internal/tensor"
 )
 
 func TestMNISTNetSpecsShape(t *testing.T) {

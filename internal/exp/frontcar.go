@@ -4,9 +4,9 @@ import (
 	"fmt"
 	"strings"
 
-	"repro/internal/core"
-	"repro/internal/frontcar"
-	"repro/internal/nn"
+	"napmon/internal/core"
+	"napmon/internal/frontcar"
+	"napmon/internal/nn"
 )
 
 // FrontCarResult captures the Figure 3 case-study outcome: selector

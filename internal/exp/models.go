@@ -9,9 +9,9 @@ import (
 	"fmt"
 	"io"
 
-	"repro/internal/dataset"
-	"repro/internal/nn"
-	"repro/internal/rng"
+	"napmon/internal/dataset"
+	"napmon/internal/nn"
+	"napmon/internal/rng"
 )
 
 // Options sizes an experiment run. Scale 1 is the full configuration the

@@ -4,9 +4,9 @@ import (
 	"fmt"
 	"strings"
 
-	"repro/internal/core"
-	"repro/internal/dataset"
-	"repro/internal/nn"
+	"napmon/internal/core"
+	"napmon/internal/dataset"
+	"napmon/internal/nn"
 )
 
 // Table1Row is one row of the paper's Table I.

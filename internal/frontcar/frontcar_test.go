@@ -5,9 +5,9 @@ import (
 	"testing"
 	"testing/quick"
 
-	"repro/internal/core"
-	"repro/internal/nn"
-	"repro/internal/rng"
+	"napmon/internal/core"
+	"napmon/internal/nn"
+	"napmon/internal/rng"
 )
 
 func TestLaneCenter(t *testing.T) {

@@ -13,9 +13,9 @@ import (
 	"math"
 	"sort"
 
-	"repro/internal/nn"
-	"repro/internal/rng"
-	"repro/internal/tensor"
+	"napmon/internal/nn"
+	"napmon/internal/rng"
+	"napmon/internal/tensor"
 )
 
 // MaxVehicles is the number of bounding-box slots the selector receives.

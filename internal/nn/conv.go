@@ -4,8 +4,8 @@ import (
 	"fmt"
 	"math"
 
-	"repro/internal/rng"
-	"repro/internal/tensor"
+	"napmon/internal/rng"
+	"napmon/internal/tensor"
 )
 
 // Conv2D is a 2-D convolution layer (cross-correlation, no padding) over

@@ -3,8 +3,8 @@ package nn
 import (
 	"fmt"
 
-	"repro/internal/rng"
-	"repro/internal/tensor"
+	"napmon/internal/rng"
+	"napmon/internal/tensor"
 )
 
 // Dense is a fully-connected layer computing y = Wx + b for a flat input

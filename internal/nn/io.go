@@ -9,8 +9,8 @@ import (
 	"math"
 	"os"
 
-	"repro/internal/rng"
-	"repro/internal/tensor"
+	"napmon/internal/rng"
+	"napmon/internal/tensor"
 )
 
 // Model files consist of a JSON header (layer specs) terminated by a

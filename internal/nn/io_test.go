@@ -5,7 +5,7 @@ import (
 	"path/filepath"
 	"testing"
 
-	"repro/internal/rng"
+	"napmon/internal/rng"
 )
 
 func TestSaveLoadFile(t *testing.T) {

@@ -16,8 +16,8 @@ import (
 	"fmt"
 	"math"
 
-	"repro/internal/rng"
-	"repro/internal/tensor"
+	"napmon/internal/rng"
+	"napmon/internal/tensor"
 )
 
 // Param couples a learnable tensor with its gradient accumulator.

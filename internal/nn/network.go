@@ -5,8 +5,8 @@ import (
 	"math"
 	"strings"
 
-	"repro/internal/rng"
-	"repro/internal/tensor"
+	"napmon/internal/rng"
+	"napmon/internal/tensor"
 )
 
 // Network is an ordered stack of layers mapping an input tensor to a

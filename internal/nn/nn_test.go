@@ -5,8 +5,8 @@ import (
 	"math"
 	"testing"
 
-	"repro/internal/rng"
-	"repro/internal/tensor"
+	"napmon/internal/rng"
+	"napmon/internal/tensor"
 )
 
 func randInput(r *rng.Source, shape ...int) *tensor.Tensor {

@@ -51,13 +51,24 @@ func ParallelCount(net *Network, samples []Sample, pred func(*Network, Sample) b
 // ParallelMap computes f over every sample with per-worker network clones,
 // writing results into the returned slice in input order.
 func ParallelMap[T any](net *Network, samples []Sample, f func(*Network, Sample) T) []T {
-	out := make([]T, len(samples))
+	return ParallelMapSlice(net, samples, f)
+}
+
+// ParallelMapSlice computes f over every item of an arbitrary slice using a
+// GOMAXPROCS-sized worker pool with per-worker network clones (shared
+// parameters, private scratch buffers), writing results into the returned
+// slice in input order. Work is distributed by an atomic cursor, so uneven
+// per-item cost cannot stall a worker. It is the engine behind both
+// dataset-level evaluation and the monitor's batched serving front end
+// (Monitor.WatchBatch); f must not mutate shared state.
+func ParallelMapSlice[S, T any](net *Network, items []S, f func(*Network, S) T) []T {
+	out := make([]T, len(items))
 	workers := runtime.GOMAXPROCS(0)
-	if workers > len(samples) {
-		workers = len(samples)
+	if workers > len(items) {
+		workers = len(items)
 	}
 	if workers <= 1 {
-		for i, s := range samples {
+		for i, s := range items {
 			out[i] = f(net, s)
 		}
 		return out
@@ -71,10 +82,10 @@ func ParallelMap[T any](net *Network, samples []Sample, f func(*Network, Sample)
 			clone := net.CloneShared()
 			for {
 				i := atomic.AddInt64(&next, 1) - 1
-				if int(i) >= len(samples) {
+				if int(i) >= len(items) {
 					break
 				}
-				out[i] = f(clone, samples[i])
+				out[i] = f(clone, items[i])
 			}
 		}()
 	}

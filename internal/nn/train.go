@@ -4,8 +4,8 @@ import (
 	"fmt"
 	"io"
 
-	"repro/internal/rng"
-	"repro/internal/tensor"
+	"napmon/internal/rng"
+	"napmon/internal/tensor"
 )
 
 // Sample is one labelled training or evaluation example.

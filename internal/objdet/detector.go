@@ -3,9 +3,9 @@ package objdet
 import (
 	"io"
 
-	"repro/internal/core"
-	"repro/internal/nn"
-	"repro/internal/rng"
+	"napmon/internal/core"
+	"napmon/internal/nn"
+	"napmon/internal/rng"
 )
 
 // MonitoredLayer is the index of the detector's penultimate ReLU layer.

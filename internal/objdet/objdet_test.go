@@ -3,8 +3,8 @@ package objdet
 import (
 	"testing"
 
-	"repro/internal/nn"
-	"repro/internal/rng"
+	"napmon/internal/nn"
+	"napmon/internal/rng"
 )
 
 func TestGenSceneDeterministic(t *testing.T) {

@@ -9,9 +9,9 @@
 package objdet
 
 import (
-	"repro/internal/nn"
-	"repro/internal/rng"
-	"repro/internal/tensor"
+	"napmon/internal/nn"
+	"napmon/internal/rng"
+	"napmon/internal/tensor"
 )
 
 // Grid geometry: images are GridSize×GridSize cells of CellPixels pixels.

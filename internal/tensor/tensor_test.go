@@ -5,7 +5,7 @@ import (
 	"testing"
 	"testing/quick"
 
-	"repro/internal/rng"
+	"napmon/internal/rng"
 )
 
 func TestNewZeroFilled(t *testing.T) {

@@ -3,11 +3,11 @@ package napmon
 import (
 	"io"
 
-	"repro/internal/core"
-	"repro/internal/dataset"
-	"repro/internal/nn"
-	"repro/internal/rng"
-	"repro/internal/tensor"
+	"napmon/internal/core"
+	"napmon/internal/dataset"
+	"napmon/internal/nn"
+	"napmon/internal/rng"
+	"napmon/internal/tensor"
 )
 
 // The napmon package is the public facade over the repository's internal
@@ -105,6 +105,17 @@ func LoadMonitorFile(path string) (*Monitor, error) { return core.LoadFile(path)
 // the paper's Table II statistics.
 func EvaluateMonitor(net *Network, m *Monitor, samples []Sample) Metrics {
 	return core.Evaluate(net, m, samples)
+}
+
+// WatchBatch is the batched serving front end: it runs inference and the
+// comfort-zone membership query for every input on a GOMAXPROCS-sized
+// worker pool and returns one Verdict per input, in input order. The
+// monitor is frozen read-only on first use (Monitor.Freeze), which makes
+// concurrent WatchBatch calls from any number of goroutines safe by
+// construction; a frozen monitor can no longer insert patterns or enlarge
+// zones beyond the levels computed before the freeze.
+func WatchBatch(net *Network, m *Monitor, inputs []*Tensor) []Verdict {
+	return m.WatchBatch(net, inputs)
 }
 
 // GammaSweep evaluates the monitor at each γ in gammas.

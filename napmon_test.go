@@ -7,7 +7,7 @@ import (
 	"bytes"
 	"testing"
 
-	napmon "repro"
+	"napmon"
 )
 
 // toyData builds a small separable 3-class problem.
@@ -69,6 +69,35 @@ func TestPublicWorkflow(t *testing.T) {
 	}
 	if sweep[2].OutOfPattern > sweep[0].OutOfPattern {
 		t.Fatal("sweep not monotone")
+	}
+}
+
+func TestPublicWatchBatch(t *testing.T) {
+	train := toyData(19, 300)
+	net := toyNet(t, 20)
+	napmon.Train(net, train, napmon.TrainConfig{Epochs: 10, BatchSize: 16, LR: 0.05, Seed: 21})
+	mon, err := napmon.BuildMonitor(net, train, napmon.Config{Layer: 3, Gamma: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	val := toyData(22, 120)
+	inputs := make([]*napmon.Tensor, len(val))
+	serial := make([]napmon.Verdict, len(val))
+	for i, s := range val {
+		inputs[i] = s.Input
+		serial[i] = mon.Watch(net, s.Input)
+	}
+	batch := napmon.WatchBatch(net, mon, inputs)
+	if len(batch) != len(val) {
+		t.Fatalf("batch returned %d verdicts for %d inputs", len(batch), len(val))
+	}
+	for i := range batch {
+		if batch[i].Class != serial[i].Class || batch[i].OutOfPattern != serial[i].OutOfPattern {
+			t.Fatalf("verdict %d: batch %+v != serial %+v", i, batch[i], serial[i])
+		}
+	}
+	if !mon.Frozen() {
+		t.Fatal("monitor not frozen after WatchBatch")
 	}
 }
 
