@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench fmt vet ci
+.PHONY: build test race bench bench-serve serve-demo fmt vet ci
 
 ## build: compile every package
 build:
@@ -23,6 +23,30 @@ race:
 ## and executed (use `go test -bench=. -benchtime=2s .` for real numbers)
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...
+
+## bench-serve: smoke-run the streaming-serving benchmark on its own
+## (single-stream latency + saturated throughput of the napmon.Serve
+## queue/coalescer/lane pipeline, compared against raw WatchBatch)
+bench-serve:
+	$(GO) test -run '^$$' -bench 'BenchmarkServe|BenchmarkWatchBatch' -benchtime=1x .
+
+## serve-demo: start napmon-serve against a tiny self-trained model,
+## probe /healthz, POST one /watch request, read /stats, and shut the
+## daemon down gracefully with SIGTERM
+SERVE_DEMO_ADDR ?= 127.0.0.1:8841
+serve-demo:
+	$(GO) build -o bin/napmon-serve ./cmd/napmon-serve
+	@set -e; \
+	bin/napmon-serve -selftrain 0.05 -addr $(SERVE_DEMO_ADDR) & pid=$$!; \
+	trap 'kill $$pid 2>/dev/null || true' EXIT; \
+	for i in $$(seq 1 150); do \
+		curl -sf http://$(SERVE_DEMO_ADDR)/healthz >/dev/null 2>&1 && break; sleep 0.2; \
+	done; \
+	curl -sf http://$(SERVE_DEMO_ADDR)/healthz; \
+	awk 'BEGIN{printf "{\"shape\":[1,28,28],\"input\":["; for(i=0;i<784;i++) printf "%s0.1",(i?",":""); print "]}"}' \
+		| curl -sf -X POST --data-binary @- http://$(SERVE_DEMO_ADDR)/watch; \
+	curl -sf http://$(SERVE_DEMO_ADDR)/stats; \
+	kill -TERM $$pid; wait $$pid; trap - EXIT
 
 ## fmt: fail if any file needs gofmt
 fmt:

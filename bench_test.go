@@ -9,10 +9,12 @@ package napmon
 // ns/op, so `go test -bench=.` prints the shape of every result.
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"napmon/internal/core"
 	"napmon/internal/dataset"
@@ -319,6 +321,83 @@ func BenchmarkWatchBatch(b *testing.B) {
 			b.ReportMetric(float64(len(inputs))*float64(b.N)/b.Elapsed().Seconds(), "inputs/s")
 		})
 	}
+}
+
+// BenchmarkServe measures the streaming serving subsystem end to end
+// against the same model, monitor and inputs as BenchmarkWatchBatch, so
+// the coalescer's overhead is directly comparable to the raw batched
+// path. single_stream is the latency view: one in-flight request at a
+// time through queue → coalescer → lane (MaxBatch 1, so no deadline
+// waiting inflates ns/op). saturated is the throughput view: the whole
+// validation set submitted at once rides full micro-batches; its
+// inputs/s should stay within ~1.3× of BenchmarkWatchBatch's per-sample
+// cost.
+func BenchmarkServe(b *testing.B) {
+	m1, _ := benchModels(b)
+	mon, err := core.Build(m1.Net, m1.Data.Train, exp.MNISTMonitorConfig(m1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	mon.SetGamma(2)
+	inputs := make([]*tensor.Tensor, len(m1.Data.Val))
+	for i, s := range m1.Data.Val {
+		inputs[i] = s.Input
+	}
+	shutdown := func(s *Server) {
+		b.Helper()
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("single_stream", func(b *testing.B) {
+		srv, err := Serve(m1.Net, mon, ServerConfig{MaxBatch: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			fut, err := srv.Submit(inputs[i%len(inputs)])
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := fut.Wait(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		shutdown(srv)
+		st := srv.Stats()
+		b.ReportMetric(float64(st.P99.Nanoseconds()), "p99_ns")
+	})
+	b.Run("saturated", func(b *testing.B) {
+		srv, err := Serve(m1.Net, mon, ServerConfig{
+			MaxBatch:   64,
+			MaxDelay:   2 * time.Millisecond,
+			QueueDepth: len(inputs),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			futs, err := srv.SubmitAll(inputs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, f := range futs {
+				if _, err := f.Wait(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(len(inputs))*float64(b.N)/b.Elapsed().Seconds(), "inputs/s")
+		shutdown(srv)
+		st := srv.Stats()
+		b.ReportMetric(st.MeanBatchSize, "mean_batch")
+	})
 }
 
 // BenchmarkAblation_MonitorBuild measures Algorithm 1's offline cost

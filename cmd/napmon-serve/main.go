@@ -1,0 +1,337 @@
+// Command napmon-serve runs the streaming serving daemon: it loads (or
+// self-trains) a model and its activation monitor, starts a napmon.Serve
+// server — bounded request queue, micro-batching coalescer, per-lane
+// network replicas — and exposes it over HTTP/JSON:
+//
+//	POST /watch    {"shape":[1,28,28],"input":[...]} → one verdict
+//	GET  /stats    serving counters and latency percentiles
+//	GET  /healthz  liveness probe
+//
+// On SIGINT/SIGTERM the daemon shuts down gracefully: the listener stops
+// accepting, in-flight HTTP requests finish, and the serving queue is
+// drained before exit.
+//
+// Usage:
+//
+//	napmon-serve -model m.model -monitor m.monitor [-addr :8080]
+//	napmon-serve -selftrain 0.05 [-dataset mnist] [-gamma 2]
+//	             [-max-batch 64] [-max-delay 2ms] [-queue 1024] [-lanes 1]
+//
+// -selftrain trains the chosen Table I network at the given dataset scale
+// in-process (handy for demos and smoke tests; see `make serve-demo`).
+// Requests whose input shape differs from the model's (-shape, default
+// the dataset's native shape) are rejected with 400 — the tensor kernels
+// panic on mismatched inference, so the daemon gates them out up front.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"slices"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"napmon"
+	"napmon/internal/exp"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("napmon-serve: ")
+	var (
+		addr        = flag.String("addr", "127.0.0.1:8080", "HTTP listen address")
+		modelPath   = flag.String("model", "", "trained model file (napmon-train -model)")
+		monitorPath = flag.String("monitor", "", "monitor file (napmon-train -monitor)")
+		selftrain   = flag.Float64("selftrain", 0, "train in-process at this dataset scale instead of loading files (0 = off)")
+		ds          = flag.String("dataset", "mnist", "self-training dataset: mnist or gtsrb")
+		seed        = flag.Uint64("seed", 1, "self-training seed")
+		gamma       = flag.Int("gamma", 2, "self-trained monitor gamma")
+		maxBatch    = flag.Int("max-batch", 0, "micro-batch flush threshold (0 = default)")
+		maxDelay    = flag.Duration("max-delay", 0, "partial-batch flush deadline (0 = default)")
+		queueDepth  = flag.Int("queue", 0, "request queue depth (0 = default)")
+		lanes       = flag.Int("lanes", 0, "serving lanes / network replicas (0 = default)")
+		drainWait   = flag.Duration("drain", 30*time.Second, "graceful shutdown budget")
+		shapeFlag   = flag.String("shape", "", "expected input tensor shape, e.g. 1,28,28 (default: per -dataset)")
+	)
+	flag.Parse()
+
+	shape, err := inputShape(*shapeFlag, *ds)
+	if err != nil {
+		log.Fatal(err)
+	}
+	net, mon, err := loadParts(*modelPath, *monitorPath, *selftrain, *ds, *seed, *gamma)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := probeShape(net, shape); err != nil {
+		log.Fatal(err)
+	}
+	srv, err := napmon.Serve(net, mon, napmon.ServerConfig{
+		MaxBatch:   *maxBatch,
+		MaxDelay:   *maxDelay,
+		QueueDepth: *queueDepth,
+		Lanes:      *lanes,
+		// Shape-mismatched inference panics in the tensor kernels; the
+		// server-side gate turns an untrusted bad request into a Submit
+		// error instead of a dead daemon.
+		InputShape: shape,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/watch", handleWatch(srv, shape))
+	mux.HandleFunc("/stats", handleStats(srv))
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	// Header/read timeouts keep one slow-trickling client from pinning a
+	// connection forever and forcing every graceful drain to abort.
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       time.Minute,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	log.Printf("serving on http://%s (POST /watch, GET /stats, GET /healthz)", *addr)
+
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	// Release the signal registration now: a second SIGINT/SIGTERM during
+	// a stuck drain falls back to default handling and kills the process
+	// instead of being swallowed by the already-done context.
+	stop()
+	log.Printf("signal received, draining (budget %v)...", *drainWait)
+	dctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	if err := httpSrv.Shutdown(dctx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := srv.Shutdown(dctx); err != nil {
+		log.Printf("server shutdown: %v", err)
+	}
+	st := srv.Stats()
+	log.Printf("drained: served %d requests in %d batches (mean %.1f/batch), p50 %v, p99 %v",
+		st.Served, st.Batches, st.MeanBatchSize, st.P50, st.P99)
+}
+
+// inputShape resolves the input shape the daemon accepts: the -shape
+// flag when given, otherwise the dataset's native shape.
+func inputShape(flagVal, ds string) ([]int, error) {
+	if flagVal != "" {
+		parts := strings.Split(flagVal, ",")
+		shape := make([]int, len(parts))
+		for i, p := range parts {
+			d, err := strconv.Atoi(strings.TrimSpace(p))
+			if err != nil || d <= 0 {
+				return nil, fmt.Errorf("bad -shape %q: dimensions must be positive integers", flagVal)
+			}
+			shape[i] = d
+		}
+		return shape, nil
+	}
+	switch ds {
+	case "mnist":
+		return []int{1, 28, 28}, nil
+	case "gtsrb":
+		return []int{3, 32, 32}, nil
+	default:
+		return nil, fmt.Errorf("unknown dataset %q (want mnist or gtsrb)", ds)
+	}
+}
+
+// probeShape runs one forward pass of a zero tensor with the gate shape
+// through the model at startup. The tensor kernels panic on mismatched
+// shapes; catching that here turns a -shape/-dataset flag that does not
+// match the loaded model into a clean startup error, instead of a gate
+// that rejects every valid request and lets a conformant-but-wrong one
+// panic inside a serving lane.
+func probeShape(net *napmon.Network, shape []int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("input shape %v incompatible with the model: %v (set -shape or -dataset to the model's input shape)", shape, r)
+		}
+	}()
+	net.Forward(napmon.NewTensor(shape...))
+	return nil
+}
+
+// loadParts resolves the model and monitor either from files or by
+// training one of the Table I networks in-process at a reduced scale.
+func loadParts(modelPath, monitorPath string, selftrain float64, ds string, seed uint64, gamma int) (*napmon.Network, *napmon.Monitor, error) {
+	switch {
+	case modelPath != "" && monitorPath != "":
+		net, err := napmon.LoadModelFile(modelPath)
+		if err != nil {
+			return nil, nil, err
+		}
+		mon, err := napmon.LoadMonitorFile(monitorPath)
+		if err != nil {
+			return nil, nil, err
+		}
+		return net, mon, nil
+	case selftrain > 0:
+		opts := exp.Options{Scale: selftrain, Seed: seed, Log: os.Stderr}
+		var (
+			m   *exp.Model
+			err error
+		)
+		switch ds {
+		case "mnist":
+			m, err = exp.TrainMNIST(opts)
+		case "gtsrb":
+			m, err = exp.TrainGTSRB(opts)
+		default:
+			return nil, nil, fmt.Errorf("unknown dataset %q (want mnist or gtsrb)", ds)
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		log.Printf("self-trained %s (scale %.2f): train %.1f%%, val %.1f%%",
+			m.Name, selftrain, 100*m.TrainAcc, 100*m.ValAcc)
+		rows, mon, err := exp.Table2ForModel(m, []int{gamma})
+		if err != nil {
+			return nil, nil, err
+		}
+		log.Printf("monitor built (gamma=%d): out-of-pattern %.1f%% on validation",
+			gamma, 100*rows[0].Metrics.OutOfPatternRate())
+		return m.Net, mon, nil
+	default:
+		return nil, nil, errors.New("need either -model and -monitor, or -selftrain > 0")
+	}
+}
+
+// watchRequest is the POST /watch body: a flat row-major input plus its
+// tensor shape (e.g. [1,28,28] for the MNIST-like network).
+type watchRequest struct {
+	Shape []int     `json:"shape"`
+	Input []float64 `json:"input"`
+}
+
+// watchResponse mirrors napmon.Verdict for JSON consumers.
+type watchResponse struct {
+	Class        int    `json:"class"`
+	Monitored    bool   `json:"monitored"`
+	OutOfPattern bool   `json:"out_of_pattern"`
+	Pattern      string `json:"pattern"`
+}
+
+func handleWatch(srv *napmon.Server, shape []int) http.HandlerFunc {
+	want := 1
+	for _, d := range shape {
+		want *= d
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		// Cap the body before decoding: without a limit, one oversized
+		// request allocates its whole float array (and can OOM the
+		// daemon) before the element-count check below ever runs. ~25
+		// bytes per JSON float is generous; 4 KiB covers the envelope.
+		r.Body = http.MaxBytesReader(w, r.Body, int64(want)*25+4096)
+		var req watchRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, "bad JSON: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		// Check against the model's expected shape before building the
+		// tensor: TensorFromSlice panics on a shape/len mismatch, and
+		// shapes other than the model's would panic inside inference.
+		if !slices.Equal(req.Shape, shape) {
+			http.Error(w, fmt.Sprintf("input shape %v, this model expects %v", req.Shape, shape), http.StatusBadRequest)
+			return
+		}
+		if len(req.Input) != want {
+			http.Error(w, fmt.Sprintf("shape %v needs %d input values, got %d", req.Shape, want, len(req.Input)), http.StatusBadRequest)
+			return
+		}
+		fut, err := srv.Submit(napmon.TensorFromSlice(req.Input, req.Shape...))
+		if err != nil {
+			status := http.StatusBadRequest
+			if errors.Is(err, napmon.ErrServerClosed) {
+				status = http.StatusServiceUnavailable
+			}
+			http.Error(w, err.Error(), status)
+			return
+		}
+		v, err := fut.Wait()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		writeJSON(w, watchResponse{
+			Class:        v.Class,
+			Monitored:    v.Monitored,
+			OutOfPattern: v.OutOfPattern,
+			Pattern:      v.Pattern.String(),
+		})
+	}
+}
+
+// statsResponse renders napmon.ServerStats with latencies both raw (ns)
+// and human-readable.
+type statsResponse struct {
+	Queued        int     `json:"queued"`
+	Submitted     uint64  `json:"submitted"`
+	Served        uint64  `json:"served"`
+	Rejected      uint64  `json:"rejected"`
+	Batches       uint64  `json:"batches"`
+	MeanBatchSize float64 `json:"mean_batch_size"`
+	P50Ns         int64   `json:"p50_ns"`
+	P99Ns         int64   `json:"p99_ns"`
+	P50           string  `json:"p50"`
+	P99           string  `json:"p99"`
+	Lanes         int     `json:"lanes"`
+}
+
+func handleStats(srv *napmon.Server) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "GET only", http.StatusMethodNotAllowed)
+			return
+		}
+		st := srv.Stats()
+		writeJSON(w, statsResponse{
+			Queued:        st.Queued,
+			Submitted:     st.Submitted,
+			Served:        st.Served,
+			Rejected:      st.Rejected,
+			Batches:       st.Batches,
+			MeanBatchSize: st.MeanBatchSize,
+			P50Ns:         st.P50.Nanoseconds(),
+			P99Ns:         st.P99.Nanoseconds(),
+			P50:           st.P50.String(),
+			P99:           st.P99.String(),
+			Lanes:         st.Lanes,
+		})
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		log.Printf("encode response: %v", err)
+	}
+}

@@ -35,6 +35,28 @@
 //
 //	verdicts := napmon.WatchBatch(net, mon, inputs)
 //
+// For a long-lived service, napmon.Serve wraps the same fast path in a
+// streaming front end: an async bounded request queue with result
+// futures, a micro-batching coalescer (flush at MaxBatch requests or
+// after MaxDelay, whichever first) and per-lane network replicas, so
+// trickle traffic and bulk traffic from many concurrent users both ride
+// full batches:
+//
+//	srv, _ := napmon.Serve(net, mon, napmon.ServerConfig{
+//		MaxBatch: 64,
+//		MaxDelay: 2 * time.Millisecond,
+//	})
+//	fut, err := srv.Submit(input) // safe from any goroutine
+//	if err == nil {
+//		if v, err := fut.Wait(); err == nil && v.OutOfPattern {
+//			// decision not supported by training data
+//		}
+//	}
+//	srv.Shutdown(ctx) // drains accepted requests, then stops
+//
+// The cmd/napmon-serve binary exposes this server over HTTP/JSON
+// (POST /watch, GET /stats, GET /healthz) with graceful shutdown.
+//
 // Everything is implemented from scratch on the standard library: the
 // tensor math and neural-network substrate, the ROBDD engine (open-
 // addressed unique table, lossy computed table, cache statistics — see

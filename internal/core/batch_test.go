@@ -110,16 +110,30 @@ func TestFrozenMonitorRejectsMutation(t *testing.T) {
 	}()
 }
 
-// TestWatchBatchEmpty checks the degenerate batch.
+// TestWatchBatchEmpty checks the degenerate batch: an empty input must
+// yield an empty non-nil slice and — regression — must NOT freeze the
+// monitor, so a build in progress can keep inserting patterns afterwards.
 func TestWatchBatchEmpty(t *testing.T) {
 	net, layer, train, _ := trainedToyNet(t, 14)
 	mon, err := Build(net, train, Config{Layer: layer, Gamma: 0})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := mon.WatchBatch(net, nil); len(got) != 0 {
+	got := mon.WatchBatch(net, nil)
+	if got == nil {
+		t.Fatal("empty batch returned a nil slice, want empty non-nil")
+	}
+	if len(got) != 0 {
 		t.Fatalf("empty batch returned %d verdicts", len(got))
 	}
+	if mon.Frozen() {
+		t.Fatal("empty WatchBatch froze the monitor")
+	}
+	// The monitor must still be buildable: insert one more pattern and
+	// grow γ, both of which panic on a frozen zone.
+	c := mon.Classes()[0]
+	mon.Zone(c).Insert(make(Pattern, len(mon.Neurons())))
+	mon.SetGamma(1)
 }
 
 // TestParallelMapSliceOrder pins the ordering contract WatchBatch relies

@@ -252,6 +252,11 @@ func (m *Monitor) Watch(net *nn.Network, x *tensor.Tensor) Verdict {
 // The monitor is frozen on first use (see Freeze); WatchBatch itself may
 // be called concurrently from many goroutines.
 func (m *Monitor) WatchBatch(net *nn.Network, inputs []*tensor.Tensor) []Verdict {
+	if len(inputs) == 0 {
+		// An empty batch has no serving work to do; in particular it must
+		// not freeze a monitor that is still being built.
+		return []Verdict{}
+	}
 	m.Freeze()
 	return nn.ParallelMapSlice(net, inputs, func(w *nn.Network, x *tensor.Tensor) Verdict {
 		return m.Watch(w, x)

@@ -469,6 +469,24 @@ func TestParallelCountMatchesSequential(t *testing.T) {
 	}
 }
 
+// TestParallelMapSliceEmpty is the regression guard for degenerate
+// batches: no items must yield an empty but non-nil result, without
+// calling f (there are no workers to spin up and nothing to clone).
+func TestParallelMapSliceEmpty(t *testing.T) {
+	net := New(NewDense(2, 2, rng.New(20)))
+	called := false
+	out := ParallelMapSlice(net, nil, func(*Network, int) int {
+		called = true
+		return 0
+	})
+	if out == nil {
+		t.Fatal("ParallelMapSlice(nil items) returned nil, want empty non-nil")
+	}
+	if len(out) != 0 || called {
+		t.Fatalf("ParallelMapSlice(nil items): len=%d called=%v", len(out), called)
+	}
+}
+
 func TestNetworkString(t *testing.T) {
 	r := rng.New(19)
 	net := New(NewConv2D(40, 1, 5, 5, 1, r), NewReLU(), NewMaxPool(2))

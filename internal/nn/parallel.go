@@ -62,6 +62,9 @@ func ParallelMap[T any](net *Network, samples []Sample, f func(*Network, Sample)
 // dataset-level evaluation and the monitor's batched serving front end
 // (Monitor.WatchBatch); f must not mutate shared state.
 func ParallelMapSlice[S, T any](net *Network, items []S, f func(*Network, S) T) []T {
+	if len(items) == 0 {
+		return []T{} // non-nil, and no worker pool to spin up
+	}
 	out := make([]T, len(items))
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(items) {

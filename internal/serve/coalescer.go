@@ -1,0 +1,128 @@
+package serve
+
+import (
+	"time"
+
+	"napmon/internal/core"
+	"napmon/internal/nn"
+	"napmon/internal/tensor"
+)
+
+// coalesce is the single goroutine between the request queue and the
+// lanes. It accumulates requests into a batch and flushes when the batch
+// reaches MaxBatch, when MaxDelay has passed since the batch's first
+// request, or when the queue closes (drain on Shutdown). On abort it
+// fails everything still queued instead of serving it.
+func (s *Server) coalesce() {
+	defer s.wg.Done()
+	defer close(s.batches)
+	var (
+		batch    []request
+		timer    *time.Timer
+		deadline <-chan time.Time
+	)
+	disarm := func() {
+		if timer != nil {
+			timer.Stop()
+			timer, deadline = nil, nil
+		}
+	}
+	flush := func() {
+		disarm()
+		if len(batch) == 0 {
+			return
+		}
+		b := batch
+		batch = nil
+		select {
+		case s.batches <- b:
+		case <-s.aborted:
+			failAll(b)
+		}
+	}
+	for {
+		if batch == nil {
+			// Empty batch: nothing to time out, block for the next request.
+			select {
+			case req, ok := <-s.queue:
+				if !ok {
+					return
+				}
+				batch = append(batch, req)
+				if len(batch) >= s.cfg.MaxBatch {
+					flush()
+					continue
+				}
+				timer = time.NewTimer(s.cfg.MaxDelay)
+				deadline = timer.C
+			case <-s.aborted:
+				s.drainFail()
+				return
+			}
+			continue
+		}
+		select {
+		case req, ok := <-s.queue:
+			if !ok {
+				flush()
+				return
+			}
+			batch = append(batch, req)
+			if len(batch) >= s.cfg.MaxBatch {
+				flush()
+			}
+		case <-deadline:
+			timer, deadline = nil, nil
+			flush()
+		case <-s.aborted:
+			disarm()
+			failAll(batch)
+			s.drainFail()
+			return
+		}
+	}
+}
+
+// drainFail consumes the queue until it closes, failing every request.
+// Only called after abort: the queue is guaranteed to close because
+// Shutdown already rejects new Submits and abort unblocks pending ones.
+func (s *Server) drainFail() {
+	for req := range s.queue {
+		req.fut.complete(core.Verdict{}, ErrServerClosed)
+	}
+}
+
+// failAll resolves every future in the batch to ErrServerClosed.
+func failAll(batch []request) {
+	for _, req := range batch {
+		req.fut.complete(core.Verdict{}, ErrServerClosed)
+	}
+}
+
+// serveLane is one serving shard's loop: take a batch, run it through
+// WatchBatch on the lane's private network replica, resolve the futures,
+// record metrics. After an abort, remaining batches are failed without
+// inference so Shutdown returns promptly.
+func (s *Server) serveLane(ln *nn.Network) {
+	defer s.wg.Done()
+	for batch := range s.batches {
+		select {
+		case <-s.aborted:
+			failAll(batch)
+			continue
+		default:
+		}
+		inputs := make([]*tensor.Tensor, len(batch))
+		for i, req := range batch {
+			inputs[i] = req.input
+		}
+		verdicts := s.mon.WatchBatch(ln, inputs)
+		now := time.Now()
+		for i, req := range batch {
+			s.lat.record(now.Sub(req.enq))
+			req.fut.complete(verdicts[i], nil)
+		}
+		s.served.Add(uint64(len(batch)))
+		s.numBatches.Add(1)
+	}
+}

@@ -1,0 +1,38 @@
+package serve
+
+import "napmon/internal/core"
+
+// Future is the pending result of one Submit. It resolves exactly once;
+// all methods are safe from any number of goroutines.
+type Future struct {
+	done chan struct{}
+	v    core.Verdict
+	err  error
+}
+
+func newFuture() *Future { return &Future{done: make(chan struct{})} }
+
+// failedFuture returns an already-resolved future carrying err.
+func failedFuture(err error) *Future {
+	f := newFuture()
+	f.complete(core.Verdict{}, err)
+	return f
+}
+
+// complete resolves the future. Must be called exactly once.
+func (f *Future) complete(v core.Verdict, err error) {
+	f.v = v
+	f.err = err
+	close(f.done)
+}
+
+// Wait blocks until the future resolves and returns its verdict, or the
+// error the server failed it with (ErrServerClosed on abort).
+func (f *Future) Wait() (core.Verdict, error) {
+	<-f.done
+	return f.v, f.err
+}
+
+// Done returns a channel closed when the future has resolved, for use in
+// select loops; after it closes, Wait returns immediately.
+func (f *Future) Done() <-chan struct{} { return f.done }

@@ -1,0 +1,317 @@
+// Package serve is the streaming serving subsystem: a long-lived Server
+// that owns a frozen Monitor and accepts single-sample Submit calls from
+// any number of goroutines, coalescing them into micro-batches that hit
+// the fast WatchBatch path.
+//
+// The pipeline has three stages, each its own goroutine set:
+//
+//	Submit/SubmitAll → bounded request queue → coalescer → lanes
+//
+// The request queue is a buffered channel of configurable depth; a full
+// queue exerts backpressure by blocking Submit. The coalescer drains the
+// queue into batches, flushing when either MaxBatch requests have
+// accumulated or MaxDelay has elapsed since the batch's first request —
+// so trickle traffic is answered within one deadline and saturating
+// traffic always rides full batches. Lanes are per-shard monitor
+// replicas: each owns a CloneShared copy of the network (shared weights,
+// private scratch) and executes whole batches through Monitor.WatchBatch
+// against the frozen BDD zones, which are safe for concurrent reads by
+// construction (see DESIGN.md, "Freeze-then-serve concurrency model").
+//
+// Every Submit returns a *Future that resolves exactly once — with a
+// Verdict, or with ErrServerClosed if the server aborts before the
+// request is served. Shutdown drains: requests accepted before Shutdown
+// are still served unless the shutdown context expires first.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"slices"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"napmon/internal/core"
+	"napmon/internal/nn"
+	"napmon/internal/tensor"
+)
+
+// ErrServerClosed is returned by Submit and SubmitAll after Shutdown has
+// begun, and resolves any Future the server aborted before serving.
+var ErrServerClosed = errors.New("serve: server closed")
+
+// Config sizes a Server. The zero value of any field selects its default.
+type Config struct {
+	// MaxBatch is the flush threshold: a micro-batch is dispatched as
+	// soon as it holds this many requests (default 64). MaxBatch 1
+	// disables coalescing — every request is its own batch.
+	MaxBatch int
+	// MaxDelay bounds how long the first request of a batch may wait for
+	// company before the partial batch is flushed (default 2ms). It is
+	// the latency price of coalescing under trickle traffic.
+	MaxDelay time.Duration
+	// QueueDepth is the request queue capacity (default 1024). A full
+	// queue blocks Submit — backpressure instead of unbounded memory.
+	QueueDepth int
+	// Lanes is the number of serving lanes (default 1). Each lane owns a
+	// CloneShared network replica and serves whole batches; more lanes
+	// overlap inference of consecutive batches at the cost of
+	// oversubscribing cores, since each WatchBatch already fans out over
+	// GOMAXPROCS workers.
+	Lanes int
+	// LatencyWindow is how many recent request latencies the p50/p99
+	// estimates in Stats are computed over (default 1024).
+	LatencyWindow int
+	// InputShape, when non-nil, makes Submit reject inputs whose tensor
+	// shape differs from it. The tensor substrate panics on
+	// shape-mismatched inference, which inside a lane goroutine would
+	// take the whole server down — a front end accepting untrusted
+	// inputs (e.g. cmd/napmon-serve) should always set this.
+	InputShape []int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxBatch == 0 {
+		c.MaxBatch = 64
+	}
+	if c.MaxDelay == 0 {
+		c.MaxDelay = 2 * time.Millisecond
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 1024
+	}
+	if c.Lanes == 0 {
+		c.Lanes = 1
+	}
+	if c.LatencyWindow == 0 {
+		c.LatencyWindow = 1024
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	switch {
+	case c.MaxBatch < 0:
+		return fmt.Errorf("serve: negative MaxBatch %d", c.MaxBatch)
+	case c.MaxDelay < 0:
+		return fmt.Errorf("serve: negative MaxDelay %v", c.MaxDelay)
+	case c.QueueDepth < 0:
+		return fmt.Errorf("serve: negative QueueDepth %d", c.QueueDepth)
+	case c.Lanes < 0:
+		return fmt.Errorf("serve: negative Lanes %d", c.Lanes)
+	case c.LatencyWindow < 0:
+		return fmt.Errorf("serve: negative LatencyWindow %d", c.LatencyWindow)
+	}
+	return nil
+}
+
+// request is one queued unit of work: the input, the future that carries
+// its verdict back, and the enqueue time the latency metrics are based on.
+type request struct {
+	input *tensor.Tensor
+	fut   *Future
+	enq   time.Time
+}
+
+// Server is a long-lived serving front end over one frozen monitor.
+// Construct with New, feed with Submit/SubmitAll from any number of
+// goroutines, stop with Shutdown. Each lane is one serving shard: a
+// private CloneShared network replica (zone membership reads go to the
+// shared frozen monitor, which needs no replication).
+type Server struct {
+	cfg   Config
+	mon   *core.Monitor
+	lanes []*nn.Network
+
+	queue   chan request   // Submit → coalescer (bounded; backpressure)
+	batches chan []request // coalescer → lanes
+	aborted chan struct{}  // closed when a Shutdown context expires
+	done    chan struct{}  // closed when coalescer and all lanes exit
+
+	mu       sync.Mutex
+	closed   bool
+	inflight sync.WaitGroup // Submits between the closed-check and enqueue
+
+	abortOnce sync.Once
+	wg        sync.WaitGroup // coalescer + lanes
+
+	submitted  atomic.Uint64
+	served     atomic.Uint64
+	rejected   atomic.Uint64
+	numBatches atomic.Uint64
+	lat        latencyRing
+}
+
+// New builds a Server over the network and monitor and starts its
+// coalescer and lane goroutines. The monitor is frozen (idempotently) so
+// the entire serving path is read-only; the network must not be trained
+// while the server lives. Stop the server with Shutdown.
+func New(net *nn.Network, m *core.Monitor, cfg Config) (*Server, error) {
+	if net == nil {
+		return nil, errors.New("serve: nil network")
+	}
+	if m == nil {
+		return nil, errors.New("serve: nil monitor")
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	m.Freeze()
+	s := &Server{
+		cfg:     cfg,
+		mon:     m,
+		queue:   make(chan request, cfg.QueueDepth),
+		batches: make(chan []request, cfg.Lanes),
+		aborted: make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	s.lat.init(cfg.LatencyWindow)
+	s.lanes = make([]*nn.Network, cfg.Lanes)
+	for i := range s.lanes {
+		s.lanes[i] = net.CloneShared()
+	}
+	s.wg.Add(1 + len(s.lanes))
+	go s.coalesce()
+	for _, ln := range s.lanes {
+		go s.serveLane(ln)
+	}
+	go func() {
+		s.wg.Wait()
+		close(s.done)
+	}()
+	return s, nil
+}
+
+// Submit enqueues one input for monitored classification and returns a
+// Future resolving to its Verdict. It is safe from any number of
+// goroutines. When the request queue is full, Submit blocks — that is the
+// backpressure contract. After Shutdown has begun it returns
+// ErrServerClosed without enqueuing.
+func (s *Server) Submit(x *tensor.Tensor) (*Future, error) {
+	if x == nil {
+		return nil, errors.New("serve: nil input")
+	}
+	if s.cfg.InputShape != nil && !slices.Equal(x.Shape(), s.cfg.InputShape) {
+		return nil, fmt.Errorf("serve: input shape %v, server expects %v", x.Shape(), s.cfg.InputShape)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.rejected.Add(1)
+		return nil, ErrServerClosed
+	}
+	s.inflight.Add(1)
+	s.mu.Unlock()
+	defer s.inflight.Done()
+	fut := newFuture()
+	select {
+	case s.queue <- request{input: x, fut: fut, enq: time.Now()}:
+		s.submitted.Add(1)
+		return fut, nil
+	case <-s.aborted:
+		s.rejected.Add(1)
+		return nil, ErrServerClosed
+	}
+}
+
+// SubmitAll enqueues every input and returns one Future per input, in
+// input order. If the server closes partway, the returned error is
+// non-nil and the futures of the unsubmitted tail resolve to that error,
+// so the slice is always fully resolvable.
+func (s *Server) SubmitAll(inputs []*tensor.Tensor) ([]*Future, error) {
+	futs := make([]*Future, len(inputs))
+	for i, x := range inputs {
+		f, err := s.Submit(x)
+		if err != nil {
+			for j := i; j < len(inputs); j++ {
+				futs[j] = failedFuture(err)
+			}
+			return futs, err
+		}
+		futs[i] = f
+	}
+	return futs, nil
+}
+
+// Shutdown stops the server gracefully: new Submits fail with
+// ErrServerClosed immediately, while requests already accepted are
+// drained through the coalescer and lanes. If ctx expires before the
+// drain completes, the server aborts — undelivered futures resolve to
+// ErrServerClosed (a lane mid-batch finishes that batch first) — and
+// ctx.Err() is returned. Shutdown is idempotent and safe to call
+// concurrently; it returns nil only for a clean drain, and
+// ErrServerClosed when a concurrent Shutdown's expired context aborted
+// the server first.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	first := !s.closed
+	s.closed = true
+	s.mu.Unlock()
+	if first {
+		go func() {
+			// Once no Submit is between its closed-check and its enqueue,
+			// the queue can close; the coalescer drains it to completion.
+			s.inflight.Wait()
+			close(s.queue)
+		}()
+	}
+	// drained reports how a completed pipeline actually went down: nil
+	// for a clean drain, ErrServerClosed when another caller's expired
+	// context aborted the server and failed accepted requests (aborted
+	// always closes before done, so the check is race-free here).
+	drained := func() error {
+		select {
+		case <-s.aborted:
+			return ErrServerClosed
+		default:
+			return nil
+		}
+	}
+	select {
+	case <-s.done:
+		return drained()
+	case <-ctx.Done():
+		// select picks randomly when both channels are ready: don't
+		// report a drain that actually completed as a failure.
+		select {
+		case <-s.done:
+			return drained()
+		default:
+		}
+		s.abort()
+		<-s.done
+		return ctx.Err()
+	}
+}
+
+// abort flips the server into fail-fast mode: blocked Submits return,
+// queued and batched requests resolve to ErrServerClosed.
+func (s *Server) abort() {
+	s.abortOnce.Do(func() { close(s.aborted) })
+}
+
+// Stats returns a snapshot of the server's counters and latency
+// percentiles. Safe to call at any time, including after Shutdown.
+func (s *Server) Stats() Stats {
+	nb := s.numBatches.Load()
+	served := s.served.Load()
+	mean := 0.0
+	if nb > 0 {
+		mean = float64(served) / float64(nb)
+	}
+	p50, p99 := s.lat.percentiles()
+	return Stats{
+		Queued:        len(s.queue),
+		Submitted:     s.submitted.Load(),
+		Served:        served,
+		Rejected:      s.rejected.Load(),
+		Batches:       nb,
+		MeanBatchSize: mean,
+		P50:           p50,
+		P99:           p99,
+		Lanes:         len(s.lanes),
+	}
+}

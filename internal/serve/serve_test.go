@@ -1,0 +1,426 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"napmon/internal/core"
+	"napmon/internal/nn"
+	"napmon/internal/rng"
+	"napmon/internal/tensor"
+)
+
+// toyServerParts trains the small 3-class dense network used across the
+// core tests and builds its γ=1 monitor — cheap enough for the race
+// detector, real enough that verdicts differ between inputs.
+func toyServerParts(t testing.TB, seed uint64) (*nn.Network, *core.Monitor, []*tensor.Tensor) {
+	t.Helper()
+	r := rng.New(seed)
+	centers := [][4]float64{
+		{2, 0, -2, 0},
+		{-2, 2, 0, -1},
+		{0, -2, 2, 1},
+	}
+	gen := func(n int) []nn.Sample {
+		out := make([]nn.Sample, 0, n)
+		for i := 0; i < n; i++ {
+			label := i % len(centers)
+			x := tensor.New(4)
+			for j := range x.Data() {
+				x.Data()[j] = r.NormScaled(centers[label][j], 0.6)
+			}
+			out = append(out, nn.Sample{Input: x, Label: label})
+		}
+		return out
+	}
+	train := gen(300)
+	net := nn.New(
+		nn.NewDense(4, 16, r), nn.NewReLU(),
+		nn.NewDense(16, 10, r), nn.NewReLU(), // monitored layer: index 3
+		nn.NewDense(10, 3, r),
+	)
+	nn.Train(net, train, nn.TrainConfig{Epochs: 15, BatchSize: 16, LR: 0.05, Seed: seed})
+	mon, err := core.Build(net, train, core.Config{Layer: 3, Gamma: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	val := gen(150)
+	inputs := make([]*tensor.Tensor, len(val))
+	for i, s := range val {
+		inputs[i] = s.Input
+	}
+	return net, mon, inputs
+}
+
+func sameVerdict(a, b core.Verdict) bool {
+	return a.Class == b.Class && a.Monitored == b.Monitored && a.OutOfPattern == b.OutOfPattern
+}
+
+func shutdownOK(t *testing.T, s *Server) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+}
+
+// TestServeMatchesWatch pins correctness: every future resolves to
+// exactly the serial Watch verdict for its input, in submission order.
+func TestServeMatchesWatch(t *testing.T) {
+	net, mon, inputs := toyServerParts(t, 1)
+	want := make([]core.Verdict, len(inputs))
+	for i, x := range inputs {
+		want[i] = mon.Watch(net, x)
+	}
+	s, err := New(net, mon, Config{MaxBatch: 16, MaxDelay: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	futs, err := s.SubmitAll(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range futs {
+		got, err := f.Wait()
+		if err != nil {
+			t.Fatalf("future %d: %v", i, err)
+		}
+		if !sameVerdict(got, want[i]) {
+			t.Fatalf("future %d: got %+v, want %+v", i, got, want[i])
+		}
+	}
+	shutdownOK(t, s)
+	st := s.Stats()
+	if st.Served != uint64(len(inputs)) || st.Submitted != uint64(len(inputs)) {
+		t.Fatalf("stats: %+v, want submitted=served=%d", st, len(inputs))
+	}
+	if st.Batches == 0 || st.MeanBatchSize <= 0 {
+		t.Fatalf("stats did not record batches: %+v", st)
+	}
+	if st.P50 <= 0 || st.P99 < st.P50 {
+		t.Fatalf("latency percentiles inconsistent: %+v", st)
+	}
+}
+
+// TestConcurrentSubmitters drives >100 goroutines of concurrent Submit
+// traffic through one server (the CI race detector turns any serving-path
+// write into a failure), then shuts down cleanly and checks accounting.
+func TestConcurrentSubmitters(t *testing.T) {
+	net, mon, inputs := toyServerParts(t, 2)
+	want := make([]core.Verdict, len(inputs))
+	for i, x := range inputs {
+		want[i] = mon.Watch(net, x)
+	}
+	s, err := New(net, mon, Config{MaxBatch: 32, MaxDelay: time.Millisecond, QueueDepth: 64, Lanes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines = 128
+	const perG = 5
+	var wg sync.WaitGroup
+	errCh := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < perG; k++ {
+				i := (g*perG + k) % len(inputs)
+				f, err := s.Submit(inputs[i])
+				if err != nil {
+					errCh <- err
+					return
+				}
+				got, err := f.Wait()
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if !sameVerdict(got, want[i]) {
+					errCh <- errors.New("verdict mismatch under concurrency")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	shutdownOK(t, s)
+	st := s.Stats()
+	if want := uint64(goroutines * perG); st.Submitted != want || st.Served != want {
+		t.Fatalf("stats after concurrent run: %+v, want submitted=served=%d", st, want)
+	}
+}
+
+// TestSubmitAfterShutdown pins the typed-error contract.
+func TestSubmitAfterShutdown(t *testing.T) {
+	net, mon, inputs := toyServerParts(t, 3)
+	s, err := New(net, mon, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shutdownOK(t, s)
+	if _, err := s.Submit(inputs[0]); !errors.Is(err, ErrServerClosed) {
+		t.Fatalf("Submit after Shutdown = %v, want ErrServerClosed", err)
+	}
+	futs, err := s.SubmitAll(inputs[:3])
+	if !errors.Is(err, ErrServerClosed) {
+		t.Fatalf("SubmitAll after Shutdown = %v, want ErrServerClosed", err)
+	}
+	for i, f := range futs {
+		if _, ferr := f.Wait(); !errors.Is(ferr, ErrServerClosed) {
+			t.Fatalf("future %d after closed SubmitAll = %v, want ErrServerClosed", i, ferr)
+		}
+	}
+	if st := s.Stats(); st.Rejected == 0 {
+		t.Fatalf("rejected submits not counted: %+v", st)
+	}
+	// Shutdown is idempotent.
+	shutdownOK(t, s)
+}
+
+// TestDeadlineFlush pins the coalescer's MaxDelay path: with a huge
+// MaxBatch a lone request is only served because the deadline fires.
+func TestDeadlineFlush(t *testing.T) {
+	net, mon, inputs := toyServerParts(t, 4)
+	s, err := New(net, mon, Config{MaxBatch: 1 << 20, MaxDelay: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdownOK(t, s)
+	for rep := 0; rep < 3; rep++ {
+		f, err := s.Submit(inputs[rep])
+		if err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case <-f.Done():
+		case <-time.After(10 * time.Second):
+			t.Fatal("deadline flush never fired")
+		}
+		if _, err := f.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.Batches != 3 || st.MeanBatchSize != 1 {
+		t.Fatalf("expected 3 deadline-flushed singleton batches, got %+v", st)
+	}
+}
+
+// TestMaxBatchFlush pins the size-triggered path: with an effectively
+// infinite deadline, full batches must still flush immediately.
+func TestMaxBatchFlush(t *testing.T) {
+	net, mon, inputs := toyServerParts(t, 5)
+	s, err := New(net, mon, Config{MaxBatch: 4, MaxDelay: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	futs, err := s.SubmitAll(inputs[:8]) // two exact MaxBatch multiples
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range futs {
+		select {
+		case <-f.Done():
+		case <-time.After(10 * time.Second):
+			t.Fatalf("future %d stuck despite full batches (deadline is 1h)", i)
+		}
+	}
+	shutdownOK(t, s)
+	st := s.Stats()
+	if st.Batches != 2 || st.MeanBatchSize != 4 {
+		t.Fatalf("expected 2 batches of 4, got %+v", st)
+	}
+}
+
+// TestShutdownDrains checks the graceful path: everything accepted before
+// Shutdown is served with a real verdict, even with an hour-long deadline
+// still pending in the coalescer.
+func TestShutdownDrains(t *testing.T) {
+	net, mon, inputs := toyServerParts(t, 6)
+	s, err := New(net, mon, Config{MaxBatch: 1 << 20, MaxDelay: time.Hour, QueueDepth: len(inputs)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	futs, err := s.SubmitAll(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shutdownOK(t, s)
+	for i, f := range futs {
+		if _, err := f.Wait(); err != nil {
+			t.Fatalf("drained future %d failed: %v", i, err)
+		}
+	}
+	if st := s.Stats(); st.Served != uint64(len(inputs)) {
+		t.Fatalf("drain lost requests: %+v", st)
+	}
+}
+
+// TestShutdownAbort checks the expired-context path: Shutdown returns the
+// context error and every outstanding future still resolves (with a
+// verdict if its batch was already in flight, ErrServerClosed otherwise).
+func TestShutdownAbort(t *testing.T) {
+	net, mon, inputs := toyServerParts(t, 7)
+	s, err := New(net, mon, Config{MaxBatch: 1 << 20, MaxDelay: time.Hour, QueueDepth: len(inputs)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	futs, err := s.SubmitAll(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := s.Shutdown(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("aborted Shutdown = %v, want context.Canceled", err)
+	}
+	for i, f := range futs {
+		select {
+		case <-f.Done():
+		case <-time.After(10 * time.Second):
+			t.Fatalf("future %d leaked by abort", i)
+		}
+		if _, err := f.Wait(); err != nil && !errors.Is(err, ErrServerClosed) {
+			t.Fatalf("future %d: unexpected error %v", i, err)
+		}
+	}
+}
+
+// TestConcurrentShutdownAbortWins checks that a patient Shutdown caller
+// is not told the drain was clean when a concurrent caller's expired
+// context aborted the server and failed the accepted requests.
+func TestConcurrentShutdownAbortWins(t *testing.T) {
+	net, mon, inputs := toyServerParts(t, 11)
+	// Requests park in the coalescer: nothing flushes before shutdown.
+	s, err := New(net, mon, Config{MaxBatch: 1 << 20, MaxDelay: time.Hour, QueueDepth: len(inputs)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.SubmitAll(inputs); err != nil {
+		t.Fatal(err)
+	}
+	patient := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		patient <- s.Shutdown(ctx)
+	}()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	aerr := s.Shutdown(ctx)
+	perr := <-patient
+	if errors.Is(aerr, context.Canceled) {
+		// The canceled caller aborted before the drain finished, so the
+		// patient caller must not be told the drain was clean.
+		if !errors.Is(perr, ErrServerClosed) {
+			t.Fatalf("patient Shutdown after concurrent abort = %v, want ErrServerClosed", perr)
+		}
+	} else if aerr != nil || perr != nil {
+		// The drain won the race against the canceled context: then both
+		// callers must report it clean.
+		t.Fatalf("clean concurrent drain reported aerr=%v perr=%v", aerr, perr)
+	}
+}
+
+// TestBackpressureQueueFull checks that a full queue blocks Submit rather
+// than dropping, and that the blocked submit completes once the pipeline
+// drains.
+func TestBackpressureQueueFull(t *testing.T) {
+	net, mon, inputs := toyServerParts(t, 8)
+	// QueueDepth 1 with a 10ms deadline: submits contend for one slot.
+	s, err := New(net, mon, Config{MaxBatch: 8, MaxDelay: 10 * time.Millisecond, QueueDepth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	futs, err := s.SubmitAll(inputs[:32])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range futs {
+		if _, err := f.Wait(); err != nil {
+			t.Fatalf("future %d under backpressure: %v", i, err)
+		}
+	}
+	shutdownOK(t, s)
+}
+
+func TestConfigValidate(t *testing.T) {
+	net, mon, _ := toyServerParts(t, 9)
+	for _, cfg := range []Config{
+		{MaxBatch: -1}, {MaxDelay: -time.Second}, {QueueDepth: -1},
+		{Lanes: -1}, {LatencyWindow: -2},
+	} {
+		if _, err := New(net, mon, cfg); err == nil {
+			t.Fatalf("config %+v accepted", cfg)
+		}
+	}
+	if _, err := New(nil, mon, Config{}); err == nil {
+		t.Fatal("nil network accepted")
+	}
+	if _, err := New(net, nil, Config{}); err == nil {
+		t.Fatal("nil monitor accepted")
+	}
+	s, err := New(net, mon, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit(nil); err == nil {
+		t.Fatal("nil input accepted")
+	}
+	shutdownOK(t, s)
+}
+
+// TestInputShapeGate checks the untrusted-input guard: with InputShape
+// set, a mismatched tensor is rejected at Submit instead of panicking
+// inside a lane goroutine (which would kill the whole server).
+func TestInputShapeGate(t *testing.T) {
+	net, mon, inputs := toyServerParts(t, 10)
+	s, err := New(net, mon, Config{MaxBatch: 1, InputShape: []int{4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdownOK(t, s)
+	if _, err := s.Submit(tensor.New(5)); err == nil {
+		t.Fatal("wrong-length input accepted")
+	}
+	if _, err := s.Submit(tensor.New(2, 2)); err == nil {
+		t.Fatal("wrong-rank input accepted despite matching element count")
+	}
+	f, err := s.Submit(inputs[0])
+	if err != nil {
+		t.Fatalf("well-shaped input rejected: %v", err)
+	}
+	if _, err := f.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLatencyRingPercentiles(t *testing.T) {
+	var r latencyRing
+	r.init(4)
+	if p50, p99 := r.percentiles(); p50 != 0 || p99 != 0 {
+		t.Fatalf("empty ring percentiles = %v, %v", p50, p99)
+	}
+	for _, d := range []time.Duration{40, 10, 30, 20} {
+		r.record(d)
+	}
+	p50, p99 := r.percentiles()
+	if p50 != 30 || p99 != 40 {
+		t.Fatalf("percentiles = %v, %v; want 30, 40", p50, p99)
+	}
+	// Overwrite wraps: the window now holds {50, 60, 30, 20}.
+	r.record(50)
+	r.record(60)
+	if p50, p99 = r.percentiles(); p50 != 50 || p99 != 60 {
+		t.Fatalf("post-wrap percentiles = %v, %v; want 50, 60", p50, p99)
+	}
+}

@@ -1,0 +1,79 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Stats is a point-in-time snapshot of a Server's counters, reported by
+// Server.Stats and the napmon-serve /stats endpoint.
+type Stats struct {
+	// Queued is the current request-queue depth (0..QueueDepth).
+	Queued int
+	// Submitted counts requests accepted into the queue since start.
+	Submitted uint64
+	// Served counts requests answered with a verdict.
+	Served uint64
+	// Rejected counts Submit calls refused because the server was
+	// closed or aborted.
+	Rejected uint64
+	// Batches is the number of micro-batches dispatched to lanes;
+	// MeanBatchSize is Served-so-far divided by it, the coalescer's
+	// effectiveness measure (1.0 = no coalescing happened).
+	Batches       uint64
+	MeanBatchSize float64
+	// P50 and P99 are request latency percentiles (enqueue to verdict)
+	// over the most recent LatencyWindow served requests; zero until the
+	// first request is served.
+	P50 time.Duration
+	P99 time.Duration
+	// Lanes is the number of serving lanes (network replicas).
+	Lanes int
+}
+
+// latencyRing keeps the last cap(buf) request latencies for percentile
+// estimates. A fixed window keeps Stats O(window) and the memory bounded
+// no matter how long the server lives.
+type latencyRing struct {
+	mu  sync.Mutex
+	buf []time.Duration
+	n   uint64 // total ever recorded; buf[i] valid for i < min(n, len(buf))
+}
+
+func (r *latencyRing) init(window int) {
+	r.buf = make([]time.Duration, window)
+}
+
+func (r *latencyRing) record(d time.Duration) {
+	r.mu.Lock()
+	if len(r.buf) > 0 {
+		r.buf[r.n%uint64(len(r.buf))] = d
+		r.n++
+	}
+	r.mu.Unlock()
+}
+
+// percentiles returns the p50 and p99 of the current window (nearest-rank
+// on the sorted window), or zeros when nothing has been recorded.
+func (r *latencyRing) percentiles() (p50, p99 time.Duration) {
+	r.mu.Lock()
+	live := len(r.buf)
+	if r.n < uint64(live) {
+		live = int(r.n)
+	}
+	sample := append([]time.Duration(nil), r.buf[:live]...)
+	r.mu.Unlock()
+	if len(sample) == 0 {
+		return 0, 0
+	}
+	sort.Slice(sample, func(i, j int) bool { return sample[i] < sample[j] })
+	rank := func(p float64) time.Duration {
+		i := int(p*float64(len(sample)) + 0.5)
+		if i >= len(sample) {
+			i = len(sample) - 1
+		}
+		return sample[i]
+	}
+	return rank(0.50), rank(0.99)
+}

@@ -7,6 +7,7 @@ import (
 	"napmon/internal/dataset"
 	"napmon/internal/nn"
 	"napmon/internal/rng"
+	"napmon/internal/serve"
 	"napmon/internal/tensor"
 )
 
@@ -116,6 +117,41 @@ func EvaluateMonitor(net *Network, m *Monitor, samples []Sample) Metrics {
 // zones beyond the levels computed before the freeze.
 func WatchBatch(net *Network, m *Monitor, inputs []*Tensor) []Verdict {
 	return m.WatchBatch(net, inputs)
+}
+
+// Server is the streaming serving front end: a long-lived service over
+// one frozen monitor that accepts Submit calls from any number of
+// goroutines through a bounded request queue and coalesces them into
+// micro-batches on the WatchBatch fast path. See Serve.
+type Server = serve.Server
+
+// ServerConfig sizes a Server: micro-batch flush threshold (MaxBatch),
+// partial-batch deadline (MaxDelay), request-queue depth (backpressure),
+// number of serving lanes (network replicas) and the latency-statistics
+// window. The zero value selects sensible defaults.
+type ServerConfig = serve.Config
+
+// ServerStats is a snapshot of a Server's counters: queue depth,
+// submitted/served/rejected totals, batch count and mean size, and
+// p50/p99 request latency over a recent window.
+type ServerStats = serve.Stats
+
+// Future is the pending result of one Server.Submit; Wait blocks until
+// the verdict is available (or the server aborted the request).
+type Future = serve.Future
+
+// ErrServerClosed is returned by Server.Submit and Server.SubmitAll after
+// Shutdown has begun, and resolves any Future the server aborted.
+var ErrServerClosed = serve.ErrServerClosed
+
+// Serve starts a streaming serving front end over the network and
+// monitor: requests submitted from any number of goroutines are queued,
+// coalesced into micro-batches (flushed at cfg.MaxBatch or after
+// cfg.MaxDelay) and executed on per-lane network replicas against the
+// frozen monitor. Stop it with Server.Shutdown, which drains accepted
+// requests. The cmd/napmon-serve binary wraps this in an HTTP daemon.
+func Serve(net *Network, m *Monitor, cfg ServerConfig) (*Server, error) {
+	return serve.New(net, m, cfg)
 }
 
 // GammaSweep evaluates the monitor at each γ in gammas.

@@ -5,7 +5,10 @@ package napmon_test
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"testing"
+	"time"
 
 	"napmon"
 )
@@ -98,6 +101,60 @@ func TestPublicWatchBatch(t *testing.T) {
 	}
 	if !mon.Frozen() {
 		t.Fatal("monitor not frozen after WatchBatch")
+	}
+}
+
+// TestPublicServe drives the streaming front end through the facade: a
+// server built with napmon.Serve must return the same verdicts as serial
+// Watch, drain on Shutdown, and then reject new submits with the typed
+// error.
+func TestPublicServe(t *testing.T) {
+	train := toyData(23, 300)
+	net := toyNet(t, 24)
+	napmon.Train(net, train, napmon.TrainConfig{Epochs: 10, BatchSize: 16, LR: 0.05, Seed: 25})
+	mon, err := napmon.BuildMonitor(net, train, napmon.Config{Layer: 3, Gamma: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	val := toyData(26, 90)
+	serial := make([]napmon.Verdict, len(val))
+	for i, s := range val {
+		serial[i] = mon.Watch(net, s.Input)
+	}
+	srv, err := napmon.Serve(net, mon, napmon.ServerConfig{
+		MaxBatch: 16,
+		MaxDelay: time.Millisecond,
+		Lanes:    2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	futs := make([]*napmon.Future, len(val))
+	for i, s := range val {
+		if futs[i], err = srv.Submit(s.Input); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, f := range futs {
+		v, err := f.Wait()
+		if err != nil {
+			t.Fatalf("future %d: %v", i, err)
+		}
+		if v.Class != serial[i].Class || v.OutOfPattern != serial[i].OutOfPattern {
+			t.Fatalf("verdict %d: serve %+v != serial %+v", i, v, serial[i])
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Submit(val[0].Input); !errors.Is(err, napmon.ErrServerClosed) {
+		t.Fatalf("Submit after Shutdown = %v, want ErrServerClosed", err)
+	}
+	st := srv.Stats()
+	if st.Served != uint64(len(val)) || st.Lanes != 2 {
+		t.Fatalf("stats after drain: %+v", st)
 	}
 }
 
