@@ -1,9 +1,13 @@
 # Local invocations mirror .github/workflows/ci.yml exactly: CI calls these
-# same targets, so a green `make ci` locally means a green pipeline.
+# same targets, so a green `make ci` locally means a green pipeline. CI
+# gates every PR on: gofmt, vet + staticcheck (lint), build, race tests and
+# a benchmark smoke run across a Go version matrix, plus a bench-regression
+# job (bench-json + bench-check against ci/bench-baseline.json) and a
+# serve-demo end-to-end daemon smoke job.
 
 GO ?= go
 
-.PHONY: build test race bench bench-serve serve-demo fmt vet ci
+.PHONY: build test race bench bench-serve bench-json bench-check serve-demo fmt vet lint ci
 
 ## build: compile every package
 build:
@@ -14,25 +18,46 @@ test:
 	$(GO) test ./...
 
 ## race: run the full test suite under the race detector (guards the
-## monitor's freeze-then-serve concurrency model). Race instrumentation
-## slows the experiment-reproduction tests ~10x, hence the long timeout.
+## monitor's freeze-then-serve concurrency model and the shared-network
+## ForwardBatch path). Race instrumentation slows the
+## experiment-reproduction tests ~10x, hence the long timeout.
 race:
 	$(GO) test -race -timeout 45m ./...
 
-## bench: smoke-run every benchmark once so perf code paths are compiled
-## and executed (use `go test -bench=. -benchtime=2s .` for real numbers)
+## bench: smoke-run every benchmark once, with -benchmem so allocation
+## counts are tracked (the batched inference path is expected to be
+## allocation-free after warm-up; use `go test -bench=. -benchtime=2s .`
+## for real numbers)
 bench:
-	$(GO) test -bench=. -benchtime=1x ./...
+	$(GO) test -bench=. -benchtime=1x -benchmem ./...
 
-## bench-serve: smoke-run the streaming-serving benchmark on its own
-## (single-stream latency + saturated throughput of the napmon.Serve
-## queue/coalescer/lane pipeline, compared against raw WatchBatch)
+## bench-serve: smoke-run the serving benchmarks on their own (batched
+## GEMM inference via BenchmarkForwardBatch, raw WatchBatch, and the
+## napmon.Serve queue/coalescer/lane pipeline)
 bench-serve:
-	$(GO) test -run '^$$' -bench 'BenchmarkServe|BenchmarkWatchBatch' -benchtime=1x .
+	$(GO) test -run '^$$' -bench 'BenchmarkServe|BenchmarkWatchBatch|BenchmarkForwardBatch' -benchtime=1x -benchmem .
+
+## bench-json: run the serving benchmarks for real (multiple iterations)
+## and record them as BENCH_PR3.json via cmd/benchjson — the artifact the
+## bench-regression CI job uploads and gates on
+BENCH_JSON ?= BENCH_PR3.json
+bench-json:
+	$(GO) build -o bin/benchjson ./cmd/benchjson
+	$(GO) test -run '^$$' -bench 'BenchmarkServe|BenchmarkWatchBatch|BenchmarkForwardBatch|BenchmarkZoneBuild' -benchtime=2x -benchmem . \
+		| bin/benchjson -o $(BENCH_JSON)
+
+## bench-check: fail if BenchmarkWatchBatch/BenchmarkServe regressed more
+## than 1.3x against the committed baseline (machine-speed-normalized by
+## the median ratio across the unwatched reference benchmarks; see cmd/benchjson)
+bench-check:
+	$(GO) build -o bin/benchjson ./cmd/benchjson
+	bin/benchjson -check -baseline ci/bench-baseline.json -current $(BENCH_JSON) \
+		-watch 'BenchmarkWatchBatch|BenchmarkServe|BenchmarkForwardBatch' -max-ratio 1.3
 
 ## serve-demo: start napmon-serve against a tiny self-trained model,
 ## probe /healthz, POST one /watch request, read /stats, and shut the
-## daemon down gracefully with SIGTERM
+## daemon down gracefully with SIGTERM (CI runs this as the end-to-end
+## daemon smoke job)
 SERVE_DEMO_ADDR ?= 127.0.0.1:8841
 serve-demo:
 	$(GO) build -o bin/napmon-serve ./cmd/napmon-serve
@@ -58,5 +83,15 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-## ci: everything the pipeline runs, in the same order
-ci: fmt vet build race bench
+## lint: vet plus staticcheck (CI installs staticcheck; locally the step
+## is skipped with a notice when the binary is absent, so `make ci` works
+## on minimal machines)
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI runs it — 'go install honnef.co/go/tools/cmd/staticcheck@latest')"; \
+	fi
+
+## ci: everything the pipeline's verify job runs, in the same order
+ci: fmt lint build race bench

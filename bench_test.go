@@ -287,10 +287,37 @@ func BenchmarkZoneBuild(b *testing.B) {
 	b.ReportMetric(float64(nodes), "bdd_nodes")
 }
 
+// BenchmarkForwardBatch measures the batched GEMM inference path in
+// isolation (no monitor): the whole batch flows through Im2ColBatch, the
+// blocked MatMul and the fused dense epilogues with pooled scratch.
+// batch1 is the degenerate width; larger batches show how GEMM width
+// buys throughput. allocs/op should be ~0 once the pool is warm.
+func BenchmarkForwardBatch(b *testing.B) {
+	m1, _ := benchModels(b)
+	val := m1.Data.Val
+	for _, size := range []int{1, 64, 256} {
+		inputs := make([]*tensor.Tensor, size)
+		for i := range inputs {
+			inputs[i] = val[i%len(val)].Input
+		}
+		b.Run(fmt.Sprintf("batch%d", size), func(b *testing.B) {
+			pool := tensor.NewPool()
+			pool.Put(m1.Net.ForwardBatch(inputs, pool)) // warm the pool
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				pool.Put(m1.Net.ForwardBatch(inputs, pool))
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(size)*float64(b.N)/b.Elapsed().Seconds(), "inputs/s")
+		})
+	}
+}
+
 // BenchmarkWatchBatch measures the batched serving front end: one frozen
 // monitor, one batch of validation inputs, swept over worker-pool widths
-// so the multi-core scaling is visible in the inputs/s metric. workers=1
-// is the serial Watch loop baseline; the top width is GOMAXPROCS.
+// so the multi-core scaling is visible in the inputs/s metric. Since PR 3
+// the batch feeds whole micro-batch chunks through ForwardBatch (GEMM
+// width × worker count); the top width is GOMAXPROCS.
 func BenchmarkWatchBatch(b *testing.B) {
 	m1, _ := benchModels(b)
 	mon, err := core.Build(m1.Net, m1.Data.Train, exp.MNISTMonitorConfig(m1))
@@ -313,6 +340,7 @@ func BenchmarkWatchBatch(b *testing.B) {
 		b.Run(fmt.Sprintf("workers%d", w), func(b *testing.B) {
 			prev := runtime.GOMAXPROCS(w)
 			defer runtime.GOMAXPROCS(prev)
+			mon.WatchBatch(m1.Net, inputs) // warm the scratch pools
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				mon.WatchBatch(m1.Net, inputs)

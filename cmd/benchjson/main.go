@@ -1,0 +1,222 @@
+// Command benchjson turns `go test -bench` output into a machine-readable
+// JSON artifact and gates benchmark regressions against a committed
+// baseline. It is the engine of the bench-regression CI job:
+//
+//	go test -bench ... -benchmem . | benchjson -o BENCH_PR3.json
+//	benchjson -check -baseline ci/bench-baseline.json -current BENCH_PR3.json \
+//	    -watch 'BenchmarkWatchBatch|BenchmarkServe' -max-ratio 1.3
+//
+// Parse mode reads benchmark lines ("BenchmarkFoo/sub-8  10  123 ns/op
+// 45 B/op 2 allocs/op 678 inputs/s") from stdin and records every metric
+// pair per benchmark.
+//
+// Check mode compares the watched benchmarks' ns/op between two such
+// files and exits nonzero when any regresses by more than -max-ratio.
+// Because a committed baseline is measured on different hardware than
+// the CI runner, the comparison is speed-normalized by default: each
+// watched benchmark's ratio is divided by the median ns/op ratio across
+// ALL benchmarks common to both files, so a uniformly slower machine
+// does not trip the gate while a real regression of the watched hot path
+// still does. Disable with -normalize=false when both files come from
+// the same machine.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result: the name without the -N
+// GOMAXPROCS suffix and every reported metric keyed by unit.
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Iterations int                `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// File is the JSON artifact schema.
+type File struct {
+	GeneratedBy string      `json:"generated_by"`
+	Note        string      `json:"note,omitempty"`
+	Benchmarks  []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		out      = flag.String("o", "", "parse mode: write JSON here (default stdout)")
+		note     = flag.String("note", "", "parse mode: free-form note stored in the artifact")
+		check    = flag.Bool("check", false, "check mode: compare -current against -baseline")
+		baseline = flag.String("baseline", "", "check mode: baseline JSON file")
+		current  = flag.String("current", "", "check mode: current JSON file")
+		watch    = flag.String("watch", ".", "check mode: regexp of benchmark names to gate")
+		maxRatio = flag.Float64("max-ratio", 1.3, "check mode: fail when ns/op ratio exceeds this")
+		norm     = flag.Bool("normalize", true, "check mode: divide ratios by the cross-file median (machine-speed correction)")
+	)
+	flag.Parse()
+	if *check {
+		if err := runCheck(*baseline, *current, *watch, *maxRatio, *norm); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := runParse(os.Stdin, *out, *note); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// benchLine matches "BenchmarkName-8   	    10	  123456 ns/op	..." and
+// captures the name (with sub-benchmark path), iteration count and the
+// metric tail.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
+
+// runParse reads go test -bench output and writes the JSON artifact.
+// Non-benchmark lines (goos, pkg, PASS, test log output) pass through to
+// stderr so the human-readable stream stays visible in CI logs.
+func runParse(in *os.File, out, note string) error {
+	var f File
+	f.GeneratedBy = "cmd/benchjson"
+	f.Note = note
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			fmt.Fprintln(os.Stderr, line)
+			continue
+		}
+		iters, err := strconv.Atoi(m[2])
+		if err != nil {
+			continue
+		}
+		b := Benchmark{Name: m[1], Iterations: iters, Metrics: map[string]float64{}}
+		fields := strings.Fields(m[3])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			b.Metrics[fields[i+1]] = v
+		}
+		f.Benchmarks = append(f.Benchmarks, b)
+		fmt.Fprintln(os.Stderr, line)
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(f.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark lines found on stdin")
+	}
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if out == "" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(out, data, 0o644)
+}
+
+func load(path string) (map[string]Benchmark, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	m := make(map[string]Benchmark, len(f.Benchmarks))
+	for _, b := range f.Benchmarks {
+		m[b.Name] = b
+	}
+	return m, nil
+}
+
+// runCheck compares ns/op of the watched benchmarks between baseline and
+// current, optionally normalizing by the median ratio across all common
+// benchmarks, and fails on any regression beyond maxRatio.
+func runCheck(basePath, curPath, watch string, maxRatio float64, normalize bool) error {
+	if basePath == "" || curPath == "" {
+		return fmt.Errorf("check mode needs -baseline and -current")
+	}
+	re, err := regexp.Compile(watch)
+	if err != nil {
+		return fmt.Errorf("bad -watch regexp: %w", err)
+	}
+	base, err := load(basePath)
+	if err != nil {
+		return err
+	}
+	cur, err := load(curPath)
+	if err != nil {
+		return err
+	}
+	// Machine-speed correction: the median ns/op ratio over the
+	// benchmarks present in both files that are NOT being gated
+	// estimates how much faster or slower this machine is than the
+	// baseline's. Watched benchmarks are excluded from the median —
+	// otherwise a uniform regression of the gated hot path would
+	// normalize itself away and the gate could never fire.
+	speed := 1.0
+	if normalize {
+		var ratios []float64
+		for name, b := range base {
+			c, ok := cur[name]
+			if !ok || re.MatchString(name) || b.Metrics["ns/op"] <= 0 || c.Metrics["ns/op"] <= 0 {
+				continue
+			}
+			ratios = append(ratios, c.Metrics["ns/op"]/b.Metrics["ns/op"])
+		}
+		if len(ratios) > 0 {
+			sort.Float64s(ratios)
+			speed = ratios[len(ratios)/2]
+			fmt.Printf("machine-speed correction: median ratio %.3f over %d unwatched benchmarks\n", speed, len(ratios))
+		} else {
+			fmt.Println("machine-speed correction: no unwatched reference benchmarks in common; ratios compared raw")
+		}
+	}
+	var failed []string
+	checked := 0
+	for name, b := range base {
+		if !re.MatchString(name) {
+			continue
+		}
+		c, ok := cur[name]
+		if !ok {
+			failed = append(failed, fmt.Sprintf("%s: missing from current run", name))
+			continue
+		}
+		bn, cn := b.Metrics["ns/op"], c.Metrics["ns/op"]
+		if bn <= 0 || cn <= 0 {
+			continue
+		}
+		checked++
+		ratio := cn / bn / speed
+		status := "ok"
+		if ratio > maxRatio {
+			status = "REGRESSION"
+			failed = append(failed, fmt.Sprintf("%s: %.3gx baseline (limit %.2gx)", name, ratio, maxRatio))
+		}
+		fmt.Printf("%-60s %12.0f → %12.0f ns/op  %5.2fx  %s\n", name, bn, cn, ratio, status)
+	}
+	if checked == 0 && len(failed) == 0 {
+		return fmt.Errorf("no benchmarks matched -watch %q in %s", watch, basePath)
+	}
+	if len(failed) > 0 {
+		return fmt.Errorf("benchmark regression gate failed:\n  %s", strings.Join(failed, "\n  "))
+	}
+	fmt.Printf("bench-regression gate passed: %d benchmarks within %.2gx\n", checked, maxRatio)
+	return nil
+}

@@ -28,10 +28,12 @@
 //
 // For serving under heavy traffic, use the batched front end: the first
 // WatchBatch call freezes the monitor's BDD managers read-only, after
-// which batches fan out over a GOMAXPROCS worker pool and may be issued
-// from any number of goroutines concurrently (safety by construction —
-// the serving path performs no writes; see DESIGN.md,
-// "Freeze-then-serve concurrency model"):
+// which whole micro-batches flow through the batched GEMM inference
+// path (stacked im2col, blocked matrix multiply, fused bias+ReLU
+// epilogues, pooled allocation-free scratch — see DESIGN.md, "Batched
+// inference") and may be issued from any number of goroutines
+// concurrently (safety by construction — the serving path performs no
+// writes; see DESIGN.md, "Freeze-then-serve concurrency model"):
 //
 //	verdicts := napmon.WatchBatch(net, mon, inputs)
 //
@@ -62,7 +64,12 @@
 // addressed unique table, lossy computed table, cache statistics — see
 // DESIGN.md, "BDD manager internals"), the synthetic MNIST-like/
 // GTSRB-like datasets and the highway front-car case study the
-// experiments run on. See DESIGN.md for the system inventory; every PR is
-// gated by .github/workflows/ci.yml (gofmt, vet, build, race-detector
-// tests, benchmark smoke run), mirrored locally by `make ci`.
+// experiments run on. See DESIGN.md for the system inventory; every PR
+// is gated by .github/workflows/ci.yml, mirrored locally by `make ci`:
+// gofmt, vet + staticcheck (make lint), build, race-detector tests and a
+// -benchmem benchmark smoke run on a Go 1.22/1.23 matrix, plus a
+// bench-regression job (make bench-json records BENCH_PR3.json and make
+// bench-check fails >1.3x ns/op regressions of the serving benchmarks
+// against ci/bench-baseline.json) and a serve-demo end-to-end daemon
+// smoke job (make serve-demo).
 package napmon

@@ -2,8 +2,10 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"napmon/internal/nn"
 	"napmon/internal/tensor"
@@ -244,13 +246,31 @@ func (m *Monitor) Watch(net *nn.Network, x *tensor.Tensor) Verdict {
 	return Verdict{Class: pred, Monitored: true, OutOfPattern: !z.Contains(p), Pattern: p}
 }
 
-// WatchBatch runs Watch over a batch of inputs on a GOMAXPROCS-sized
-// worker pool and returns one Verdict per input, in input order. Each
-// worker clones the network (shared parameters, private scratch buffers)
-// and zone queries are plain reads of frozen BDDs, so throughput scales
-// with cores: this is the serving front end for heavy multi-user traffic.
-// The monitor is frozen on first use (see Freeze); WatchBatch itself may
-// be called concurrently from many goroutines.
+// scratchPools recycles tensor.Pool instances across WatchBatch calls so
+// a hot serving loop reuses warm scratch buffers instead of reallocating
+// a network's worth of intermediates per batch. Each pool is owned by
+// exactly one goroutine between Get and Put.
+var scratchPools = sync.Pool{New: func() any { return tensor.NewPool() }}
+
+// maxWatchChunk bounds how many inputs one ForwardBatch pass stacks
+// together, capping scratch memory (the widest intermediate is the
+// batched im2col matrix — ~0.5MB per input for the Table I MNIST net's
+// second conv) while keeping GEMMs wide enough to saturate the kernels:
+// at 64 samples a conv GEMM is already thousands of columns wide.
+const maxWatchChunk = 64
+
+// WatchBatch runs inference and the comfort-zone membership query for a
+// batch of inputs and returns one Verdict per input, in input order. The
+// batch is fed through Network.ForwardBatch in whole micro-batch chunks —
+// dense layers collapse to one (B×in)×(in×out) GEMM, conv layers to one
+// batched im2col + GEMM — rather than fanning out per-input goroutines,
+// with per-row activation-pattern extraction against the frozen BDD
+// zones. On multi-core hosts the batch splits into per-worker chunks so
+// GEMM width and core count multiply; all scratch is pooled, so a warm
+// serving loop allocates only the verdict slice. The monitor is frozen on
+// first use (see Freeze); WatchBatch may be called concurrently from any
+// number of goroutines because the batched forward path touches no
+// per-layer state.
 func (m *Monitor) WatchBatch(net *nn.Network, inputs []*tensor.Tensor) []Verdict {
 	if len(inputs) == 0 {
 		// An empty batch has no serving work to do; in particular it must
@@ -258,9 +278,102 @@ func (m *Monitor) WatchBatch(net *nn.Network, inputs []*tensor.Tensor) []Verdict
 		return []Verdict{}
 	}
 	m.Freeze()
-	return nn.ParallelMapSlice(net, inputs, func(w *nn.Network, x *tensor.Tensor) Verdict {
-		return m.Watch(w, x)
-	})
+	out := make([]Verdict, len(inputs))
+	workers := runtime.GOMAXPROCS(0)
+	chunk := (len(inputs) + workers - 1) / workers
+	if chunk > maxWatchChunk {
+		chunk = maxWatchChunk
+	}
+	if chunk >= len(inputs) {
+		m.watchChunk(net, inputs, out)
+		return out
+	}
+	// At most `workers` goroutines run regardless of batch size — each
+	// owns one scratch pool at a time and claims chunks off an atomic
+	// cursor, so memory is bounded by workers × one chunk's scratch.
+	numChunks := (len(inputs) + chunk - 1) / chunk
+	if workers > numChunks {
+		workers = numChunks
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				c := int(next.Add(1)) - 1
+				if c >= numChunks {
+					return
+				}
+				lo := c * chunk
+				hi := lo + chunk
+				if hi > len(inputs) {
+					hi = len(inputs)
+				}
+				m.watchChunk(net, inputs[lo:hi], out[lo:hi])
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// WatchBatchPooled serves one whole batch through a single ForwardBatch
+// pass on the calling goroutine, drawing every intermediate from the
+// caller's scratch pool. This is the entry point for serving lanes that
+// own a long-lived pool (internal/serve): the lane's buffers stay warm
+// across micro-batches, and lane-level parallelism replaces WatchBatch's
+// own worker split. The monitor is frozen on first use; pool must not be
+// shared between concurrent callers. A nil pool uses a throwaway one.
+func (m *Monitor) WatchBatchPooled(net *nn.Network, inputs []*tensor.Tensor, pool *tensor.Pool) []Verdict {
+	if len(inputs) == 0 {
+		return []Verdict{}
+	}
+	m.Freeze()
+	out := make([]Verdict, len(inputs))
+	m.watchChunkPooled(net, inputs, out, pool)
+	return out
+}
+
+// watchChunk serves one chunk with a recycled scratch pool.
+func (m *Monitor) watchChunk(net *nn.Network, inputs []*tensor.Tensor, out []Verdict) {
+	pool := scratchPools.Get().(*tensor.Pool)
+	m.watchChunkPooled(net, inputs, out, pool)
+	scratchPools.Put(pool)
+}
+
+// watchChunkPooled is the batched serving core: one ForwardBatchCapture
+// pass over the chunk, then per-row argmax, pattern extraction and zone
+// membership.
+func (m *Monitor) watchChunkPooled(net *nn.Network, inputs []*tensor.Tensor, out []Verdict, pool *tensor.Pool) {
+	logits, acts := net.ForwardBatchCapture(inputs, m.cfg.Layer, pool)
+	b := len(inputs)
+	nc := logits.Len() / b
+	width := acts.Len() / b
+	ldata, adata := logits.Data(), acts.Data()
+	for i := range inputs {
+		row := ldata[i*nc : (i+1)*nc]
+		pred := 0
+		for j := 1; j < nc; j++ {
+			if row[j] > row[pred] {
+				pred = j
+			}
+		}
+		p := PatternOfRow(adata[i*width:(i+1)*width], m.neurons)
+		z, ok := m.zones[pred]
+		if !ok {
+			out[i] = Verdict{Class: pred, Monitored: false, Pattern: p}
+			continue
+		}
+		out[i] = Verdict{Class: pred, Monitored: true, OutOfPattern: !z.Contains(p), Pattern: p}
+	}
+	if pool != nil {
+		pool.Put(logits)
+		if &acts.Data()[0] != &logits.Data()[0] {
+			pool.Put(acts)
+		}
+	}
 }
 
 // WatchPattern checks a pre-extracted pattern against class c's zone.

@@ -45,6 +45,21 @@ func PatternOfSubset(acts *tensor.Tensor, neurons []int) Pattern {
 	return p
 }
 
+// PatternOfRow extracts the activation pattern of one row of a stacked
+// batch activation matrix (the ForwardBatch layout), restricted to the
+// listed neuron indices. It is PatternOfSubset over a raw slice, used by
+// the batched serving path to avoid wrapping every row in a tensor.
+func PatternOfRow(row []float64, neurons []int) Pattern {
+	p := make(Pattern, len(neurons))
+	for i, n := range neurons {
+		if n < 0 || n >= len(row) {
+			panic(fmt.Sprintf("core: neuron index %d out of range [0,%d)", n, len(row)))
+		}
+		p[i] = row[n] > 0
+	}
+	return p
+}
+
 // Hamming returns the Hamming distance H(p, q) between two equal-length
 // patterns.
 func Hamming(p, q Pattern) int {

@@ -1,0 +1,218 @@
+// Batched inference: every layer implements ForwardBatch over a stacked
+// (B, per-sample shape...) tensor, so a whole micro-batch flows through
+// the network as a handful of large GEMMs instead of B small ones —
+// dense layers become one (B×in)×(in×out) product, conv layers lower the
+// whole batch with one Im2ColBatch and multiply once. All scratch comes
+// from a tensor.Pool, making the hot path allocation-free after warm-up,
+// and adjacent Dense+ReLU pairs fuse into a single GEMM with a
+// bias+ReLU epilogue. Each output row is bit-identical to the per-sample
+// Forward path (the kernels keep identical accumulation order), which
+// the randomized equivalence tests in batch_test.go pin down.
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"napmon/internal/tensor"
+)
+
+// ForwardBatch runs inference over the batch of inputs and returns the
+// stacked logits of shape (B, classes). All inputs must share one shape.
+// Unlike Forward it touches no per-layer state, so concurrent calls on
+// the same network are safe; pool must be private to the caller (pass
+// nil for a throwaway pool).
+func (n *Network) ForwardBatch(inputs []*tensor.Tensor, pool *tensor.Pool) *tensor.Tensor {
+	logits, _ := n.forwardBatch(inputs, -1, pool)
+	return logits
+}
+
+// ForwardBatchCapture is ForwardBatch additionally returning the stacked
+// output of the layer at index capture, shaped (B, layer output...).
+// Neither returned tensor is retained by the network; callers owning the
+// pool may Put both back when done (they never alias each other unless
+// capture is the final layer).
+func (n *Network) ForwardBatchCapture(inputs []*tensor.Tensor, capture int, pool *tensor.Pool) (logits, captured *tensor.Tensor) {
+	if capture < 0 || capture >= len(n.layers) {
+		panic(fmt.Sprintf("nn: capture index %d out of range [0,%d)", capture, len(n.layers)))
+	}
+	return n.forwardBatch(inputs, capture, pool)
+}
+
+// forwardBatch stacks the inputs into one pooled (B, sample...) tensor
+// and walks the layers through their ForwardBatch implementations,
+// recycling each intermediate as soon as the next layer has consumed it.
+// A Dense layer immediately followed by ReLU is fused into one GEMM with
+// a bias+ReLU epilogue unless the Dense output itself is captured.
+func (n *Network) forwardBatch(inputs []*tensor.Tensor, capture int, pool *tensor.Pool) (logits, captured *tensor.Tensor) {
+	if len(inputs) == 0 {
+		panic("nn: ForwardBatch of empty batch")
+	}
+	if pool == nil {
+		pool = tensor.NewPool()
+	}
+	shape := inputs[0].Shape()
+	x := pool.Get(append([]int{len(inputs)}, shape...)...)
+	sampleLen := inputs[0].Len()
+	for i, in := range inputs {
+		if in.Len() != sampleLen {
+			panic(fmt.Sprintf("nn: ForwardBatch input %d has %d elements, input 0 has %d",
+				i, in.Len(), sampleLen))
+		}
+		copy(x.Data()[i*sampleLen:(i+1)*sampleLen], in.Data())
+	}
+	cur := x
+	i := 0
+	for i < len(n.layers) {
+		var next *tensor.Tensor
+		step := 1
+		if i+1 < len(n.layers) && capture != i {
+			if _, isReLU := n.layers[i+1].(*ReLU); isReLU {
+				switch l := n.layers[i].(type) {
+				case *Dense:
+					next = l.forwardBatchDense(cur, pool, true)
+					step = 2
+				case *Conv2D:
+					next = l.forwardBatchConv(cur, pool, true)
+					step = 2
+				}
+			}
+		}
+		if next == nil {
+			next = n.layers[i].ForwardBatch(cur, pool)
+		}
+		// Recycle the consumed input unless the new tensor is a view of
+		// it (Flatten) or it shares the captured activation's backing
+		// array (cur may itself be the captured tensor, or a later view
+		// of it — recycling either would hand the caller's captured
+		// buffer back to the pool while still live).
+		if &cur.Data()[0] != &next.Data()[0] &&
+			(captured == nil || &cur.Data()[0] != &captured.Data()[0]) {
+			pool.Put(cur)
+		}
+		cur = next
+		if i <= capture && capture <= i+step-1 {
+			captured = cur
+		}
+		i += step
+	}
+	return cur, captured
+}
+
+// batchDim checks that x carries a leading batch dimension over the
+// expected per-sample element count and returns the batch size.
+func batchDim(x *tensor.Tensor, sampleLen int, name string) int {
+	if x.Rank() < 2 || x.Dim(0) <= 0 {
+		panic(fmt.Sprintf("nn: %s ForwardBatch input %v lacks a batch dimension", name, x.Shape()))
+	}
+	if x.Len() != x.Dim(0)*sampleLen {
+		panic(fmt.Sprintf("nn: %s ForwardBatch got %d elements per sample, want %d",
+			name, x.Len()/x.Dim(0), sampleLen))
+	}
+	return x.Dim(0)
+}
+
+// ForwardBatch implements Layer: one (B×in)×(in×out)ᵀ GEMM with a fused
+// bias epilogue replaces B MatVec calls.
+func (d *Dense) ForwardBatch(x *tensor.Tensor, pool *tensor.Pool) *tensor.Tensor {
+	return d.forwardBatchDense(x, pool, false)
+}
+
+func (d *Dense) forwardBatchDense(x *tensor.Tensor, pool *tensor.Pool, fuseReLU bool) *tensor.Tensor {
+	b := batchDim(x, d.in, d.Name())
+	xm := x
+	if x.Rank() != 2 {
+		xm = x.Reshape(b, d.in)
+	}
+	out := pool.Get(b, d.out)
+	tensor.MatMulTransBBiasInto(out, xm, d.w, d.b.Data(), fuseReLU)
+	return out
+}
+
+// ForwardBatch implements Layer: the whole batch is lowered with one
+// Im2ColBatch, multiplied by the kernel matrix in a single GEMM, and
+// unstacked to batch-major layout with the bias folded into the copy.
+func (c *Conv2D) ForwardBatch(x *tensor.Tensor, pool *tensor.Pool) *tensor.Tensor {
+	return c.forwardBatchConv(x, pool, false)
+}
+
+func (c *Conv2D) forwardBatchConv(x *tensor.Tensor, pool *tensor.Pool, fuseReLU bool) *tensor.Tensor {
+	if x.Rank() != 4 || x.Dim(1) != c.inC {
+		panic(fmt.Sprintf("nn: %s ForwardBatch got input %v, want (B,%d,H,W)", c.Name(), x.Shape(), c.inC))
+	}
+	b, inH, inW := x.Dim(0), x.Dim(2), x.Dim(3)
+	outH := (inH-c.kh)/c.stride + 1
+	outW := (inW-c.kw)/c.stride + 1
+	area := outH * outW
+	cols := pool.Get(c.inC*c.kh*c.kw, b*area)
+	tensor.Im2ColBatchInto(cols, x, c.kh, c.kw, c.stride)
+	prod := pool.Get(c.outC, b*area)
+	tensor.MatMulInto(prod, c.w.Reshape(c.outC, c.inC*c.kh*c.kw), cols)
+	pool.Put(cols)
+	out := pool.Get(b, c.outC, outH, outW)
+	tensor.AddBiasUnstackInto(out, prod, b, c.outC, area, c.b.Data(), fuseReLU)
+	pool.Put(prod)
+	return out
+}
+
+// ForwardBatch implements Layer: one rectification sweep over the stacked
+// batch.
+func (l *ReLU) ForwardBatch(x *tensor.Tensor, pool *tensor.Pool) *tensor.Tensor {
+	out := pool.Get(x.Shape()...)
+	dst := out.Data()
+	for i, v := range x.Data() {
+		if v > 0 {
+			dst[i] = v
+		} else {
+			dst[i] = 0
+		}
+	}
+	return out
+}
+
+// ForwardBatch implements Layer: a reshaping view keeping the batch
+// dimension — no copy, the backing array is shared with x.
+func (l *Flatten) ForwardBatch(x *tensor.Tensor, pool *tensor.Pool) *tensor.Tensor {
+	b := x.Dim(0)
+	return x.Reshape(b, x.Len()/b)
+}
+
+// ForwardBatch implements Layer: sample-by-sample pooling into one pooled
+// output, with no argmax bookkeeping.
+func (l *MaxPool) ForwardBatch(x *tensor.Tensor, pool *tensor.Pool) *tensor.Tensor {
+	if x.Rank() != 4 {
+		panic(fmt.Sprintf("nn: %s ForwardBatch got input %v, want (B,C,H,W)", l.Name(), x.Shape()))
+	}
+	b, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	out := pool.Get(b, c, h/l.size, w/l.size)
+	tensor.MaxPool2DBatchInto(out, x, l.size)
+	return out
+}
+
+// ForwardBatch implements Layer: channel-wise normalization of the whole
+// batch with the frozen running statistics (inference mode).
+func (bn *BatchNorm) ForwardBatch(x *tensor.Tensor, pool *tensor.Pool) *tensor.Tensor {
+	if x.Rank() != 4 || x.Dim(1) != bn.ch {
+		panic(fmt.Sprintf("nn: %s ForwardBatch got input %v, want (B,%d,H,W)", bn.Name(), x.Shape(), bn.ch))
+	}
+	b, h, w := x.Dim(0), x.Dim(2), x.Dim(3)
+	area := h * w
+	out := pool.Get(b, bn.ch, h, w)
+	for c := 0; c < bn.ch; c++ {
+		mean := bn.runMean.Data()[c]
+		invStd := 1 / math.Sqrt(bn.runVar.Data()[c]+bnEps)
+		g, bv := bn.gamma.Data()[c], bn.beta.Data()[c]
+		for s := 0; s < b; s++ {
+			base := (s*bn.ch + c) * area
+			src := x.Data()[base : base+area]
+			dst := out.Data()[base : base+area]
+			for i, v := range src {
+				// Same operation order as Forward's normalize-then-affine
+				// so the result is bit-identical.
+				norm := (v - mean) * invStd
+				dst[i] = g*norm + bv
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,295 @@
+package nn
+
+import (
+	"sync"
+	"testing"
+
+	"napmon/internal/rng"
+	"napmon/internal/tensor"
+)
+
+// randDenseNet builds a random-depth fully-connected ReLU stack ending in
+// a linear classifier, with random widths.
+func randDenseNet(r *rng.Source, in int) *Network {
+	var layers []Layer
+	width := in
+	depth := 1 + r.Intn(4)
+	for d := 0; d < depth; d++ {
+		next := 1 + r.Intn(24)
+		layers = append(layers, NewDense(width, next, r), NewReLU())
+		width = next
+	}
+	layers = append(layers, NewDense(width, 3+r.Intn(8), r))
+	return New(layers...)
+}
+
+// randConvNet builds a conv→BN→ReLU→pool→conv→ReLU→pool→flatten→dense
+// network over (2, 12, 12) inputs, exercising every layer kind.
+func randConvNet(r *rng.Source) *Network {
+	// 2×12×12 → conv(5ch,3×3) → 5×10×10 → BN → ReLU → pool2 → 5×5×5
+	// → conv(4ch,2×2) → 4×4×4 → ReLU → pool2 → 4×2×2 → flatten 16
+	return New(
+		NewConv2D(5, 2, 3, 3, 1, r),
+		NewBatchNorm(5),
+		NewReLU(),
+		NewMaxPool(2),
+		NewConv2D(4, 5, 2, 2, 1, r),
+		NewReLU(),
+		NewMaxPool(2),
+		NewFlatten(),
+		NewDense(16, 10, r),
+		NewReLU(),
+		NewDense(10, 4, r),
+	)
+}
+
+// assertRowsEqual checks that row b of the stacked batch output is
+// bit-identical to the per-sample reference tensor.
+func assertRowsEqual(t *testing.T, tag string, batchOut *tensor.Tensor, b int, want *tensor.Tensor) {
+	t.Helper()
+	rowLen := want.Len()
+	row := batchOut.Data()[b*rowLen : (b+1)*rowLen]
+	for i, v := range want.Data() {
+		if row[i] != v {
+			t.Fatalf("%s: sample %d element %d: batch %v, single %v", tag, b, i, row[i], v)
+		}
+	}
+}
+
+// TestForwardBatchMatchesForwardDense is the randomized property test for
+// fully-connected networks: for random architectures, batch sizes and
+// inputs, every row of ForwardBatch must equal the per-input Forward
+// output bit for bit (the GEMM accumulates in MatVec order).
+func TestForwardBatchMatchesForwardDense(t *testing.T) {
+	r := rng.New(101)
+	for trial := 0; trial < 25; trial++ {
+		in := 1 + r.Intn(30)
+		net := randDenseNet(r, in)
+		bsz := 1 + r.Intn(9)
+		inputs := make([]*tensor.Tensor, bsz)
+		for i := range inputs {
+			inputs[i] = randInput(r, in)
+		}
+		pool := tensor.NewPool()
+		logits := net.ForwardBatch(inputs, pool)
+		if logits.Dim(0) != bsz {
+			t.Fatalf("trial %d: logits shape %v for batch %d", trial, logits.Shape(), bsz)
+		}
+		for b, x := range inputs {
+			assertRowsEqual(t, "dense logits", logits, b, net.Forward(x))
+		}
+	}
+}
+
+// TestForwardBatchMatchesForwardConv is the conv-net property test:
+// batched im2col + one GEMM + epilogue must reproduce the per-sample
+// conv/BN/pool pipeline bit-exactly.
+func TestForwardBatchMatchesForwardConv(t *testing.T) {
+	r := rng.New(202)
+	for trial := 0; trial < 8; trial++ {
+		net := randConvNet(r)
+		// Give BatchNorm nontrivial running statistics.
+		for warm := 0; warm < 3; warm++ {
+			net.forward(randInput(r, 2, 12, 12), true)
+		}
+		bsz := 1 + r.Intn(7)
+		inputs := make([]*tensor.Tensor, bsz)
+		for i := range inputs {
+			inputs[i] = randInput(r, 2, 12, 12)
+		}
+		logits := net.ForwardBatch(inputs, tensor.NewPool())
+		for b, x := range inputs {
+			assertRowsEqual(t, "conv logits", logits, b, net.Forward(x))
+		}
+	}
+}
+
+// TestForwardBatchCaptureMatchesForwardCapture sweeps the capture index
+// over every layer — including Dense layers whose following ReLU would
+// otherwise be fused, and view-returning Flatten — and checks both the
+// captured rows and the logits against ForwardCapture.
+func TestForwardBatchCaptureMatchesForwardCapture(t *testing.T) {
+	r := rng.New(303)
+	net := randConvNet(r)
+	inputs := make([]*tensor.Tensor, 5)
+	for i := range inputs {
+		inputs[i] = randInput(r, 2, 12, 12)
+	}
+	pool := tensor.NewPool()
+	for capture := 0; capture < net.NumLayers(); capture++ {
+		logits, captured := net.ForwardBatchCapture(inputs, capture, pool)
+		for b, x := range inputs {
+			wantLogits, wantCap := net.ForwardCapture(x, capture)
+			assertRowsEqual(t, "capture logits", logits, b, wantLogits)
+			assertRowsEqual(t, "captured acts", captured, b, wantCap)
+		}
+	}
+}
+
+// TestForwardBatchCapturePreFlattenNoDoubleFree is the regression test
+// for a pool-corruption bug: when the captured layer's output later
+// flowed through Flatten (a view sharing its backing array), the view
+// was recycled mid-pass even though the caller still held the captured
+// tensor — and a caller returning the captured tensor afterwards put the
+// same backing array into the pool twice, so two later Gets aliased one
+// buffer.
+func TestForwardBatchCapturePreFlattenNoDoubleFree(t *testing.T) {
+	r := rng.New(707)
+	net := randConvNet(r)
+	const preFlatten = 6 // the MaxPool feeding Flatten in randConvNet
+	if _, ok := net.Layer(preFlatten).(*MaxPool); !ok {
+		t.Fatalf("layer %d is %s, expected the pre-Flatten MaxPool", preFlatten, net.Layer(preFlatten).Name())
+	}
+	inputs := make([]*tensor.Tensor, 3)
+	for i := range inputs {
+		inputs[i] = randInput(r, 2, 12, 12)
+	}
+	pool := tensor.NewPool()
+	logits, captured := net.ForwardBatchCapture(inputs, preFlatten, pool)
+	want := captured.Clone()
+	// Return both results the way Monitor.watchChunkPooled does.
+	pool.Put(logits)
+	pool.Put(captured)
+	// The captured backing must now be in the pool exactly once: two
+	// Gets of its size must not alias each other.
+	a := pool.Get(captured.Shape()...)
+	b := pool.Get(captured.Shape()...)
+	if &a.Data()[0] == &b.Data()[0] {
+		t.Fatal("pool handed out the captured tensor's backing twice (double Put)")
+	}
+	pool.Put(a)
+	pool.Put(b)
+	// And a repeat pass on the warm pool must still be correct.
+	_, captured2 := net.ForwardBatchCapture(inputs, preFlatten, pool)
+	for i, v := range want.Data() {
+		if captured2.Data()[i] != v {
+			t.Fatalf("captured activations diverged on warm pool at %d", i)
+		}
+	}
+}
+
+// TestForwardBatchPoolWarmsUp checks the allocation-free contract: after
+// one warm-up pass, repeated batches of the same shape take every buffer
+// from the pool (no new misses) and still produce identical results.
+func TestForwardBatchPoolWarmsUp(t *testing.T) {
+	r := rng.New(404)
+	net := randConvNet(r)
+	inputs := make([]*tensor.Tensor, 6)
+	for i := range inputs {
+		inputs[i] = randInput(r, 2, 12, 12)
+	}
+	pool := tensor.NewPool()
+	first := net.ForwardBatch(inputs, pool).Clone()
+	pool.Put(net.ForwardBatch(inputs, pool)) // second pass, then recycle
+	_, missesBefore := pool.Stats()
+	for rep := 0; rep < 3; rep++ {
+		out := net.ForwardBatch(inputs, pool)
+		for i, v := range first.Data() {
+			if out.Data()[i] != v {
+				t.Fatalf("rep %d: output %d diverged on recycled buffers", rep, i)
+			}
+		}
+		pool.Put(out)
+	}
+	if _, misses := pool.Stats(); misses != missesBefore {
+		t.Fatalf("warm pool still allocating: misses %d → %d", missesBefore, misses)
+	}
+}
+
+// TestForwardBatchConcurrent pins the no-shared-state claim: many
+// goroutines run ForwardBatch on the SAME network (no CloneShared), each
+// with a private pool. Run under -race this fails if any layer's batched
+// path touches per-layer mutable state.
+func TestForwardBatchConcurrent(t *testing.T) {
+	r := rng.New(505)
+	net := randConvNet(r)
+	inputs := make([]*tensor.Tensor, 4)
+	for i := range inputs {
+		inputs[i] = randInput(r, 2, 12, 12)
+	}
+	want := net.ForwardBatch(inputs, nil)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			pool := tensor.NewPool()
+			for rep := 0; rep < 5; rep++ {
+				got := net.ForwardBatch(inputs, pool)
+				for i, v := range want.Data() {
+					if got.Data()[i] != v {
+						t.Errorf("concurrent ForwardBatch diverged at %d", i)
+						return
+					}
+				}
+				pool.Put(got)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// BenchmarkForwardBatchShapes compares per-sample Forward against
+// ForwardBatch on an untrained network with the paper's MNIST (Table I)
+// architecture — training does not change the arithmetic cost, so this
+// is the fast inner-loop benchmark for kernel work. inputs/s is the
+// comparable throughput metric.
+func BenchmarkForwardBatchShapes(b *testing.B) {
+	r := rng.New(1)
+	net := New(
+		NewConv2D(40, 1, 5, 5, 1, r), NewReLU(), NewMaxPool(2),
+		NewConv2D(20, 40, 5, 5, 1, r), NewReLU(), NewMaxPool(2),
+		NewFlatten(),
+		NewDense(320, 320, r), NewReLU(),
+		NewDense(320, 160, r), NewReLU(),
+		NewDense(160, 80, r), NewReLU(),
+		NewDense(80, 40, r), NewReLU(),
+		NewDense(40, 10, r),
+	)
+	const batch = 64
+	inputs := make([]*tensor.Tensor, batch)
+	for i := range inputs {
+		inputs[i] = randInput(r, 1, 28, 28)
+	}
+	b.Run("forward_loop", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, x := range inputs {
+				net.Forward(x)
+			}
+		}
+		b.ReportMetric(float64(batch)*float64(b.N)/b.Elapsed().Seconds(), "inputs/s")
+	})
+	b.Run("forward_batch", func(b *testing.B) {
+		pool := tensor.NewPool()
+		pool.Put(net.ForwardBatch(inputs, pool))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			pool.Put(net.ForwardBatch(inputs, pool))
+		}
+		b.ReportMetric(float64(batch)*float64(b.N)/b.Elapsed().Seconds(), "inputs/s")
+	})
+}
+
+// TestForwardBatchRejectsBadBatch checks the input-validation panics:
+// empty batches and shape-mismatched inputs must fail loudly rather than
+// corrupt the stacked tensor.
+func TestForwardBatchRejectsBadBatch(t *testing.T) {
+	r := rng.New(606)
+	net := randDenseNet(r, 4)
+	assertPanics := func(tag string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", tag)
+			}
+		}()
+		f()
+	}
+	assertPanics("empty batch", func() { net.ForwardBatch(nil, nil) })
+	assertPanics("mismatched shapes", func() {
+		net.ForwardBatch([]*tensor.Tensor{randInput(r, 4), randInput(r, 5)}, nil)
+	})
+	assertPanics("capture out of range", func() {
+		net.ForwardBatchCapture([]*tensor.Tensor{randInput(r, 4)}, net.NumLayers(), nil)
+	})
+}

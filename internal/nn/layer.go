@@ -36,6 +36,15 @@ type Layer interface {
 	// Forward applies the layer. With train=false no state is cached and
 	// (for BatchNorm) inference statistics are used.
 	Forward(x *tensor.Tensor, train bool) *tensor.Tensor
+	// ForwardBatch applies the layer to a whole batch stacked along a
+	// leading dimension: x has shape (B, per-sample shape...) and the
+	// result keeps the batch dimension first. It is inference-only (no
+	// caching, BatchNorm uses running statistics), draws every scratch
+	// and output buffer from pool, and touches no per-layer mutable
+	// state — so unlike Forward it is safe to call concurrently on the
+	// same layer. Row b of the output is bit-identical to
+	// Forward(sample b); see batch.go.
+	ForwardBatch(x *tensor.Tensor, pool *tensor.Pool) *tensor.Tensor
 	// Backward propagates gradOut (gradient of the loss with respect to
 	// this layer's output) to the layer input, accumulating parameter
 	// gradients along the way.

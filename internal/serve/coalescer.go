@@ -4,7 +4,6 @@ import (
 	"time"
 
 	"napmon/internal/core"
-	"napmon/internal/nn"
 	"napmon/internal/tensor"
 )
 
@@ -99,11 +98,16 @@ func failAll(batch []request) {
 	}
 }
 
-// serveLane is one serving shard's loop: take a batch, run it through
-// WatchBatch on the lane's private network replica, resolve the futures,
-// record metrics. After an abort, remaining batches are failed without
-// inference so Shutdown returns promptly.
-func (s *Server) serveLane(ln *nn.Network) {
+// serveLane is one serving shard's loop: take a micro-batch, feed it
+// whole through the batched GEMM inference path (Monitor.WatchBatchPooled
+// over Network.ForwardBatch) on the lane's private replica and scratch
+// pool, resolve the futures, record metrics. The coalescer's MaxBatch
+// therefore translates directly into GEMM width — no per-input goroutine
+// fan-out; on multi-core hosts the GEMM kernels parallelize internally.
+// The lane's pool stays warm across batches, so a steady lane allocates
+// almost nothing per batch. After an abort, remaining batches are failed
+// without inference so Shutdown returns promptly.
+func (s *Server) serveLane(ln *lane) {
 	defer s.wg.Done()
 	for batch := range s.batches {
 		select {
@@ -116,7 +120,7 @@ func (s *Server) serveLane(ln *nn.Network) {
 		for i, req := range batch {
 			inputs[i] = req.input
 		}
-		verdicts := s.mon.WatchBatch(ln, inputs)
+		verdicts := s.mon.WatchBatchPooled(ln.net, inputs, ln.scratch)
 		now := time.Now()
 		for i, req := range batch {
 			s.lat.record(now.Sub(req.enq))

@@ -13,10 +13,12 @@
 // accumulated or MaxDelay has elapsed since the batch's first request —
 // so trickle traffic is answered within one deadline and saturating
 // traffic always rides full batches. Lanes are per-shard monitor
-// replicas: each owns a CloneShared copy of the network (shared weights,
-// private scratch) and executes whole batches through Monitor.WatchBatch
-// against the frozen BDD zones, which are safe for concurrent reads by
-// construction (see DESIGN.md, "Freeze-then-serve concurrency model").
+// replicas: each owns a CloneShared copy of the network plus a warm
+// scratch pool and executes whole micro-batches through the batched GEMM
+// inference path (Monitor.WatchBatchPooled → Network.ForwardBatch) —
+// MaxBatch is literally the GEMM width — against the frozen BDD zones,
+// which are safe for concurrent reads by construction (see DESIGN.md,
+// "Freeze-then-serve concurrency model" and "Batched inference").
 //
 // Every Submit returns a *Future that resolves exactly once — with a
 // Verdict, or with ErrServerClosed if the server aborts before the
@@ -115,15 +117,22 @@ type request struct {
 	enq   time.Time
 }
 
+// lane is one serving shard: a CloneShared network replica plus a
+// private scratch pool that feeds the batched GEMM inference path and
+// stays warm across micro-batches. Zone membership reads go to the
+// shared frozen monitor, which needs no replication.
+type lane struct {
+	net     *nn.Network
+	scratch *tensor.Pool
+}
+
 // Server is a long-lived serving front end over one frozen monitor.
 // Construct with New, feed with Submit/SubmitAll from any number of
-// goroutines, stop with Shutdown. Each lane is one serving shard: a
-// private CloneShared network replica (zone membership reads go to the
-// shared frozen monitor, which needs no replication).
+// goroutines, stop with Shutdown.
 type Server struct {
 	cfg   Config
 	mon   *core.Monitor
-	lanes []*nn.Network
+	lanes []*lane
 
 	queue   chan request   // Submit → coalescer (bounded; backpressure)
 	batches chan []request // coalescer → lanes
@@ -169,9 +178,9 @@ func New(net *nn.Network, m *core.Monitor, cfg Config) (*Server, error) {
 		done:    make(chan struct{}),
 	}
 	s.lat.init(cfg.LatencyWindow)
-	s.lanes = make([]*nn.Network, cfg.Lanes)
+	s.lanes = make([]*lane, cfg.Lanes)
 	for i := range s.lanes {
-		s.lanes[i] = net.CloneShared()
+		s.lanes[i] = &lane{net: net.CloneShared(), scratch: tensor.NewPool()}
 	}
 	s.wg.Add(1 + len(s.lanes))
 	go s.coalesce()

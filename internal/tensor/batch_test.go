@@ -1,0 +1,227 @@
+package tensor
+
+import (
+	"math"
+	"runtime"
+	"testing"
+
+	"napmon/internal/rng"
+)
+
+// TestMatMulBlockedMatchesNaive sweeps random shapes — including inner
+// dimensions beyond one k panel and edge sizes the 4×4 tiling does not
+// cover — and checks the blocked kernel against the triple-loop
+// reference within tight relative tolerance.
+func TestMatMulBlockedMatchesNaive(t *testing.T) {
+	r := rng.New(42)
+	for trial := 0; trial < 30; trial++ {
+		m := 1 + r.Intn(70)
+		k := 1 + r.Intn(600) // crosses the blockK=256 panel boundary
+		n := 1 + r.Intn(70)
+		a := randTensor(r, m, k)
+		b := randTensor(r, k, n)
+		got := New(m, n)
+		want := New(m, n)
+		MatMulInto(got, a, b)
+		MatMulNaiveInto(want, a, b)
+		for i := range want.Data() {
+			g, w := got.Data()[i], want.Data()[i]
+			if math.Abs(g-w) > 1e-9*(1+math.Abs(w)) {
+				t.Fatalf("(%d,%d,%d) elem %d: blocked %v, naive %v", m, k, n, i, g, w)
+			}
+		}
+	}
+}
+
+// TestMatMulDeterministicAcrossWorkers pins the bit-stability guarantee:
+// the same product computed single-threaded and with the goroutine row
+// split must agree exactly, because the panel-subtotal accumulation
+// order is independent of how rows land on tiles or workers.
+func TestMatMulDeterministicAcrossWorkers(t *testing.T) {
+	r := rng.New(7)
+	a := randTensor(r, 67, 530)
+	b := randTensor(r, 530, 45)
+	serial := New(67, 45)
+	prev := runtime.GOMAXPROCS(1)
+	MatMulInto(serial, a, b)
+	runtime.GOMAXPROCS(8)
+	parallel := New(67, 45)
+	MatMulInto(parallel, a, b)
+	runtime.GOMAXPROCS(prev)
+	for i := range serial.Data() {
+		if serial.Data()[i] != parallel.Data()[i] {
+			t.Fatalf("elem %d differs across worker counts: %v vs %v",
+				i, serial.Data()[i], parallel.Data()[i])
+		}
+	}
+}
+
+// TestMatMulTransBMatchesMatVec pins the dense-batch contract: row i of
+// A×Bᵀ must equal MatVec(B, row i of A) bit for bit, since ForwardBatch
+// relies on exactly this equivalence against the per-sample path.
+func TestMatMulTransBMatchesMatVec(t *testing.T) {
+	r := rng.New(9)
+	for trial := 0; trial < 20; trial++ {
+		m := 1 + r.Intn(19)
+		k := 1 + r.Intn(400)
+		n := 1 + r.Intn(50)
+		a := randTensor(r, m, k)
+		b := randTensor(r, n, k)
+		c := New(m, n)
+		MatMulTransBInto(c, a, b)
+		for i := 0; i < m; i++ {
+			row := FromSlice(append([]float64(nil), a.Data()[i*k:(i+1)*k]...), k)
+			want := MatVec(b, row.Data())
+			for j := 0; j < n; j++ {
+				if got := c.At(i, j); got != want[j] {
+					t.Fatalf("(%d,%d,%d) row %d col %d: transB %v, matvec %v", m, k, n, i, j, got, want[j])
+				}
+			}
+		}
+	}
+}
+
+// TestMatMulTransBBiasReLUFusion checks the fused epilogue against the
+// unfused product followed by an explicit bias add and rectification.
+func TestMatMulTransBBiasReLUFusion(t *testing.T) {
+	r := rng.New(11)
+	m, k, n := 13, 37, 21
+	a := randTensor(r, m, k)
+	b := randTensor(r, n, k)
+	bias := make([]float64, n)
+	for i := range bias {
+		bias[i] = r.NormScaled(0, 1)
+	}
+	fused := New(m, n)
+	MatMulTransBBiasInto(fused, a, b, bias, true)
+	plain := New(m, n)
+	MatMulTransBInto(plain, a, b)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			want := plain.At(i, j) + bias[j]
+			if want < 0 {
+				want = 0
+			}
+			if got := fused.At(i, j); got != want {
+				t.Fatalf("elem (%d,%d): fused %v, reference %v", i, j, got, want)
+			}
+		}
+	}
+}
+
+// TestIm2ColBatchMatchesIm2Col checks that each sample's column block of
+// the batched lowering equals the single-sample Im2Col exactly.
+func TestIm2ColBatchMatchesIm2Col(t *testing.T) {
+	r := rng.New(13)
+	for trial := 0; trial < 10; trial++ {
+		bsz := 1 + r.Intn(5)
+		c := 1 + r.Intn(3)
+		kh := 1 + r.Intn(3)
+		kw := 1 + r.Intn(3)
+		stride := 1 + r.Intn(2)
+		h := kh + r.Intn(6)
+		w := kw + r.Intn(6)
+		batch := randTensor(r, bsz, c, h, w)
+		cols := Im2ColBatch(batch, kh, kw, stride)
+		outH := (h-kh)/stride + 1
+		outW := (w-kw)/stride + 1
+		p := outH * outW
+		sampleLen := c * h * w
+		for s := 0; s < bsz; s++ {
+			sample := FromSlice(batch.Data()[s*sampleLen:(s+1)*sampleLen], c, h, w)
+			want := Im2Col(sample, kh, kw, stride)
+			for row := 0; row < cols.Dim(0); row++ {
+				for col := 0; col < p; col++ {
+					if got := cols.At(row, s*p+col); got != want.At(row, col) {
+						t.Fatalf("sample %d row %d col %d: batch %v, single %v",
+							s, row, col, got, want.At(row, col))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestAddBiasUnstack checks the conv epilogue: GEMM output columns
+// grouped by sample must land batch-major with the channel bias added.
+func TestAddBiasUnstack(t *testing.T) {
+	const bsz, outC, area = 3, 2, 4
+	src := New(outC, bsz*area)
+	for i := range src.Data() {
+		src.Data()[i] = float64(i)
+	}
+	bias := []float64{10, 20}
+	dst := New(bsz, outC, area)
+	AddBiasUnstackInto(dst, src, bsz, outC, area, bias, false)
+	relu := New(bsz, outC, area)
+	AddBiasUnstackInto(relu, src, bsz, outC, area, bias, true)
+	for i, v := range dst.Data() {
+		want := v
+		if want < 0 {
+			want = 0
+		}
+		if relu.Data()[i] != want {
+			t.Fatalf("relu epilogue elem %d: got %v, want %v", i, relu.Data()[i], want)
+		}
+	}
+	for s := 0; s < bsz; s++ {
+		for oc := 0; oc < outC; oc++ {
+			for i := 0; i < area; i++ {
+				want := src.At(oc, s*area+i) + bias[oc]
+				if got := dst.Data()[(s*outC+oc)*area+i]; got != want {
+					t.Fatalf("sample %d chan %d elem %d: got %v, want %v", s, oc, i, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestMaxPool2DBatchMatchesSingle checks the inference-only batched
+// pooling against the per-sample kernel.
+func TestMaxPool2DBatchMatchesSingle(t *testing.T) {
+	r := rng.New(17)
+	const bsz, c, h, w, size = 4, 3, 6, 8, 2
+	batch := randTensor(r, bsz, c, h, w)
+	out := New(bsz, c, h/size, w/size)
+	MaxPool2DBatchInto(out, batch, size)
+	sampleLen := c * h * w
+	outLen := c * (h / size) * (w / size)
+	for s := 0; s < bsz; s++ {
+		sample := FromSlice(batch.Data()[s*sampleLen:(s+1)*sampleLen], c, h, w)
+		want, _ := MaxPool2D(sample, size)
+		for i, v := range want.Data() {
+			if got := out.Data()[s*outLen+i]; got != v {
+				t.Fatalf("sample %d elem %d: batch %v, single %v", s, i, got, v)
+			}
+		}
+	}
+}
+
+// TestPoolRecyclesBuffers checks the scratch pool contract: a Put buffer
+// of matching size is handed back by the next Get (no allocation), sizes
+// are tracked independently, and Stats reports the miss.
+func TestPoolRecyclesBuffers(t *testing.T) {
+	p := NewPool()
+	a := p.Get(4, 8)
+	if gets, misses := p.Stats(); gets != 1 || misses != 1 {
+		t.Fatalf("after first Get: gets %d misses %d", gets, misses)
+	}
+	backing := &a.Data()[0]
+	p.Put(a)
+	b := p.Get(8, 4) // same element count, different shape: must reuse
+	if &b.Data()[0] != backing {
+		t.Fatal("Get after Put allocated instead of recycling")
+	}
+	if gets, misses := p.Stats(); gets != 2 || misses != 1 {
+		t.Fatalf("after recycled Get: gets %d misses %d", gets, misses)
+	}
+	c := p.Get(4, 8) // bucket empty again: fresh allocation
+	if &c.Data()[0] == backing {
+		t.Fatal("pool handed out one buffer twice")
+	}
+	p.Put(nil)   // no-op
+	p.Put(New()) // empty tensor: no-op
+	if p.Get(3).Len() != 3 {
+		t.Fatal("Get after no-op Puts broken")
+	}
+}

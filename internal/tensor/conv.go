@@ -66,6 +66,107 @@ func Im2Col(input *Tensor, kH, kW, stride int) *Tensor {
 	return cols
 }
 
+// Im2ColBatch lowers a stacked (B, C, H, W) input batch into one column
+// matrix of shape (C*kH*kW, B*outH*outW): sample b occupies the column
+// block [b*outH*outW, (b+1)*outH*outW), so a single W×cols GEMM computes
+// the convolution of the whole batch. This is what turns a micro-batch
+// into real GEMM width — N small matrix multiplies become one large,
+// cache-friendly one.
+func Im2ColBatch(batch *Tensor, kH, kW, stride int) *Tensor {
+	inC, inH, inW := batch.shape[1], batch.shape[2], batch.shape[3]
+	outH := (inH-kH)/stride + 1
+	outW := (inW-kW)/stride + 1
+	cols := New(inC*kH*kW, batch.shape[0]*outH*outW)
+	Im2ColBatchInto(cols, batch, kH, kW, stride)
+	return cols
+}
+
+// Im2ColBatchInto is Im2ColBatch writing into a preallocated dst of shape
+// (C*kH*kW, B*outH*outW), for scratch-pooled callers. Every element of
+// dst is overwritten.
+func Im2ColBatchInto(dst, batch *Tensor, kH, kW, stride int) {
+	if batch.Rank() != 4 {
+		panic("tensor: Im2ColBatchInto requires a rank-4 (B,C,H,W) batch")
+	}
+	b, inC, inH, inW := batch.shape[0], batch.shape[1], batch.shape[2], batch.shape[3]
+	outH := (inH-kH)/stride + 1
+	outW := (inW-kW)/stride + 1
+	if outH <= 0 || outW <= 0 {
+		panic("tensor: Im2ColBatchInto kernel larger than input")
+	}
+	p := outH * outW
+	if dst.shape[0] != inC*kH*kW || dst.shape[1] != b*p {
+		panic("tensor: Im2ColBatchInto shape mismatch")
+	}
+	sampleLen := inC * inH * inW
+	row := 0
+	for c := 0; c < inC; c++ {
+		chanBase := c * inH * inW
+		for ky := 0; ky < kH; ky++ {
+			for kx := 0; kx < kW; kx++ {
+				rowData := dst.data[row*b*p : (row+1)*b*p]
+				for s := 0; s < b; s++ {
+					src := batch.data[s*sampleLen : (s+1)*sampleLen]
+					di := s * p
+					for oy := 0; oy < outH; oy++ {
+						srcBase := chanBase + (oy*stride+ky)*inW + kx
+						if stride == 1 {
+							copy(rowData[di:di+outW], src[srcBase:srcBase+outW])
+							di += outW
+							continue
+						}
+						for ox := 0; ox < outW; ox++ {
+							rowData[di] = src[srcBase+ox*stride]
+							di++
+						}
+					}
+				}
+				row++
+			}
+		}
+	}
+}
+
+// AddBiasUnstackInto is the epilogue of a batched convolution: it
+// rearranges the GEMM output src of shape (outC, B*area) — sample b in
+// column block [b*area, (b+1)*area) — into the batch-major dst of shape
+// (B, outC, area...), adding bias[oc] to channel oc in the same pass and,
+// when relu is set, clamping at zero (the fused bias+activation epilogue
+// of a conv layer whose next stage is ReLU). bias may be nil. Every
+// element of dst is overwritten.
+func AddBiasUnstackInto(dst, src *Tensor, batch, outC, area int, bias []float64, relu bool) {
+	if src.Len() != outC*batch*area || dst.Len() != batch*outC*area {
+		panic("tensor: AddBiasUnstackInto size mismatch")
+	}
+	if bias != nil && len(bias) != outC {
+		panic("tensor: AddBiasUnstackInto bias length mismatch")
+	}
+	for oc := 0; oc < outC; oc++ {
+		srcRow := src.data[oc*batch*area : (oc+1)*batch*area]
+		b := 0.0
+		if bias != nil {
+			b = bias[oc]
+		}
+		for s := 0; s < batch; s++ {
+			dstRow := dst.data[(s*outC+oc)*area : (s*outC+oc+1)*area]
+			seg := srcRow[s*area : (s+1)*area]
+			if relu {
+				for i, v := range seg {
+					v += b
+					if v < 0 {
+						v = 0
+					}
+					dstRow[i] = v
+				}
+			} else {
+				for i, v := range seg {
+					dstRow[i] = v + b
+				}
+			}
+		}
+	}
+}
+
 // Col2Im is the adjoint of Im2Col: it scatters (accumulates) a column
 // matrix of shape (inC*kH*kW, outH*outW) back into a CHW tensor of shape
 // (inC, inH, inW). Overlapping positions sum, which is exactly the input

@@ -1,0 +1,50 @@
+//go:build amd64
+
+package tensor
+
+// useAVX2 selects the assembly micro kernel when the CPU supports
+// AVX2+FMA and the OS preserves YMM state. The scalar math.FMA fallback
+// computes bit-identical results (fused multiply-add is correctly
+// rounded in either form), so the flag changes speed, never values.
+var useAVX2 = detectAVX2FMA()
+
+// gemm4x8asm is the AVX2 micro kernel in gemm_amd64.s.
+//
+//go:noescape
+func gemm4x8asm(a *float64, lda int, pk *float64, kb int, c *float64, ldc int, first bool)
+
+// cpuidex and xgetbv0 are implemented in gemm_amd64.s.
+func cpuidex(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+func xgetbv0() uint64
+
+func detectAVX2FMA() bool {
+	maxID, _, _, _ := cpuidex(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	_, _, ecx1, _ := cpuidex(1, 0)
+	const (
+		fma     = 1 << 12
+		osxsave = 1 << 27
+	)
+	if ecx1&fma == 0 || ecx1&osxsave == 0 {
+		return false
+	}
+	// XCR0 bits 1 (SSE) and 2 (AVX): the OS saves YMM registers.
+	if xgetbv0()&0x6 != 0x6 {
+		return false
+	}
+	_, ebx7, _, _ := cpuidex(7, 0)
+	const avx2 = 1 << 5
+	return ebx7&avx2 != 0
+}
+
+// gemmTile4x8 computes one 4×8 C tile over a packed k panel, dispatching
+// to the assembly kernel when available.
+func gemmTile4x8(a []float64, ai, lda int, pk []float64, kb int, c []float64, ci, ldc int, first bool) {
+	if useAVX2 {
+		gemm4x8asm(&a[ai], lda, &pk[0], kb, &c[ci], ldc, first)
+		return
+	}
+	gemmTile4x8go(a, ai, lda, pk, kb, c, ci, ldc, first)
+}

@@ -1,0 +1,132 @@
+// AVX2+FMA micro kernel of the blocked GEMM: one 4×8 C tile accumulated
+// over a k panel, reading B from its packed micro panel (kb rows of 8
+// contiguous float64). Per C element the accumulation is a chain of
+// fused multiply-adds in ascending k — the same correctly-rounded
+// sequence the math.FMA scalar fallback performs, so vector and scalar
+// paths are bit-identical.
+
+#include "textflag.h"
+
+// func gemm4x8asm(a *float64, lda int, pk *float64, kb int, c *float64, ldc int, first bool)
+// a:   first element of row 0 of the A panel (rows lda elements apart)
+// pk:  packed B micro panel, kb rows of 8 values
+// c:   C tile origin (rows ldc elements apart)
+// first: store the panel subtotal (overwrite) instead of adding it
+TEXT ·gemm4x8asm(SB), NOSPLIT, $0-49
+	MOVQ a+0(FP), R8
+	MOVQ lda+8(FP), R9
+	SHLQ $3, R9            // row stride in bytes
+	LEAQ (R8)(R9*1), R10   // a row 1
+	LEAQ (R10)(R9*1), R11  // a row 2
+	LEAQ (R11)(R9*1), R12  // a row 3
+	MOVQ pk+16(FP), SI
+	MOVQ kb+24(FP), CX
+
+	VXORPD Y0, Y0, Y0      // c[0][0:4]
+	VXORPD Y1, Y1, Y1      // c[0][4:8]
+	VXORPD Y2, Y2, Y2      // c[1][0:4]
+	VXORPD Y3, Y3, Y3      // c[1][4:8]
+	VXORPD Y4, Y4, Y4      // c[2][0:4]
+	VXORPD Y5, Y5, Y5      // c[2][4:8]
+	VXORPD Y6, Y6, Y6      // c[3][0:4]
+	VXORPD Y7, Y7, Y7      // c[3][4:8]
+
+loop:
+	VMOVUPD (SI), Y8       // b[t][0:4]
+	VMOVUPD 32(SI), Y9     // b[t][4:8]
+	ADDQ    $64, SI
+
+	VBROADCASTSD (R8), Y10
+	VFMADD231PD  Y8, Y10, Y0
+	VFMADD231PD  Y9, Y10, Y1
+	VBROADCASTSD (R10), Y10
+	VFMADD231PD  Y8, Y10, Y2
+	VFMADD231PD  Y9, Y10, Y3
+	VBROADCASTSD (R11), Y10
+	VFMADD231PD  Y8, Y10, Y4
+	VFMADD231PD  Y9, Y10, Y5
+	VBROADCASTSD (R12), Y10
+	VFMADD231PD  Y8, Y10, Y6
+	VFMADD231PD  Y9, Y10, Y7
+
+	ADDQ $8, R8
+	ADDQ $8, R10
+	ADDQ $8, R11
+	ADDQ $8, R12
+	DECQ CX
+	JNZ  loop
+
+	MOVQ    c+32(FP), DI
+	MOVQ    ldc+40(FP), DX
+	SHLQ    $3, DX
+	MOVBLZX first+48(FP), AX
+	TESTL   AX, AX
+	JZ      accum
+
+	// first panel: overwrite C with the subtotals
+	VMOVUPD Y0, (DI)
+	VMOVUPD Y1, 32(DI)
+	ADDQ    DX, DI
+	VMOVUPD Y2, (DI)
+	VMOVUPD Y3, 32(DI)
+	ADDQ    DX, DI
+	VMOVUPD Y4, (DI)
+	VMOVUPD Y5, 32(DI)
+	ADDQ    DX, DI
+	VMOVUPD Y6, (DI)
+	VMOVUPD Y7, 32(DI)
+	JMP     done
+
+accum:
+	// later panels: C += subtotal
+	VMOVUPD (DI), Y8
+	VADDPD  Y0, Y8, Y8
+	VMOVUPD Y8, (DI)
+	VMOVUPD 32(DI), Y9
+	VADDPD  Y1, Y9, Y9
+	VMOVUPD Y9, 32(DI)
+	ADDQ    DX, DI
+	VMOVUPD (DI), Y8
+	VADDPD  Y2, Y8, Y8
+	VMOVUPD Y8, (DI)
+	VMOVUPD 32(DI), Y9
+	VADDPD  Y3, Y9, Y9
+	VMOVUPD Y9, 32(DI)
+	ADDQ    DX, DI
+	VMOVUPD (DI), Y8
+	VADDPD  Y4, Y8, Y8
+	VMOVUPD Y8, (DI)
+	VMOVUPD 32(DI), Y9
+	VADDPD  Y5, Y9, Y9
+	VMOVUPD Y9, 32(DI)
+	ADDQ    DX, DI
+	VMOVUPD (DI), Y8
+	VADDPD  Y6, Y8, Y8
+	VMOVUPD Y8, (DI)
+	VMOVUPD 32(DI), Y9
+	VADDPD  Y7, Y9, Y9
+	VMOVUPD Y9, 32(DI)
+
+done:
+	VZEROUPPER
+	RET
+
+// func cpuidex(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidex(SB), NOSPLIT, $0-24
+	MOVL eaxIn+0(FP), AX
+	MOVL ecxIn+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv0() uint64
+TEXT ·xgetbv0(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	SHLQ $32, DX
+	ORQ  DX, AX
+	MOVQ AX, ret+0(FP)
+	RET

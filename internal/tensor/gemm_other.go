@@ -1,0 +1,12 @@
+//go:build !amd64
+
+package tensor
+
+// Non-amd64 builds always use the scalar math.FMA micro kernel, which is
+// bit-identical to the AVX2 path (fused multiply-add is correctly
+// rounded in either form).
+const useAVX2 = false
+
+func gemmTile4x8(a []float64, ai, lda int, pk []float64, kb int, c []float64, ci, ldc int, first bool) {
+	gemmTile4x8go(a, ai, lda, pk, kb, c, ci, ldc, first)
+}

@@ -1,18 +1,50 @@
 package tensor
 
 import (
+	"math"
 	"runtime"
 	"sync"
 )
 
 // matmulParallelThreshold is the minimum number of multiply-accumulate
-// operations before MatMul fans out across goroutines. Small products are
+// operations before a GEMM fans out across goroutines. Small products are
 // faster single-threaded.
 const matmulParallelThreshold = 1 << 16
 
+// Blocking parameters of the tiled GEMM. The kernel walks the output
+// columns in blockN stripes and the shared dimension in blockK panels;
+// each blockK×blockN tile of B is packed once into contiguous 8-wide
+// micro panels (B's rows are n elements apart, so the unpacked kernel
+// would touch a new cache line — and for batched conv shapes a new TLB
+// page — every k step) and then consumed by every 4-row strip of A
+// through the 4×8 register-tiled micro kernel: AVX2+FMA assembly on
+// capable amd64 hardware, a bit-identical math.FMA scalar loop
+// elsewhere.
+//
+// Every C element accumulates over k in ascending order with one fused
+// multiply-add chain per blockK panel and plain adds between panel
+// subtotals, no matter which path (vector, scalar, edge) computes it —
+// so results are bit-identical across tilings, goroutine row splits and
+// architectures, and the batched inference path reproduces the
+// per-sample reference exactly.
+const (
+	blockM = 64
+	blockK = 256
+	blockN = 256
+	microN = 8 // micro-kernel tile width (one packed B panel row)
+)
+
+// packBuffers recycles the packed-B tile scratch across GEMM calls and
+// goroutines, keeping the hot path allocation-free.
+var packBuffers = sync.Pool{
+	New: func() any {
+		s := make([]float64, blockK*blockN)
+		return &s
+	},
+}
+
 // MatMul computes C = A × B for A of shape (m, k) and B of shape (k, n),
-// returning a new (m, n) tensor. Rows of the output are computed in
-// parallel for large products.
+// returning a new (m, n) tensor.
 func MatMul(a, b *Tensor) *Tensor {
 	if a.Rank() != 2 || b.Rank() != 2 {
 		panic("tensor: MatMul requires rank-2 tensors")
@@ -27,21 +59,101 @@ func MatMul(a, b *Tensor) *Tensor {
 	return c
 }
 
-// MatMulInto computes dst = A × B, overwriting dst. dst must have shape
-// (m, n) and must not alias a or b.
+// MatMulInto computes dst = A × B with the blocked, packed,
+// register-tiled kernel, overwriting dst. dst must have shape (m, n) and
+// must not alias a or b. Rows are split across goroutines for large
+// products.
 func MatMulInto(dst, a, b *Tensor) {
 	m, k := a.shape[0], a.shape[1]
 	n := b.shape[1]
 	if b.shape[0] != k || dst.shape[0] != m || dst.shape[1] != n {
 		panic("tensor: MatMulInto shape mismatch")
 	}
-	dst.Zero()
-	work := m * n * k
-	if work < matmulParallelThreshold {
-		matmulRows(dst.data, a.data, b.data, 0, m, k, n)
+	if k == 0 {
+		dst.Zero()
 		return
 	}
+	parallelRows(m, m*n*k, func(lo, hi int) {
+		gemmBlocked(dst.data, a.data, b.data, lo, hi, k, n, false)
+	})
+}
+
+// MatMulTransB computes C = A × Bᵀ for A of shape (m, k) and B of shape
+// (n, k), returning (m, n). Used by batched dense layers and by
+// backpropagation for input gradients.
+func MatMulTransB(a, b *Tensor) *Tensor {
+	c := New(a.shape[0], b.shape[0])
+	MatMulTransBInto(c, a, b)
+	return c
+}
+
+// MatMulTransBInto computes dst = A × Bᵀ for A (m, k) and B (n, k),
+// overwriting dst (m, n), with the same packed kernel as MatMulInto (the
+// pack step gathers B's transpose). This is the layout of choice for
+// batched dense layers: Y (B, out) = X (B, in) × Wᵀ with W stored
+// (out, in). Element (i, j) equals the math.FMA dot product MatVec
+// computes, bit for bit.
+func MatMulTransBInto(dst, a, b *Tensor) {
+	m, k := a.shape[0], a.shape[1]
+	n := b.shape[0]
+	if b.shape[1] != k || dst.shape[0] != m || dst.shape[1] != n {
+		panic("tensor: MatMulTransBInto shape mismatch")
+	}
+	if k == 0 {
+		dst.Zero()
+		return
+	}
+	parallelRows(m, m*n*k, func(lo, hi int) {
+		gemmBlocked(dst.data, a.data, b.data, lo, hi, k, n, true)
+	})
+}
+
+// MatMulTransBBiasInto is MatMulTransBInto with a fused epilogue sweep:
+// bias[j] is added to every column j and, when relu is set, the result
+// is clamped at zero — the bias+activation epilogue of a dense layer.
+// bias may be nil.
+func MatMulTransBBiasInto(dst, a, b *Tensor, bias []float64, relu bool) {
+	MatMulTransBInto(dst, a, b)
+	if bias != nil && len(bias) != dst.shape[1] {
+		panic("tensor: MatMulTransBBiasInto bias length mismatch")
+	}
+	AddBiasReLURows(dst, bias, relu)
+}
+
+// AddBiasReLURows adds bias[j] to column j of every row of the rank-2
+// tensor m (bias may be nil) and, when relu is set, clamps the results
+// at zero in the same pass.
+func AddBiasReLURows(m *Tensor, bias []float64, relu bool) {
+	n := m.shape[len(m.shape)-1]
+	if bias != nil && len(bias) != n {
+		panic("tensor: AddBiasReLURows bias length mismatch")
+	}
+	for base := 0; base < len(m.data); base += n {
+		row := m.data[base : base+n]
+		if bias != nil {
+			for j := range row {
+				row[j] += bias[j]
+			}
+		}
+		if relu {
+			for j, v := range row {
+				if v < 0 {
+					row[j] = 0
+				}
+			}
+		}
+	}
+}
+
+// parallelRows runs body over [0, m) split into contiguous row ranges
+// across GOMAXPROCS goroutines when work (the multiply-accumulate count)
+// is large enough, serially otherwise.
+func parallelRows(m, work int, body func(lo, hi int)) {
 	workers := runtime.GOMAXPROCS(0)
+	if work < matmulParallelThreshold || workers <= 1 || m <= 1 {
+		body(0, m)
+		return
+	}
 	if workers > m {
 		workers = m
 	}
@@ -59,23 +171,206 @@ func MatMulInto(dst, a, b *Tensor) {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			matmulRows(dst.data, a.data, b.data, lo, hi, k, n)
+			body(lo, hi)
 		}(lo, hi)
 	}
 	wg.Wait()
 }
 
-// matmulRows computes rows [lo, hi) of C += A×B using an ikj loop order so
-// the inner loop streams through contiguous memory in both B and C.
-func matmulRows(c, a, b []float64, lo, hi, k, n int) {
-	for i := lo; i < hi; i++ {
-		ci := c[i*n : (i+1)*n]
+// gemmBlocked computes rows [lo, hi) of C = A×B (or A×Bᵀ when trans is
+// set, with b of shape (n, k)) using column stripes, k panels, packed B
+// tiles and the 4×8 micro kernel. The first k panel stores its subtotal
+// (overwriting C, so no separate zeroing pass is needed); later panels
+// accumulate.
+func gemmBlocked(c, a, b []float64, lo, hi, k, n int, trans bool) {
+	packPtr := packBuffers.Get().(*[]float64)
+	pack := *packPtr
+	for jc := 0; jc < n; jc += blockN {
+		je := jc + blockN
+		if je > n {
+			je = n
+		}
+		jeV := jc + (je-jc)&^(microN-1) // micro tiles cover [jc, jeV)
+		for pc := 0; pc < k; pc += blockK {
+			pe := pc + blockK
+			if pe > k {
+				pe = k
+			}
+			kb := pe - pc
+			first := pc == 0
+			if hi-lo >= 4 && jeV > jc {
+				packTiles(pack, b, pc, pe, jc, jeV, k, n, trans)
+			}
+			for ic := lo; ic < hi; ic += blockM {
+				ie := ic + blockM
+				if ie > hi {
+					ie = hi
+				}
+				i := ic
+				for ; i+4 <= ie; i += 4 {
+					for jt := jc; jt < jeV; jt += microN {
+						tile := pack[(jt-jc)/microN*kb*microN:]
+						gemmTile4x8(a, i*k+pc, k, tile, kb, c, i*n+jt, n, first)
+					}
+					if jeV < je {
+						gemmEdge(c, a, b, i, i+4, jeV, je, pc, pe, k, n, first, trans)
+					}
+				}
+				if i < ie {
+					gemmEdge(c, a, b, i, ie, jc, je, pc, pe, k, n, first, trans)
+				}
+			}
+		}
+	}
+	packBuffers.Put(packPtr)
+}
+
+// packTiles copies the B panel rows [pc, pe) × columns [jc, jeV) into
+// contiguous 8-wide micro panels: tile (jt-jc)/8 holds kb rows of 8
+// consecutive column values. trans gathers from b stored as (n, k).
+func packTiles(pack, b []float64, pc, pe, jc, jeV, k, n int, trans bool) {
+	kb := pe - pc
+	for jt := jc; jt < jeV; jt += microN {
+		dst := pack[(jt-jc)/microN*kb*microN : ((jt-jc)/microN+1)*kb*microN]
+		if trans {
+			for i := 0; i < microN; i++ {
+				src := b[(jt+i)*k+pc : (jt+i)*k+pe]
+				for t, v := range src {
+					dst[t*microN+i] = v
+				}
+			}
+		} else {
+			off := pc*n + jt
+			for t := 0; t < kb; t++ {
+				copy(dst[t*microN:t*microN+microN], b[off:off+microN])
+				off += n
+			}
+		}
+	}
+}
+
+// gemmTile4x8go is the scalar micro kernel: the same 4×8 tile as the
+// assembly path, computed as two 4×4 halves of math.FMA chains — per
+// element the identical correctly-rounded ascending-k sequence, so
+// vector and scalar results match bit for bit.
+func gemmTile4x8go(a []float64, ai, lda int, pk []float64, kb int, c []float64, ci, ldc int, first bool) {
+	for h := 0; h < microN; h += 4 {
+		a0 := a[ai : ai+kb]
+		a1 := a[ai+lda : ai+lda+kb]
+		a2 := a[ai+2*lda : ai+2*lda+kb]
+		a3 := a[ai+3*lda : ai+3*lda+kb]
+		var c00, c01, c02, c03 float64
+		var c10, c11, c12, c13 float64
+		var c20, c21, c22, c23 float64
+		var c30, c31, c32, c33 float64
+		off := h
+		for t := range a0 {
+			bRow := pk[off : off+4 : off+4]
+			b0, b1, b2, b3 := bRow[0], bRow[1], bRow[2], bRow[3]
+			off += microN
+			av := a0[t]
+			c00 = math.FMA(av, b0, c00)
+			c01 = math.FMA(av, b1, c01)
+			c02 = math.FMA(av, b2, c02)
+			c03 = math.FMA(av, b3, c03)
+			av = a1[t]
+			c10 = math.FMA(av, b0, c10)
+			c11 = math.FMA(av, b1, c11)
+			c12 = math.FMA(av, b2, c12)
+			c13 = math.FMA(av, b3, c13)
+			av = a2[t]
+			c20 = math.FMA(av, b0, c20)
+			c21 = math.FMA(av, b1, c21)
+			c22 = math.FMA(av, b2, c22)
+			c23 = math.FMA(av, b3, c23)
+			av = a3[t]
+			c30 = math.FMA(av, b0, c30)
+			c31 = math.FMA(av, b1, c31)
+			c32 = math.FMA(av, b2, c32)
+			c33 = math.FMA(av, b3, c33)
+		}
+		if first {
+			r := c[ci+h : ci+h+4 : ci+h+4]
+			r[0], r[1], r[2], r[3] = c00, c01, c02, c03
+			r = c[ci+ldc+h : ci+ldc+h+4 : ci+ldc+h+4]
+			r[0], r[1], r[2], r[3] = c10, c11, c12, c13
+			r = c[ci+2*ldc+h : ci+2*ldc+h+4 : ci+2*ldc+h+4]
+			r[0], r[1], r[2], r[3] = c20, c21, c22, c23
+			r = c[ci+3*ldc+h : ci+3*ldc+h+4 : ci+3*ldc+h+4]
+			r[0], r[1], r[2], r[3] = c30, c31, c32, c33
+		} else {
+			r := c[ci+h : ci+h+4 : ci+h+4]
+			r[0] += c00
+			r[1] += c01
+			r[2] += c02
+			r[3] += c03
+			r = c[ci+ldc+h : ci+ldc+h+4 : ci+ldc+h+4]
+			r[0] += c10
+			r[1] += c11
+			r[2] += c12
+			r[3] += c13
+			r = c[ci+2*ldc+h : ci+2*ldc+h+4 : ci+2*ldc+h+4]
+			r[0] += c20
+			r[1] += c21
+			r[2] += c22
+			r[3] += c23
+			r = c[ci+3*ldc+h : ci+3*ldc+h+4 : ci+3*ldc+h+4]
+			r[0] += c30
+			r[1] += c31
+			r[2] += c32
+			r[3] += c33
+		}
+	}
+}
+
+// gemmEdge handles the leftover rows [i0, i1) and columns [j0, j1) that
+// the 4×8 tiling does not cover, over the k panel [p0, p1). Each element
+// is one math.FMA chain over the panel — the same sequence as the micro
+// kernel — followed by a store (first panel) or add.
+func gemmEdge(c, a, b []float64, i0, i1, j0, j1, p0, p1, k, n int, first, trans bool) {
+	for i := i0; i < i1; i++ {
 		ai := a[i*k : (i+1)*k]
+		for j := j0; j < j1; j++ {
+			s := 0.0
+			if trans {
+				bj := b[j*k : (j+1)*k]
+				for p := p0; p < p1; p++ {
+					s = math.FMA(ai[p], bj[p], s)
+				}
+			} else {
+				for p := p0; p < p1; p++ {
+					s = math.FMA(ai[p], b[p*n+j], s)
+				}
+			}
+			if first {
+				c[i*n+j] = s
+			} else {
+				c[i*n+j] += s
+			}
+		}
+	}
+}
+
+// MatMulNaiveInto computes dst = A × B with the plain triple loop and
+// separate multiply/add rounding. It is the correctness reference the
+// blocked FMA kernel is tested and benchmarked against (equal within
+// accumulation tolerance, not bit-identical — FMA rounds once per
+// multiply-add, the naive loop twice).
+func MatMulNaiveInto(dst, a, b *Tensor) {
+	m, k := a.shape[0], a.shape[1]
+	n := b.shape[1]
+	if b.shape[0] != k || dst.shape[0] != m || dst.shape[1] != n {
+		panic("tensor: MatMulNaiveInto shape mismatch")
+	}
+	dst.Zero()
+	for i := 0; i < m; i++ {
+		ci := dst.data[i*n : (i+1)*n]
+		ai := a.data[i*k : (i+1)*k]
 		for p, av := range ai {
 			if av == 0 {
 				continue
 			}
-			bp := b[p*n : (p+1)*n]
+			bp := b.data[p*n : (p+1)*n]
 			for j, bv := range bp {
 				ci[j] += av * bv
 			}
@@ -109,31 +404,10 @@ func MatMulTransA(a, b *Tensor) *Tensor {
 	return c
 }
 
-// MatMulTransB computes C = A × Bᵀ for A of shape (m, k) and B of shape
-// (n, k), returning (m, n). Used by backpropagation for input gradients.
-func MatMulTransB(a, b *Tensor) *Tensor {
-	m, k := a.shape[0], a.shape[1]
-	n := b.shape[0]
-	if b.shape[1] != k {
-		panic("tensor: MatMulTransB inner dimensions differ")
-	}
-	c := New(m, n)
-	for i := 0; i < m; i++ {
-		ai := a.data[i*k : (i+1)*k]
-		ci := c.data[i*n : (i+1)*n]
-		for j := 0; j < n; j++ {
-			bj := b.data[j*k : (j+1)*k]
-			sum := 0.0
-			for p, av := range ai {
-				sum += av * bj[p]
-			}
-			ci[j] = sum
-		}
-	}
-	return c
-}
-
-// MatVec computes y = A × x for A of shape (m, n) and x of length n.
+// MatVec computes y = A × x for A of shape (m, n) and x of length n. The
+// accumulation — math.FMA chains per blockK panel, plain adds between
+// panel subtotals — matches the batched GEMM kernels exactly, keeping
+// the per-sample dense path bit-identical to ForwardBatch rows.
 func MatVec(a *Tensor, x []float64) []float64 {
 	m, n := a.shape[0], a.shape[1]
 	if len(x) != n {
@@ -142,11 +416,23 @@ func MatVec(a *Tensor, x []float64) []float64 {
 	y := make([]float64, m)
 	for i := 0; i < m; i++ {
 		row := a.data[i*n : (i+1)*n]
-		sum := 0.0
-		for j, v := range row {
-			sum += v * x[j]
+		yi := 0.0
+		for pc := 0; pc < n; pc += blockK {
+			pe := pc + blockK
+			if pe > n {
+				pe = n
+			}
+			s := 0.0
+			for p := pc; p < pe; p++ {
+				s = math.FMA(row[p], x[p], s)
+			}
+			if pc == 0 {
+				yi = s
+			} else {
+				yi += s
+			}
 		}
-		y[i] = sum
+		y[i] = yi
 	}
 	return y
 }

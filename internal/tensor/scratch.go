@@ -1,0 +1,61 @@
+package tensor
+
+import "fmt"
+
+// Pool recycles scratch tensors so the batched inference hot path is
+// allocation-free after warm-up: every intermediate a ForwardBatch pass
+// needs (stacked inputs, im2col matrices, GEMM outputs, per-layer
+// activations) is drawn from a Pool and returned when the next layer has
+// consumed it. Buffers are keyed by exact element count, which converges
+// quickly because a serving pipeline sees the same layer shapes batch
+// after batch.
+//
+// A Pool is NOT safe for concurrent use; give each serving goroutine its
+// own (the monitor keeps a sync.Pool of them). A backing array must be
+// Put back at most once — returning both a tensor and a Reshape view of
+// it corrupts later Gets.
+type Pool struct {
+	free map[int][][]float64
+
+	gets, misses int
+}
+
+// NewPool returns an empty scratch pool.
+func NewPool() *Pool { return &Pool{free: make(map[int][][]float64)} }
+
+// Get returns a tensor of the given shape backed by a recycled buffer
+// when one of the right size is available, or a fresh allocation
+// otherwise. The contents are undefined — callers must fully overwrite
+// them (every kernel in this package does).
+func (p *Pool) Get(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		if d < 0 {
+			panic(fmt.Sprintf("tensor: negative dimension %d in shape %v", d, shape))
+		}
+		n *= d
+	}
+	p.gets++
+	if bucket := p.free[n]; len(bucket) > 0 {
+		data := bucket[len(bucket)-1]
+		p.free[n] = bucket[:len(bucket)-1]
+		return &Tensor{shape: append([]int(nil), shape...), data: data}
+	}
+	p.misses++
+	return &Tensor{shape: append([]int(nil), shape...), data: make([]float64, n)}
+}
+
+// Put returns t's backing array to the pool for reuse. Put accepts nil
+// and empty tensors as no-ops. The caller must not touch t (or any view
+// sharing its backing array) afterwards.
+func (p *Pool) Put(t *Tensor) {
+	if t == nil || len(t.data) == 0 {
+		return
+	}
+	p.free[len(t.data)] = append(p.free[len(t.data)], t.data)
+}
+
+// Stats reports how many Gets the pool has served and how many had to
+// allocate. A warm serving loop should show misses plateau while gets
+// keeps growing.
+func (p *Pool) Stats() (gets, misses int) { return p.gets, p.misses }

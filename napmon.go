@@ -109,15 +109,29 @@ func EvaluateMonitor(net *Network, m *Monitor, samples []Sample) Metrics {
 }
 
 // WatchBatch is the batched serving front end: it runs inference and the
-// comfort-zone membership query for every input on a GOMAXPROCS-sized
-// worker pool and returns one Verdict per input, in input order. The
-// monitor is frozen read-only on first use (Monitor.Freeze), which makes
-// concurrent WatchBatch calls from any number of goroutines safe by
-// construction; a frozen monitor can no longer insert patterns or enlarge
-// zones beyond the levels computed before the freeze.
+// comfort-zone membership query for every input and returns one Verdict
+// per input, in input order. Whole micro-batches flow through the
+// batched GEMM inference path (Network.ForwardBatch: stacked im2col, one
+// blocked matrix multiply per layer, fused bias+ReLU epilogues, pooled
+// allocation-free scratch), split across GOMAXPROCS workers on
+// multi-core hosts. The monitor is frozen read-only on first use
+// (Monitor.Freeze), which makes concurrent WatchBatch calls from any
+// number of goroutines safe by construction; a frozen monitor can no
+// longer insert patterns or enlarge zones beyond the levels computed
+// before the freeze.
 func WatchBatch(net *Network, m *Monitor, inputs []*Tensor) []Verdict {
 	return m.WatchBatch(net, inputs)
 }
+
+// ScratchPool recycles the intermediate tensors of the batched inference
+// path so a hot serving loop is allocation-free after warm-up. A pool
+// must not be shared between concurrent callers; see
+// Network.ForwardBatch and Monitor.WatchBatchPooled.
+type ScratchPool = tensor.Pool
+
+// NewScratchPool returns an empty scratch pool for the batched inference
+// path.
+func NewScratchPool() *ScratchPool { return tensor.NewPool() }
 
 // Server is the streaming serving front end: a long-lived service over
 // one frozen monitor that accepts Submit calls from any number of
