@@ -2,12 +2,13 @@
 # same targets, so a green `make ci` locally means a green pipeline. CI
 # gates every PR on: gofmt, vet + staticcheck (lint), build, race tests and
 # a benchmark smoke run across a Go version matrix, plus a bench-regression
-# job (bench-json + bench-check against ci/bench-baseline.json) and a
-# serve-demo end-to-end daemon smoke job.
+# job (bench-json + bench-check against ci/bench-baseline.json), a
+# fuzz-smoke job (test-fuzz), a coverage gate (cover-check against
+# ci/coverage-baseline.txt) and a serve-demo end-to-end daemon smoke job.
 
 GO ?= go
 
-.PHONY: build test race bench bench-serve bench-json bench-check serve-demo fmt vet lint ci
+.PHONY: build test race test-fuzz cover cover-check bench bench-serve bench-json bench-check serve-demo fmt vet lint ci
 
 ## build: compile every package
 build:
@@ -23,6 +24,32 @@ test:
 ## experiment-reproduction tests ~10x, hence the long timeout.
 race:
 	$(GO) test -race -timeout 45m ./...
+
+## test-fuzz: smoke-run the fuzz targets (differential BDD fuzzer against
+## a truth-table oracle; pattern wire-format round trip). Each target gets
+## a short budget — CI runs this on every PR; leave a fuzzer running with
+## a long -fuzztime to actually hunt.
+FUZZTIME ?= 15s
+test-fuzz:
+	$(GO) test -run '^$$' -fuzz '^FuzzBDDOps$$' -fuzztime $(FUZZTIME) ./internal/bdd
+	$(GO) test -run '^$$' -fuzz '^FuzzPatternRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/core
+
+## cover: run the full test suite with coverage and print the total
+COVER_PROFILE ?= coverage.out
+cover:
+	$(GO) test -coverprofile=$(COVER_PROFILE) -covermode=atomic ./...
+	$(GO) tool cover -func=$(COVER_PROFILE) | tail -1
+
+## cover-check: fail if total statement coverage drops below the recorded
+## baseline in ci/coverage-baseline.txt (a single number, in percent; the
+## baseline carries a little slack below the measured total so unrelated
+## PRs don't flake, while a real test-coverage regression still fails)
+cover-check: cover
+	@total=$$($(GO) tool cover -func=$(COVER_PROFILE) | tail -1 | grep -o '[0-9.]*%' | tr -d '%'); \
+	floor=$$(cat ci/coverage-baseline.txt); \
+	echo "total coverage $$total% (baseline floor $$floor%)"; \
+	awk -v t="$$total" -v f="$$floor" 'BEGIN { exit (t+0 >= f+0) ? 0 : 1 }' || { \
+		echo "coverage $$total% fell below the recorded baseline $$floor%"; exit 1; }
 
 ## bench: smoke-run every benchmark once, with -benchmem so allocation
 ## counts are tracked (the batched inference path is expected to be
@@ -43,16 +70,17 @@ bench-serve:
 BENCH_JSON ?= BENCH_PR3.json
 bench-json:
 	$(GO) build -o bin/benchjson ./cmd/benchjson
-	$(GO) test -run '^$$' -bench 'BenchmarkServe|BenchmarkWatchBatch|BenchmarkForwardBatch|BenchmarkZoneBuild' -benchtime=2x -benchmem . \
+	$(GO) test -run '^$$' -bench 'BenchmarkServe|BenchmarkWatchBatch|BenchmarkForwardBatch|BenchmarkZoneBuild|BenchmarkUpdateSwap' -benchtime=2x -benchmem . \
 		| bin/benchjson -o $(BENCH_JSON)
 
-## bench-check: fail if BenchmarkWatchBatch/BenchmarkServe regressed more
-## than 1.3x against the committed baseline (machine-speed-normalized by
-## the median ratio across the unwatched reference benchmarks; see cmd/benchjson)
+## bench-check: fail if the serving/update hot paths (WatchBatch, Serve +
+## ServeWhileUpdating, ForwardBatch, UpdateSwap) regressed more than 1.3x
+## against the committed baseline (machine-speed-normalized by the median
+## ratio across the unwatched reference benchmarks; see cmd/benchjson)
 bench-check:
 	$(GO) build -o bin/benchjson ./cmd/benchjson
 	bin/benchjson -check -baseline ci/bench-baseline.json -current $(BENCH_JSON) \
-		-watch 'BenchmarkWatchBatch|BenchmarkServe|BenchmarkForwardBatch' -max-ratio 1.3
+		-watch 'BenchmarkWatchBatch|BenchmarkServe|BenchmarkForwardBatch|BenchmarkUpdateSwap' -max-ratio 1.3
 
 ## serve-demo: start napmon-serve against a tiny self-trained model,
 ## probe /healthz, POST one /watch request, read /stats, and shut the

@@ -428,6 +428,134 @@ func BenchmarkServe(b *testing.B) {
 	})
 }
 
+// BenchmarkUpdateSwap measures one online update end to end: shadow-build
+// the touched zone's successor (compact clone + delta fold at every
+// cached level) and publish the new epoch with the atomic swap. ns/op is
+// the retraining-side cost of absorbing a small delta; serving never
+// blocks on it.
+func BenchmarkUpdateSwap(b *testing.B) {
+	m1, _ := benchModels(b)
+	mon, err := core.Build(m1.Net, m1.Data.Train, exp.MNISTMonitorConfig(m1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	mon.SetGamma(2)
+	mon.Freeze()
+	r := rng.New(5)
+	width := len(mon.Neurons())
+	classes := mon.Classes()
+	const deltaSize = 4
+	pats := make([]core.Pattern, deltaSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		for j := range pats {
+			p := make(core.Pattern, width)
+			for k := range p {
+				p[k] = r.Bool(0.5)
+			}
+			pats[j] = p
+		}
+		c := classes[i%len(classes)]
+		b.StartTimer()
+		if _, err := mon.Update(c, pats...); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(deltaSize), "delta_patterns")
+	b.ReportMetric(float64(mon.Epoch()), "final_epoch")
+}
+
+// BenchmarkServeWhileUpdating is the acceptance benchmark of the online-
+// update subsystem: the saturated BenchmarkServe workload runs while a
+// background goroutine continuously publishes epoch swaps through
+// Server.Update, a 4-pattern delta every 25ms (~40 swaps and ~160
+// absorbed patterns per second — orders of magnitude beyond any
+// realistic retraining cadence, but paced and coalesced the way a
+// production /learn loop batches feedback, rather than a busy loop that
+// would just measure an unbounded updater stealing whole cores from a
+// saturated box). Throughput (inputs/s) must stay within ~20% of the
+// steady-state saturated BenchmarkServe, with zero dropped or errored
+// requests across every swap.
+func BenchmarkServeWhileUpdating(b *testing.B) {
+	m1, _ := benchModels(b)
+	mon, err := core.Build(m1.Net, m1.Data.Train, exp.MNISTMonitorConfig(m1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	mon.SetGamma(2)
+	inputs := make([]*tensor.Tensor, len(m1.Data.Val))
+	for i, s := range m1.Data.Val {
+		inputs[i] = s.Input
+	}
+	srv, err := Serve(m1.Net, mon, ServerConfig{
+		MaxBatch:   64,
+		MaxDelay:   2 * time.Millisecond,
+		QueueDepth: len(inputs),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	stop := make(chan struct{})
+	updaterDone := make(chan error, 1)
+	go func() { // continuous paced updates until the benchmark stops
+		r := rng.New(6)
+		width := len(mon.Neurons())
+		classes := mon.Classes()
+		tick := time.NewTicker(25 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				updaterDone <- nil
+				return
+			case <-tick.C:
+			}
+			pats := make([]core.Pattern, 4)
+			for j := range pats {
+				p := make(core.Pattern, width)
+				for k := range p {
+					p[k] = r.Bool(0.5)
+				}
+				pats[j] = p
+			}
+			if _, err := srv.Update(map[int][]core.Pattern{classes[int(r.Uint64()%uint64(len(classes)))]: pats}); err != nil {
+				updaterDone <- err
+				return
+			}
+		}
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		futs, err := srv.SubmitAll(inputs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, f := range futs {
+			if _, err := f.Wait(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.StopTimer()
+	close(stop)
+	if err := <-updaterDone; err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(len(inputs))*float64(b.N)/b.Elapsed().Seconds(), "inputs/s")
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		b.Fatal(err)
+	}
+	st := srv.Stats()
+	if st.Rejected != 0 {
+		b.Fatalf("%d requests rejected across epoch swaps", st.Rejected)
+	}
+	b.ReportMetric(float64(st.Updates), "epoch_swaps")
+}
+
 // BenchmarkAblation_MonitorBuild measures Algorithm 1's offline cost
 // (pattern extraction plus BDD construction) per training sample.
 func BenchmarkAblation_MonitorBuild(b *testing.B) {

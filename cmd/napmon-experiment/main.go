@@ -5,10 +5,16 @@
 //
 // Usage:
 //
-//	napmon-experiment [-scale 1.0] [-seed 1] [-v] [-artifact all|table1|table2|figure2|figure3]
+//	napmon-experiment [-scale 1.0] [-seed 1] [-v] [-artifact all|table1|table2|figure2|figure3|online]
 //
 // A full-scale run (scale 1) takes several minutes on one core; the
 // numbers recorded in EXPERIMENTS.md come from that configuration.
+//
+// -artifact online runs the online-phase experiment (serve-while-
+// retraining): the monitor is built from half the training patterns and
+// the withheld half is streamed back in through the epoch-swap updater,
+// tracing detection-rate drift per published epoch against a one-shot
+// full-build reference.
 package main
 
 import (
@@ -45,9 +51,22 @@ func main() {
 		fallthrough
 	case "figure3":
 		runFrontCar(opts, os.Stdout)
+	case "online":
+		runOnline(opts, os.Stdout)
 	default:
 		log.Fatalf("unknown artifact %q", *artifact)
 	}
+}
+
+// runOnline runs the online-phase experiment: serve-while-retraining via
+// epoch-swap updates of the MNIST monitor.
+func runOnline(opts exp.Options, w io.Writer) {
+	log.Printf("running online phase (epoch-swap updates, scale %.2f)...", opts.Scale)
+	res, err := exp.OnlineStudy(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintln(w, exp.RenderOnline(res))
 }
 
 // runTables trains both Table I networks once and derives the requested

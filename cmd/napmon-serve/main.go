@@ -4,8 +4,16 @@
 // network replicas — and exposes it over HTTP/JSON:
 //
 //	POST /watch    {"shape":[1,28,28],"input":[...]} → one verdict
-//	GET  /stats    serving counters and latency percentiles
+//	POST /learn    {"class":3,"patterns":["0101..."]} → absorb patterns,
+//	               publish a new serving epoch (serve-while-retraining)
+//	GET  /stats    serving counters, latency percentiles, current epoch
 //	GET  /healthz  liveness probe
+//
+// /learn is the online-update loop: a client that sees a flagged (or
+// independently misclassified) decision can feed the verdict's "pattern"
+// string back under the decision's true class; the monitor shadow-builds
+// the touched zones and swaps them in atomically while /watch traffic
+// keeps flowing.
 //
 // On SIGINT/SIGTERM the daemon shuts down gracefully: the listener stops
 // accepting, in-flight HTTP requests finish, and the serving queue is
@@ -91,6 +99,7 @@ func main() {
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("/watch", handleWatch(srv, shape))
+	mux.HandleFunc("/learn", handleLearn(srv, mon))
 	mux.HandleFunc("/stats", handleStats(srv))
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
@@ -288,6 +297,64 @@ func handleWatch(srv *napmon.Server, shape []int) http.HandlerFunc {
 	}
 }
 
+// learnRequest is the POST /learn body: activation patterns (the 0/1
+// string form returned by /watch) to absorb into one class's comfort
+// zone.
+type learnRequest struct {
+	Class    int      `json:"class"`
+	Patterns []string `json:"patterns"`
+}
+
+// learnResponse reports the published epoch after the update.
+type learnResponse struct {
+	Epoch    uint64 `json:"epoch"`
+	Absorbed int    `json:"absorbed"`
+}
+
+func handleLearn(srv *napmon.Server, mon *napmon.Monitor) http.HandlerFunc {
+	width := len(mon.Neurons())
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		// Each pattern is width bytes of JSON string plus quoting; the cap
+		// bounds one request to a generous batch without letting a rogue
+		// client allocate unbounded pattern slices.
+		r.Body = http.MaxBytesReader(w, r.Body, int64(width+16)*4096+4096)
+		var req learnRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, "bad JSON: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		if len(req.Patterns) == 0 {
+			http.Error(w, "no patterns", http.StatusBadRequest)
+			return
+		}
+		pats := make([]napmon.Pattern, len(req.Patterns))
+		for i, s := range req.Patterns {
+			p, err := napmon.ParsePattern(s)
+			if err != nil {
+				http.Error(w, fmt.Sprintf("pattern %d: %v", i, err), http.StatusBadRequest)
+				return
+			}
+			if len(p) != width {
+				http.Error(w, fmt.Sprintf("pattern %d has %d bits, monitor watches %d neurons", i, len(p), width), http.StatusBadRequest)
+				return
+			}
+			pats[i] = p
+		}
+		epoch, err := srv.Update(map[int][]napmon.Pattern{req.Class: pats})
+		if err != nil {
+			// Validation failures (unmonitored class) are the client's
+			// fault; the update path has no server-side failure modes.
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		writeJSON(w, learnResponse{Epoch: epoch, Absorbed: len(pats)})
+	}
+}
+
 // statsResponse renders napmon.ServerStats with latencies both raw (ns)
 // and human-readable.
 type statsResponse struct {
@@ -302,6 +369,8 @@ type statsResponse struct {
 	P50           string  `json:"p50"`
 	P99           string  `json:"p99"`
 	Lanes         int     `json:"lanes"`
+	Epoch         uint64  `json:"epoch"`
+	Updates       uint64  `json:"updates"`
 }
 
 func handleStats(srv *napmon.Server) http.HandlerFunc {
@@ -323,6 +392,8 @@ func handleStats(srv *napmon.Server) http.HandlerFunc {
 			P50:           st.P50.String(),
 			P99:           st.P99.String(),
 			Lanes:         st.Lanes,
+			Epoch:         st.Epoch,
+			Updates:       st.Updates,
 		})
 	}
 }

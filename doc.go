@@ -56,8 +56,27 @@
 //	}
 //	srv.Shutdown(ctx) // drains accepted requests, then stops
 //
+// A frozen monitor is not a static artifact: the online-update path
+// absorbs newly observed activation patterns while serving continues
+// (serve-while-retraining). Monitor.Update / Monitor.UpdateBatch
+// shadow-build the touched comfort zones on writable clones and publish
+// the result as a new serving epoch with one atomic pointer swap; each
+// batch pins one epoch (every Verdict carries its epoch id), retired
+// epochs are released after their readers drain, and the updated monitor
+// answers exactly like one built from all patterns in one shot.
+// Monitor.UpdateGamma re-levels γ the same way — SetGamma errors once
+// frozen. Through a Server the same flow is Server.Update (observable
+// via ServerConfig.OnEpochSwap and ServerStats.Epoch):
+//
+//	mon.Freeze()                      // epoch 1 starts serving
+//	epoch, err := mon.Update(class, pattern) // publishes epoch 2
+//
+// See the Monitor.Update example and DESIGN.md, "Online updates: epochs,
+// grace periods".
+//
 // The cmd/napmon-serve binary exposes this server over HTTP/JSON
-// (POST /watch, GET /stats, GET /healthz) with graceful shutdown.
+// (POST /watch, POST /learn — the online-update feedback endpoint,
+// GET /stats, GET /healthz) with graceful shutdown.
 //
 // Everything is implemented from scratch on the standard library: the
 // tensor math and neural-network substrate, the ROBDD engine (open-
@@ -69,7 +88,10 @@
 // gofmt, vet + staticcheck (make lint), build, race-detector tests and a
 // -benchmem benchmark smoke run on a Go 1.22/1.23 matrix, plus a
 // bench-regression job (make bench-json records BENCH_PR3.json and make
-// bench-check fails >1.3x ns/op regressions of the serving benchmarks
-// against ci/bench-baseline.json) and a serve-demo end-to-end daemon
-// smoke job (make serve-demo).
+// bench-check fails >1.3x ns/op regressions of the serving and update
+// benchmarks against ci/bench-baseline.json), a fuzz-smoke job (make
+// test-fuzz: the differential BDD fuzzer and the pattern wire-format
+// round trip), a coverage gate (make cover-check against
+// ci/coverage-baseline.txt) and a serve-demo end-to-end daemon smoke job
+// (make serve-demo).
 package napmon

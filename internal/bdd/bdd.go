@@ -49,9 +49,10 @@ type node struct {
 // monitors from a single goroutine, then call Freeze — queries via Eval
 // are read-only and may run concurrently once the manager is frozen.
 type Manager struct {
-	numVars int
-	nodes   []node
-	frozen  bool
+	numVars  int
+	nodes    []node
+	frozen   bool
+	released bool // Release was called: the arena and tables are gone
 
 	// unique is the open-addressed hash table enforcing canonicity. Slots
 	// hold node handles; 0 marks an empty slot (the terminals never enter
@@ -173,6 +174,7 @@ func (m *Manager) Frozen() bool { return m.frozen }
 // frozen manager fails loudly and deterministically instead of racing.
 func (m *Manager) checkMutable() {
 	if m.frozen {
+		m.checkLive()
 		panic("bdd: mutating operation on frozen manager")
 	}
 }

@@ -1,0 +1,84 @@
+package bdd
+
+// Cloning and release support for the epoch-swap online-update model
+// (DESIGN.md, "Online updates: epochs, grace periods"). A frozen manager
+// serving queries cannot grow, so absorbing new patterns means building a
+// writable successor: CloneCompact rebuilds the nodes reachable from a
+// root set into a fresh manager (dropping the garbage a build session
+// accumulates — the arena never collects in place). When the retired
+// manager's last reader drains, Release frees its arena and tables
+// deterministically instead of waiting for a GC cycle to notice.
+
+// CloneCompact rebuilds the sub-diagrams reachable from roots into a fresh
+// writable manager and returns it with the remapped roots (parallel to the
+// input). Unreachable nodes — dead intermediates from Or/Exists chains
+// during a long build — are left behind, so the clone's arena is exactly
+// the live node set: this is the arena-compaction primitive, and the unit
+// the online updater shadow-builds zone deltas on. The source manager is
+// only read; it may be frozen.
+func (m *Manager) CloneCompact(roots []Node) (*Manager, []Node) {
+	m.checkLive()
+	c := NewManager(m.numVars)
+	remap := make([]Node, len(m.nodes))
+	mapped := make([]bool, len(m.nodes))
+	mapped[falseNode], mapped[trueNode] = true, true
+	remap[trueNode] = trueNode
+	// Iterative post-order DFS: children are remapped before parents, so
+	// each node is rebuilt with already-valid child handles. A deep-first
+	// explicit stack keeps pathological chain diagrams from overflowing
+	// the goroutine stack.
+	var stack []Node
+	visit := func(n Node) {
+		if !mapped[n] {
+			stack = append(stack, n)
+		}
+	}
+	for _, r := range roots {
+		visit(r)
+		for len(stack) > 0 {
+			n := stack[len(stack)-1]
+			if mapped[n] {
+				stack = stack[:len(stack)-1]
+				continue
+			}
+			nd := m.nodes[n]
+			if !mapped[nd.lo] || !mapped[nd.hi] {
+				visit(nd.lo)
+				visit(nd.hi)
+				continue
+			}
+			remap[n] = c.mk(nd.level, remap[nd.lo], remap[nd.hi])
+			mapped[n] = true
+			stack = stack[:len(stack)-1]
+		}
+	}
+	out := make([]Node, len(roots))
+	for i, r := range roots {
+		out[i] = remap[r]
+	}
+	return c, out
+}
+
+// Release frees the manager's arena and tables. It is called on the
+// managers of a retired epoch once the epoch's reader refcount drains —
+// the deterministic end of the grace period — so the memory of a replaced
+// zone is reclaimable immediately instead of whenever the GC next runs.
+// A released manager is dead: every subsequent operation, including Eval,
+// panics. Release is idempotent.
+func (m *Manager) Release() {
+	m.frozen = true
+	m.released = true
+	m.nodes, m.unique, m.cache = nil, nil, nil
+}
+
+// Released reports whether Release has been called.
+func (m *Manager) Released() bool { return m.released }
+
+// checkLive panics when the manager has been released; read-only entry
+// points call it so use-after-release fails loudly instead of as a nil
+// slice dereference deep in a walk.
+func (m *Manager) checkLive() {
+	if m.released {
+		panic("bdd: operation on released manager (its epoch was retired)")
+	}
+}

@@ -1,0 +1,150 @@
+package bdd
+
+import (
+	"testing"
+)
+
+// buildSample constructs a few interrelated diagrams and returns them with
+// their manager: f = (x0 ∧ x1) ∨ x2, g = ¬x1, h = f ⊕ g.
+func buildSample(t *testing.T) (*Manager, []Node) {
+	t.Helper()
+	m := NewManager(4)
+	f := m.Or(m.And(m.Var(0), m.Var(1)), m.Var(2))
+	g := m.Not(m.Var(1))
+	h := m.Xor(f, g)
+	return m, []Node{f, g, h}
+}
+
+// allAssignments enumerates every assignment over n vars as bit slices.
+func allAssignments(n int) [][]bool {
+	out := make([][]bool, 1<<n)
+	for a := range out {
+		bits := make([]bool, n)
+		for v := 0; v < n; v++ {
+			bits[v] = a&(1<<v) != 0
+		}
+		out[a] = bits
+	}
+	return out
+}
+
+// TestCloneCompactMutable: a compact clone of a frozen source is
+// independently writable, and mutating it never disturbs the source.
+func TestCloneCompactMutable(t *testing.T) {
+	m, roots := buildSample(t)
+	m.Freeze()
+	c, croots := m.CloneCompact(roots)
+	if c.Frozen() {
+		t.Fatal("clone inherited frozen state")
+	}
+	// Mutating the clone must not disturb the frozen source.
+	grown := c.Or(croots[0], c.Var(3))
+	if c.IsFalse(grown) {
+		t.Fatal("clone mutation produced false")
+	}
+	for _, bits := range allAssignments(4) {
+		want := m.EvalBits(roots[0], bits) || bits[3]
+		if got := c.EvalBits(grown, bits); got != want {
+			t.Fatalf("grown clone wrong on %v: got %v want %v", bits, got, want)
+		}
+		for i := range roots {
+			if m.EvalBits(roots[i], bits) != c.EvalBits(croots[i], bits) {
+				t.Fatalf("root %d diverges on %v after clone mutation", i, bits)
+			}
+		}
+	}
+}
+
+// TestCloneCompactSemantics: the compact clone preserves the functions of
+// the requested roots and drops unreachable garbage.
+func TestCloneCompactSemantics(t *testing.T) {
+	m := NewManager(6)
+	// Create garbage: intermediates that no surviving root references.
+	var f Node = m.False()
+	for v := 0; v < 6; v++ {
+		f = m.Or(f, m.And(m.Var(v), m.NVar((v+1)%6)))
+	}
+	g := m.Exists(2, f)
+	m.Freeze()
+	c, croots := m.CloneCompact([]Node{f, g})
+	if c.Frozen() {
+		t.Fatal("compact clone inherited frozen state")
+	}
+	if c.Size() >= m.Size() {
+		t.Fatalf("compact clone did not shrink: %d vs %d nodes", c.Size(), m.Size())
+	}
+	if want := m.NodeCount(f) + 2; c.Size() > m.NodeCount(f)+m.NodeCount(g)+2 {
+		t.Fatalf("compact clone larger than the live sets: %d nodes (f alone is %d)", c.Size(), want)
+	}
+	for _, bits := range allAssignments(6) {
+		if m.EvalBits(f, bits) != c.EvalBits(croots[0], bits) {
+			t.Fatalf("f diverges on %v", bits)
+		}
+		if m.EvalBits(g, bits) != c.EvalBits(croots[1], bits) {
+			t.Fatalf("g diverges on %v", bits)
+		}
+	}
+	// Canonicity carries over: same function, same SatCount.
+	if m.SatCount(f) != c.SatCount(croots[0]) {
+		t.Fatalf("SatCount diverges: %v vs %v", m.SatCount(f), c.SatCount(croots[0]))
+	}
+	// Shared roots stay shared (f appears twice → same handle twice).
+	_, dup := m.CloneCompact([]Node{f, f})
+	if dup[0] != dup[1] {
+		t.Fatal("identical roots mapped to different handles")
+	}
+}
+
+// TestCloneCompactTerminalRoots: terminal-only root lists must survive
+// compaction (the empty zone's Z⁰ is the false terminal).
+func TestCloneCompactTerminalRoots(t *testing.T) {
+	m := NewManager(3)
+	c, roots := m.CloneCompact([]Node{m.False(), m.True()})
+	if !c.IsFalse(roots[0]) || !c.IsTrue(roots[1]) {
+		t.Fatalf("terminals remapped to %v", roots)
+	}
+}
+
+// TestReleaseSemantics: a released manager reports Released, panics
+// loudly on use, and Release is idempotent.
+func TestReleaseSemantics(t *testing.T) {
+	m, roots := buildSample(t)
+	m.Freeze()
+	m.Release()
+	m.Release() // idempotent
+	if !m.Released() {
+		t.Fatal("Released() false after Release")
+	}
+	if !m.Frozen() {
+		t.Fatal("released manager must read as frozen")
+	}
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("EvalBits on released manager did not panic")
+		}
+	}()
+	m.EvalBits(roots[0], make([]bool, 4))
+}
+
+// TestCloneSurvivesSourceRelease: the lifetime decoupling the epoch model
+// relies on — releasing a retired source manager must not perturb clones
+// built from it.
+func TestCloneSurvivesSourceRelease(t *testing.T) {
+	m, roots := buildSample(t)
+	// Record the expected truth table before the source dies.
+	want := make([]bool, 1<<4)
+	for a, bits := range allAssignments(4) {
+		want[a] = m.EvalBits(roots[2], bits)
+	}
+	compact, croots := m.CloneCompact(roots)
+	m.Release()
+	for a, bits := range allAssignments(4) {
+		if got := compact.EvalBits(croots[2], bits); got != want[a] {
+			t.Fatalf("compact clone diverges after source release on %v", bits)
+		}
+	}
+	// The clone remains mutable.
+	if compact.IsFalse(compact.Or(croots[0], compact.Var(3))) {
+		t.Fatal("compact clone unusable after source release")
+	}
+}

@@ -17,6 +17,7 @@ const ioMagic = 0x42444431 // "BDD1"
 // Serialize writes the sub-diagrams reachable from roots to w. The same
 // roots, in order, are recoverable with Deserialize.
 func (m *Manager) Serialize(w io.Writer, roots []Node) error {
+	m.checkLive()
 	bw := bufio.NewWriter(w)
 	// Collect reachable nodes in a deterministic order (post-order DFS) so
 	// children precede parents and the file is reproducible. Handles are

@@ -78,8 +78,9 @@ func TestWatchBatchConcurrent(t *testing.T) {
 }
 
 // TestFrozenMonitorRejectsMutation checks the freeze-then-serve contract:
-// after freezing, inserting into a zone panics, and SetGamma is legal only
-// for levels computed before the freeze.
+// after freezing, inserting into a zone panics and SetGamma errors instead
+// of silently mutating shared serving state — changing γ on a live monitor
+// goes through UpdateGamma, which publishes a new epoch.
 func TestFrozenMonitorRejectsMutation(t *testing.T) {
 	net, layer, train, _ := trainedToyNet(t, 13)
 	mon, err := Build(net, train, Config{Layer: layer, Gamma: 2})
@@ -88,24 +89,39 @@ func TestFrozenMonitorRejectsMutation(t *testing.T) {
 	}
 	mon.Freeze()
 	mon.Freeze() // idempotent
-	// Levels 0..2 were computed before the freeze: switching is allowed.
-	mon.SetGamma(1)
-	mon.SetGamma(2)
-	func() {
-		defer func() {
-			if recover() == nil {
-				t.Fatal("SetGamma past the cached levels did not panic on frozen monitor")
-			}
-		}()
-		mon.SetGamma(3)
-	}()
+	// The current level is not a change: explicitly allowed as a no-op.
+	if err := mon.SetGamma(2); err != nil {
+		t.Fatalf("SetGamma to the current level on a frozen monitor: %v", err)
+	}
+	// Any actual change must error — even to a level cached pre-freeze,
+	// because flipping the query level in place races concurrent readers.
+	if err := mon.SetGamma(1); err == nil {
+		t.Fatal("SetGamma(1) on frozen monitor did not error")
+	}
+	if err := mon.SetGamma(3); err == nil {
+		t.Fatal("SetGamma past the cached levels on frozen monitor did not error")
+	}
+	c := mon.Classes()[0]
+	if err := mon.Zone(c).SetGamma(1); err == nil {
+		t.Fatal("Zone.SetGamma change on frozen zone did not error")
+	}
+	// UpdateGamma is the sanctioned route: a cached level is an O(1)
+	// re-view epoch, a deeper one is shadow-built.
+	if id, err := mon.UpdateGamma(1); err != nil || id != 2 {
+		t.Fatalf("UpdateGamma(1) = (%d, %v), want epoch 2", id, err)
+	}
+	if got := mon.Gamma(); got != 1 {
+		t.Fatalf("Gamma after UpdateGamma(1) = %d", got)
+	}
+	if id, err := mon.UpdateGamma(3); err != nil || id != 3 {
+		t.Fatalf("UpdateGamma(3) = (%d, %v), want epoch 3", id, err)
+	}
 	func() {
 		defer func() {
 			if recover() == nil {
 				t.Fatal("Insert did not panic on frozen zone")
 			}
 		}()
-		c := mon.Classes()[0]
 		mon.Zone(c).Insert(make(Pattern, len(mon.Neurons())))
 	}()
 }

@@ -55,7 +55,9 @@ func ratio(num, den int) float64 {
 // validation set, per §III's procedure for deciding the coarseness of
 // abstraction) and aggregates the Table II statistics. Inference and
 // pattern extraction run in parallel; zone queries are sequential and
-// read-only.
+// read-only. On a frozen monitor the serving epoch is pinned for the
+// whole evaluation, so the metrics describe exactly one generation even
+// while online updates publish new ones.
 func Evaluate(net *nn.Network, m *Monitor, samples []nn.Sample) Metrics {
 	type obs struct {
 		pred    int
@@ -65,6 +67,11 @@ func Evaluate(net *nn.Network, m *Monitor, samples []nn.Sample) Metrics {
 		logits, acts := w.ForwardCapture(s.Input, m.cfg.Layer)
 		return obs{pred: logits.ArgMax(), pattern: PatternOfSubset(acts, m.neurons)}
 	})
+	zones := m.zones
+	if e := m.acquire(); e != nil {
+		defer e.unpin()
+		zones = e.zones
+	}
 	var out Metrics
 	out.Total = len(samples)
 	for i, r := range results {
@@ -72,7 +79,7 @@ func Evaluate(net *nn.Network, m *Monitor, samples []nn.Sample) Metrics {
 		if mis {
 			out.Misclassified++
 		}
-		z, ok := m.zones[r.pred]
+		z, ok := zones[r.pred]
 		if !ok {
 			continue
 		}
@@ -89,14 +96,31 @@ func Evaluate(net *nn.Network, m *Monitor, samples []nn.Sample) Metrics {
 
 // GammaSweep evaluates the monitor at each γ in gammas (ascending order is
 // cheapest because enlargements are cached) and returns one Metrics per γ.
-// The monitor is left at the last γ.
+// The monitor is left at the last γ. On a frozen monitor each level is
+// published as a new serving epoch (UpdateGamma), so sweeping a live
+// monitor is legal and never races its readers.
 func GammaSweep(net *nn.Network, m *Monitor, samples []nn.Sample, gammas []int) []Metrics {
 	out := make([]Metrics, len(gammas))
 	for i, g := range gammas {
-		m.SetGamma(g)
+		setServingGamma(m, g)
 		out[i] = Evaluate(net, m, samples)
 	}
 	return out
+}
+
+// setServingGamma moves the monitor to γ by the phase-appropriate route:
+// in-place during build, a published epoch once frozen. Negative γ panics,
+// matching the historical SetGamma contract of the sweep helpers.
+func setServingGamma(m *Monitor, g int) {
+	var err error
+	if m.Frozen() {
+		_, err = m.UpdateGamma(g)
+	} else {
+		err = m.SetGamma(g)
+	}
+	if err != nil {
+		panic(err)
+	}
 }
 
 // InferGamma implements the paper's "infer when to stop enlarging"
@@ -110,13 +134,13 @@ func InferGamma(net *nn.Network, m *Monitor, validation []nn.Sample,
 	minPrecision, minRate float64, maxGamma int) (int, []Metrics) {
 	var history []Metrics
 	for g := 0; g <= maxGamma; g++ {
-		m.SetGamma(g)
+		setServingGamma(m, g)
 		metrics := Evaluate(net, m, validation)
 		history = append(history, metrics)
 		if metrics.OutOfPatternPrecision() >= minPrecision || metrics.OutOfPatternRate() <= minRate {
 			return g, history
 		}
 	}
-	m.SetGamma(maxGamma)
+	setServingGamma(m, maxGamma)
 	return maxGamma, history
 }

@@ -1,0 +1,84 @@
+package core
+
+// FuzzPatternRoundTrip fuzzes the pattern encodings the serving and
+// online-update wire paths rely on: the 0/1 String form (the
+// napmon-serve /watch response and /learn request body) must round-trip
+// through ParsePattern bit-exactly, the compact Key form must be
+// injective, and a fuzzed pattern inserted into a zone must be found by
+// the BDD membership query at γ=0 and at every Hamming-neighbor level.
+
+import (
+	"testing"
+)
+
+func FuzzPatternRoundTrip(f *testing.F) {
+	f.Add([]byte{0x00})
+	f.Add([]byte{0xFF, 0x0F})
+	f.Add([]byte{0xAA, 0x55, 0xC3})
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 || len(data) > 8 {
+			return // keep zones small: ≤ 64 neurons
+		}
+		width := len(data) * 8
+		p := make(Pattern, width)
+		for i := range p {
+			p[i] = data[i/8]&(1<<(i%8)) != 0
+		}
+
+		// String → ParsePattern round trip.
+		s := p.String()
+		if len(s) != width {
+			t.Fatalf("String length %d, want %d", len(s), width)
+		}
+		q, err := ParsePattern(s)
+		if err != nil {
+			t.Fatalf("ParsePattern(%q): %v", s, err)
+		}
+		if Hamming(p, q) != 0 {
+			t.Fatalf("round trip changed the pattern: %s -> %s", p, q)
+		}
+
+		// ParsePattern rejects anything outside {0,1}.
+		if _, err := ParsePattern(s + "2"); err == nil {
+			t.Fatal("ParsePattern accepted a '2'")
+		}
+
+		// Key is injective against every 1-bit neighbor (and self-equal).
+		if p.Key() != q.Key() {
+			t.Fatal("equal patterns produced different keys")
+		}
+		for i := 0; i < width; i++ {
+			n := p.Clone()
+			n[i] = !n[i]
+			if n.Key() == p.Key() {
+				t.Fatalf("key collision with neighbor %d", i)
+			}
+		}
+
+		// Zone round trip: the inserted pattern is a member at γ=0; its
+		// 1-bit neighbors are members exactly at γ≥1 (and are the only
+		// distance-1 additions).
+		z := NewZone(width)
+		z.Insert(p)
+		if !z.Contains(p) {
+			t.Fatal("inserted pattern not in zone at gamma 0")
+		}
+		if err := z.SetGamma(1); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < width; i++ {
+			n := p.Clone()
+			n[i] = !n[i]
+			if z.ContainsAt(0, n) {
+				t.Fatalf("distance-1 neighbor %d in zone at gamma 0", i)
+			}
+			if !z.Contains(n) {
+				t.Fatalf("distance-1 neighbor %d missing at gamma 1", i)
+			}
+		}
+		if got, want := z.PatternCount(), float64(1+width); got != want {
+			t.Fatalf("gamma-1 ball holds %v patterns, want %v", got, want)
+		}
+	})
+}

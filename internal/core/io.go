@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 )
 
 // Monitors are built once after training (Algorithm 1) and then deployed;
@@ -26,18 +27,30 @@ type monitorHeader struct {
 const monitorFormat = "napmon-monitor-v1"
 
 // Save writes the monitor (configuration plus all comfort zones at every
-// cached enlargement level) to w.
+// cached enlargement level) to w. On a frozen monitor the serving epoch is
+// pinned for the whole write, so the file captures one consistent
+// generation — absorbed online updates included — even while further
+// updates publish concurrently.
 func (m *Monitor) Save(w io.Writer) error {
+	zones, gamma := m.zones, m.cfg.Gamma
+	if e := m.acquire(); e != nil {
+		defer e.unpin()
+		zones, gamma = e.zones, e.gamma
+	}
 	bw := bufio.NewWriter(w)
-	classes := m.Classes()
+	classes := make([]int, 0, len(zones))
+	for c := range zones {
+		classes = append(classes, c)
+	}
+	sort.Ints(classes)
 	inserts := make([]int, len(classes))
 	for i, c := range classes {
-		inserts[i] = m.zones[c].InsertCount()
+		inserts[i] = zones[c].InsertCount()
 	}
 	hdr, err := json.Marshal(monitorHeader{
 		Format:  monitorFormat,
 		Layer:   m.cfg.Layer,
-		Gamma:   m.cfg.Gamma,
+		Gamma:   gamma,
 		Width:   m.width,
 		Neurons: m.neurons,
 		Classes: classes,
@@ -50,7 +63,7 @@ func (m *Monitor) Save(w io.Writer) error {
 		return err
 	}
 	for _, c := range classes {
-		if err := m.zones[c].save(bw); err != nil {
+		if err := zones[c].save(bw); err != nil {
 			return fmt.Errorf("core: saving zone %d: %w", c, err)
 		}
 	}
@@ -92,6 +105,7 @@ func Load(r io.Reader) (*Monitor, error) {
 		}
 		m.zones[c] = z
 	}
+	m.upd.m = m
 	return m, nil
 }
 

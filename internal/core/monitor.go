@@ -32,11 +32,31 @@ type Config struct {
 // Monitor is the neuron activation pattern monitor of Definition 3: one
 // γ-comfort zone per monitored class, consulted after each classification
 // decision.
+//
+// A monitor has two phases. While building (Algorithm 1) it is
+// single-writer: Insert and SetGamma mutate the zones directly. Freeze
+// publishes the zones as the first serving epoch; from then on every read
+// path (Watch, WatchBatch, WatchPattern, Evaluate) pins the current epoch
+// for the duration of its batch, and the zones only change by whole-epoch
+// replacement through the Updater (Update/UpdateBatch/UpdateGamma) — see
+// DESIGN.md, "Online updates: epochs, grace periods".
 type Monitor struct {
 	cfg     Config
 	neurons []int // resolved monitored neuron indices (always non-nil)
 	width   int   // layer output width d_l
-	zones   map[int]*Zone
+
+	// zones is the build-phase state, owned by the building goroutine
+	// until Freeze. After Freeze the source of truth is the current
+	// epoch; zones keeps the freeze-time generation only so the
+	// freezeOnce closure can hand it over.
+	zones map[int]*Zone
+
+	// cur is the serving epoch: nil until Freeze, then swapped atomically
+	// by the updater. Readers go through acquire/unpin.
+	cur atomic.Pointer[epoch]
+
+	// upd serializes online updates and carries their counters.
+	upd Updater
 
 	// freezeOnce guards the build-to-serve transition: after Freeze (or
 	// the first WatchBatch, which freezes implicitly) every zone's BDD
@@ -58,6 +78,10 @@ type Verdict struct {
 	OutOfPattern bool
 	// Pattern is the extracted activation pattern over monitored neurons.
 	Pattern Pattern
+	// Epoch identifies the serving epoch the verdict was computed against
+	// (0 while the monitor is unfrozen). All verdicts of one batch carry
+	// the same epoch: a batch never straddles an online update.
+	Epoch uint64
 }
 
 // Build runs Algorithm 1: it feeds every training sample through the
@@ -91,7 +115,9 @@ func Build(net *nn.Network, train []nn.Sample, cfg Config) (*Monitor, error) {
 		}
 		z.Insert(r.pattern)
 	}
-	m.SetGamma(cfg.Gamma)
+	if err := m.SetGamma(cfg.Gamma); err != nil {
+		return nil, err
+	}
 	return m, nil
 }
 
@@ -147,7 +173,9 @@ func newMonitor(net *nn.Network, cfg Config) (*Monitor, error) {
 		}
 		zones[c] = NewZone(len(neurons))
 	}
-	return &Monitor{cfg: cfg, neurons: neurons, width: width, zones: zones}, nil
+	m := &Monitor{cfg: cfg, neurons: neurons, width: width, zones: zones}
+	m.upd.m = m
+	return m, nil
 }
 
 // probeDims determines the network's class count and the monitored layer's
@@ -182,13 +210,33 @@ func (m *Monitor) Neurons() []int { return m.neurons }
 // LayerWidth returns the monitored layer's full width d_l.
 func (m *Monitor) LayerWidth() int { return m.width }
 
-// Zone returns the comfort zone for class c, or nil when c is unmonitored.
-func (m *Monitor) Zone(c int) *Zone { return m.zones[c] }
+// zonesView returns the zone set a non-serving accessor should read: the
+// current epoch's zones once frozen, the build-phase zones before.
+// Accessors going through it (Zone, Classes, StorageNodes) see the latest
+// generation but do not pin it — racing them against concurrent updates
+// can observe a zone whose manager was released. Serving paths pin instead.
+func (m *Monitor) zonesView() map[int]*Zone {
+	if e := m.cur.Load(); e != nil {
+		return e.zones
+	}
+	return m.zones
+}
+
+// Zone returns the comfort zone for class c at the current epoch, or nil
+// when c is unmonitored. The returned handle belongs to the epoch current
+// at call time: if online updates later replace class c's zone, the
+// handle's BDD manager is released once that epoch's readers drain, after
+// which its query methods panic. Diagnostics that run concurrently with
+// updates should re-fetch the zone per use (or go through the pinned
+// serving APIs — Watch, WatchPattern, WatchBatch, Evaluate,
+// StorageNodes) rather than caching the handle across updates.
+func (m *Monitor) Zone(c int) *Zone { return m.zonesView()[c] }
 
 // Classes returns the monitored classes in ascending order.
 func (m *Monitor) Classes() []int {
-	cs := make([]int, 0, len(m.zones))
-	for c := range m.zones {
+	zones := m.zonesView()
+	cs := make([]int, 0, len(zones))
+	for c := range zones {
 		cs = append(cs, c)
 	}
 	sort.Ints(cs)
@@ -196,36 +244,58 @@ func (m *Monitor) Classes() []int {
 }
 
 // SetGamma changes the enlargement level of every zone (recomputed
-// incrementally from cached levels).
-func (m *Monitor) SetGamma(gamma int) {
+// incrementally from cached levels). It is a build-phase operation: on a
+// frozen monitor it returns an error instead of mutating shared serving
+// state — publish the change as a new epoch with UpdateGamma instead.
+func (m *Monitor) SetGamma(gamma int) error {
+	if m.Frozen() {
+		if e := m.cur.Load(); e != nil && e.gamma == gamma {
+			return nil // no change requested; nothing to mutate
+		}
+		return fmt.Errorf("core: SetGamma(%d) on frozen monitor (use UpdateGamma to publish a new serving epoch)", gamma)
+	}
 	for _, z := range m.zones {
-		z.SetGamma(gamma)
+		if err := z.SetGamma(gamma); err != nil {
+			return err
+		}
 	}
 	m.cfg.Gamma = gamma
+	return nil
 }
 
-// Gamma returns the current enlargement level.
-func (m *Monitor) Gamma() int { return m.cfg.Gamma }
+// Gamma returns the current enlargement level: the serving epoch's γ once
+// frozen (UpdateGamma may have moved it), the build configuration before.
+func (m *Monitor) Gamma() int {
+	if e := m.cur.Load(); e != nil {
+		return e.gamma
+	}
+	return m.cfg.Gamma
+}
 
 // Freeze transitions the monitor from building to serving: every zone's
-// BDD manager becomes read-only (comfort-zone levels up to the current γ
-// stay queryable; growing a zone or enlarging past the deepest cached
-// level panics), after which Watch, WatchPattern and WatchBatch are safe
-// to call from any number of goroutines concurrently. Freeze is
-// idempotent and irreversible; WatchBatch calls it implicitly on first
-// use. SetGamma remains legal on a frozen monitor only for levels that
-// were computed before freezing, and must not run concurrently with
-// serving calls.
+// BDD manager becomes read-only and the zone set is published as epoch 1,
+// after which Watch, WatchPattern and WatchBatch are safe to call from any
+// number of goroutines concurrently. Freeze is idempotent; WatchBatch
+// calls it implicitly on first use. A frozen monitor mutates only by
+// whole-epoch replacement: Update/UpdateBatch absorb new patterns and
+// UpdateGamma re-levels the zones, each publishing a successor epoch
+// without a serving gap; SetGamma and Insert fail.
 func (m *Monitor) Freeze() {
 	m.freezeOnce.Do(func() {
 		for _, z := range m.zones {
 			z.Freeze()
 		}
+		e := newEpoch(1, m.cfg.Gamma, m.zones)
+		m.upd.track(e)
+		m.cur.Store(e)
 	})
 }
 
 // Frozen reports whether the monitor has been frozen for serving.
 func (m *Monitor) Frozen() bool {
+	if m.cur.Load() != nil {
+		return true
+	}
 	for _, z := range m.zones {
 		return z.Frozen()
 	}
@@ -239,11 +309,16 @@ func (m *Monitor) Watch(net *nn.Network, x *tensor.Tensor) Verdict {
 	logits, acts := net.ForwardCapture(x, m.cfg.Layer)
 	pred := logits.ArgMax()
 	p := PatternOfSubset(acts, m.neurons)
-	z, ok := m.zones[pred]
-	if !ok {
-		return Verdict{Class: pred, Monitored: false, Pattern: p}
+	zones, eid := m.zones, uint64(0)
+	if e := m.acquire(); e != nil {
+		defer e.unpin()
+		zones, eid = e.zones, e.id
 	}
-	return Verdict{Class: pred, Monitored: true, OutOfPattern: !z.Contains(p), Pattern: p}
+	z, ok := zones[pred]
+	if !ok {
+		return Verdict{Class: pred, Monitored: false, Pattern: p, Epoch: eid}
+	}
+	return Verdict{Class: pred, Monitored: true, OutOfPattern: !z.Contains(p), Pattern: p, Epoch: eid}
 }
 
 // scratchPools recycles tensor.Pool instances across WatchBatch calls so
@@ -270,7 +345,9 @@ const maxWatchChunk = 64
 // serving loop allocates only the verdict slice. The monitor is frozen on
 // first use (see Freeze); WatchBatch may be called concurrently from any
 // number of goroutines because the batched forward path touches no
-// per-layer state.
+// per-layer state. The serving epoch is pinned once for the whole batch:
+// every verdict carries the same Epoch even while online updates publish
+// new generations concurrently.
 func (m *Monitor) WatchBatch(net *nn.Network, inputs []*tensor.Tensor) []Verdict {
 	if len(inputs) == 0 {
 		// An empty batch has no serving work to do; in particular it must
@@ -278,6 +355,8 @@ func (m *Monitor) WatchBatch(net *nn.Network, inputs []*tensor.Tensor) []Verdict
 		return []Verdict{}
 	}
 	m.Freeze()
+	e := m.acquire()
+	defer e.unpin()
 	out := make([]Verdict, len(inputs))
 	workers := runtime.GOMAXPROCS(0)
 	chunk := (len(inputs) + workers - 1) / workers
@@ -285,7 +364,7 @@ func (m *Monitor) WatchBatch(net *nn.Network, inputs []*tensor.Tensor) []Verdict
 		chunk = maxWatchChunk
 	}
 	if chunk >= len(inputs) {
-		m.watchChunk(net, inputs, out)
+		m.watchChunk(net, inputs, out, e)
 		return out
 	}
 	// At most `workers` goroutines run regardless of batch size — each
@@ -311,7 +390,7 @@ func (m *Monitor) WatchBatch(net *nn.Network, inputs []*tensor.Tensor) []Verdict
 				if hi > len(inputs) {
 					hi = len(inputs)
 				}
-				m.watchChunk(net, inputs[lo:hi], out[lo:hi])
+				m.watchChunk(net, inputs[lo:hi], out[lo:hi], e)
 			}
 		}()
 	}
@@ -324,29 +403,34 @@ func (m *Monitor) WatchBatch(net *nn.Network, inputs []*tensor.Tensor) []Verdict
 // caller's scratch pool. This is the entry point for serving lanes that
 // own a long-lived pool (internal/serve): the lane's buffers stay warm
 // across micro-batches, and lane-level parallelism replaces WatchBatch's
-// own worker split. The monitor is frozen on first use; pool must not be
-// shared between concurrent callers. A nil pool uses a throwaway one.
+// own worker split. Each call re-resolves and pins the serving epoch, so
+// a lane picks up published online updates at micro-batch granularity and
+// never mixes generations within one batch. The monitor is frozen on
+// first use; pool must not be shared between concurrent callers. A nil
+// pool uses a throwaway one.
 func (m *Monitor) WatchBatchPooled(net *nn.Network, inputs []*tensor.Tensor, pool *tensor.Pool) []Verdict {
 	if len(inputs) == 0 {
 		return []Verdict{}
 	}
 	m.Freeze()
+	e := m.acquire()
+	defer e.unpin()
 	out := make([]Verdict, len(inputs))
-	m.watchChunkPooled(net, inputs, out, pool)
+	m.watchChunkPooled(net, inputs, out, pool, e)
 	return out
 }
 
 // watchChunk serves one chunk with a recycled scratch pool.
-func (m *Monitor) watchChunk(net *nn.Network, inputs []*tensor.Tensor, out []Verdict) {
+func (m *Monitor) watchChunk(net *nn.Network, inputs []*tensor.Tensor, out []Verdict, e *epoch) {
 	pool := scratchPools.Get().(*tensor.Pool)
-	m.watchChunkPooled(net, inputs, out, pool)
+	m.watchChunkPooled(net, inputs, out, pool, e)
 	scratchPools.Put(pool)
 }
 
 // watchChunkPooled is the batched serving core: one ForwardBatchCapture
 // pass over the chunk, then per-row argmax, pattern extraction and zone
-// membership.
-func (m *Monitor) watchChunkPooled(net *nn.Network, inputs []*tensor.Tensor, out []Verdict, pool *tensor.Pool) {
+// membership against the caller's pinned epoch.
+func (m *Monitor) watchChunkPooled(net *nn.Network, inputs []*tensor.Tensor, out []Verdict, pool *tensor.Pool, e *epoch) {
 	logits, acts := net.ForwardBatchCapture(inputs, m.cfg.Layer, pool)
 	b := len(inputs)
 	nc := logits.Len() / b
@@ -361,12 +445,12 @@ func (m *Monitor) watchChunkPooled(net *nn.Network, inputs []*tensor.Tensor, out
 			}
 		}
 		p := PatternOfRow(adata[i*width:(i+1)*width], m.neurons)
-		z, ok := m.zones[pred]
+		z, ok := e.zones[pred]
 		if !ok {
-			out[i] = Verdict{Class: pred, Monitored: false, Pattern: p}
+			out[i] = Verdict{Class: pred, Monitored: false, Pattern: p, Epoch: e.id}
 			continue
 		}
-		out[i] = Verdict{Class: pred, Monitored: true, OutOfPattern: !z.Contains(p), Pattern: p}
+		out[i] = Verdict{Class: pred, Monitored: true, OutOfPattern: !z.Contains(p), Pattern: p, Epoch: e.id}
 	}
 	if pool != nil {
 		pool.Put(logits)
@@ -376,10 +460,15 @@ func (m *Monitor) watchChunkPooled(net *nn.Network, inputs []*tensor.Tensor, out
 	}
 }
 
-// WatchPattern checks a pre-extracted pattern against class c's zone.
-// It reports (outOfPattern, monitored).
+// WatchPattern checks a pre-extracted pattern against class c's zone at
+// the current epoch. It reports (outOfPattern, monitored).
 func (m *Monitor) WatchPattern(c int, p Pattern) (outOfPattern, monitored bool) {
-	z, ok := m.zones[c]
+	zones := m.zones
+	if e := m.acquire(); e != nil {
+		defer e.unpin()
+		zones = e.zones
+	}
+	z, ok := zones[c]
 	if !ok {
 		return false, false
 	}
@@ -387,10 +476,16 @@ func (m *Monitor) WatchPattern(c int, p Pattern) (outOfPattern, monitored bool) 
 }
 
 // StorageNodes returns the total BDD node count across all zones at the
-// current γ.
+// current γ. On a frozen monitor the epoch is pinned for the whole walk,
+// so polling it concurrently with online updates is safe.
 func (m *Monitor) StorageNodes() int {
+	zones := m.zones
+	if e := m.acquire(); e != nil {
+		defer e.unpin()
+		zones = e.zones
+	}
 	total := 0
-	for _, z := range m.zones {
+	for _, z := range zones {
 		total += z.NodeCount()
 	}
 	return total

@@ -60,6 +60,24 @@ func PatternOfRow(row []float64, neurons []int) Pattern {
 	return p
 }
 
+// ParsePattern decodes the 0/1 string form produced by Pattern.String —
+// the wire format of the napmon-serve /watch response and /learn request,
+// which lets a client feed flagged patterns straight back into the
+// monitor's online updater.
+func ParsePattern(s string) (Pattern, error) {
+	p := make(Pattern, len(s))
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '0':
+		case '1':
+			p[i] = true
+		default:
+			return nil, fmt.Errorf("core: pattern byte %d is %q, want '0' or '1'", i, s[i])
+		}
+	}
+	return p, nil
+}
+
 // Hamming returns the Hamming distance H(p, q) between two equal-length
 // patterns.
 func Hamming(p, q Pattern) int {

@@ -120,7 +120,9 @@ func BuildQuantized(net *nn.Network, train []nn.Sample, cfg QuantizedConfig) (*Q
 		z.Insert(m.encode(r.values))
 	}
 	for _, z := range m.zones {
-		z.SetGamma(cfg.Gamma)
+		if err := z.SetGamma(cfg.Gamma); err != nil {
+			return nil, err
+		}
 	}
 	return m, nil
 }
@@ -160,12 +162,17 @@ func (m *QuantizedMonitor) Neurons() []int { return m.neurons }
 // Zone returns class c's zone (over thermometer bits), or nil.
 func (m *QuantizedMonitor) Zone(c int) *Zone { return m.zones[c] }
 
-// SetGamma changes the enlargement level of every zone.
-func (m *QuantizedMonitor) SetGamma(gamma int) {
+// SetGamma changes the enlargement level of every zone. Like
+// Monitor.SetGamma it is a build-phase operation: it errors once any zone
+// has been frozen for serving.
+func (m *QuantizedMonitor) SetGamma(gamma int) error {
 	for _, z := range m.zones {
-		z.SetGamma(gamma)
+		if err := z.SetGamma(gamma); err != nil {
+			return err
+		}
 	}
 	m.cfg.Gamma = gamma
+	return nil
 }
 
 // Watch classifies x and checks its quantized pattern against the

@@ -1,0 +1,296 @@
+// Online zone updates: epoch-based read-copy-update over the monitor's
+// frozen comfort zones (DESIGN.md, "Online updates: epochs, grace
+// periods"). The frozen monitor keeps serving while an Updater
+// shadow-builds successors for the touched zones on writable compact
+// clones; the finished generation is published with one atomic pointer
+// swap. Readers pin the current epoch per batch, so a batch never mixes
+// zones from two generations, and a retired epoch's replaced BDD managers
+// are released the moment its last pinned reader drains.
+
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"napmon/internal/bdd"
+)
+
+// epoch is one immutable generation of the monitor's serving state: a set
+// of frozen zones plus the reference count that times its grace period.
+type epoch struct {
+	id    uint64
+	gamma int
+	zones map[int]*Zone // every zone frozen before publication
+
+	// refs counts the epoch's pinned readers plus one reference for being
+	// the monitor's current epoch. Publication of a successor drops the
+	// current-reference; when refs drains to zero the epoch's grace period
+	// ends and its manager references are returned to the updater's
+	// registry (which releases managers no live epoch shares any more).
+	refs atomic.Int64
+	// releaseOnce guards the drain handoff: the refcount can be
+	// resurrected transiently by a racing acquire (pin-validate-unpin), so
+	// zero may be observed more than once.
+	releaseOnce sync.Once
+	// onDrain returns the epoch's manager references to the updater's
+	// registry.
+	onDrain func()
+}
+
+func newEpoch(id uint64, gamma int, zones map[int]*Zone) *epoch {
+	e := &epoch{id: id, gamma: gamma, zones: zones}
+	e.refs.Store(1) // the monitor's current-epoch reference
+	return e
+}
+
+// unpin drops one reference; the reader-drain end of the grace period
+// hands the epoch's manager references back exactly once.
+func (e *epoch) unpin() {
+	if e.refs.Add(-1) == 0 {
+		e.releaseOnce.Do(func() {
+			if e.onDrain != nil {
+				e.onDrain()
+			}
+		})
+	}
+}
+
+// managers returns the distinct BDD managers backing the epoch's zones
+// (UpdateGamma re-view epochs share managers with their predecessor, so
+// manager lifetime is tracked per manager, not per epoch).
+func (e *epoch) managers() []*bdd.Manager {
+	seen := make(map[*bdd.Manager]bool, len(e.zones))
+	out := make([]*bdd.Manager, 0, len(e.zones))
+	for _, z := range e.zones {
+		if !seen[z.m] {
+			seen[z.m] = true
+			out = append(out, z.m)
+		}
+	}
+	return out
+}
+
+// acquire pins the monitor's current epoch for a batch of reads, or
+// returns nil when the monitor has not frozen yet (build phase: m.zones is
+// the single-writer state). The load-increment-validate loop closes the
+// race with a concurrent publication: if the epoch was swapped out between
+// the load and the increment, the increment may have resurrected a
+// draining epoch — drop the pin and retry on the fresh pointer. Callers
+// must unpin exactly once.
+func (m *Monitor) acquire() *epoch {
+	for {
+		e := m.cur.Load()
+		if e == nil {
+			return nil
+		}
+		e.refs.Add(1)
+		if m.cur.Load() == e {
+			return e
+		}
+		e.unpin()
+	}
+}
+
+// Updater is the monitor's online-update engine: it shadow-builds zone
+// deltas on writable clones while the frozen epoch keeps serving, then
+// publishes the new generation atomically. All updates are serialized
+// through the updater's mutex (single writer, many readers); the serving
+// paths never block on it.
+type Updater struct {
+	m  *Monitor
+	mu sync.Mutex
+
+	// mgrRefs counts, per BDD manager, how many undrained epochs reference
+	// it. A manager may back zones in several consecutive epochs
+	// (UpdateGamma re-views share managers), so it is released only when
+	// the last epoch referencing it drains — never while any pinned reader
+	// could still walk it. Guarded by refMu, which is distinct from mu
+	// because drains fire from reader goroutines (and from publish itself,
+	// which holds mu).
+	refMu   sync.Mutex
+	mgrRefs map[*bdd.Manager]int
+
+	published atomic.Uint64 // epochs published after the freeze epoch
+	absorbed  atomic.Uint64 // patterns absorbed across all updates
+	released  atomic.Uint64 // retired epochs whose grace period has ended
+}
+
+// track registers a freshly published (or freeze) epoch's manager
+// references and arms its drain handoff.
+func (u *Updater) track(e *epoch) {
+	mgrs := e.managers()
+	u.refMu.Lock()
+	if u.mgrRefs == nil {
+		u.mgrRefs = make(map[*bdd.Manager]int)
+	}
+	for _, mgr := range mgrs {
+		u.mgrRefs[mgr]++
+	}
+	u.refMu.Unlock()
+	e.onDrain = func() { u.drained(e, mgrs) }
+}
+
+// drained ends a retired epoch's grace period: its manager references are
+// returned, and managers no live epoch shares are released for good.
+func (u *Updater) drained(e *epoch, mgrs []*bdd.Manager) {
+	u.refMu.Lock()
+	for _, mgr := range mgrs {
+		u.mgrRefs[mgr]--
+		if u.mgrRefs[mgr] == 0 {
+			delete(u.mgrRefs, mgr)
+			mgr.Release()
+		}
+	}
+	u.refMu.Unlock()
+	u.released.Add(1)
+}
+
+// Published returns how many epochs have been published by updates (the
+// initial freeze epoch is not counted).
+func (u *Updater) Published() uint64 { return u.published.Load() }
+
+// Absorbed returns the total number of patterns absorbed by updates.
+func (u *Updater) Absorbed() uint64 { return u.absorbed.Load() }
+
+// ReleasedEpochs returns how many retired epochs have completed their
+// grace period (all pinned readers drained, replaced managers freed).
+func (u *Updater) ReleasedEpochs() uint64 { return u.released.Load() }
+
+// Apply absorbs new activation patterns into the monitored classes' zones
+// and publishes the result as a new epoch. delta maps class → patterns to
+// add; every class must be monitored and every pattern must match the
+// monitored width. The zones of untouched classes are shared structurally
+// with the previous epoch (their managers are per-class, so sharing is
+// free); each touched zone is compact-cloned with the delta folded into
+// every cached enlargement level (see Zone.cloneWithDelta — cost scales
+// with the delta, not the zone). Serving never pauses: readers pinned to
+// the old epoch finish on it, new batches see the new one. Returns the
+// published epoch id; with an empty delta it returns the current id
+// without publishing. The monitor is frozen on first use.
+func (u *Updater) Apply(delta map[int][]Pattern) (uint64, error) {
+	m := u.m
+	m.Freeze()
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	cur := m.cur.Load() // stable: only Apply/ApplyGamma swap, and we hold the lock
+	total := 0
+	for c, pats := range delta {
+		z, ok := cur.zones[c]
+		if !ok {
+			return cur.id, fmt.Errorf("core: update for unmonitored class %d", c)
+		}
+		for _, p := range pats {
+			if len(p) != z.Width() {
+				return cur.id, fmt.Errorf("core: update pattern width %d does not match zone width %d (class %d)",
+					len(p), z.Width(), c)
+			}
+		}
+		total += len(pats)
+	}
+	if total == 0 {
+		return cur.id, nil
+	}
+	zones := make(map[int]*Zone, len(cur.zones))
+	for c, z := range cur.zones {
+		zones[c] = z
+	}
+	// Deterministic shadow-build order (map iteration is not) so repeated
+	// update sequences build identical BDDs.
+	classes := make([]int, 0, len(delta))
+	for c := range delta {
+		classes = append(classes, c)
+	}
+	sort.Ints(classes)
+	for _, c := range classes {
+		if len(delta[c]) == 0 {
+			continue
+		}
+		nz := cur.zones[c].cloneWithDelta(delta[c])
+		nz.Freeze()
+		zones[c] = nz
+	}
+	id := u.publish(cur, zones, cur.gamma)
+	u.absorbed.Add(uint64(total))
+	return id, nil
+}
+
+// ApplyGamma publishes a new epoch whose zones are queried at a different
+// enlargement level. Levels cached before the freeze are re-viewed in
+// place — the new zones share the frozen managers, nothing is copied and
+// nothing is retired; a deeper level shadow-builds the missing expansions
+// on compact clones. This is the epoch-swap answer to the
+// SetGamma-after-Freeze footgun: the serving γ changes atomically for
+// whole batches instead of racing per query.
+func (u *Updater) ApplyGamma(gamma int) (uint64, error) {
+	if gamma < 0 {
+		return 0, fmt.Errorf("core: negative gamma %d", gamma)
+	}
+	m := u.m
+	m.Freeze()
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	cur := m.cur.Load()
+	if gamma == cur.gamma {
+		return cur.id, nil
+	}
+	zones := make(map[int]*Zone, len(cur.zones))
+	for c, z := range cur.zones {
+		nz := z.cloneAtGamma(gamma)
+		nz.Freeze() // no-op for the shared-manager re-view
+		zones[c] = nz
+	}
+	return u.publish(cur, zones, gamma), nil
+}
+
+// publish swaps in the new generation: register the new epoch's manager
+// references, store the pointer, drop the old epoch's current-reference so
+// its grace period can end. Callers hold u.mu.
+func (u *Updater) publish(old *epoch, zones map[int]*Zone, gamma int) uint64 {
+	next := newEpoch(old.id+1, gamma, zones)
+	u.track(next)
+	u.m.cur.Store(next)
+	u.published.Add(1)
+	old.unpin()
+	return next.id
+}
+
+// Updater returns the monitor's online-update engine (counters and the
+// update entry points also reachable as Monitor.Update/UpdateBatch/
+// UpdateGamma).
+func (m *Monitor) Updater() *Updater { return &m.upd }
+
+// Update absorbs new activation patterns into one class's comfort zone and
+// publishes a new serving epoch; see Updater.Apply. It returns the id of
+// the epoch now serving.
+func (m *Monitor) Update(class int, pats ...Pattern) (uint64, error) {
+	return m.upd.Apply(map[int][]Pattern{class: pats})
+}
+
+// UpdateBatch absorbs patterns for several classes in one epoch swap; see
+// Updater.Apply.
+func (m *Monitor) UpdateBatch(delta map[int][]Pattern) (uint64, error) {
+	return m.upd.Apply(delta)
+}
+
+// UpdateGamma changes the serving enlargement level by publishing a new
+// epoch; see Updater.ApplyGamma. It is the frozen-monitor counterpart of
+// SetGamma.
+func (m *Monitor) UpdateGamma(gamma int) (uint64, error) {
+	return m.upd.ApplyGamma(gamma)
+}
+
+// Epoch returns the id of the epoch currently serving (1 for the freeze
+// epoch, incremented by every published update), or 0 while the monitor is
+// still building.
+func (m *Monitor) Epoch() uint64 {
+	if e := m.cur.Load(); e != nil {
+		return e.id
+	}
+	return 0
+}
+
+// Updates returns how many update epochs have been published.
+func (m *Monitor) Updates() uint64 { return m.upd.Published() }

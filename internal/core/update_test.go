@@ -1,0 +1,474 @@
+package core
+
+// Tests of the epoch-swap online-update subsystem: the updater-vs-union
+// equivalence property, epoch pinning under concurrent update+serve load,
+// grace-period release of retired managers, and the frozen-SetGamma /
+// UpdateGamma semantics.
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"napmon/internal/rng"
+	"napmon/internal/tensor"
+)
+
+// randomPatterns draws n distinct-ish random patterns of the given width.
+func randomPatterns(r *rng.Source, n, width int) []Pattern {
+	out := make([]Pattern, n)
+	for i := range out {
+		p := make(Pattern, width)
+		for j := range p {
+			p[j] = r.Bool(0.5)
+		}
+		out[i] = p
+	}
+	return out
+}
+
+// flipOne returns a copy of p with bit i flipped.
+func flipOne(p Pattern, i int) Pattern {
+	q := p.Clone()
+	q[i] = !q[i]
+	return q
+}
+
+// TestZoneCloneWithDeltaEquivalence is the zone-level half of the
+// updater's correctness property: for random pattern sets split into a
+// build half and an update half, the shadow-built successor zone must
+// answer Contains/Hamming-γ queries identically to a zone built from the
+// union in one shot, at every cached enlargement level. This is the
+// distributivity argument (expansion distributes over union) checked
+// exhaustively on real BDDs.
+func TestZoneCloneWithDeltaEquivalence(t *testing.T) {
+	r := rng.New(41)
+	for trial := 0; trial < 25; trial++ {
+		width := 6 + int(r.Uint64()%8) // 6..13 neurons
+		gamma := int(r.Uint64() % 4)   // cached levels 0..3
+		nA := 1 + int(r.Uint64()%12)   // build half
+		nB := 1 + int(r.Uint64()%12)   // update half
+		a := randomPatterns(r, nA, width)
+		b := randomPatterns(r, nB, width)
+
+		frozen := NewZone(width)
+		for _, p := range a {
+			frozen.Insert(p)
+		}
+		if err := frozen.SetGamma(gamma); err != nil {
+			t.Fatal(err)
+		}
+		frozen.Freeze()
+		updated := frozen.cloneWithDelta(b)
+		updated.Freeze()
+
+		union := NewZone(width)
+		for _, p := range append(append([]Pattern{}, a...), b...) {
+			union.Insert(p)
+		}
+		if err := union.SetGamma(gamma); err != nil {
+			t.Fatal(err)
+		}
+
+		if got, want := updated.InsertCount(), union.InsertCount(); got != want {
+			t.Fatalf("trial %d: updated InsertCount %d, union %d", trial, got, want)
+		}
+		// Query set: both halves, their 1-bit neighbors, and random probes.
+		queries := append(append([]Pattern{}, a...), b...)
+		for _, p := range [][]Pattern{a, b} {
+			for _, q := range p {
+				queries = append(queries, flipOne(q, int(r.Uint64()%uint64(width))))
+			}
+		}
+		queries = append(queries, randomPatterns(r, 40, width)...)
+		for g := 0; g <= gamma; g++ {
+			for qi, q := range queries {
+				if got, want := updated.ContainsAt(g, q), union.ContainsAt(g, q); got != want {
+					t.Fatalf("trial %d width=%d gamma=%d/%d query %d: updated=%v union=%v",
+						trial, width, g, gamma, qi, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestMonitorUpdateEquivalence is the monitor-level property pinned by
+// the issue: build from half the training set, absorb the other half
+// through UpdateBatch, and the swapped monitor must answer exactly like a
+// monitor built from the union in one shot — for every γ and every
+// validation input.
+func TestMonitorUpdateEquivalence(t *testing.T) {
+	net, layer, train, val := trainedToyNet(t, 31)
+	const gamma = 2
+	half := len(train) / 2
+
+	full, err := Build(net, train, Config{Layer: layer, Gamma: gamma})
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := Build(net, train[:half], Config{Layer: layer, Gamma: gamma})
+	if err != nil {
+		t.Fatal(err)
+	}
+	part.Freeze()
+	// Absorb the withheld half exactly as Build would have recorded it:
+	// correctly classified samples only, keyed by ground-truth class.
+	delta := make(map[int][]Pattern)
+	for _, s := range train[half:] {
+		v := part.Watch(net, s.Input)
+		if v.Class != s.Label {
+			continue
+		}
+		delta[s.Label] = append(delta[s.Label], v.Pattern)
+	}
+	if id, err := part.UpdateBatch(delta); err != nil || id != 2 {
+		t.Fatalf("UpdateBatch = (%d, %v), want epoch 2", id, err)
+	}
+
+	inputs := make([]*tensor.Tensor, len(val))
+	for i, s := range val {
+		inputs[i] = s.Input
+	}
+	full.Freeze()
+	for g := 0; g <= gamma; g++ {
+		if _, err := part.UpdateGamma(g); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := full.UpdateGamma(g); err != nil {
+			t.Fatal(err)
+		}
+		want := full.WatchBatch(net, inputs)
+		got := part.WatchBatch(net, inputs)
+		for i := range want {
+			if got[i].Class != want[i].Class || got[i].OutOfPattern != want[i].OutOfPattern ||
+				got[i].Monitored != want[i].Monitored {
+				t.Fatalf("gamma %d verdict %d: updated %+v, one-shot %+v", g, i, got[i], want[i])
+			}
+		}
+	}
+	// The zones must agree exactly, not just on the validation inputs:
+	// same pattern count and node count per class at the final γ.
+	for _, c := range full.Classes() {
+		zf, zp := full.Zone(c), part.Zone(c)
+		if zf.PatternCount() != zp.PatternCount() {
+			t.Fatalf("class %d: pattern count %v (one-shot) vs %v (updated)",
+				c, zf.PatternCount(), zp.PatternCount())
+		}
+	}
+}
+
+// TestEpochSwapConsistency is the concurrency regression test of the
+// issue: hammer Update and WatchBatch simultaneously for many epochs
+// (run under -race in CI) and assert that no batch ever mixes results
+// from two epochs, and that every reader observes epoch ids
+// monotonically non-decreasing.
+func TestEpochSwapConsistency(t *testing.T) {
+	net, layer, train, val := trainedToyNet(t, 32)
+	mon, err := Build(net, train, Config{Layer: layer, Gamma: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon.Freeze()
+	inputs := make([]*tensor.Tensor, 0, 48)
+	for _, s := range val[:48] {
+		inputs = append(inputs, s.Input)
+	}
+	width := len(mon.Neurons())
+	classes := mon.Classes()
+
+	const epochs = 30
+	const readers = 4
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() { // updater: one small delta per epoch
+		defer wg.Done()
+		defer close(stop)
+		r := rng.New(99)
+		for i := 0; i < epochs; i++ {
+			c := classes[int(r.Uint64()%uint64(len(classes)))]
+			if _, err := mon.Update(c, randomPatterns(r, 2, width)...); err != nil {
+				t.Errorf("update %d: %v", i, err)
+				return
+			}
+		}
+	}()
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			last := uint64(0)
+			for done := false; !done; {
+				select {
+				case <-stop:
+					done = true // one final pass after the last update
+				default:
+				}
+				verdicts := mon.WatchBatch(net, inputs)
+				e := verdicts[0].Epoch
+				for i, v := range verdicts {
+					if v.Epoch != e {
+						t.Errorf("batch mixes epochs %d and %d (verdict %d)", e, v.Epoch, i)
+						return
+					}
+				}
+				if e < last {
+					t.Errorf("epoch went backwards: %d after %d", e, last)
+					return
+				}
+				last = e
+			}
+		}(uint64(g))
+	}
+	wg.Wait()
+	if got := mon.Epoch(); got != 1+epochs {
+		t.Fatalf("final epoch %d, want %d", got, 1+epochs)
+	}
+	if got := mon.Updater().Published(); got != epochs {
+		t.Fatalf("published %d epochs, want %d", got, epochs)
+	}
+}
+
+// TestEpochGracePeriod pins the retire protocol: a retired epoch's
+// replaced managers are released only after its last pinned reader
+// drains, and managers shared with the live epoch are never released.
+func TestEpochGracePeriod(t *testing.T) {
+	net, layer, train, _ := trainedToyNet(t, 33)
+	mon, err := Build(net, train, Config{Layer: layer, Gamma: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon.Freeze()
+	classes := mon.Classes()
+	touched, untouched := classes[0], classes[1]
+	oldTouched := mon.Zone(touched).Manager()
+	oldUntouched := mon.Zone(untouched).Manager()
+
+	// Pin epoch 1 like a long-running batch would.
+	e := mon.acquire()
+	if e == nil || e.id != 1 {
+		t.Fatalf("acquired epoch %+v", e)
+	}
+	p := make(Pattern, len(mon.Neurons()))
+	if _, err := mon.Update(touched, p); err != nil {
+		t.Fatal(err)
+	}
+	if got := mon.Updater().ReleasedEpochs(); got != 0 {
+		t.Fatalf("epoch released while still pinned (released=%d)", got)
+	}
+	if oldTouched.Released() {
+		t.Fatal("replaced manager released while its epoch was pinned")
+	}
+	// The pinned reader can still serve off the retired generation.
+	_ = e.zones[touched].Contains(p)
+
+	e.unpin()
+	if got := mon.Updater().ReleasedEpochs(); got != 1 {
+		t.Fatalf("retired epoch not released after drain (released=%d)", got)
+	}
+	if !oldTouched.Released() {
+		t.Fatal("replaced manager not released after grace period")
+	}
+	if oldUntouched.Released() {
+		t.Fatal("manager shared with the live epoch was released")
+	}
+	if mon.Zone(untouched).Manager() != oldUntouched {
+		t.Fatal("untouched zone was not shared structurally")
+	}
+	// The live epoch still serves.
+	if _, monitored := mon.WatchPattern(touched, p); !monitored {
+		t.Fatal("live epoch lost the touched zone")
+	}
+}
+
+// TestUpdateGammaManagerSharing pins the re-view optimization and the
+// per-manager refcounts behind it: UpdateGamma to a level cached before
+// the freeze shares the frozen managers across epochs (nothing copied,
+// nothing retired), and a manager shared by a chain of epochs is released
+// only when the last epoch referencing it drains.
+func TestUpdateGammaManagerSharing(t *testing.T) {
+	net, layer, train, _ := trainedToyNet(t, 34)
+	mon, err := Build(net, train, Config{Layer: layer, Gamma: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon.Freeze()
+	c := mon.Classes()[0]
+	orig := mon.Zone(c).Manager()
+
+	// Pin epoch 1, then publish a re-view epoch 2 (gamma 1, cached):
+	// shares every manager with epoch 1.
+	e1 := mon.acquire()
+	if _, err := mon.UpdateGamma(1); err != nil {
+		t.Fatal(err)
+	}
+	if mon.Zone(c).Manager() != orig {
+		t.Fatal("UpdateGamma to a cached level did not share the manager")
+	}
+	if got := mon.Gamma(); got != 1 {
+		t.Fatalf("Gamma = %d after UpdateGamma(1)", got)
+	}
+	// Publish epoch 3 with fresh managers (an update clones the touched
+	// zone; re-level the rest via a deeper gamma to force clones).
+	if _, err := mon.UpdateGamma(4); err != nil {
+		t.Fatal(err)
+	}
+	if mon.Zone(c).Manager() == orig {
+		t.Fatal("UpdateGamma past the cached levels did not clone")
+	}
+	// Epoch 2 has drained (it was never pinned), but epoch 1 is still
+	// pinned and shares orig — the chain refcount must keep it alive.
+	if orig.Released() {
+		t.Fatal("manager released while an older epoch still references it")
+	}
+	// The pinned epoch-1 reader can still query through orig.
+	_ = e1.zones[c].Contains(make(Pattern, e1.zones[c].Width()))
+	e1.unpin()
+	if !orig.Released() {
+		t.Fatal("manager not released after the last referencing epoch drained")
+	}
+	if got := mon.Updater().ReleasedEpochs(); got != 2 {
+		t.Fatalf("released epochs = %d, want 2", got)
+	}
+	// Current epoch (4 levels of expansion) still serves fine.
+	verdict := mon.Watch(net, train[0].Input)
+	if verdict.Epoch != 3 {
+		t.Fatalf("verdict epoch %d, want 3", verdict.Epoch)
+	}
+}
+
+// TestUpdateValidation pins the updater's error contract: unmonitored
+// classes and width-mismatched patterns are rejected without publishing,
+// and an empty delta is a no-op returning the current epoch.
+func TestUpdateValidation(t *testing.T) {
+	net, layer, train, _ := trainedToyNet(t, 35)
+	mon, err := Build(net, train, Config{Layer: layer, Gamma: 1, Classes: []int{0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon.Freeze()
+	w := len(mon.Neurons())
+	if _, err := mon.Update(2, make(Pattern, w)); err == nil {
+		t.Fatal("update for unmonitored class did not error")
+	}
+	if _, err := mon.Update(0, make(Pattern, w+1)); err == nil {
+		t.Fatal("width-mismatched pattern did not error")
+	}
+	if id, err := mon.UpdateBatch(nil); err != nil || id != 1 {
+		t.Fatalf("empty delta = (%d, %v), want no-op on epoch 1", id, err)
+	}
+	if id, err := mon.UpdateBatch(map[int][]Pattern{0: nil}); err != nil || id != 1 {
+		t.Fatalf("empty class delta = (%d, %v), want no-op on epoch 1", id, err)
+	}
+	if got := mon.Epoch(); got != 1 {
+		t.Fatalf("failed updates advanced the epoch to %d", got)
+	}
+	if got := mon.Updater().Absorbed(); got != 0 {
+		t.Fatalf("failed updates absorbed %d patterns", got)
+	}
+}
+
+// TestUpdateSoundness extends the paper's "sure guarantee" to the online
+// path: after an update, every absorbed pattern is inside its class's
+// zone at every γ, and everything that was in the zone before is still
+// there (updates only grow zones).
+func TestUpdateSoundness(t *testing.T) {
+	r := rng.New(36)
+	net, layer, train, _ := trainedToyNet(t, 36)
+	mon, err := Build(net, train, Config{Layer: layer, Gamma: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon.Freeze()
+	w := len(mon.Neurons())
+	c := mon.Classes()[0]
+	before := randomPatterns(r, 32, w)
+	inBefore := make([]bool, len(before))
+	for i, p := range before {
+		inBefore[i] = mon.Zone(c).Contains(p)
+	}
+	added := randomPatterns(r, 8, w)
+	if _, err := mon.Update(c, added...); err != nil {
+		t.Fatal(err)
+	}
+	z := mon.Zone(c)
+	for g := 0; g <= 2; g++ {
+		for i, p := range added {
+			if !z.ContainsAt(g, p) {
+				t.Fatalf("gamma %d: absorbed pattern %d not in zone", g, i)
+			}
+		}
+	}
+	for i, p := range before {
+		if inBefore[i] && !z.Contains(p) {
+			t.Fatalf("update shrank the zone (pattern %d fell out)", i)
+		}
+	}
+}
+
+// TestMonitorSaveLoadAfterUpdate checks that Save captures the updated
+// generation: a monitor that absorbed patterns online round-trips through
+// Save/Load with identical zone contents.
+func TestMonitorSaveLoadAfterUpdate(t *testing.T) {
+	r := rng.New(37)
+	net, layer, train, val := trainedToyNet(t, 37)
+	mon, err := Build(net, train, Config{Layer: layer, Gamma: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon.Freeze()
+	c := mon.Classes()[0]
+	if _, err := mon.Update(c, randomPatterns(r, 5, len(mon.Neurons()))...); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := mon.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := loaded.Zone(c).InsertCount(), mon.Zone(c).InsertCount(); got != want {
+		t.Fatalf("loaded InsertCount %d, want %d", got, want)
+	}
+	for _, s := range val[:40] {
+		want := mon.Watch(net, s.Input)
+		got := loaded.Watch(net, s.Input)
+		if got.Class != want.Class || got.OutOfPattern != want.OutOfPattern {
+			t.Fatalf("loaded monitor diverges: %+v vs %+v", got, want)
+		}
+	}
+}
+
+// TestUpdateCounters pins the updater's observability surface.
+func TestUpdateCounters(t *testing.T) {
+	net, layer, train, _ := trainedToyNet(t, 38)
+	mon, err := Build(net, train, Config{Layer: layer, Gamma: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mon.Epoch(); got != 0 {
+		t.Fatalf("unfrozen monitor reports epoch %d", got)
+	}
+	mon.Freeze()
+	if got := mon.Epoch(); got != 1 {
+		t.Fatalf("freeze epoch id %d", got)
+	}
+	w := len(mon.Neurons())
+	for i := 0; i < 3; i++ {
+		if _, err := mon.Update(mon.Classes()[0], make(Pattern, w)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	u := mon.Updater()
+	if u.Published() != 3 || mon.Updates() != 3 {
+		t.Fatalf("published %d / %d, want 3", u.Published(), mon.Updates())
+	}
+	if u.Absorbed() != 3 {
+		t.Fatalf("absorbed %d, want 3", u.Absorbed())
+	}
+	if mon.Epoch() != 4 {
+		t.Fatalf("epoch %d, want 4", mon.Epoch())
+	}
+}

@@ -53,9 +53,7 @@ func (z *Zone) Insert(p Pattern) {
 	z.roots = z.roots[:1]
 	z.roots[0] = z.m.Or(z.roots[0], z.m.Cube(p))
 	if z.gamma > 0 {
-		g := z.gamma
-		z.gamma = 0
-		z.SetGamma(g)
+		z.extendTo(z.gamma)
 	}
 	z.base++
 }
@@ -64,22 +62,40 @@ func (z *Zone) Insert(p Pattern) {
 // Zᵞ from Z⁰ by γ applications of the existential-quantification expansion
 // (lines 9-14 of Algorithm 1). Intermediate levels are cached, so sweeping
 // γ upward is incremental.
-func (z *Zone) SetGamma(gamma int) {
+//
+// A frozen zone's γ is immutable: once a zone serves concurrent readers,
+// changing the query level in place would race with Contains, so SetGamma
+// returns an error instead of silently mutating shared serving state.
+// Change a live monitor's γ by publishing a new epoch (Monitor.UpdateGamma).
+func (z *Zone) SetGamma(gamma int) error {
 	if gamma < 0 {
-		panic("core: negative gamma")
+		return fmt.Errorf("core: negative gamma %d", gamma)
 	}
+	if z.m.Frozen() {
+		if gamma == z.gamma {
+			return nil // no change requested; nothing to mutate
+		}
+		return fmt.Errorf("core: SetGamma(%d) on frozen zone (gamma is fixed at freeze; publish a new epoch via Monitor.UpdateGamma)", gamma)
+	}
+	z.extendTo(gamma)
+	z.gamma = gamma
+	return nil
+}
+
+// extendTo computes and caches enlargement levels up to gamma.
+func (z *Zone) extendTo(gamma int) {
 	for len(z.roots) <= gamma {
 		prev := z.roots[len(z.roots)-1]
 		z.roots = append(z.roots, z.m.ExpandHamming1(prev))
 	}
-	z.gamma = gamma
 }
 
 // Freeze makes the zone's BDD manager read-only: Contains (and ContainsAt
 // for already-computed levels) become safe for unlimited concurrent use,
-// while Insert and SetGamma to a level beyond the deepest computed one
-// panic. Freezing is irreversible — it is the per-zone half of the
-// monitor's freeze-then-serve concurrency model (see DESIGN.md).
+// while Insert and SetGamma panic or error. Freezing is irreversible — it
+// is the per-zone half of the monitor's freeze-then-serve concurrency
+// model (see DESIGN.md); growing a frozen zone means shadow-building a
+// successor (cloneWithDelta) and publishing it as a new epoch.
 func (z *Zone) Freeze() { z.m.Freeze() }
 
 // Frozen reports whether the zone has been frozen.
@@ -97,14 +113,74 @@ func (z *Zone) Contains(p Pattern) bool {
 }
 
 // ContainsAt reports membership at an explicit enlargement level without
-// changing the zone's current γ (the level is computed and cached if
-// needed).
+// changing the zone's current γ. On an unfrozen zone, missing levels are
+// computed and cached. On a frozen zone only levels cached before the
+// freeze are queryable (the read is then race-free — no state is touched);
+// asking for a deeper level panics, because computing it would mutate the
+// shared manager.
 func (z *Zone) ContainsAt(gamma int, p Pattern) bool {
-	saved := z.gamma
-	z.SetGamma(gamma)
-	in := z.Contains(p)
-	z.gamma = saved
-	return in
+	if gamma < 0 {
+		panic("core: negative gamma")
+	}
+	if gamma >= len(z.roots) {
+		if z.m.Frozen() {
+			panic(fmt.Sprintf("core: ContainsAt(%d) beyond the %d levels cached before freeze", gamma, len(z.roots)))
+		}
+		z.extendTo(gamma)
+	}
+	if len(p) != z.m.NumVars() {
+		panic(fmt.Sprintf("core: pattern width %d does not match zone width %d",
+			len(p), z.m.NumVars()))
+	}
+	return z.m.EvalBits(z.roots[gamma], p)
+}
+
+// cloneWithDelta shadow-builds this zone's successor for an online update:
+// a writable compact clone of every cached level, with the new patterns
+// folded in at each level incrementally. Hamming expansion distributes
+// over union — ExpandHamming1(f ∪ g) = ExpandHamming1(f) ∪
+// ExpandHamming1(g), because ∃ distributes over ∨ — so
+// Zᵏ(old ∪ new) = Zᵏ(old) ∪ Dᵏ with Dᵏ the k-fold expansion of the delta
+// cubes alone. The update cost therefore scales with the delta, not with
+// the zone: the cached old levels are reused verbatim and only the new
+// patterns are expanded. The receiver is only read (it may be frozen and
+// serving); the returned zone is unfrozen, at the same γ, and backed by a
+// fresh compacted manager.
+func (z *Zone) cloneWithDelta(pats []Pattern) *Zone {
+	for _, p := range pats {
+		if len(p) != z.m.NumVars() {
+			panic(fmt.Sprintf("core: pattern width %d does not match zone width %d",
+				len(p), z.m.NumVars()))
+		}
+	}
+	m2, roots2 := z.m.CloneCompact(z.roots)
+	delta := m2.False()
+	for _, p := range pats {
+		delta = m2.Or(delta, m2.Cube(p))
+	}
+	for k := range roots2 {
+		roots2[k] = m2.Or(roots2[k], delta)
+		if k+1 < len(roots2) {
+			delta = m2.ExpandHamming1(delta)
+		}
+	}
+	return &Zone{m: m2, roots: roots2, gamma: z.gamma, base: z.base + len(pats)}
+}
+
+// cloneAtGamma builds a successor zone queried at a different enlargement
+// level. When the level was cached before the freeze, the new Zone shares
+// the frozen manager and root stack — an O(1) re-view, no copying. A
+// deeper level needs new expansions, so the zone is compact-cloned and
+// extended on the writable copy.
+func (z *Zone) cloneAtGamma(gamma int) *Zone {
+	if gamma < len(z.roots) {
+		return &Zone{m: z.m, roots: z.roots, gamma: gamma, base: z.base}
+	}
+	m2, roots2 := z.m.CloneCompact(z.roots)
+	z2 := &Zone{m: m2, roots: roots2, gamma: z.gamma, base: z.base}
+	z2.extendTo(gamma)
+	z2.gamma = gamma
+	return z2
 }
 
 // PatternCount returns the exact number of patterns inside the zone at the

@@ -197,3 +197,38 @@ func TestFrontCarStudySmall(t *testing.T) {
 		t.Fatalf("front-car render malformed:\n%s", out)
 	}
 }
+
+// TestOnlineStudySmall smoke-runs the online-phase experiment at reduced
+// scale: the drift trace must start at the freeze epoch, advance one
+// epoch per chunk, absorb a growing pattern count, and — by the
+// updater's equivalence property — land exactly on the one-shot
+// full-build reference.
+func TestOnlineStudySmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test skipped in -short mode")
+	}
+	res, err := onlineStudy(Options{Scale: 0.1, Seed: 6}, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 4 { // freeze + 3 chunks
+		t.Fatalf("got %d points, want 4", len(res.Points))
+	}
+	for i, p := range res.Points {
+		if p.Epoch != uint64(i+1) {
+			t.Fatalf("point %d has epoch %d, want %d", i, p.Epoch, i+1)
+		}
+		if i > 0 && p.Absorbed < res.Points[i-1].Absorbed {
+			t.Fatalf("absorbed count shrank at point %d", i)
+		}
+	}
+	last := res.Points[len(res.Points)-1].Metrics
+	if last.OutOfPattern != res.FullBuild.OutOfPattern || last.Watched != res.FullBuild.Watched {
+		t.Fatalf("online trace did not converge to the full build: %+v vs %+v",
+			last, res.FullBuild)
+	}
+	out := RenderOnline(res)
+	if !strings.Contains(out, "ONLINE PHASE") || !strings.Contains(out, "one-shot") {
+		t.Fatalf("online render malformed:\n%s", out)
+	}
+}

@@ -140,10 +140,20 @@ type Figure2Point struct {
 
 // Figure2Sweep sweeps γ from 0 to maxGamma on the model's Table II monitor
 // and records the trajectory between the two useless extremes of Figure 2.
+// A frozen monitor (one that has already served) is swept by publishing
+// each level as a new epoch, mirroring core.GammaSweep.
 func Figure2Sweep(m *Model, mon *core.Monitor, maxGamma int) []Figure2Point {
 	pts := make([]Figure2Point, 0, maxGamma+1)
 	for g := 0; g <= maxGamma; g++ {
-		mon.SetGamma(g)
+		var err error
+		if mon.Frozen() {
+			_, err = mon.UpdateGamma(g)
+		} else {
+			err = mon.SetGamma(g)
+		}
+		if err != nil {
+			panic(err) // unreachable for the swept non-negative levels
+		}
 		met := core.Evaluate(m.Net, mon, m.Data.Val)
 		total := 0.0
 		for _, c := range mon.Classes() {

@@ -72,6 +72,11 @@ type Config struct {
 	// take the whole server down — a front end accepting untrusted
 	// inputs (e.g. cmd/napmon-serve) should always set this.
 	InputShape []int
+	// OnEpochSwap, when non-nil, is called after every successful
+	// Server.Update / UpdateGamma with the id of the epoch now serving.
+	// It runs on the updating goroutine (updates are serialized), so a
+	// slow hook delays subsequent updates but never the serving lanes.
+	OnEpochSwap func(epoch uint64)
 }
 
 func (c Config) withDefaults() Config {
@@ -143,6 +148,13 @@ type Server struct {
 	closed   bool
 	inflight sync.WaitGroup // Submits between the closed-check and enqueue
 
+	// updMu serializes Update/UpdateGamma through this server so the
+	// updates counter and the OnEpochSwap hook observe epochs in
+	// publication order (the monitor's own updater lock is released
+	// before control returns here, so without this a slow hook could see
+	// epoch ids out of order).
+	updMu sync.Mutex
+
 	abortOnce sync.Once
 	wg        sync.WaitGroup // coalescer + lanes
 
@@ -150,6 +162,7 @@ type Server struct {
 	served     atomic.Uint64
 	rejected   atomic.Uint64
 	numBatches atomic.Uint64
+	updates    atomic.Uint64
 	lat        latencyRing
 }
 
@@ -245,6 +258,47 @@ func (s *Server) SubmitAll(inputs []*tensor.Tensor) ([]*Future, error) {
 	return futs, nil
 }
 
+// Update feeds newly observed activation patterns back into the monitor
+// while the server keeps serving: the monitor shadow-builds the touched
+// zones and publishes them as a new epoch with one atomic swap
+// (Monitor.UpdateBatch), which the lanes pick up at micro-batch
+// granularity — no request is dropped or delayed across the swap, and no
+// batch mixes zones from two generations. delta maps class → patterns to
+// absorb (widths must match the monitor). Updates may be called from any
+// goroutine, including while Submits are in flight and after Shutdown;
+// concurrent updates are serialized by the monitor. On success the
+// configured OnEpochSwap hook receives the new epoch id.
+func (s *Server) Update(delta map[int][]core.Pattern) (uint64, error) {
+	s.updMu.Lock()
+	defer s.updMu.Unlock()
+	id, err := s.mon.UpdateBatch(delta)
+	if err != nil {
+		return id, err
+	}
+	s.updates.Add(1)
+	if s.cfg.OnEpochSwap != nil {
+		s.cfg.OnEpochSwap(id)
+	}
+	return id, nil
+}
+
+// UpdateGamma republishes the monitor's zones at a new enlargement level
+// (Monitor.UpdateGamma) without a serving gap; see Update for the epoch
+// semantics.
+func (s *Server) UpdateGamma(gamma int) (uint64, error) {
+	s.updMu.Lock()
+	defer s.updMu.Unlock()
+	id, err := s.mon.UpdateGamma(gamma)
+	if err != nil {
+		return id, err
+	}
+	s.updates.Add(1)
+	if s.cfg.OnEpochSwap != nil {
+		s.cfg.OnEpochSwap(id)
+	}
+	return id, nil
+}
+
 // Shutdown stops the server gracefully: new Submits fail with
 // ErrServerClosed immediately, while requests already accepted are
 // drained through the coalescer and lanes. If ctx expires before the
@@ -322,5 +376,7 @@ func (s *Server) Stats() Stats {
 		P50:           p50,
 		P99:           p99,
 		Lanes:         len(s.lanes),
+		Epoch:         s.mon.Epoch(),
+		Updates:       s.updates.Load(),
 	}
 }

@@ -424,3 +424,152 @@ func TestLatencyRingPercentiles(t *testing.T) {
 		t.Fatalf("post-wrap percentiles = %v, %v; want 50, 60", p50, p99)
 	}
 }
+
+// TestServeWhileUpdating is the serve-while-retraining regression test:
+// submitters hammer the server while a background updater continuously
+// publishes new zone epochs through Server.Update. Run under -race in CI.
+// Every future must resolve without error across every epoch swap (zero
+// dropped requests), the epoch counters must advance, and the OnEpochSwap
+// hook must observe every published epoch in order.
+func TestServeWhileUpdating(t *testing.T) {
+	net, mon, inputs := toyServerParts(t, 12)
+	var hookMu sync.Mutex
+	var hooked []uint64
+	srv, err := New(net, mon, Config{
+		MaxBatch: 8,
+		MaxDelay: 200 * time.Microsecond,
+		OnEpochSwap: func(epoch uint64) {
+			hookMu.Lock()
+			hooked = append(hooked, epoch)
+			hookMu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	width := len(mon.Neurons())
+	classes := mon.Classes()
+
+	const epochs = 25
+	const submitters = 4
+	const perSubmitter = 200
+	var wg sync.WaitGroup
+	errs := make(chan error, submitters)
+	wg.Add(1)
+	go func() { // background updater
+		defer wg.Done()
+		r := rng.New(77)
+		for i := 0; i < epochs; i++ {
+			delta := make(map[int][]core.Pattern)
+			c := classes[int(r.Uint64()%uint64(len(classes)))]
+			p := make(core.Pattern, width)
+			for j := range p {
+				p[j] = r.Bool(0.5)
+			}
+			delta[c] = []core.Pattern{p}
+			if _, err := srv.Update(delta); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+	for s := 0; s < submitters; s++ {
+		wg.Add(1)
+		go func(off int) {
+			defer wg.Done()
+			for i := 0; i < perSubmitter; i++ {
+				fut, err := srv.Submit(inputs[(off+i)%len(inputs)])
+				if err != nil {
+					errs <- err
+					return
+				}
+				v, err := fut.Wait()
+				if err != nil {
+					errs <- err
+					return
+				}
+				if v.Epoch < 1 {
+					errs <- errors.New("verdict missing its epoch id")
+					return
+				}
+			}
+		}(s * 37)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("request dropped or errored across epoch swaps: %v", err)
+	}
+	st := srv.Stats()
+	if st.Served != submitters*perSubmitter {
+		t.Fatalf("served %d, want %d", st.Served, submitters*perSubmitter)
+	}
+	if st.Rejected != 0 {
+		t.Fatalf("rejected %d requests", st.Rejected)
+	}
+	if st.Updates != epochs || st.Epoch != 1+epochs {
+		t.Fatalf("stats epoch view = (epoch %d, updates %d), want (%d, %d)",
+			st.Epoch, st.Updates, 1+epochs, epochs)
+	}
+	hookMu.Lock()
+	defer hookMu.Unlock()
+	if len(hooked) != epochs {
+		t.Fatalf("hook saw %d swaps, want %d", len(hooked), epochs)
+	}
+	for i, e := range hooked {
+		if e != uint64(i+2) { // first published update is epoch 2
+			t.Fatalf("hook order broken at %d: got epoch %d", i, e)
+		}
+	}
+	shutdownOK(t, srv)
+}
+
+// TestServeUpdateChangesVerdicts pins the end-to-end effect: a pattern
+// that the server flags out-of-pattern stops being flagged after it is
+// fed back through Server.Update under its decided class — the /learn
+// loop of cmd/napmon-serve.
+func TestServeUpdateChangesVerdicts(t *testing.T) {
+	net, mon, inputs := toyServerParts(t, 13)
+	srv, err := New(net, mon, Config{MaxBatch: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdownOK(t, srv)
+	// Find a flagged input.
+	var flagged *tensor.Tensor
+	var verdict core.Verdict
+	for _, x := range inputs {
+		fut, err := srv.Submit(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := fut.Wait()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Monitored && v.OutOfPattern {
+			flagged, verdict = x, v
+			break
+		}
+	}
+	if flagged == nil {
+		t.Skip("no out-of-pattern input at this seed")
+	}
+	if _, err := srv.Update(map[int][]core.Pattern{verdict.Class: {verdict.Pattern}}); err != nil {
+		t.Fatal(err)
+	}
+	fut, err := srv.Submit(flagged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := fut.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.OutOfPattern {
+		t.Fatal("absorbed pattern still flagged after the epoch swap")
+	}
+	if v.Epoch != verdict.Epoch+1 {
+		t.Fatalf("post-update verdict epoch %d, want %d", v.Epoch, verdict.Epoch+1)
+	}
+}

@@ -30,6 +30,14 @@ type Stats struct {
 	P99 time.Duration
 	// Lanes is the number of serving lanes (network replicas).
 	Lanes int
+	// Epoch is the id of the monitor epoch currently serving; it starts
+	// at 1 (the freeze epoch) and increments with every online update
+	// published through Server.Update/UpdateGamma (or directly on the
+	// monitor).
+	Epoch uint64
+	// Updates counts the epoch swaps published through this server's
+	// Update/UpdateGamma since start.
+	Updates uint64
 }
 
 // latencyRing keeps the last cap(buf) request latencies for percentile

@@ -17,8 +17,21 @@ import (
 // user needs to drive it.
 
 // Monitor is a neuron activation pattern monitor (paper Definition 3):
-// one γ-comfort zone per monitored class, stored as BDDs.
+// one γ-comfort zone per monitored class, stored as BDDs. A frozen
+// monitor is a live service, not a static artifact: Monitor.Update,
+// Monitor.UpdateBatch and Monitor.UpdateGamma absorb newly observed
+// activation patterns (or re-level γ) by shadow-building the touched
+// zones and atomically publishing a new serving epoch, while readers keep
+// serving the old one without a gap — see Updater.
 type Monitor = core.Monitor
+
+// Updater is a monitor's online-update engine: it serializes
+// Update/UpdateBatch/UpdateGamma calls, shadow-builds zone deltas on
+// writable clones while the frozen epoch keeps serving, swaps the new
+// epoch in atomically, and releases retired epochs once their pinned
+// readers drain. Obtain it with Monitor.Updater for its counters
+// (Published, Absorbed, ReleasedEpochs).
+type Updater = core.Updater
 
 // Config specifies which layer, classes and neurons a monitor covers and
 // its Hamming enlargement γ.
@@ -29,6 +42,12 @@ type Verdict = core.Verdict
 
 // Pattern is a binary neuron activation pattern (paper Definition 1).
 type Pattern = core.Pattern
+
+// ParsePattern decodes the 0/1 string form produced by Pattern.String —
+// the wire format of the napmon-serve /watch response and /learn request,
+// which lets a client feed flagged patterns straight back into
+// Monitor.Update.
+func ParsePattern(s string) (Pattern, error) { return core.ParsePattern(s) }
 
 // Zone is one class's γ-comfort zone (paper Definition 2).
 type Zone = core.Zone
@@ -116,9 +135,10 @@ func EvaluateMonitor(net *Network, m *Monitor, samples []Sample) Metrics {
 // allocation-free scratch), split across GOMAXPROCS workers on
 // multi-core hosts. The monitor is frozen read-only on first use
 // (Monitor.Freeze), which makes concurrent WatchBatch calls from any
-// number of goroutines safe by construction; a frozen monitor can no
-// longer insert patterns or enlarge zones beyond the levels computed
-// before the freeze.
+// number of goroutines safe by construction; a frozen monitor grows only
+// through the online-update path (Monitor.Update/UpdateBatch/UpdateGamma),
+// which publishes whole new epochs — each batch pins one epoch, and every
+// Verdict carries the epoch id it was computed against.
 func WatchBatch(net *Network, m *Monitor, inputs []*Tensor) []Verdict {
 	return m.WatchBatch(net, inputs)
 }
@@ -142,12 +162,16 @@ type Server = serve.Server
 // ServerConfig sizes a Server: micro-batch flush threshold (MaxBatch),
 // partial-batch deadline (MaxDelay), request-queue depth (backpressure),
 // number of serving lanes (network replicas) and the latency-statistics
-// window. The zero value selects sensible defaults.
+// window, plus the OnEpochSwap hook observing online updates published
+// through Server.Update/UpdateGamma. The zero value selects sensible
+// defaults.
 type ServerConfig = serve.Config
 
 // ServerStats is a snapshot of a Server's counters: queue depth,
-// submitted/served/rejected totals, batch count and mean size, and
-// p50/p99 request latency over a recent window.
+// submitted/served/rejected totals, batch count and mean size, p50/p99
+// request latency over a recent window, and the online-update view (the
+// monitor epoch currently serving plus the number of epoch swaps
+// published through the server).
 type ServerStats = serve.Stats
 
 // Future is the pending result of one Server.Submit; Wait blocks until
@@ -162,8 +186,12 @@ var ErrServerClosed = serve.ErrServerClosed
 // monitor: requests submitted from any number of goroutines are queued,
 // coalesced into micro-batches (flushed at cfg.MaxBatch or after
 // cfg.MaxDelay) and executed on per-lane network replicas against the
-// frozen monitor. Stop it with Server.Shutdown, which drains accepted
-// requests. The cmd/napmon-serve binary wraps this in an HTTP daemon.
+// frozen monitor. The monitor stays updatable while serving —
+// Server.Update/UpdateGamma publish new zone epochs that lanes pick up at
+// micro-batch granularity without dropping a request. Stop the server
+// with Server.Shutdown, which drains accepted requests. The
+// cmd/napmon-serve binary wraps this in an HTTP daemon (POST /learn is
+// the update endpoint).
 func Serve(net *Network, m *Monitor, cfg ServerConfig) (*Server, error) {
 	return serve.New(net, m, cfg)
 }

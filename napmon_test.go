@@ -7,6 +7,7 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"fmt"
 	"testing"
 	"time"
 
@@ -249,4 +250,46 @@ func TestPublicDatasets(t *testing.T) {
 	if napmon.StopSignClass != 14 {
 		t.Fatal("stop sign class must be 14")
 	}
+}
+
+// ExampleMonitor_Update demonstrates the serve-while-retraining loop: a
+// frozen monitor absorbs a newly observed activation pattern by
+// publishing a new serving epoch, without a serving gap. The pattern
+// string is the wire form the napmon-serve daemon returns from /watch
+// and accepts on /learn.
+func ExampleMonitor_Update() {
+	train := toyData(50, 300)
+	net, _ := napmon.BuildNetwork([]napmon.LayerSpec{
+		{Kind: napmon.KindDense, In: 3, Out: 12},
+		{Kind: napmon.KindReLU},
+		{Kind: napmon.KindDense, In: 12, Out: 8},
+		{Kind: napmon.KindReLU},
+		{Kind: napmon.KindDense, In: 8, Out: 3},
+	}, napmon.NewRNG(51))
+	napmon.Train(net, train, napmon.TrainConfig{Epochs: 8, BatchSize: 16, LR: 0.05, Seed: 52})
+	mon, _ := napmon.BuildMonitor(net, train, napmon.Config{Layer: 3, Gamma: 1})
+
+	mon.Freeze() // epoch 1 starts serving; zones are now immutable
+	fmt.Println("epoch after freeze:", mon.Epoch())
+
+	// In-place mutation is refused once serving...
+	fmt.Println("SetGamma while frozen errors:", mon.SetGamma(0) != nil)
+
+	// ...but the online updater absorbs new patterns by epoch swap. A
+	// production loop would feed back patterns from flagged verdicts;
+	// here one arrives as the /learn wire form.
+	pattern, _ := napmon.ParsePattern("10110101")
+	epoch, err := mon.Update(2, pattern)
+	if err != nil {
+		fmt.Println("update failed:", err)
+		return
+	}
+	fmt.Println("epoch after update:", epoch)
+	out, monitored := mon.WatchPattern(2, pattern)
+	fmt.Println("absorbed pattern now in its comfort zone:", monitored && !out)
+	// Output:
+	// epoch after freeze: 1
+	// SetGamma while frozen errors: true
+	// epoch after update: 2
+	// absorbed pattern now in its comfort zone: true
 }
