@@ -15,10 +15,14 @@
 // Because a committed baseline is measured on different hardware than
 // the CI runner, the comparison is speed-normalized by default: each
 // watched benchmark's ratio is divided by the median ns/op ratio across
-// ALL benchmarks common to both files, so a uniformly slower machine
-// does not trip the gate while a real regression of the watched hot path
-// still does. Disable with -normalize=false when both files come from
-// the same machine.
+// the unwatched benchmarks common to both files that also match -ref,
+// so a uniformly slower machine does not trip the gate while a real
+// regression of the watched hot path still does. Restrict -ref to
+// core-count-invariant benchmarks (serial, or GOMAXPROCS-pinned) when
+// the files carry parallel-scaling axes — otherwise a multi-core runner
+// replaying a 1-core baseline folds genuine parallel speedup into the
+// "machine speed" estimate and inflates every watched ratio. Disable
+// with -normalize=false when both files come from the same machine.
 package main
 
 import (
@@ -56,12 +60,13 @@ func main() {
 		baseline = flag.String("baseline", "", "check mode: baseline JSON file")
 		current  = flag.String("current", "", "check mode: current JSON file")
 		watch    = flag.String("watch", ".", "check mode: regexp of benchmark names to gate")
+		ref      = flag.String("ref", ".", "check mode: regexp of benchmark names usable as machine-speed references (watched names are always excluded); restrict this to core-count-invariant benchmarks when the files contain parallel-scaling axes")
 		maxRatio = flag.Float64("max-ratio", 1.3, "check mode: fail when ns/op ratio exceeds this")
 		norm     = flag.Bool("normalize", true, "check mode: divide ratios by the cross-file median (machine-speed correction)")
 	)
 	flag.Parse()
 	if *check {
-		if err := runCheck(*baseline, *current, *watch, *maxRatio, *norm); err != nil {
+		if err := runCheck(*baseline, *current, *watch, *ref, *maxRatio, *norm); err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
 		}
@@ -145,15 +150,19 @@ func load(path string) (map[string]Benchmark, error) {
 }
 
 // runCheck compares ns/op of the watched benchmarks between baseline and
-// current, optionally normalizing by the median ratio across all common
-// benchmarks, and fails on any regression beyond maxRatio.
-func runCheck(basePath, curPath, watch string, maxRatio float64, normalize bool) error {
+// current, optionally normalizing by the median ratio across the common
+// reference benchmarks, and fails on any regression beyond maxRatio.
+func runCheck(basePath, curPath, watch, ref string, maxRatio float64, normalize bool) error {
 	if basePath == "" || curPath == "" {
 		return fmt.Errorf("check mode needs -baseline and -current")
 	}
 	re, err := regexp.Compile(watch)
 	if err != nil {
 		return fmt.Errorf("bad -watch regexp: %w", err)
+	}
+	refRe, err := regexp.Compile(ref)
+	if err != nil {
+		return fmt.Errorf("bad -ref regexp: %w", err)
 	}
 	base, err := load(basePath)
 	if err != nil {
@@ -164,17 +173,23 @@ func runCheck(basePath, curPath, watch string, maxRatio float64, normalize bool)
 		return err
 	}
 	// Machine-speed correction: the median ns/op ratio over the
-	// benchmarks present in both files that are NOT being gated
-	// estimates how much faster or slower this machine is than the
-	// baseline's. Watched benchmarks are excluded from the median —
-	// otherwise a uniform regression of the gated hot path would
-	// normalize itself away and the gate could never fire.
+	// reference benchmarks present in both files estimates how much
+	// faster or slower this machine is than the baseline's. Watched
+	// benchmarks are excluded from the median — otherwise a uniform
+	// regression of the gated hot path would normalize itself away and
+	// the gate could never fire. The -ref regexp further restricts the
+	// reference set: a baseline captured on a 1-core box records
+	// parallel-axis benchmarks (workersN, cpuN) flat, and on a
+	// multi-core runner those speed up genuinely — feeding that real
+	// scaling into the median would inflate every watched ratio, so the
+	// caller names core-count-invariant references instead.
 	speed := 1.0
 	if normalize {
 		var ratios []float64
 		for name, b := range base {
 			c, ok := cur[name]
-			if !ok || re.MatchString(name) || b.Metrics["ns/op"] <= 0 || c.Metrics["ns/op"] <= 0 {
+			if !ok || re.MatchString(name) || !refRe.MatchString(name) ||
+				b.Metrics["ns/op"] <= 0 || c.Metrics["ns/op"] <= 0 {
 				continue
 			}
 			ratios = append(ratios, c.Metrics["ns/op"]/b.Metrics["ns/op"])

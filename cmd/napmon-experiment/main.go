@@ -96,9 +96,22 @@ func runTables(opts exp.Options, artifact string, w io.Writer) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	rows2, _, err := exp.Table2ForModel(m2, []int{0, 1, 2, 3})
+	rows2, mon2, err := exp.Table2ForModel(m2, []int{0, 1, 2, 3})
 	if err != nil {
 		log.Fatal(err)
+	}
+	// Assert (not eyeball) that the compiled serving path reproduces the
+	// interpreted membership verdicts on every validation input of both
+	// monitors before reporting any numbers computed on it.
+	for _, v := range []struct {
+		m   *exp.Model
+		mon *exp.Monitor
+	}{{m1, mon1}, {m2, mon2}} {
+		n, err := exp.VerifyCompiledServing(v.m, v.mon)
+		if err != nil {
+			log.Fatalf("compiled/interpreted serving divergence: %v", err)
+		}
+		log.Printf("network %d: compiled serving path verified against the interpreted BDD walk on %d validation inputs", v.m.ID, n)
 	}
 	if artifact == "all" || artifact == "table2" {
 		fmt.Fprintln(w, exp.RenderTable2(append(rows1, rows2...)))

@@ -371,6 +371,7 @@ type statsResponse struct {
 	Lanes         int     `json:"lanes"`
 	Epoch         uint64  `json:"epoch"`
 	Updates       uint64  `json:"updates"`
+	Recompiled    uint64  `json:"recompiled"`
 }
 
 func handleStats(srv *napmon.Server) http.HandlerFunc {
@@ -394,6 +395,7 @@ func handleStats(srv *napmon.Server) http.HandlerFunc {
 			Lanes:         st.Lanes,
 			Epoch:         st.Epoch,
 			Updates:       st.Updates,
+			Recompiled:    st.Recompiled,
 		})
 	}
 }

@@ -27,13 +27,17 @@
 //	}
 //
 // For serving under heavy traffic, use the batched front end: the first
-// WatchBatch call freezes the monitor's BDD managers read-only, after
-// which whole micro-batches flow through the batched GEMM inference
-// path (stacked im2col, blocked matrix multiply, fused bias+ReLU
-// epilogues, pooled allocation-free scratch — see DESIGN.md, "Batched
-// inference") and may be issued from any number of goroutines
-// concurrently (safety by construction — the serving path performs no
-// writes; see DESIGN.md, "Freeze-then-serve concurrency model"):
+// WatchBatch call freezes the monitor's BDD managers read-only and
+// compiles every comfort zone into a flat branch-program query plan,
+// after which whole micro-batches flow through the batched GEMM
+// inference path (stacked im2col, blocked matrix multiply, fused
+// bias+ReLU and bias+ReLU+maxpool epilogues, pooled allocation-free
+// scratch — see DESIGN.md, "Batched inference") with membership queries
+// grouped per predicted class against the compiled plans (DESIGN.md,
+// "Compiled query plans + sharded build"), and may be issued from any
+// number of goroutines concurrently (safety by construction — the
+// serving path performs no writes; see DESIGN.md, "Freeze-then-serve
+// concurrency model"):
 //
 //	verdicts := napmon.WatchBatch(net, mon, inputs)
 //

@@ -24,6 +24,7 @@ package bdd
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 )
 
 // Node is a handle to a BDD rooted at a node in a Manager's arena.
@@ -66,6 +67,11 @@ type Manager struct {
 	// have (see cacheStore), so zero slots never produce false hits.
 	cache     []cacheEntry
 	cacheMask uint32
+
+	// compiles counts query plans built by Compile. Atomic because plans
+	// may be compiled from a frozen manager that is concurrently serving
+	// reads (the rest of stats is only written by the build goroutine).
+	compiles atomic.Uint64
 
 	stats Stats
 }
@@ -117,6 +123,10 @@ type Stats struct {
 	CacheHits, CacheMisses uint64
 	// UniqueCap and CacheCap are the current table capacities (slots).
 	UniqueCap, CacheCap int
+	// Compiles counts the query plans built from this manager's diagrams
+	// (one per root passed to Compile) — the epoch-swap tests assert via
+	// this counter that online updates recompile only touched zones.
+	Compiles uint64
 	// Frozen reports whether the manager has been frozen read-only.
 	Frozen bool
 }
@@ -154,6 +164,7 @@ func (m *Manager) Stats() Stats {
 	s.Nodes = len(m.nodes) - 2
 	s.UniqueCap = len(m.unique)
 	s.CacheCap = len(m.cache)
+	s.Compiles = m.compiles.Load()
 	s.Frozen = m.frozen
 	return s
 }

@@ -7,6 +7,9 @@ package bdd
 // After every step the invariants the monitor relies on are checked:
 //
 //   - Eval/EvalBits agree with the truth table on every assignment;
+//   - the compiled query plan (Compile → Eval/EvalBatch) agrees with the
+//     truth table on every assignment — the serving fast path is checked
+//     differentially against the same oracle as the interpreter;
 //   - canonicity: two stack entries have the same handle iff they denote
 //     the same Boolean function;
 //   - SatCount equals the truth table's popcount;
@@ -68,6 +71,18 @@ func FuzzBDDOps(f *testing.F) {
 		}
 		stack := []entry{seed}
 		pop := func(i int) entry { return stack[len(stack)-1-i%len(stack)] }
+
+		// All assignments as bit-slices, reused by the compiled-plan batch
+		// check each step.
+		assigns := make([][]bool, na)
+		for a := 0; a < na; a++ {
+			bits := make([]bool, nv)
+			for v := 0; v < nv; v++ {
+				bits[v] = a&(1<<v) != 0
+			}
+			assigns[a] = bits
+		}
+		batchOut := make([]bool, na)
 
 		const maxSteps = 64 // bound work per input
 		steps := 0
@@ -180,6 +195,23 @@ func FuzzBDDOps(f *testing.F) {
 					t.Fatalf("step %d: Eval(%d)=%v, truth table says %v", steps, a, got, want)
 				}
 			}
+			// Invariant 1b: the compiled plan agrees with the truth table
+			// both per-query and batched.
+			cp := m.Compile(e.n)[0]
+			cp.EvalBatch(assigns, batchOut)
+			for a := 0; a < na; a++ {
+				want := e.tt.get(a)
+				if got := cp.Eval(assigns[a]); got != want {
+					t.Fatalf("step %d: compiled Eval(%d)=%v, truth table says %v", steps, a, got, want)
+				}
+				if batchOut[a] != want {
+					t.Fatalf("step %d: compiled EvalBatch(%d)=%v, truth table says %v", steps, a, batchOut[a], want)
+				}
+			}
+			if got, want := cp.Len(), m.NodeCount(e.n); got != want {
+				t.Fatalf("step %d: compiled Len %d, NodeCount %d", steps, got, want)
+			}
+
 			// Invariant 2: SatCount matches the popcount.
 			if got, want := m.SatCount(e.n), float64(e.tt.popcount()); got != want {
 				t.Fatalf("step %d: SatCount=%v, popcount=%v", steps, got, want)

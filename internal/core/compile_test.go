@@ -1,0 +1,414 @@
+package core
+
+// Tests of the compiled-query-plan serving path and the sharded
+// (per-class parallel) build: compiled and interpreted membership must
+// agree bit for bit on every zone and every cached γ, epoch swaps must
+// recompile only the zones they touch, and the parallel build must be
+// deterministic regardless of worker count.
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+
+	"napmon/internal/rng"
+	"napmon/internal/tensor"
+)
+
+// TestCompiledZoneAgreesWithInterpreted pins Contains/ContainsAt on a
+// frozen zone (compiled plans) bit-exact against the interpreted
+// EvalBits walk, for every cached γ: exhaustively for narrow zones,
+// with random probes for monitor-width ones.
+func TestCompiledZoneAgreesWithInterpreted(t *testing.T) {
+	r := rng.New(41)
+	for _, width := range []int{4, 8, 12} {
+		z := NewZone(width)
+		for _, p := range randomPatterns(r, 6, width) {
+			z.Insert(p)
+		}
+		if err := z.SetGamma(2); err != nil {
+			t.Fatal(err)
+		}
+		z.Freeze()
+		if z.plans == nil || len(z.plans) != len(z.roots) {
+			t.Fatalf("width %d: freeze compiled %d plans for %d levels", width, len(z.plans), len(z.roots))
+		}
+		probe := make(Pattern, width)
+		for a := 0; a < 1<<width; a++ {
+			for v := 0; v < width; v++ {
+				probe[v] = a&(1<<v) != 0
+			}
+			for g := 0; g < len(z.roots); g++ {
+				want := z.m.EvalBits(z.roots[g], probe)
+				if got := z.ContainsAt(g, probe); got != want {
+					t.Fatalf("width %d γ=%d assignment %d: compiled %v, interpreted %v", width, g, a, got, want)
+				}
+			}
+			if got, want := z.Contains(probe), z.m.EvalBits(z.roots[z.gamma], probe); got != want {
+				t.Fatalf("width %d assignment %d: Contains %v, interpreted %v", width, a, got, want)
+			}
+		}
+	}
+
+	// Monitor-width zone: random probes plus the inserted patterns and
+	// their Hamming-1 neighbors (the boundary the enlargement moves).
+	const width = 40
+	z := NewZone(width)
+	inserted := randomPatterns(r, 60, width)
+	for _, p := range inserted {
+		z.Insert(p)
+	}
+	if err := z.SetGamma(2); err != nil {
+		t.Fatal(err)
+	}
+	z.Freeze()
+	probes := randomPatterns(r, 300, width)
+	for _, p := range inserted[:10] {
+		probes = append(probes, p)
+		for v := 0; v < width; v += 7 {
+			n := p.Clone()
+			n[v] = !n[v]
+			probes = append(probes, n)
+		}
+	}
+	for g := 0; g < len(z.roots); g++ {
+		for pi, p := range probes {
+			want := z.m.EvalBits(z.roots[g], p)
+			if got := z.ContainsAt(g, p); got != want {
+				t.Fatalf("γ=%d probe %d: compiled %v, interpreted %v", g, pi, got, want)
+			}
+		}
+	}
+}
+
+// TestContainsBatchMatchesContains checks the micro-batch entry point
+// against per-pattern queries, frozen and unfrozen.
+func TestContainsBatchMatchesContains(t *testing.T) {
+	r := rng.New(17)
+	const width = 24
+	for _, freeze := range []bool{false, true} {
+		z := NewZone(width)
+		for _, p := range randomPatterns(r, 20, width) {
+			z.Insert(p)
+		}
+		if err := z.SetGamma(1); err != nil {
+			t.Fatal(err)
+		}
+		if freeze {
+			z.Freeze()
+		}
+		probes := randomPatterns(r, 97, width)
+		batch := make([][]bool, len(probes))
+		for i, p := range probes {
+			batch[i] = p
+		}
+		out := make([]bool, len(probes))
+		z.ContainsBatch(batch, out)
+		for i, p := range probes {
+			if want := z.Contains(p); out[i] != want {
+				t.Fatalf("frozen=%v probe %d: batch %v, single %v", freeze, i, out[i], want)
+			}
+		}
+	}
+}
+
+// TestContainsAtErr covers the error surface the serving daemons rely
+// on: frozen-beyond-cache is an error (not a panic), unfrozen extends,
+// and bad inputs are reported.
+func TestContainsAtErr(t *testing.T) {
+	r := rng.New(5)
+	const width = 10
+	z := NewZone(width)
+	for _, p := range randomPatterns(r, 4, width) {
+		z.Insert(p)
+	}
+	if err := z.SetGamma(1); err != nil {
+		t.Fatal(err)
+	}
+
+	// Unfrozen: a deeper level is computed on demand.
+	p := make(Pattern, width)
+	if _, err := z.ContainsAtErr(3, p); err != nil {
+		t.Fatalf("unfrozen deep level errored: %v", err)
+	}
+	if len(z.roots) != 4 {
+		t.Fatalf("deep query cached %d levels, want 4", len(z.roots))
+	}
+
+	z.Freeze()
+	if _, err := z.ContainsAtErr(3, p); err != nil {
+		t.Fatalf("cached level errored after freeze: %v", err)
+	}
+	if _, err := z.ContainsAtErr(4, p); err == nil {
+		t.Fatal("frozen beyond-cache query did not error")
+	} else if !strings.Contains(err.Error(), "beyond") {
+		t.Fatalf("unexpected error text: %v", err)
+	}
+	if _, err := z.ContainsAtErr(-1, p); err == nil {
+		t.Fatal("negative gamma did not error")
+	}
+	if _, err := z.ContainsAtErr(0, make(Pattern, width+1)); err == nil {
+		t.Fatal("width mismatch did not error")
+	}
+	// The Zone-layer panic contract is unchanged.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("frozen beyond-cache ContainsAt did not panic")
+			}
+		}()
+		z.ContainsAt(4, p)
+	}()
+}
+
+// TestEvaluateAtErrors checks the monitor-level error surfacing: a
+// frozen monitor evaluated beyond its cached levels returns an error
+// instead of crashing, and at cached levels EvaluateAt matches
+// Evaluate.
+func TestEvaluateAtErrors(t *testing.T) {
+	net, layer, train, val := trainedToyNet(t, 9)
+	mon, err := Build(net, train, Config{Layer: layer, Gamma: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Evaluate(net, mon, val) // at γ=2, build phase
+	mon.Freeze()
+	got, err := EvaluateAt(net, mon, val, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("EvaluateAt(2) = %+v, Evaluate said %+v", got, want)
+	}
+	if _, err := EvaluateAt(net, mon, val, 9); err == nil {
+		t.Fatal("EvaluateAt beyond cached levels did not error on a frozen monitor")
+	}
+	if _, err := EvaluateAt(net, mon, val, -1); err == nil {
+		t.Fatal("EvaluateAt(-1) did not error")
+	}
+}
+
+// TestEvaluateQuantizedAtErrors mirrors TestEvaluateAtErrors for the
+// quantized monitor.
+func TestEvaluateQuantizedAtErrors(t *testing.T) {
+	net, layer, train, val := trainedToyNet(t, 10)
+	mon, err := BuildQuantized(net, train, QuantizedConfig{Layer: layer, Levels: 3, Gamma: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := EvaluateQuantized(net, mon, val)
+	got, err := EvaluateQuantizedAt(net, mon, val, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("EvaluateQuantizedAt(1) = %+v, EvaluateQuantized said %+v", got, want)
+	}
+	for _, z := range mon.zones {
+		z.Freeze()
+	}
+	if _, err := EvaluateQuantizedAt(net, mon, val, 7); err == nil {
+		t.Fatal("EvaluateQuantizedAt beyond cached levels did not error on frozen zones")
+	}
+}
+
+// TestBuildFromPatterns covers the network-free build path: monitored
+// membership must match hand-built zones, and the pattern-level serving
+// entry points must work.
+func TestBuildFromPatterns(t *testing.T) {
+	r := rng.New(23)
+	const width = 16
+	perClass := map[int][]Pattern{
+		0: randomPatterns(r, 12, width),
+		3: randomPatterns(r, 7, width),
+		5: randomPatterns(r, 1, width),
+	}
+	mon, err := BuildFromPatterns(width, 1, perClass)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mon.Classes(); len(got) != 3 || got[0] != 0 || got[1] != 3 || got[2] != 5 {
+		t.Fatalf("classes = %v", got)
+	}
+	for c, pats := range perClass {
+		ref := NewZone(width)
+		for _, p := range pats {
+			ref.Insert(p)
+		}
+		if err := ref.SetGamma(1); err != nil {
+			t.Fatal(err)
+		}
+		for _, probe := range append(randomPatterns(r, 50, width), pats...) {
+			oop, monitored := mon.WatchPattern(c, probe)
+			if !monitored {
+				t.Fatalf("class %d unmonitored", c)
+			}
+			if oop == ref.Contains(probe) {
+				t.Fatalf("class %d probe %s: monitor oop=%v, reference contains=%v", c, probe, oop, ref.Contains(probe))
+			}
+		}
+	}
+	// Online updates work on a pattern-only monitor.
+	if _, err := mon.Update(3, randomPatterns(r, 2, width)...); err != nil {
+		t.Fatal(err)
+	}
+
+	// Input validation.
+	if _, err := BuildFromPatterns(0, 1, perClass); err == nil {
+		t.Fatal("width 0 accepted")
+	}
+	if _, err := BuildFromPatterns(width, -1, perClass); err == nil {
+		t.Fatal("negative gamma accepted")
+	}
+	if _, err := BuildFromPatterns(width, 1, nil); err == nil {
+		t.Fatal("empty class map accepted")
+	}
+	if _, err := BuildFromPatterns(width, 1, map[int][]Pattern{1: {make(Pattern, width-1)}}); err == nil {
+		t.Fatal("width-mismatched pattern accepted")
+	}
+	if _, err := BuildFromPatterns(width, 1, map[int][]Pattern{-2: nil}); err == nil {
+		t.Fatal("negative class accepted")
+	}
+}
+
+// TestParallelBuildDeterministic pins the manager-sharded build: the
+// same patterns produce byte-identical zone stacks (same BDD node
+// counts, same membership on exhaustive probes) whatever GOMAXPROCS is.
+func TestParallelBuildDeterministic(t *testing.T) {
+	r := rng.New(77)
+	const width = 12
+	perClass := map[int][]Pattern{}
+	for c := 0; c < 6; c++ {
+		perClass[c] = randomPatterns(r, 10+c*13, width)
+	}
+	build := func(procs int) *Monitor {
+		prev := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(prev)
+		mon, err := BuildFromPatterns(width, 2, perClass)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return mon
+	}
+	ref := build(1)
+	for _, procs := range []int{2, 4, 8} {
+		mon := build(procs)
+		for c := range perClass {
+			zr, zm := ref.Zone(c), mon.Zone(c)
+			if zr.NodeCount() != zm.NodeCount() {
+				t.Fatalf("procs=%d class %d: %d nodes vs %d sequential", procs, c, zm.NodeCount(), zr.NodeCount())
+			}
+			if zr.PatternCount() != zm.PatternCount() {
+				t.Fatalf("procs=%d class %d: pattern count %v vs %v", procs, c, zm.PatternCount(), zr.PatternCount())
+			}
+			probe := make(Pattern, width)
+			for a := 0; a < 1<<width; a += 5 {
+				for v := 0; v < width; v++ {
+					probe[v] = a&(1<<v) != 0
+				}
+				if zr.Contains(probe) != zm.Contains(probe) {
+					t.Fatalf("procs=%d class %d assignment %d: membership diverged", procs, c, a)
+				}
+			}
+		}
+	}
+}
+
+// TestUpdateRecompilesOnlyTouchedZones asserts, via the compile
+// counters, that epoch swaps pay plan compilation only for the zones
+// they rebuild: untouched classes share the predecessor's Zone (and its
+// plans), and an UpdateGamma re-view to a cached level compiles nothing.
+func TestUpdateRecompilesOnlyTouchedZones(t *testing.T) {
+	r := rng.New(13)
+	const width = 14
+	perClass := map[int][]Pattern{}
+	for c := 0; c < 5; c++ {
+		perClass[c] = randomPatterns(r, 8, width)
+	}
+	mon, err := BuildFromPatterns(width, 2, perClass)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon.Freeze()
+	upd := mon.Updater()
+	if got := upd.Recompiled(); got != 0 {
+		t.Fatalf("freeze alone recompiled %d zones", got)
+	}
+	before := map[int]*Zone{}
+	for c := 0; c < 5; c++ {
+		before[c] = mon.Zone(c)
+	}
+
+	// Touch one class: exactly one zone recompiles; the other four Zone
+	// handles (and therefore their plans) are shared pointers.
+	if _, err := mon.Update(2, randomPatterns(r, 3, width)...); err != nil {
+		t.Fatal(err)
+	}
+	if got := upd.Recompiled(); got != 1 {
+		t.Fatalf("single-class update recompiled %d zones, want 1", got)
+	}
+	for c := 0; c < 5; c++ {
+		cur := mon.Zone(c)
+		if c == 2 {
+			if cur == before[c] {
+				t.Fatal("touched zone was not replaced")
+			}
+			continue
+		}
+		if cur != before[c] {
+			t.Fatalf("untouched class %d zone was replaced", c)
+		}
+	}
+
+	// Re-view at a cached γ: zero recompiles.
+	if _, err := mon.UpdateGamma(1); err != nil {
+		t.Fatal(err)
+	}
+	if got := upd.Recompiled(); got != 1 {
+		t.Fatalf("cached-level UpdateGamma recompiled %d-1 zones, want 0", got)
+	}
+
+	// Deeper γ: every zone is compact-cloned and recompiled.
+	if _, err := mon.UpdateGamma(4); err != nil {
+		t.Fatal(err)
+	}
+	if got := upd.Recompiled(); got != 1+5 {
+		t.Fatalf("deeper UpdateGamma recompiled %d-1 zones, want 5", got)
+	}
+
+	// Per-manager compile counters agree: each live zone's manager has
+	// compiled exactly its own level stack.
+	for c := 0; c < 5; c++ {
+		z := mon.Zone(c)
+		if got, want := z.Manager().Stats().Compiles, uint64(len(z.roots)); got != want {
+			t.Fatalf("class %d manager compiled %d plans, want %d", c, got, want)
+		}
+	}
+}
+
+// TestWatchBatchGroupedMatchesWatch pins the grouped (per-class
+// EvalBatch) serving path against per-sample Watch on a real network:
+// same classes, same flags, same patterns, whatever order classes land
+// in the batch. A partial-coverage monitor exercises the abstain runs of
+// the grouping loop too.
+func TestWatchBatchGroupedMatchesWatch(t *testing.T) {
+	net, layer, train, val := trainedToyNet(t, 11)
+	for _, classes := range [][]int{nil, {0, 2}} {
+		mon, err := Build(net, train, Config{Layer: layer, Gamma: 1, Classes: classes})
+		if err != nil {
+			t.Fatal(err)
+		}
+		xs := make([]*tensor.Tensor, len(val))
+		for i := range val {
+			xs[i] = val[i].Input
+		}
+		batch := mon.WatchBatch(net, xs)
+		for i, v := range batch {
+			single := mon.Watch(net, xs[i])
+			if v.Class != single.Class || v.Monitored != single.Monitored ||
+				v.OutOfPattern != single.OutOfPattern || v.Pattern.String() != single.Pattern.String() {
+				t.Fatalf("classes %v input %d: batch %+v, single %+v", classes, i, v, single)
+			}
+		}
+	}
+}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"napmon/internal/nn"
 )
 
@@ -51,27 +53,29 @@ func ratio(num, den int) float64 {
 	return float64(num) / float64(den)
 }
 
-// Evaluate runs the monitor over a labelled dataset (typically the
-// validation set, per §III's procedure for deciding the coarseness of
-// abstraction) and aggregates the Table II statistics. Inference and
-// pattern extraction run in parallel; zone queries are sequential and
-// read-only. On a frozen monitor the serving epoch is pinned for the
-// whole evaluation, so the metrics describe exactly one generation even
-// while online updates publish new ones.
-func Evaluate(net *nn.Network, m *Monitor, samples []nn.Sample) Metrics {
-	type obs struct {
-		pred    int
-		pattern Pattern
-	}
-	results := nn.ParallelMap(net, samples, func(w *nn.Network, s nn.Sample) obs {
-		logits, acts := w.ForwardCapture(s.Input, m.cfg.Layer)
-		return obs{pred: logits.ArgMax(), pattern: PatternOfSubset(acts, m.neurons)}
+// obs is one extracted observation of the evaluation loops: the
+// network's decision and the activation pattern over the monitored
+// neurons (thermometer-encoded for quantized monitors).
+type obs struct {
+	pred    int
+	pattern Pattern
+}
+
+// extractObs runs inference and pattern extraction over the samples in
+// parallel.
+func extractObs(net *nn.Network, layer int, neurons []int, samples []nn.Sample) []obs {
+	return nn.ParallelMap(net, samples, func(w *nn.Network, s nn.Sample) obs {
+		logits, acts := w.ForwardCapture(s.Input, layer)
+		return obs{pred: logits.ArgMax(), pattern: PatternOfSubset(acts, neurons)}
 	})
-	zones := m.zones
-	if e := m.acquire(); e != nil {
-		defer e.unpin()
-		zones = e.zones
-	}
+}
+
+// tallyMetrics aggregates the Table II statistics over extracted
+// observations, answering each membership query through member — the
+// single tally shared by every evaluator, so a new counter cannot be
+// added to one variant and missed in another.
+func tallyMetrics(results []obs, samples []nn.Sample, zones map[int]*Zone,
+	member func(*Zone, Pattern) (bool, error)) (Metrics, error) {
 	var out Metrics
 	out.Total = len(samples)
 	for i, r := range results {
@@ -84,14 +88,65 @@ func Evaluate(net *nn.Network, m *Monitor, samples []nn.Sample) Metrics {
 			continue
 		}
 		out.Watched++
-		if !z.Contains(r.pattern) {
+		in, err := member(z, r.pattern)
+		if err != nil {
+			return Metrics{}, fmt.Errorf("core: evaluating class %d: %w", r.pred, err)
+		}
+		if !in {
 			out.OutOfPattern++
 			if mis {
 				out.OutOfPatternMisclassified++
 			}
 		}
 	}
+	return out, nil
+}
+
+// pinnedZones returns the zone set an evaluation should read — the
+// pinned current epoch's once frozen, the build-phase zones before —
+// plus the unpin to defer.
+func (m *Monitor) pinnedZones() (map[int]*Zone, func()) {
+	if e := m.acquire(); e != nil {
+		return e.zones, e.unpin
+	}
+	return m.zones, func() {}
+}
+
+// Evaluate runs the monitor over a labelled dataset (typically the
+// validation set, per §III's procedure for deciding the coarseness of
+// abstraction) and aggregates the Table II statistics. Inference and
+// pattern extraction run in parallel; zone queries are sequential and
+// read-only. On a frozen monitor the serving epoch is pinned for the
+// whole evaluation, so the metrics describe exactly one generation even
+// while online updates publish new ones.
+func Evaluate(net *nn.Network, m *Monitor, samples []nn.Sample) Metrics {
+	results := extractObs(net, m.cfg.Layer, m.neurons, samples)
+	zones, unpin := m.pinnedZones()
+	defer unpin()
+	out, _ := tallyMetrics(results, samples, zones, func(z *Zone, p Pattern) (bool, error) {
+		return z.Contains(p), nil
+	})
 	return out
+}
+
+// EvaluateAt aggregates the Table II statistics at an explicit
+// enlargement level without changing the monitor's serving γ and without
+// publishing an epoch. On an unfrozen monitor missing levels are
+// computed and cached; on a frozen monitor only levels cached before the
+// freeze are queryable, and asking deeper returns an error instead of
+// panicking — the monitor-level surface of Zone.ContainsAtErr, so a
+// serving daemon probing alternative γs can degrade gracefully rather
+// than crash (publish a deeper level with Monitor.UpdateGamma).
+func EvaluateAt(net *nn.Network, m *Monitor, samples []nn.Sample, gamma int) (Metrics, error) {
+	if gamma < 0 {
+		return Metrics{}, fmt.Errorf("core: negative gamma %d", gamma)
+	}
+	results := extractObs(net, m.cfg.Layer, m.neurons, samples)
+	zones, unpin := m.pinnedZones()
+	defer unpin()
+	return tallyMetrics(results, samples, zones, func(z *Zone, p Pattern) (bool, error) {
+		return z.ContainsAtErr(gamma, p)
+	})
 }
 
 // GammaSweep evaluates the monitor at each γ in gammas (ascending order is

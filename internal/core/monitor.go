@@ -87,35 +87,88 @@ type Verdict struct {
 // Build runs Algorithm 1: it feeds every training sample through the
 // network, records the activation pattern of each correctly classified
 // sample in its ground-truth class's zone, and enlarges every zone to the
-// configured γ. The network is not modified.
+// configured γ. The network is not modified. Both halves run on all
+// cores: pattern extraction fans samples over a worker pool, and the
+// zone phase fans classes over one — every class's zone lives in its own
+// single-writer BDD manager, so per-class insertion and enlargement are
+// independent (see shard.go). The result is deterministic regardless of
+// worker count.
 func Build(net *nn.Network, train []nn.Sample, cfg Config) (*Monitor, error) {
 	m, err := newMonitor(net, cfg)
 	if err != nil {
 		return nil, err
 	}
-	// Extract (prediction, pattern) pairs in parallel; zone insertion is
-	// sequential because the BDD manager is single-writer.
-	type obs struct {
-		pred    int
-		pattern Pattern
-	}
-	results := nn.ParallelMap(net, train, func(w *nn.Network, s nn.Sample) obs {
-		logits, acts := w.ForwardCapture(s.Input, cfg.Layer)
-		return obs{pred: logits.ArgMax(), pattern: PatternOfSubset(acts, m.neurons)}
-	})
+	results := extractObs(net, cfg.Layer, m.neurons, train)
+	// Line 5 of Algorithm 1: only correctly predicted training images
+	// contribute their pattern, to the zone of their true class. Grouping
+	// preserves training order within each class, so the sharded build
+	// constructs the same BDDs as the old sequential loop.
+	perClass := make(map[int][]Pattern, len(m.zones))
 	for i, r := range results {
-		// Line 5 of Algorithm 1: only correctly predicted training images
-		// contribute their pattern, to the zone of their true class.
 		if r.pred != train[i].Label {
 			continue
 		}
-		z, ok := m.zones[train[i].Label]
-		if !ok {
+		if _, ok := m.zones[train[i].Label]; !ok {
 			continue // class not monitored
 		}
-		z.Insert(r.pattern)
+		perClass[train[i].Label] = append(perClass[train[i].Label], r.pattern)
 	}
-	if err := m.SetGamma(cfg.Gamma); err != nil {
+	if err := m.buildZones(perClass, cfg.Gamma); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// BuildFromPatterns builds a monitor directly from per-class activation
+// patterns — no network pass. This is the entry point for rebuilding a
+// monitor from logged serving traffic (napmon-serve's /watch responses
+// carry the pattern wire form) and the isolated harness for the sharded
+// zone build: classes are fanned out over the worker pool exactly as in
+// Build. All patterns must have length width; classes must be
+// non-negative. The monitor serves pattern-level queries (WatchPattern,
+// Evaluate-by-pattern, the online Update family); the network-coupled
+// entry points (Watch, WatchBatch) need a monitor built by Build, which
+// knows the monitored layer.
+func BuildFromPatterns(width, gamma int, perClass map[int][]Pattern) (*Monitor, error) {
+	if width <= 0 {
+		return nil, fmt.Errorf("core: monitor width %d must be positive", width)
+	}
+	if gamma < 0 {
+		return nil, fmt.Errorf("core: negative gamma %d", gamma)
+	}
+	if len(perClass) == 0 {
+		return nil, fmt.Errorf("core: BuildFromPatterns needs at least one class")
+	}
+	zones := make(map[int]*Zone, len(perClass))
+	for c, pats := range perClass {
+		if c < 0 {
+			return nil, fmt.Errorf("core: negative class %d", c)
+		}
+		for _, p := range pats {
+			if len(p) != width {
+				return nil, fmt.Errorf("core: class %d pattern width %d does not match monitor width %d",
+					c, len(p), width)
+			}
+		}
+		zones[c] = NewZone(width)
+	}
+	neurons := make([]int, width)
+	for i := range neurons {
+		neurons[i] = i
+	}
+	classes := make([]int, 0, len(perClass))
+	for c := range perClass {
+		classes = append(classes, c)
+	}
+	sort.Ints(classes)
+	m := &Monitor{
+		cfg:     Config{Layer: -1, Gamma: gamma, Classes: classes},
+		neurons: neurons,
+		width:   width,
+		zones:   zones,
+	}
+	m.upd.m = m
+	if err := m.buildZones(perClass, gamma); err != nil {
 		return nil, err
 	}
 	return m, nil
@@ -244,9 +297,12 @@ func (m *Monitor) Classes() []int {
 }
 
 // SetGamma changes the enlargement level of every zone (recomputed
-// incrementally from cached levels). It is a build-phase operation: on a
-// frozen monitor it returns an error instead of mutating shared serving
-// state — publish the change as a new epoch with UpdateGamma instead.
+// incrementally from cached levels), with the per-class enlargements
+// fanned out over the worker pool — each zone's manager is independent,
+// so the classes expand concurrently and deterministically. It is a
+// build-phase operation: on a frozen monitor it returns an error instead
+// of mutating shared serving state — publish the change as a new epoch
+// with UpdateGamma instead.
 func (m *Monitor) SetGamma(gamma int) error {
 	if m.Frozen() {
 		if e := m.cur.Load(); e != nil && e.gamma == gamma {
@@ -254,10 +310,11 @@ func (m *Monitor) SetGamma(gamma int) error {
 		}
 		return fmt.Errorf("core: SetGamma(%d) on frozen monitor (use UpdateGamma to publish a new serving epoch)", gamma)
 	}
-	for _, z := range m.zones {
-		if err := z.SetGamma(gamma); err != nil {
-			return err
-		}
+	err := forEachClass(sortedClasses(m.zones), func(c int) error {
+		return m.zones[c].SetGamma(gamma)
+	})
+	if err != nil {
+		return err
 	}
 	m.cfg.Gamma = gamma
 	return nil
@@ -326,6 +383,18 @@ func (m *Monitor) Watch(net *nn.Network, x *tensor.Tensor) Verdict {
 // a network's worth of intermediates per batch. Each pool is owned by
 // exactly one goroutine between Get and Put.
 var scratchPools = sync.Pool{New: func() any { return tensor.NewPool() }}
+
+// groupScratch recycles the per-chunk class-grouping buffers of
+// watchChunkPooled (row order, pattern views, batch results), keeping
+// the serving warm path allocation-free. Each instance is owned by one
+// goroutine between Get and Put.
+type groupScratch struct {
+	idx  []int
+	pats [][]bool
+	res  []bool
+}
+
+var groupScratches = sync.Pool{New: func() any { return &groupScratch{} }}
 
 // maxWatchChunk bounds how many inputs one ForwardBatch pass stacks
 // together, capping scratch memory (the widest intermediate is the
@@ -428,8 +497,11 @@ func (m *Monitor) watchChunk(net *nn.Network, inputs []*tensor.Tensor, out []Ver
 }
 
 // watchChunkPooled is the batched serving core: one ForwardBatchCapture
-// pass over the chunk, then per-row argmax, pattern extraction and zone
-// membership against the caller's pinned epoch.
+// pass over the chunk, per-row argmax and pattern extraction, then the
+// zone membership queries grouped by predicted class — each class's
+// compiled plan is consulted once per chunk (Zone.ContainsBatch →
+// Compiled.EvalBatch), so the branch program stays hot in cache across
+// all of the chunk's rows that hit it, against the caller's pinned epoch.
 func (m *Monitor) watchChunkPooled(net *nn.Network, inputs []*tensor.Tensor, out []Verdict, pool *tensor.Pool, e *epoch) {
 	logits, acts := net.ForwardBatchCapture(inputs, m.cfg.Layer, pool)
 	b := len(inputs)
@@ -445,12 +517,7 @@ func (m *Monitor) watchChunkPooled(net *nn.Network, inputs []*tensor.Tensor, out
 			}
 		}
 		p := PatternOfRow(adata[i*width:(i+1)*width], m.neurons)
-		z, ok := e.zones[pred]
-		if !ok {
-			out[i] = Verdict{Class: pred, Monitored: false, Pattern: p, Epoch: e.id}
-			continue
-		}
-		out[i] = Verdict{Class: pred, Monitored: true, OutOfPattern: !z.Contains(p), Pattern: p, Epoch: e.id}
+		out[i] = Verdict{Class: pred, Pattern: p, Epoch: e.id}
 	}
 	if pool != nil {
 		pool.Put(logits)
@@ -458,6 +525,56 @@ func (m *Monitor) watchChunkPooled(net *nn.Network, inputs []*tensor.Tensor, out
 			pool.Put(acts)
 		}
 	}
+	// Group rows by predicted class: idx is row order stably sorted by
+	// class (insertion sort — chunks are at most maxWatchChunk rows), so
+	// each run of equal classes becomes one batched zone query.
+	gs := groupScratches.Get().(*groupScratch)
+	if cap(gs.idx) < b {
+		gs.idx = make([]int, b)
+		gs.res = make([]bool, b)
+	}
+	idx, res := gs.idx[:b], gs.res[:b]
+	pats := gs.pats[:0]
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 1; i < b; i++ {
+		j, c := i, idx[i]
+		for j > 0 && out[idx[j-1]].Class > out[c].Class {
+			idx[j] = idx[j-1]
+			j--
+		}
+		idx[j] = c
+	}
+	for start := 0; start < b; {
+		cls := out[idx[start]].Class
+		end := start + 1
+		for end < b && out[idx[end]].Class == cls {
+			end++
+		}
+		z, ok := e.zones[cls]
+		if !ok {
+			start = end // monitor abstains: Monitored stays false
+			continue
+		}
+		pats = pats[:0]
+		for j := start; j < end; j++ {
+			pats = append(pats, out[idx[j]].Pattern)
+		}
+		z.ContainsBatch(pats, res[:end-start])
+		for j := start; j < end; j++ {
+			out[idx[j]].Monitored = true
+			out[idx[j]].OutOfPattern = !res[j-start]
+		}
+		start = end
+	}
+	// Drop the pattern references before pooling the scratch so a parked
+	// buffer cannot pin a retired epoch's patterns. pats was re-sliced to
+	// [:0] per class group, so clear the whole backing array, not just
+	// the final group's window.
+	clear(pats[:cap(pats)])
+	gs.pats = pats[:0]
+	groupScratches.Put(gs)
 }
 
 // WatchPattern checks a pre-extracted pattern against class c's zone at

@@ -103,26 +103,34 @@ func BuildQuantized(net *nn.Network, train []nn.Sample, cfg QuantizedConfig) (*Q
 		m.thresholds[i] = ts
 	}
 
-	// Pass 2: Algorithm 1 over thermometer-encoded patterns.
+	// Pass 2: Algorithm 1 over thermometer-encoded patterns, with the
+	// per-class insertion and enlargement sharded over the worker pool —
+	// the thermometer zones are per-class managers exactly like the
+	// binary monitor's, so the same fan-out applies (see shard.go).
 	bitsPer := cfg.Levels - 1
 	m.zones = make(map[int]*Zone, len(base.zones))
 	for c := range base.zones {
 		m.zones[c] = NewZone(bitsPer * len(m.neurons))
 	}
+	perClass := make(map[int][]Pattern, len(m.zones))
 	for i, r := range results {
 		if r.pred != train[i].Label {
 			continue
 		}
-		z, ok := m.zones[train[i].Label]
-		if !ok {
+		if _, ok := m.zones[train[i].Label]; !ok {
 			continue
 		}
-		z.Insert(m.encode(r.values))
+		perClass[train[i].Label] = append(perClass[train[i].Label], m.encode(r.values))
 	}
-	for _, z := range m.zones {
-		if err := z.SetGamma(cfg.Gamma); err != nil {
-			return nil, err
+	err = forEachClass(sortedClasses(m.zones), func(c int) error {
+		z := m.zones[c]
+		for _, p := range perClass[c] {
+			z.Insert(p)
 		}
+		return z.SetGamma(cfg.Gamma)
+	})
+	if err != nil {
+		return nil, err
 	}
 	return m, nil
 }
@@ -189,35 +197,33 @@ func (m *QuantizedMonitor) Watch(net *nn.Network, x *tensor.Tensor) Verdict {
 	return Verdict{Class: pred, Monitored: true, OutOfPattern: !z.Contains(p), Pattern: p}
 }
 
+// extractQuantizedObs runs inference in parallel and thermometer-encodes
+// each sample's monitored values, yielding the same observation form the
+// shared tallyMetrics consumes.
+func extractQuantizedObs(net *nn.Network, m *QuantizedMonitor, samples []nn.Sample) []obs {
+	return nn.ParallelMap(net, samples, func(w *nn.Network, s nn.Sample) obs {
+		logits, acts := w.ForwardCapture(s.Input, m.cfg.Layer)
+		return obs{pred: logits.ArgMax(), pattern: m.encode(projectValues(acts, m.neurons))}
+	})
+}
+
+// EvaluateQuantizedAt aggregates Table II-style statistics for a
+// quantized monitor at an explicit enlargement level. Like EvaluateAt it
+// surfaces the frozen-zone "level not cached" condition as an error
+// instead of the Zone-layer panic, so daemons probing γ on a serving
+// quantized monitor cannot be crashed by a too-deep query.
+func EvaluateQuantizedAt(net *nn.Network, m *QuantizedMonitor, samples []nn.Sample, gamma int) (Metrics, error) {
+	if gamma < 0 {
+		return Metrics{}, fmt.Errorf("core: negative gamma %d", gamma)
+	}
+	return tallyMetrics(extractQuantizedObs(net, m, samples), samples, m.zones,
+		func(z *Zone, p Pattern) (bool, error) { return z.ContainsAtErr(gamma, p) })
+}
+
 // EvaluateQuantized aggregates Table II-style statistics for a quantized
 // monitor.
 func EvaluateQuantized(net *nn.Network, m *QuantizedMonitor, samples []nn.Sample) Metrics {
-	type obs struct {
-		pred   int
-		values []float64
-	}
-	results := nn.ParallelMap(net, samples, func(w *nn.Network, s nn.Sample) obs {
-		logits, acts := w.ForwardCapture(s.Input, m.cfg.Layer)
-		return obs{pred: logits.ArgMax(), values: projectValues(acts, m.neurons)}
-	})
-	var out Metrics
-	out.Total = len(samples)
-	for i, r := range results {
-		mis := r.pred != samples[i].Label
-		if mis {
-			out.Misclassified++
-		}
-		z, ok := m.zones[r.pred]
-		if !ok {
-			continue
-		}
-		out.Watched++
-		if !z.Contains(m.encode(r.values)) {
-			out.OutOfPattern++
-			if mis {
-				out.OutOfPatternMisclassified++
-			}
-		}
-	}
+	out, _ := tallyMetrics(extractQuantizedObs(net, m, samples), samples, m.zones,
+		func(z *Zone, p Pattern) (bool, error) { return z.Contains(p), nil })
 	return out
 }

@@ -1,0 +1,94 @@
+// Manager-sharded build: every monitored class owns an independent BDD
+// manager, so per-class insertion and Hamming enlargement are mutually
+// independent single-writer workloads — the build-side half of the
+// ROADMAP's "shard one monitor across multiple BDD managers" item. The
+// helpers here fan that work out over a bounded worker pool with results
+// that are deterministic regardless of worker count: each class's
+// patterns are applied in training order inside one goroutine, and a
+// class never shares a manager with another, so the per-class BDDs are
+// identical to a sequential build bit for bit.
+
+package core
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// sortedClasses returns the zone map's keys in ascending order — the
+// deterministic work list every sharded loop iterates.
+func sortedClasses(zones map[int]*Zone) []int {
+	cs := make([]int, 0, len(zones))
+	for c := range zones {
+		cs = append(cs, c)
+	}
+	sort.Ints(cs)
+	return cs
+}
+
+// forEachClass runs fn once per class on up to GOMAXPROCS workers.
+// Workers claim classes off an atomic cursor, so imbalanced classes
+// (one hot class with most of the training set) don't serialize the
+// rest. The returned error is the first failure in class order — the
+// same error a sequential loop would have surfaced — and every class is
+// attempted even when one fails, so no zone is left half-built relative
+// to the others.
+func forEachClass(classes []int, fn func(c int) error) error {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(classes) {
+		workers = len(classes)
+	}
+	if workers <= 1 {
+		var first error
+		for _, c := range classes {
+			if err := fn(c); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	errs := make([]error, len(classes))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(classes) {
+					return
+				}
+				errs[i] = fn(classes[i])
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// buildZones is the sharded core of Algorithm 1's zone phase: per class,
+// insert that class's patterns (in the order given) and enlarge to γ,
+// with classes spread across the worker pool. Patterns for unmonitored
+// classes must have been filtered by the caller.
+func (m *Monitor) buildZones(perClass map[int][]Pattern, gamma int) error {
+	err := forEachClass(sortedClasses(m.zones), func(c int) error {
+		z := m.zones[c]
+		for _, p := range perClass[c] {
+			z.Insert(p)
+		}
+		return z.SetGamma(gamma)
+	})
+	if err != nil {
+		return err
+	}
+	m.cfg.Gamma = gamma
+	return nil
+}

@@ -113,9 +113,10 @@ type Updater struct {
 	refMu   sync.Mutex
 	mgrRefs map[*bdd.Manager]int
 
-	published atomic.Uint64 // epochs published after the freeze epoch
-	absorbed  atomic.Uint64 // patterns absorbed across all updates
-	released  atomic.Uint64 // retired epochs whose grace period has ended
+	published  atomic.Uint64 // epochs published after the freeze epoch
+	absorbed   atomic.Uint64 // patterns absorbed across all updates
+	released   atomic.Uint64 // retired epochs whose grace period has ended
+	recompiled atomic.Uint64 // zones whose query plans were rebuilt by updates
 }
 
 // track registers a freshly published (or freeze) epoch's manager
@@ -158,6 +159,14 @@ func (u *Updater) Absorbed() uint64 { return u.absorbed.Load() }
 // ReleasedEpochs returns how many retired epochs have completed their
 // grace period (all pinned readers drained, replaced managers freed).
 func (u *Updater) ReleasedEpochs() uint64 { return u.released.Load() }
+
+// Recompiled returns how many zone query plans updates have rebuilt.
+// Epoch swaps pay compilation only for the zones they actually touch —
+// an Apply recompiles exactly the delta'd classes, an ApplyGamma to a
+// cached level recompiles nothing — so this counter growing slower than
+// Published × classes is the O(delta) property made observable (the
+// epoch-swap tests assert on it).
+func (u *Updater) Recompiled() uint64 { return u.recompiled.Load() }
 
 // Apply absorbs new activation patterns into the monitored classes' zones
 // and publishes the result as a new epoch. delta maps class → patterns to
@@ -209,8 +218,9 @@ func (u *Updater) Apply(delta map[int][]Pattern) (uint64, error) {
 			continue
 		}
 		nz := cur.zones[c].cloneWithDelta(delta[c])
-		nz.Freeze()
+		nz.Freeze() // compiles the successor's query plans
 		zones[c] = nz
+		u.recompiled.Add(1)
 	}
 	id := u.publish(cur, zones, cur.gamma)
 	u.absorbed.Add(uint64(total))
@@ -239,7 +249,10 @@ func (u *Updater) ApplyGamma(gamma int) (uint64, error) {
 	zones := make(map[int]*Zone, len(cur.zones))
 	for c, z := range cur.zones {
 		nz := z.cloneAtGamma(gamma)
-		nz.Freeze() // no-op for the shared-manager re-view
+		nz.Freeze() // no-op for the shared-manager re-view: plans are shared too
+		if nz.m != z.m {
+			u.recompiled.Add(1)
+		}
 		zones[c] = nz
 	}
 	return u.publish(cur, zones, gamma), nil

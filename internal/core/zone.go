@@ -18,6 +18,15 @@ type Zone struct {
 	roots []bdd.Node // roots[i] is Z^i; roots[0] is the visited-pattern set
 	gamma int        // current query level, an index into roots
 	base  int        // number of Insert calls (visited patterns, with duplicates)
+
+	// plans[i] is the compiled query plan of roots[i], built by Freeze —
+	// the serving fast path. nil while the zone is mutable (the plan
+	// would go stale under Insert/SetGamma); once set, Contains and
+	// ContainsAt answer from the flat branch programs instead of walking
+	// the manager's arena. Epoch re-views at a cached γ share the slice
+	// with their predecessor, so an online update recompiles only the
+	// zones it actually rebuilt.
+	plans []*bdd.Compiled
 }
 
 // NewZone returns an empty comfort zone over width monitored neurons with
@@ -90,26 +99,60 @@ func (z *Zone) extendTo(gamma int) {
 	}
 }
 
-// Freeze makes the zone's BDD manager read-only: Contains (and ContainsAt
-// for already-computed levels) become safe for unlimited concurrent use,
-// while Insert and SetGamma panic or error. Freezing is irreversible — it
-// is the per-zone half of the monitor's freeze-then-serve concurrency
-// model (see DESIGN.md); growing a frozen zone means shadow-building a
-// successor (cloneWithDelta) and publishing it as a new epoch.
-func (z *Zone) Freeze() { z.m.Freeze() }
+// Freeze makes the zone's BDD manager read-only and compiles every cached
+// enlargement level into a flat query plan (bdd.Compile): Contains (and
+// ContainsAt for already-computed levels) become safe for unlimited
+// concurrent use and serve from the compiled programs instead of the
+// arena. Insert and SetGamma panic or error from now on. Freezing is
+// irreversible — it is the per-zone half of the monitor's
+// freeze-then-serve concurrency model (see DESIGN.md); growing a frozen
+// zone means shadow-building a successor (cloneWithDelta) and publishing
+// it as a new epoch, which recompiles just that zone's plans.
+func (z *Zone) Freeze() {
+	z.m.Freeze()
+	if z.plans == nil {
+		z.plans = z.m.Compile(z.roots...)
+	}
+}
 
 // Frozen reports whether the zone has been frozen.
 func (z *Zone) Frozen() bool { return z.m.Frozen() }
 
 // Contains reports whether p lies inside the current γ-comfort zone — the
 // monitor's runtime membership query, linear in the number of monitored
-// neurons.
+// neurons. On a frozen zone the query runs on the compiled plan (a
+// forward walk through a dense branch program); before the freeze it
+// interprets the BDD in place.
 func (z *Zone) Contains(p Pattern) bool {
 	if len(p) != z.m.NumVars() {
 		panic(fmt.Sprintf("core: pattern width %d does not match zone width %d",
 			len(p), z.m.NumVars()))
 	}
+	if z.plans != nil {
+		return z.plans[z.gamma].Eval(p)
+	}
 	return z.m.EvalBits(z.roots[z.gamma], p)
+}
+
+// ContainsBatch answers the membership query for a whole micro-batch of
+// patterns at the current γ, writing one verdict per pattern into out
+// (len(out) must cover the patterns). On a frozen zone the batch runs
+// through the compiled plan's EvalBatch — one setup, the branch program
+// hot in cache across the batch — which is how WatchBatch consults each
+// class once per chunk. Elements of patterns may be Pattern values
+// (Pattern's underlying type is []bool).
+func (z *Zone) ContainsBatch(patterns [][]bool, out []bool) {
+	if z.plans != nil {
+		z.plans[z.gamma].EvalBatch(patterns, out)
+		return
+	}
+	if len(out) < len(patterns) {
+		panic(fmt.Sprintf("core: ContainsBatch output %d shorter than %d patterns", len(out), len(patterns)))
+	}
+	root := z.roots[z.gamma]
+	for i, p := range patterns {
+		out[i] = z.m.EvalBits(root, p)
+	}
 }
 
 // ContainsAt reports membership at an explicit enlargement level without
@@ -132,7 +175,34 @@ func (z *Zone) ContainsAt(gamma int, p Pattern) bool {
 		panic(fmt.Sprintf("core: pattern width %d does not match zone width %d",
 			len(p), z.m.NumVars()))
 	}
+	if z.plans != nil && gamma < len(z.plans) {
+		return z.plans[gamma].Eval(p)
+	}
 	return z.m.EvalBits(z.roots[gamma], p)
+}
+
+// ContainsAtErr is ContainsAt with the frozen-zone contract surfaced as
+// an error instead of a panic: asking a frozen zone for a level deeper
+// than was cached before the freeze returns an error a serving daemon
+// can degrade on, rather than crashing the process. Width mismatches and
+// negative γ are reported the same way. The monitor-level evaluators
+// (EvaluateAt, EvaluateQuantizedAt) route through it.
+func (z *Zone) ContainsAtErr(gamma int, p Pattern) (bool, error) {
+	if gamma < 0 {
+		return false, fmt.Errorf("core: negative gamma %d", gamma)
+	}
+	if len(p) != z.m.NumVars() {
+		return false, fmt.Errorf("core: pattern width %d does not match zone width %d",
+			len(p), z.m.NumVars())
+	}
+	if gamma >= len(z.roots) {
+		if z.m.Frozen() {
+			return false, fmt.Errorf("core: gamma %d beyond the %d levels cached before freeze (publish a deeper level via Monitor.UpdateGamma)",
+				gamma, len(z.roots))
+		}
+		z.extendTo(gamma)
+	}
+	return z.ContainsAt(gamma, p), nil
 }
 
 // cloneWithDelta shadow-builds this zone's successor for an online update:
@@ -169,12 +239,13 @@ func (z *Zone) cloneWithDelta(pats []Pattern) *Zone {
 
 // cloneAtGamma builds a successor zone queried at a different enlargement
 // level. When the level was cached before the freeze, the new Zone shares
-// the frozen manager and root stack — an O(1) re-view, no copying. A
-// deeper level needs new expansions, so the zone is compact-cloned and
-// extended on the writable copy.
+// the frozen manager, root stack and compiled plans — an O(1) re-view,
+// no copying and no recompilation. A deeper level needs new expansions,
+// so the zone is compact-cloned and extended on the writable copy (its
+// plans are compiled when the successor freezes).
 func (z *Zone) cloneAtGamma(gamma int) *Zone {
 	if gamma < len(z.roots) {
-		return &Zone{m: z.m, roots: z.roots, gamma: gamma, base: z.base}
+		return &Zone{m: z.m, roots: z.roots, plans: z.plans, gamma: gamma, base: z.base}
 	}
 	m2, roots2 := z.m.CloneCompact(z.roots)
 	z2 := &Zone{m: m2, roots: roots2, gamma: z.gamma, base: z.base}

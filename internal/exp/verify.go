@@ -1,0 +1,46 @@
+package exp
+
+import (
+	"fmt"
+
+	"napmon/internal/core"
+	"napmon/internal/tensor"
+)
+
+// Monitor aliases core.Monitor so the experiment binaries can hold
+// monitors without importing internal/core directly.
+type Monitor = core.Monitor
+
+// VerifyCompiledServing freezes the monitor and asserts, for every
+// validation input, that the batched serving path — compiled query
+// plans, membership grouped per predicted class — agrees with both the
+// per-sample Watch path and the interpreted BDD walk (EvalBits on the
+// zone's root) on the same extracted pattern. The experiment driver
+// runs it after each Table II monitor so a full-scale sweep proves the
+// compiled engine bit-equivalent on real traffic instead of eyeballing
+// rates. Returns the number of inputs checked.
+func VerifyCompiledServing(m *Model, mon *core.Monitor) (int, error) {
+	mon.Freeze()
+	inputs := make([]*tensor.Tensor, len(m.Data.Val))
+	for i, s := range m.Data.Val {
+		inputs[i] = s.Input
+	}
+	batch := mon.WatchBatch(m.Net, inputs)
+	for i, v := range batch {
+		single := mon.Watch(m.Net, inputs[i])
+		if v.Class != single.Class || v.Monitored != single.Monitored ||
+			v.OutOfPattern != single.OutOfPattern || v.Pattern.String() != single.Pattern.String() {
+			return i, fmt.Errorf("exp: input %d: batched verdict %+v != per-sample verdict %+v", i, v, single)
+		}
+		if !v.Monitored {
+			continue
+		}
+		z := mon.Zone(v.Class)
+		interpreted := z.Manager().EvalBits(z.Root(), v.Pattern)
+		if v.OutOfPattern == interpreted {
+			return i, fmt.Errorf("exp: input %d class %d: compiled out-of-pattern=%v, interpreted membership=%v",
+				i, v.Class, v.OutOfPattern, interpreted)
+		}
+	}
+	return len(batch), nil
+}

@@ -73,8 +73,17 @@ func (n *Network) forwardBatch(inputs []*tensor.Tensor, capture int, pool *tenso
 					next = l.forwardBatchDense(cur, pool, true)
 					step = 2
 				case *Conv2D:
-					next = l.forwardBatchConv(cur, pool, true)
-					step = 2
+					// Conv→ReLU→MaxPool(2) collapses into one GEMM with a
+					// bias+ReLU+pool epilogue when neither intermediate is
+					// captured: the full-resolution activation map is never
+					// materialized (see tensor.AddBiasReLUPool2Into).
+					if mp, ok := poolAfter(n.layers, i+2); ok && capture != i+1 && l.poolFusable(cur, mp.size) {
+						next = l.forwardBatchConvPool(cur, pool, mp.size)
+						step = 3
+					} else {
+						next = l.forwardBatchConv(cur, pool, true)
+						step = 2
+					}
 				}
 			}
 		}
@@ -97,6 +106,28 @@ func (n *Network) forwardBatch(inputs []*tensor.Tensor, capture int, pool *tenso
 		i += step
 	}
 	return cur, captured
+}
+
+// poolAfter returns the MaxPool at layer index i, if any.
+func poolAfter(layers []Layer, i int) (*MaxPool, bool) {
+	if i >= len(layers) {
+		return nil, false
+	}
+	mp, ok := layers[i].(*MaxPool)
+	return mp, ok
+}
+
+// poolFusable reports whether the conv's output on this input divides
+// evenly into the pooling window — the only geometry the fused epilogue
+// handles (any other geometry would panic in MaxPool anyway, but the
+// check keeps the fusion decision explicit and the fallback exact).
+func (c *Conv2D) poolFusable(x *tensor.Tensor, size int) bool {
+	if size != 2 || x.Rank() != 4 {
+		return false
+	}
+	outH := (x.Dim(2)-c.kh)/c.stride + 1
+	outW := (x.Dim(3)-c.kw)/c.stride + 1
+	return outH > 0 && outW > 0 && outH%2 == 0 && outW%2 == 0
 }
 
 // batchDim checks that x carries a leading batch dimension over the
@@ -134,6 +165,29 @@ func (d *Dense) forwardBatchDense(x *tensor.Tensor, pool *tensor.Pool, fuseReLU 
 // unstacked to batch-major layout with the bias folded into the copy.
 func (c *Conv2D) ForwardBatch(x *tensor.Tensor, pool *tensor.Pool) *tensor.Tensor {
 	return c.forwardBatchConv(x, pool, false)
+}
+
+// forwardBatchConvPool is the three-layer fusion Conv→ReLU→MaxPool(size):
+// one batched im2col, one GEMM, then the fused bias+ReLU+2×2-max epilogue
+// writing the pooled map directly — the conv's full-resolution output
+// never exists in memory. Bit-identical to the unfused layer sequence.
+func (c *Conv2D) forwardBatchConvPool(x *tensor.Tensor, pool *tensor.Pool, size int) *tensor.Tensor {
+	if x.Rank() != 4 || x.Dim(1) != c.inC {
+		panic(fmt.Sprintf("nn: %s ForwardBatch got input %v, want (B,%d,H,W)", c.Name(), x.Shape(), c.inC))
+	}
+	b, inH, inW := x.Dim(0), x.Dim(2), x.Dim(3)
+	outH := (inH-c.kh)/c.stride + 1
+	outW := (inW-c.kw)/c.stride + 1
+	area := outH * outW
+	cols := pool.Get(c.inC*c.kh*c.kw, b*area)
+	tensor.Im2ColBatchInto(cols, x, c.kh, c.kw, c.stride)
+	prod := pool.Get(c.outC, b*area)
+	tensor.MatMulInto(prod, c.w.Reshape(c.outC, c.inC*c.kh*c.kw), cols)
+	pool.Put(cols)
+	out := pool.Get(b, c.outC, outH/size, outW/size)
+	tensor.AddBiasReLUPool2Into(out, prod, b, c.outC, outH, outW, c.b.Data())
+	pool.Put(prod)
+	return out
 }
 
 func (c *Conv2D) forwardBatchConv(x *tensor.Tensor, pool *tensor.Pool, fuseReLU bool) *tensor.Tensor {

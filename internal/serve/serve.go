@@ -19,6 +19,11 @@
 // MaxBatch is literally the GEMM width — against the frozen BDD zones,
 // which are safe for concurrent reads by construction (see DESIGN.md,
 // "Freeze-then-serve concurrency model" and "Batched inference").
+// The zone queries themselves run on the compiled query plans the
+// monitor's epoch carries (Zone.ContainsBatch, grouped per predicted
+// class): all lanes share one set of plans per epoch, and an online
+// update recompiles only the zones it touched before the swap (see
+// DESIGN.md, "Compiled query plans + sharded build").
 //
 // Every Submit returns a *Future that resolves exactly once — with a
 // Verdict, or with ErrServerClosed if the server aborts before the
@@ -378,5 +383,6 @@ func (s *Server) Stats() Stats {
 		Lanes:         len(s.lanes),
 		Epoch:         s.mon.Epoch(),
 		Updates:       s.updates.Load(),
+		Recompiled:    s.mon.Updater().Recompiled(),
 	}
 }

@@ -511,6 +511,12 @@ func TestServeWhileUpdating(t *testing.T) {
 		t.Fatalf("stats epoch view = (epoch %d, updates %d), want (%d, %d)",
 			st.Epoch, st.Updates, 1+epochs, epochs)
 	}
+	// Every update delta above touches exactly one class, so exactly one
+	// zone query plan is recompiled per swap — the untouched classes keep
+	// serving from the shared plans of the predecessor epoch.
+	if st.Recompiled != epochs {
+		t.Fatalf("recompiled %d zone plans across %d single-class swaps", st.Recompiled, epochs)
+	}
 	hookMu.Lock()
 	defer hookMu.Unlock()
 	if len(hooked) != epochs {

@@ -38,6 +38,13 @@ type Stats struct {
 	// Updates counts the epoch swaps published through this server's
 	// Update/UpdateGamma since start.
 	Updates uint64
+	// Recompiled counts the zone query plans online updates have rebuilt
+	// (Updater.Recompiled). Epoch swaps recompile only the zones they
+	// touch — the lanes keep serving every untouched class from the
+	// predecessor epoch's shared compiled plans — so this growing much
+	// slower than Updates × classes is the O(delta) update property,
+	// observable from /stats.
+	Recompiled uint64
 }
 
 // latencyRing keeps the last cap(buf) request latencies for percentile

@@ -197,6 +197,41 @@ func TestMaxPool2DBatchMatchesSingle(t *testing.T) {
 	}
 }
 
+// TestAddBiasReLUPool2Fused pins the fused conv epilogue against its
+// unfused composition: AddBiasUnstackInto (bias+ReLU) followed by
+// MaxPool2DBatchInto must produce bit-identical pooled maps, across
+// random shapes, with and without bias.
+func TestAddBiasReLUPool2Fused(t *testing.T) {
+	r := rng.New(91)
+	for trial := 0; trial < 25; trial++ {
+		bsz := 1 + r.Intn(5)
+		outC := 1 + r.Intn(6)
+		outH := 2 * (1 + r.Intn(5))
+		outW := 2 * (1 + r.Intn(5))
+		area := outH * outW
+		src := randTensor(r, outC, bsz*area)
+		var bias []float64
+		if r.Bool(0.8) {
+			bias = randTensor(r, outC).Data()
+		}
+
+		fused := New(bsz, outC, outH/2, outW/2)
+		AddBiasReLUPool2Into(fused, src, bsz, outC, outH, outW, bias)
+
+		unstacked := New(bsz, outC, outH, outW)
+		AddBiasUnstackInto(unstacked, src, bsz, outC, area, bias, true)
+		want := New(bsz, outC, outH/2, outW/2)
+		MaxPool2DBatchInto(want, unstacked, 2)
+
+		for i, v := range want.Data() {
+			if fused.Data()[i] != v {
+				t.Fatalf("trial %d (b=%d c=%d %dx%d) elem %d: fused %v, unfused %v",
+					trial, bsz, outC, outH, outW, i, fused.Data()[i], v)
+			}
+		}
+	}
+}
+
 // TestPoolRecyclesBuffers checks the scratch pool contract: a Put buffer
 // of matching size is handed back by the next Get (no allocation), sizes
 // are tracked independently, and Stats reports the miss.
@@ -223,5 +258,20 @@ func TestPoolRecyclesBuffers(t *testing.T) {
 	p.Put(New()) // empty tensor: no-op
 	if p.Get(3).Len() != 3 {
 		t.Fatal("Get after no-op Puts broken")
+	}
+}
+
+// BenchmarkAddBiasReLUPool2 isolates the fused conv epilogue on the
+// MNIST-net conv1 shape (40 channels, 24×24 map, 64-sample chunk).
+func BenchmarkAddBiasReLUPool2(b *testing.B) {
+	r := rng.New(3)
+	const bsz, outC, outH, outW = 64, 40, 24, 24
+	src := randTensor(r, outC, bsz*outH*outW)
+	bias := randTensor(r, outC).Data()
+	dst := New(bsz, outC, outH/2, outW/2)
+	b.SetBytes(int64(src.Len() * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		AddBiasReLUPool2Into(dst, src, bsz, outC, outH, outW, bias)
 	}
 }

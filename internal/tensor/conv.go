@@ -167,6 +167,68 @@ func AddBiasUnstackInto(dst, src *Tensor, batch, outC, area int, bias []float64,
 	}
 }
 
+// AddBiasReLUPool2Into fuses the batched-conv epilogue with the 2×2 max
+// pool that follows it: src is the GEMM output of shape (outC, B*area)
+// (sample s occupies column block [s*area, (s+1)*area), area =
+// outH*outW), and dst is the pooled batch-major output of shape
+// (B, outC, outH/2, outW/2). The full-resolution activation tensor is
+// never materialized: one read of the GEMM output, one write of the 4×
+// smaller pooled map, instead of a full-area write, a full-area read and
+// the pooled write.
+//
+// The window is reduced on the raw GEMM values and bias+ReLU applied
+// once to the winner. That is bit-identical to AddBiasUnstackInto
+// (v += b; clamp below 0) followed by MaxPool2DBatchInto: x ↦ x+b and
+// the ReLU clamp are monotone non-decreasing (also under float
+// rounding), so max_i relu(vᵢ+b) and relu((max_i vᵢ)+b) are the same
+// value — the fusion moves 4 adds and 4 clamps per window down to one
+// of each. outH and outW must be even.
+func AddBiasReLUPool2Into(dst, src *Tensor, batch, outC, outH, outW int, bias []float64) {
+	if outH%2 != 0 || outW%2 != 0 {
+		panic("tensor: AddBiasReLUPool2Into output not divisible by the 2x2 window")
+	}
+	area := outH * outW
+	pooledW := outW / 2
+	pooledLen := (outH / 2) * pooledW
+	if src.Len() != outC*batch*area || dst.Len() != batch*outC*pooledLen {
+		panic("tensor: AddBiasReLUPool2Into size mismatch")
+	}
+	if bias != nil && len(bias) != outC {
+		panic("tensor: AddBiasReLUPool2Into bias length mismatch")
+	}
+	for oc := 0; oc < outC; oc++ {
+		srcC := src.data[oc*batch*area : (oc+1)*batch*area]
+		b := 0.0
+		if bias != nil {
+			b = bias[oc]
+		}
+		for s := 0; s < batch; s++ {
+			seg := srcC[s*area : (s+1)*area]
+			out := dst.data[(s*outC+oc)*pooledLen : (s*outC+oc+1)*pooledLen]
+			oi := 0
+			for oy := 0; oy < outH/2; oy++ {
+				r0 := seg[2*oy*outW : 2*oy*outW+outW]
+				r1 := seg[(2*oy+1)*outW : (2*oy+1)*outW+outW]
+				row := out[oi : oi+pooledW : oi+pooledW]
+				for ox := range row {
+					x := 2 * ox
+					// The builtin max compiles branchless (random
+					// activations mispredict a compare-and-branch ladder
+					// about half the time); for the finite values inference
+					// produces it selects the same value as the ladder.
+					best := max(max(r0[x], r0[x+1]), max(r1[x], r1[x+1]))
+					best += b
+					if best < 0 {
+						best = 0
+					}
+					row[ox] = best
+				}
+				oi += pooledW
+			}
+		}
+	}
+}
+
 // Col2Im is the adjoint of Im2Col: it scatters (accumulates) a column
 // matrix of shape (inC*kH*kW, outH*outW) back into a CHW tensor of shape
 // (inC, inH, inW). Overlapping positions sum, which is exactly the input

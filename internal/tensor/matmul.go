@@ -240,9 +240,17 @@ func packTiles(pack, b []float64, pc, pe, jc, jeV, k, n int, trans bool) {
 				}
 			}
 		} else {
+			// Hand-unrolled 8-wide row moves: one packed row is only 64
+			// bytes, so the memmove call overhead of copy() would cost more
+			// than the move itself (the pack runs once per k panel per
+			// column stripe — hundreds of thousands of rows per batched
+			// conv GEMM).
 			off := pc*n + jt
 			for t := 0; t < kb; t++ {
-				copy(dst[t*microN:t*microN+microN], b[off:off+microN])
+				d := dst[t*microN : t*microN+microN : t*microN+microN]
+				s := b[off : off+microN : off+microN]
+				d[0], d[1], d[2], d[3] = s[0], s[1], s[2], s[3]
+				d[4], d[5], d[6], d[7] = s[4], s[5], s[6], s[7]
 				off += n
 			}
 		}

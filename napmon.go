@@ -110,9 +110,22 @@ func LoadModelFile(path string) (*Network, error) { return nn.LoadFile(path) }
 
 // BuildMonitor runs the paper's Algorithm 1: it records the activation
 // pattern of every correctly classified training sample in its class's
-// comfort zone and enlarges each zone to cfg.Gamma.
+// comfort zone and enlarges each zone to cfg.Gamma. Both phases run on
+// all cores: inference over a sample worker pool, then per-class zone
+// construction over a class worker pool (each class's BDD manager is an
+// independent single-writer shard), with results identical to a
+// sequential build regardless of GOMAXPROCS.
 func BuildMonitor(net *Network, train []Sample, cfg Config) (*Monitor, error) {
 	return core.Build(net, train, cfg)
+}
+
+// BuildMonitorFromPatterns builds a monitor directly from per-class
+// activation patterns — no network pass. Useful for rebuilding a monitor
+// from logged serving traffic (the /watch wire form parses with
+// ParsePattern); the result serves pattern-level queries (WatchPattern,
+// the Update family) but not the network-coupled Watch/WatchBatch.
+func BuildMonitorFromPatterns(width, gamma int, perClass map[int][]Pattern) (*Monitor, error) {
+	return core.BuildFromPatterns(width, gamma, perClass)
 }
 
 // LoadMonitor reads a monitor written with Monitor.Save.
@@ -127,13 +140,25 @@ func EvaluateMonitor(net *Network, m *Monitor, samples []Sample) Metrics {
 	return core.Evaluate(net, m, samples)
 }
 
+// EvaluateMonitorAt evaluates at an explicit enlargement level without
+// changing the serving γ. On a frozen monitor, asking for a level deeper
+// than was cached before the freeze returns an error instead of
+// panicking, so a live daemon probing γ cannot be crashed by a too-deep
+// query.
+func EvaluateMonitorAt(net *Network, m *Monitor, samples []Sample, gamma int) (Metrics, error) {
+	return core.EvaluateAt(net, m, samples, gamma)
+}
+
 // WatchBatch is the batched serving front end: it runs inference and the
 // comfort-zone membership query for every input and returns one Verdict
 // per input, in input order. Whole micro-batches flow through the
 // batched GEMM inference path (Network.ForwardBatch: stacked im2col, one
-// blocked matrix multiply per layer, fused bias+ReLU epilogues, pooled
+// blocked matrix multiply per layer, fused bias+ReLU — and, for
+// conv→ReLU→maxpool blocks, bias+ReLU+pool — epilogues, pooled
 // allocation-free scratch), split across GOMAXPROCS workers on
-// multi-core hosts. The monitor is frozen read-only on first use
+// multi-core hosts. Membership queries are grouped by predicted class
+// and answered from each zone's compiled query plan in one batched walk
+// per class per chunk. The monitor is frozen read-only on first use
 // (Monitor.Freeze), which makes concurrent WatchBatch calls from any
 // number of goroutines safe by construction; a frozen monitor grows only
 // through the online-update path (Monitor.Update/UpdateBatch/UpdateGamma),
