@@ -4,11 +4,12 @@
 # a benchmark smoke run across a Go version matrix, plus a bench-regression
 # job (bench-json + bench-check against ci/bench-baseline.json), a
 # fuzz-smoke job (test-fuzz), a coverage gate (cover-check against
-# ci/coverage-baseline.txt) and a serve-demo end-to-end daemon smoke job.
+# ci/coverage-baseline.txt), a serve-demo end-to-end daemon smoke job and
+# a soak-smoke wire-protocol gate (strict zero-loss UDP+TCP soak).
 
 GO ?= go
 
-.PHONY: build test race test-fuzz cover cover-check bench bench-serve bench-json bench-check serve-demo fmt vet lint ci clean
+.PHONY: build test race test-fuzz cover cover-check bench bench-serve bench-json bench-check serve-demo soak-smoke fmt vet lint ci clean
 
 ## build: compile every package
 build:
@@ -26,13 +27,15 @@ race:
 	$(GO) test -race -timeout 45m ./...
 
 ## test-fuzz: smoke-run the fuzz targets (differential BDD fuzzer against
-## a truth-table oracle; pattern wire-format round trip). Each target gets
+## a truth-table oracle; pattern wire-format round trip; binary protocol
+## frame round trip + arbitrary-bytes decoder safety). Each target gets
 ## a short budget — CI runs this on every PR; leave a fuzzer running with
 ## a long -fuzztime to actually hunt.
 FUZZTIME ?= 15s
 test-fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzBDDOps$$' -fuzztime $(FUZZTIME) ./internal/bdd
 	$(GO) test -run '^$$' -fuzz '^FuzzPatternRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/core
+	$(GO) test -run '^$$' -fuzz '^FuzzWireRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/wire
 
 ## cover: run the full test suite with coverage and print the total
 COVER_PROFILE ?= coverage.out
@@ -65,20 +68,21 @@ bench-serve:
 	$(GO) test -run '^$$' -bench 'BenchmarkServe|BenchmarkWatchBatch|BenchmarkForwardBatch' -benchtime=1x -benchmem .
 
 ## bench-json: run the serving benchmarks for real (multiple iterations)
-## and record them as BENCH_PR5.json via cmd/benchjson — the artifact the
+## and record them as BENCH_PR6.json via cmd/benchjson — the artifact the
 ## bench-regression CI job uploads and gates on. BenchmarkWatchBatch's
 ## workers1/2/4 sub-benchmarks and BenchmarkMonitorBuildParallel's
 ## cpu1/cpu4 pin GOMAXPROCS internally — the -cpu axis with names that
 ## stay stable across machines of different core counts.
-BENCH_JSON ?= BENCH_PR5.json
+BENCH_JSON ?= BENCH_PR6.json
 bench-json:
 	$(GO) build -o bin/benchjson ./cmd/benchjson
-	$(GO) test -run '^$$' -bench 'BenchmarkServe|BenchmarkWatchBatch|BenchmarkForwardBatch|BenchmarkZoneBuild|BenchmarkUpdateSwap|BenchmarkZoneQueryCompiled|BenchmarkMonitorBuildParallel' -benchtime=2x -benchmem . \
+	$(GO) test -run '^$$' -bench 'BenchmarkServe|BenchmarkWatchBatch|BenchmarkForwardBatch|BenchmarkZoneBuild|BenchmarkUpdateSwap|BenchmarkZoneQueryCompiled|BenchmarkMonitorBuildParallel|BenchmarkWireEncode|BenchmarkGatewayRoundTrip' -benchtime=2x -benchmem . \
 		| bin/benchjson -o $(BENCH_JSON)
 
 ## bench-check: fail if the serving/update/build hot paths (WatchBatch,
 ## Serve + ServeWhileUpdating, ForwardBatch, UpdateSwap, the compiled
-## zone query, the sharded monitor build) regressed more than 1.3x
+## zone query, the sharded monitor build, the wire codecs and the TCP
+## gateway round trip) regressed more than 1.3x
 ## against the committed baseline (machine-speed-normalized; see
 ## cmd/benchjson). Only the single-core entries of the parallel axes are
 ## gated (workers1, cpu1): the other widths exist to show scaling on
@@ -89,7 +93,7 @@ bench-json:
 bench-check:
 	$(GO) build -o bin/benchjson ./cmd/benchjson
 	bin/benchjson -check -baseline ci/bench-baseline.json -current $(BENCH_JSON) \
-		-watch 'BenchmarkWatchBatch/workers1|BenchmarkServe|BenchmarkForwardBatch|BenchmarkUpdateSwap|BenchmarkZoneQueryCompiled|BenchmarkMonitorBuildParallel/cpu1' \
+		-watch 'BenchmarkWatchBatch/workers1|BenchmarkServe|BenchmarkForwardBatch|BenchmarkUpdateSwap|BenchmarkZoneQueryCompiled|BenchmarkMonitorBuildParallel/cpu1|BenchmarkWireEncode|BenchmarkGatewayRoundTrip' \
 		-ref 'BenchmarkZoneBuild$$' -max-ratio 1.3
 
 ## serve-demo: start napmon-serve against a tiny self-trained model,
@@ -109,6 +113,25 @@ serve-demo:
 	awk 'BEGIN{printf "{\"shape\":[1,28,28],\"input\":["; for(i=0;i<784;i++) printf "%s0.1",(i?",":""); print "]}"}' \
 		| curl -sf -X POST --data-binary @- http://$(SERVE_DEMO_ADDR)/watch; \
 	curl -sf http://$(SERVE_DEMO_ADDR)/stats; \
+	kill -TERM $$pid; wait $$pid; trap - EXIT
+
+## soak-smoke: start napmon-gateway against a tiny self-trained model and
+## drive it with cmd/napmon-soak over BOTH transports (closed loop,
+## -strict: a single dropped, malformed or error frame fails the target).
+## Writes soak-udp.json / soak-tcp.json reports — the artifacts the CI
+## soak-smoke job uploads. SOAK_DURATION scales the run (CI uses ~10s per
+## transport).
+SOAK_UDP ?= 127.0.0.1:9710
+SOAK_TCP ?= 127.0.0.1:9711
+SOAK_DURATION ?= 10s
+soak-smoke:
+	$(GO) build -o bin/napmon-gateway ./cmd/napmon-gateway
+	$(GO) build -o bin/napmon-soak ./cmd/napmon-soak
+	@set -e; \
+	bin/napmon-gateway -selftrain 0.05 -udp $(SOAK_UDP) -tcp $(SOAK_TCP) & pid=$$!; \
+	trap 'kill $$pid 2>/dev/null || true' EXIT; \
+	bin/napmon-soak -addr $(SOAK_UDP) -proto udp -duration $(SOAK_DURATION) -strict -o soak-udp.json -connect-timeout 120s; \
+	bin/napmon-soak -addr $(SOAK_TCP) -proto tcp -duration $(SOAK_DURATION) -strict -o soak-tcp.json -connect-timeout 120s; \
 	kill -TERM $$pid; wait $$pid; trap - EXIT
 
 ## fmt: fail if any file needs gofmt
@@ -135,7 +158,7 @@ lint: vet
 ## coverage profiles, the bin/ tool directory) — everything .gitignore
 ## hides from git but that still clutters the working tree
 clean:
-	rm -f ./*.test ./*.prof ./*.out coverage.out
+	rm -f ./*.test ./*.prof ./*.out coverage.out soak-*.json
 	rm -rf bin
 
 ## ci: everything the pipeline's verify job runs, in the same order

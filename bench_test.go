@@ -11,6 +11,7 @@ package napmon
 import (
 	"context"
 	"fmt"
+	"net"
 	"runtime"
 	"sync"
 	"testing"
@@ -23,6 +24,7 @@ import (
 	"napmon/internal/nn"
 	"napmon/internal/rng"
 	"napmon/internal/tensor"
+	"napmon/internal/wire"
 )
 
 // benchScale shrinks datasets so the full bench suite completes in
@@ -776,5 +778,141 @@ func BenchmarkFrontCarDecision(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		p.Decide(&scenes[i%len(scenes)])
+	}
+}
+
+// BenchmarkWireEncode measures the binary protocol codecs in isolation:
+// each op encodes and decodes 1024 frames (one MNIST-shaped watch
+// request and its verdict response per iteration), so the per-frame
+// cost — header checksum, float32 narrowing, bit-packed patterns — is
+// visible as ns/op/1024 and the benchmark does real work even under
+// bench-json's -benchtime=2x.
+func BenchmarkWireEncode(b *testing.B) {
+	const framesPerOp = 1024
+	shape := []int{1, 28, 28}
+	in := make([]float64, 28*28)
+	for i := range in {
+		in[i] = float64(i%256) / 256
+	}
+	pat := make(core.Pattern, 40)
+	for i := range pat {
+		pat[i] = i%3 == 0
+	}
+	v := core.Verdict{Class: 7, Monitored: true, OutOfPattern: true, Pattern: pat, Epoch: 42}
+	var reqBuf, respBuf []byte
+	var bytesPerOp int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bytesPerOp = 0
+		for f := 0; f < framesPerOp; f++ {
+			var err error
+			reqBuf, err = wire.AppendWatchReq(reqBuf[:0], uint32(f), shape, in)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, _, err := wire.DecodeWatchReq(reqBuf[wire.HeaderSize:]); err != nil {
+				b.Fatal(err)
+			}
+			respBuf, err = wire.AppendWatchResp(respBuf[:0], uint32(f), v)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := wire.DecodeWatchResp(respBuf[wire.HeaderSize:]); err != nil {
+				b.Fatal(err)
+			}
+			bytesPerOp += len(reqBuf) + len(respBuf)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(framesPerOp*2)*float64(b.N)/b.Elapsed().Seconds(), "frames/s")
+	b.ReportMetric(float64(bytesPerOp)*float64(b.N)/b.Elapsed().Seconds()/1e6, "MB/s")
+}
+
+// BenchmarkGatewayRoundTrip measures the wire protocol end to end: the
+// whole validation set is pipelined through one loopback TCP connection
+// into the gateway — encode, packet parse, submit, micro-batched
+// inference, verdict encode, response read — bounded by the gateway's
+// per-connection in-flight cap and TCP flow control. Its inputs/s
+// against BenchmarkServe/saturated is the protocol + transport overhead
+// on top of the raw serving path. TCP only: the
+// UDP side sheds under overload by design, and a closed-loop benchmark
+// must not drop frames.
+func BenchmarkGatewayRoundTrip(b *testing.B) {
+	m1, _ := benchModels(b)
+	mon, err := core.Build(m1.Net, m1.Data.Train, exp.MNISTMonitorConfig(m1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	mon.SetGamma(2)
+	inputs := make([]*tensor.Tensor, len(m1.Data.Val))
+	for i, s := range m1.Data.Val {
+		inputs[i] = s.Input
+	}
+	srv, err := Serve(m1.Net, mon, ServerConfig{
+		MaxBatch:   64,
+		MaxDelay:   2 * time.Millisecond,
+		QueueDepth: len(inputs),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := wire.NewGateway(srv, mon, wire.GatewayConfig{})
+	if err := g.ListenTCP("127.0.0.1:0"); err != nil {
+		b.Fatal(err)
+	}
+	c, err := net.Dial("tcp", g.TCPAddr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() {
+		c.Close()
+		if err := g.Close(); err != nil {
+			b.Fatal(err)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}()
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		done := make(chan error, 1)
+		go func() {
+			var buf []byte
+			for range inputs {
+				h, payload, err := wire.ReadFrame(c, buf)
+				if err != nil {
+					done <- err
+					return
+				}
+				buf = payload[:0]
+				if h.Type != wire.TypeWatchResp {
+					done <- fmt.Errorf("frame type %d in response", h.Type)
+					return
+				}
+			}
+			done <- nil
+		}()
+		var frame []byte
+		for j, x := range inputs {
+			frame, err = wire.AppendWatchReq(frame[:0], uint32(j), x.Shape(), x.Data())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := c.Write(frame); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := <-done; err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(len(inputs))*float64(b.N)/b.Elapsed().Seconds(), "inputs/s")
+	ct := g.Counters()
+	if ct.Dropped != 0 || ct.Malformed != 0 {
+		b.Fatalf("gateway dropped %d / malformed %d during a closed-loop bench", ct.Dropped, ct.Malformed)
 	}
 }

@@ -1,0 +1,133 @@
+// Command napmon-gateway runs the binary-protocol serving daemon: it
+// loads (or self-trains) a model and its activation monitor, starts the
+// same micro-batching server as napmon-serve, and exposes it over the
+// napmon wire protocol (internal/wire) instead of HTTP/JSON:
+//
+//   - UDP: one request frame per datagram, one response datagram back.
+//     A cheap first-bytes packet filter drops non-protocol traffic
+//     before any allocation. Overload sheds explicitly: the daemon
+//     answers with an error frame (code 3, overloaded) instead of
+//     letting a queue grow without bound.
+//   - TCP: length-prefixed frames on persistent connections, pipelined.
+//     Overload pushes back through the connection: when the per-conn
+//     inflight cap or the server queue fills, the reader stalls and TCP
+//     flow control slows the client — no frames are dropped.
+//
+// The frame catalogue (ping/watch/learn/stats and their responses) and
+// the exact byte layout are documented in internal/wire and pinned by
+// its TestABI. cmd/napmon-soak is the matching load generator.
+//
+// On SIGINT/SIGTERM the daemon shuts down gracefully: listeners stop,
+// open connections close, and the serving queue drains before exit.
+//
+// Usage:
+//
+//	napmon-gateway -selftrain 0.05 [-udp :9710] [-tcp :9711]
+//	napmon-gateway -model m.model -monitor m.monitor [-udp :9710] [-tcp :9711]
+//	               [-max-batch 64] [-max-delay 2ms] [-queue 1024] [-lanes 1]
+//	               [-max-inflight 1024] [-write-queue 256]
+//
+// Passing an empty -udp or -tcp disables that transport; at least one
+// must be enabled.
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"napmon"
+	"napmon/internal/exp"
+	"napmon/internal/wire"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("napmon-gateway: ")
+	var (
+		udpAddr     = flag.String("udp", "127.0.0.1:9710", "UDP listen address (empty = disable UDP)")
+		tcpAddr     = flag.String("tcp", "127.0.0.1:9711", "TCP listen address (empty = disable TCP)")
+		modelPath   = flag.String("model", "", "trained model file (napmon-train -model)")
+		monitorPath = flag.String("monitor", "", "monitor file (napmon-train -monitor)")
+		selftrain   = flag.Float64("selftrain", 0, "train in-process at this dataset scale instead of loading files (0 = off)")
+		ds          = flag.String("dataset", "mnist", "self-training dataset: mnist or gtsrb")
+		seed        = flag.Uint64("seed", 1, "self-training seed")
+		gamma       = flag.Int("gamma", 2, "self-trained monitor gamma")
+		maxBatch    = flag.Int("max-batch", 0, "micro-batch flush threshold (0 = default)")
+		maxDelay    = flag.Duration("max-delay", 0, "partial-batch flush deadline (0 = default)")
+		queueDepth  = flag.Int("queue", 0, "request queue depth (0 = default)")
+		lanes       = flag.Int("lanes", 0, "serving lanes / network replicas (0 = default)")
+		maxInflight = flag.Int("max-inflight", 0, "per-TCP-connection inflight request cap (0 = default)")
+		writeQueue  = flag.Int("write-queue", 0, "per-TCP-connection response queue depth (0 = default)")
+		drainWait   = flag.Duration("drain", 30*time.Second, "graceful shutdown budget")
+		shapeFlag   = flag.String("shape", "", "expected input tensor shape, e.g. 1,28,28 (default: per -dataset)")
+	)
+	flag.Parse()
+	if *udpAddr == "" && *tcpAddr == "" {
+		log.Fatal("both transports disabled; set -udp and/or -tcp")
+	}
+
+	shape, err := exp.InputShape(*shapeFlag, *ds)
+	if err != nil {
+		log.Fatal(err)
+	}
+	net, mon, err := exp.LoadOrTrain(*modelPath, *monitorPath, *selftrain, *ds, *seed, *gamma, log.Printf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := exp.ProbeShape(net, shape); err != nil {
+		log.Fatal(err)
+	}
+	srv, err := napmon.Serve(net, mon, napmon.ServerConfig{
+		MaxBatch:   *maxBatch,
+		MaxDelay:   *maxDelay,
+		QueueDepth: *queueDepth,
+		Lanes:      *lanes,
+		InputShape: shape,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	g := wire.NewGateway(srv, mon, wire.GatewayConfig{
+		MaxInflight: *maxInflight,
+		WriteQueue:  *writeQueue,
+	})
+	if *udpAddr != "" {
+		if err := g.ListenUDP(*udpAddr); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("udp on %s (wire protocol v%d)", g.UDPAddr(), wire.Version)
+	}
+	if *tcpAddr != "" {
+		if err := g.ListenTCP(*tcpAddr); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("tcp on %s (wire protocol v%d)", g.TCPAddr(), wire.Version)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	// Release the signal registration now: a second SIGINT/SIGTERM during
+	// a stuck drain falls back to default handling and kills the process.
+	stop()
+	log.Printf("signal received, draining (budget %v)...", *drainWait)
+	// Order matters: close the gateway first so no new frames reach the
+	// server, then drain the serving queue.
+	if err := g.Close(); err != nil {
+		log.Printf("gateway close: %v", err)
+	}
+	dctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	if err := srv.Shutdown(dctx); err != nil {
+		log.Printf("server shutdown: %v", err)
+	}
+	st := srv.Stats()
+	ct := g.Counters()
+	log.Printf("drained: %d frames in (%d malformed, %d shed), served %d in %d batches, p50 %v, p99 %v",
+		ct.Received, ct.Malformed, ct.Dropped, st.Served, st.Batches, st.P50, st.P99)
+}

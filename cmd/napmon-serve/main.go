@@ -40,11 +40,8 @@ import (
 	"fmt"
 	"log"
 	"net/http"
-	"os"
 	"os/signal"
 	"slices"
-	"strconv"
-	"strings"
 	"syscall"
 	"time"
 
@@ -72,15 +69,15 @@ func main() {
 	)
 	flag.Parse()
 
-	shape, err := inputShape(*shapeFlag, *ds)
+	shape, err := exp.InputShape(*shapeFlag, *ds)
 	if err != nil {
 		log.Fatal(err)
 	}
-	net, mon, err := loadParts(*modelPath, *monitorPath, *selftrain, *ds, *seed, *gamma)
+	net, mon, err := exp.LoadOrTrain(*modelPath, *monitorPath, *selftrain, *ds, *seed, *gamma, log.Printf)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := probeShape(net, shape); err != nil {
+	if err := exp.ProbeShape(net, shape); err != nil {
 		log.Fatal(err)
 	}
 	srv, err := napmon.Serve(net, mon, napmon.ServerConfig{
@@ -140,92 +137,6 @@ func main() {
 	st := srv.Stats()
 	log.Printf("drained: served %d requests in %d batches (mean %.1f/batch), p50 %v, p99 %v",
 		st.Served, st.Batches, st.MeanBatchSize, st.P50, st.P99)
-}
-
-// inputShape resolves the input shape the daemon accepts: the -shape
-// flag when given, otherwise the dataset's native shape.
-func inputShape(flagVal, ds string) ([]int, error) {
-	if flagVal != "" {
-		parts := strings.Split(flagVal, ",")
-		shape := make([]int, len(parts))
-		for i, p := range parts {
-			d, err := strconv.Atoi(strings.TrimSpace(p))
-			if err != nil || d <= 0 {
-				return nil, fmt.Errorf("bad -shape %q: dimensions must be positive integers", flagVal)
-			}
-			shape[i] = d
-		}
-		return shape, nil
-	}
-	switch ds {
-	case "mnist":
-		return []int{1, 28, 28}, nil
-	case "gtsrb":
-		return []int{3, 32, 32}, nil
-	default:
-		return nil, fmt.Errorf("unknown dataset %q (want mnist or gtsrb)", ds)
-	}
-}
-
-// probeShape runs one forward pass of a zero tensor with the gate shape
-// through the model at startup. The tensor kernels panic on mismatched
-// shapes; catching that here turns a -shape/-dataset flag that does not
-// match the loaded model into a clean startup error, instead of a gate
-// that rejects every valid request and lets a conformant-but-wrong one
-// panic inside a serving lane.
-func probeShape(net *napmon.Network, shape []int) (err error) {
-	defer func() {
-		if r := recover(); r != nil {
-			err = fmt.Errorf("input shape %v incompatible with the model: %v (set -shape or -dataset to the model's input shape)", shape, r)
-		}
-	}()
-	net.Forward(napmon.NewTensor(shape...))
-	return nil
-}
-
-// loadParts resolves the model and monitor either from files or by
-// training one of the Table I networks in-process at a reduced scale.
-func loadParts(modelPath, monitorPath string, selftrain float64, ds string, seed uint64, gamma int) (*napmon.Network, *napmon.Monitor, error) {
-	switch {
-	case modelPath != "" && monitorPath != "":
-		net, err := napmon.LoadModelFile(modelPath)
-		if err != nil {
-			return nil, nil, err
-		}
-		mon, err := napmon.LoadMonitorFile(monitorPath)
-		if err != nil {
-			return nil, nil, err
-		}
-		return net, mon, nil
-	case selftrain > 0:
-		opts := exp.Options{Scale: selftrain, Seed: seed, Log: os.Stderr}
-		var (
-			m   *exp.Model
-			err error
-		)
-		switch ds {
-		case "mnist":
-			m, err = exp.TrainMNIST(opts)
-		case "gtsrb":
-			m, err = exp.TrainGTSRB(opts)
-		default:
-			return nil, nil, fmt.Errorf("unknown dataset %q (want mnist or gtsrb)", ds)
-		}
-		if err != nil {
-			return nil, nil, err
-		}
-		log.Printf("self-trained %s (scale %.2f): train %.1f%%, val %.1f%%",
-			m.Name, selftrain, 100*m.TrainAcc, 100*m.ValAcc)
-		rows, mon, err := exp.Table2ForModel(m, []int{gamma})
-		if err != nil {
-			return nil, nil, err
-		}
-		log.Printf("monitor built (gamma=%d): out-of-pattern %.1f%% on validation",
-			gamma, 100*rows[0].Metrics.OutOfPatternRate())
-		return m.Net, mon, nil
-	default:
-		return nil, nil, errors.New("need either -model and -monitor, or -selftrain > 0")
-	}
 }
 
 // watchRequest is the POST /watch body: a flat row-major input plus its

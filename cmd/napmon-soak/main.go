@@ -1,0 +1,416 @@
+// Command napmon-soak is the load generator for cmd/napmon-gateway: it
+// hammers a gateway with wire-protocol watch requests over UDP or TCP
+// for a fixed duration and reports throughput and latency percentiles
+// as JSON.
+//
+// Two pacing modes:
+//
+//   - Open loop (-rate N): frames are sent on a fixed schedule, N per
+//     second split across -conns workers, regardless of how fast
+//     responses come back. This is the honest way to measure a server
+//     under overload — a closed loop slows down with the server and
+//     hides queueing delay (coordinated omission).
+//   - Closed loop (-rate 0, default): each worker keeps -window
+//     requests outstanding and sends the next as responses arrive.
+//     This measures saturated throughput.
+//
+// Every response is matched to its request by frame id, so the report
+// also counts frames that never came back (dropped), responses that
+// fail the packet filter or decoder (malformed), and protocol-level
+// error frames (server_errors). With -strict, any of those makes the
+// process exit 1 — this is the CI soak gate.
+//
+// Usage:
+//
+//	napmon-soak -addr 127.0.0.1:9710 -proto udp -duration 10s [-rate 0]
+//	            [-conns 4] [-window 32] [-shape 1,28,28] [-o soak.json]
+//	            [-strict]
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"napmon/internal/exp"
+	"napmon/internal/rng"
+	"napmon/internal/wire"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("napmon-soak: ")
+	var (
+		addr      = flag.String("addr", "127.0.0.1:9710", "gateway address")
+		proto     = flag.String("proto", "udp", "transport: udp or tcp")
+		duration  = flag.Duration("duration", 10*time.Second, "send for this long")
+		rate      = flag.Float64("rate", 0, "open-loop request rate per second across all conns (0 = closed loop)")
+		conns     = flag.Int("conns", 4, "concurrent connections (TCP) or sockets (UDP)")
+		window    = flag.Int("window", 32, "closed-loop outstanding requests per conn; UDP shed-retry cap")
+		shapeFlag = flag.String("shape", "", "input tensor shape to send (default: per -dataset)")
+		ds        = flag.String("dataset", "mnist", "dataset whose native shape to send when -shape is empty")
+		seed      = flag.Uint64("seed", 1, "input generator seed")
+		out       = flag.String("o", "", "write the JSON report here (default stdout)")
+		strict    = flag.Bool("strict", false, "exit 1 on any dropped, malformed, or error-frame response")
+		probeWait = flag.Duration("connect-timeout", 10*time.Second, "budget for the initial ping probe")
+		grace     = flag.Duration("grace", 2*time.Second, "wait this long after the send window for stragglers")
+	)
+	flag.Parse()
+	if *proto != "udp" && *proto != "tcp" {
+		log.Fatalf("unknown -proto %q (want udp or tcp)", *proto)
+	}
+	if *conns < 1 || *window < 1 {
+		log.Fatal("-conns and -window must be >= 1")
+	}
+	shape, err := exp.InputShape(*shapeFlag, *ds)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if err := probe(*proto, *addr, *probeWait); err != nil {
+		log.Fatalf("gateway probe failed: %v", err)
+	}
+
+	workers := make([]*worker, *conns)
+	var wg sync.WaitGroup
+	for i := range workers {
+		w := newWorker(i, *proto, *addr, shape, *seed+uint64(i)*1e6, *window)
+		workers[i] = w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w.run(*duration, *rate/float64(*conns), *grace)
+		}()
+	}
+	wg.Wait()
+
+	// Throughput is measured over the send window (the longest worker's
+	// dial-to-last-send span), not the straggler grace period — grace
+	// only decides what counts as dropped.
+	var elapsed time.Duration
+	rep := report{Proto: *proto, Conns: *conns, Window: *window, Rate: *rate}
+	var lat []time.Duration
+	for _, w := range workers {
+		if w.err != nil {
+			log.Fatalf("conn %d: %v", w.id, w.err)
+		}
+		if w.sendElapsed > elapsed {
+			elapsed = w.sendElapsed
+		}
+		rep.Sent += w.sent
+		rep.Received += w.received
+		rep.Malformed += w.malformed
+		rep.ServerErrors += w.serverErrors
+		rep.Dropped += uint64(len(w.pending))
+		lat = append(lat, w.lat...)
+	}
+	rep.DurationS = elapsed.Seconds()
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	q := func(p float64) time.Duration {
+		if len(lat) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(lat)))
+		if i >= len(lat) {
+			i = len(lat) - 1
+		}
+		return lat[i]
+	}
+	rep.ThroughputRPS = float64(rep.Received) / elapsed.Seconds()
+	rep.P50Ns, rep.P99Ns, rep.P999Ns = q(0.50).Nanoseconds(), q(0.99).Nanoseconds(), q(0.999).Nanoseconds()
+	rep.P50, rep.P99, rep.P999 = q(0.50).String(), q(0.99).String(), q(0.999).String()
+
+	enc, _ := json.MarshalIndent(rep, "", "  ")
+	enc = append(enc, '\n')
+	if *out != "" {
+		if err := os.WriteFile(*out, enc, 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+	os.Stdout.Write(enc)
+
+	if *strict && (rep.Dropped > 0 || rep.Malformed > 0 || rep.ServerErrors > 0) {
+		log.Fatalf("strict: %d dropped, %d malformed, %d server errors",
+			rep.Dropped, rep.Malformed, rep.ServerErrors)
+	}
+}
+
+// report is the JSON document the soak run emits.
+type report struct {
+	Proto         string  `json:"proto"`
+	Conns         int     `json:"conns"`
+	Window        int     `json:"window"`
+	Rate          float64 `json:"rate"`
+	DurationS     float64 `json:"duration_s"`
+	Sent          uint64  `json:"sent"`
+	Received      uint64  `json:"received"`
+	Dropped       uint64  `json:"dropped"`
+	Malformed     uint64  `json:"malformed"`
+	ServerErrors  uint64  `json:"server_errors"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	P50Ns         int64   `json:"p50_ns"`
+	P99Ns         int64   `json:"p99_ns"`
+	P999Ns        int64   `json:"p999_ns"`
+	P50           string  `json:"p50"`
+	P99           string  `json:"p99"`
+	P999          string  `json:"p999"`
+}
+
+// probe pings the gateway once so a wrong address fails fast with a
+// clear message instead of a ten-second soak full of drops.
+func probe(proto, addr string, budget time.Duration) error {
+	deadline := time.Now().Add(budget)
+	var lastErr error
+	for time.Now().Before(deadline) {
+		c, err := net.DialTimeout(proto, addr, time.Second)
+		if err != nil {
+			lastErr = err
+			time.Sleep(100 * time.Millisecond)
+			continue
+		}
+		c.SetDeadline(time.Now().Add(time.Second))
+		c.Write(wire.AppendPing(nil, 0))
+		var h wire.Header
+		if proto == "udp" {
+			buf := make([]byte, wire.MaxUDPFrame)
+			n, err := c.Read(buf)
+			if err == nil && wire.BasicPacketFilter(buf[:n]) {
+				h, err = wire.ParseHeader(buf[:n])
+			}
+			lastErr = err
+		} else {
+			h, _, lastErr = wire.ReadFrame(c, nil)
+		}
+		c.Close()
+		if lastErr == nil && h.Type == wire.TypePong {
+			return nil
+		}
+		if lastErr == nil {
+			lastErr = fmt.Errorf("ping answered with frame type %d", h.Type)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	return lastErr
+}
+
+// worker owns one connection (TCP) or socket (UDP): a sender paced by
+// the chosen mode, a receiver matching responses to send timestamps by
+// frame id, and per-conn tallies merged by main after the run.
+type worker struct {
+	id    int
+	proto string
+	addr  string
+	frame []byte // pre-encoded watch request; id+checksum rewritten per send
+	shape []int
+	r     *rng.Source
+
+	mu      sync.Mutex
+	pending map[uint32]time.Time
+	tokens  chan struct{}
+
+	window       int
+	sendElapsed  time.Duration
+	sent         uint64
+	received     uint64
+	malformed    uint64
+	serverErrors uint64
+	lat          []time.Duration
+	err          error
+}
+
+func newWorker(id int, proto, addr string, shape []int, seed uint64, window int) *worker {
+	return &worker{
+		id: id, proto: proto, addr: addr, shape: shape,
+		r: rng.New(seed), window: window,
+		pending: make(map[uint32]time.Time),
+	}
+}
+
+// nextFrame encodes a watch request with fresh random input and the
+// given id. Inputs vary per frame so zone lookups spread across the
+// monitor's classes the way real traffic would.
+func (w *worker) nextFrame(id uint32) []byte {
+	n := 1
+	for _, d := range w.shape {
+		n *= d
+	}
+	in := make([]float64, n)
+	for i := range in {
+		in[i] = w.r.Float64()
+	}
+	frame, err := wire.AppendWatchReq(w.frame[:0], id, w.shape, in)
+	if err != nil {
+		panic(err) // shape was validated at startup
+	}
+	w.frame = frame
+	return frame
+}
+
+func (w *worker) run(duration time.Duration, rate float64, grace time.Duration) {
+	c, err := net.Dial(w.proto, w.addr)
+	if err != nil {
+		w.err = err
+		return
+	}
+	defer c.Close()
+	c.SetDeadline(time.Now().Add(duration + grace + time.Minute))
+	if uc, ok := c.(*net.UDPConn); ok {
+		// Responses arrive in micro-batch-sized bursts; a default-sized
+		// socket buffer overflows under them and every loss leaks a
+		// window token. Best-effort — the kernel clamps to its own max.
+		uc.SetReadBuffer(4 << 20)
+		uc.SetWriteBuffer(4 << 20)
+	}
+
+	recvDone := make(chan struct{})
+	stopRecv := make(chan struct{})
+	go func() {
+		defer close(recvDone)
+		w.receive(c, stopRecv)
+	}()
+
+	// tokens caps outstanding requests in closed-loop mode; the receiver
+	// refills it. Open loop ignores it and trusts the pacer.
+	tokens := make(chan struct{}, w.window)
+	for i := 0; i < w.window; i++ {
+		tokens <- struct{}{}
+	}
+	w.tokens = tokens
+
+	var ticker *time.Ticker
+	if rate > 0 {
+		ticker = time.NewTicker(time.Duration(float64(time.Second) / rate))
+		defer ticker.Stop()
+	}
+	sendStart := time.Now()
+	end := sendStart.Add(duration)
+	endTimer := time.NewTimer(duration)
+	defer endTimer.Stop()
+	var id uint32
+	for time.Now().Before(end) {
+		if ticker != nil {
+			<-ticker.C
+		} else {
+			// A lost response (UDP) permanently leaks its window token, so
+			// the wait must not outlive the send window — losing the whole
+			// window stalls this worker for the rest of the run (reported
+			// as drops), never hangs it.
+			select {
+			case <-tokens:
+			case <-endTimer.C:
+				continue
+			}
+		}
+		frame := w.nextFrame(id)
+		w.mu.Lock()
+		w.pending[id] = time.Now()
+		w.mu.Unlock()
+		if _, err := c.Write(frame); err != nil {
+			w.err = err
+			break
+		}
+		w.sent++
+		id++
+	}
+	w.sendElapsed = time.Since(sendStart)
+
+	// Give stragglers a grace window, then stop the receiver; whatever
+	// is still pending counts as dropped.
+	gdl := time.Now().Add(grace)
+	for time.Now().Before(gdl) {
+		w.mu.Lock()
+		n := len(w.pending)
+		w.mu.Unlock()
+		if n == 0 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	close(stopRecv)
+	c.SetReadDeadline(time.Now()) // unblock the receiver
+	<-recvDone
+}
+
+// receive reads response frames until stop, matching them to pending
+// sends and recording latency.
+func (w *worker) receive(c net.Conn, stop <-chan struct{}) {
+	buf := make([]byte, wire.MaxUDPFrame)
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		var (
+			h       wire.Header
+			payload []byte
+			err     error
+		)
+		if w.proto == "udp" {
+			var n int
+			n, err = c.Read(buf)
+			if err == nil {
+				pkt := buf[:n]
+				if !wire.BasicPacketFilter(pkt) {
+					w.mu.Lock()
+					w.malformed++
+					w.mu.Unlock()
+					continue
+				}
+				h, _ = wire.ParseHeader(pkt)
+				payload = pkt[wire.HeaderSize : wire.HeaderSize+int(h.PayloadLen)]
+			}
+		} else {
+			h, payload, err = wire.ReadFrame(c, buf[:0])
+		}
+		if err != nil {
+			select {
+			case <-stop: // expected: deadline fired during teardown
+			default:
+				if !errors.Is(err, net.ErrClosed) {
+					w.mu.Lock()
+					if w.err == nil {
+						w.err = err
+					}
+					w.mu.Unlock()
+				}
+			}
+			return
+		}
+		now := time.Now()
+		w.mu.Lock()
+		sentAt, ok := w.pending[h.ID]
+		if ok {
+			delete(w.pending, h.ID)
+		}
+		switch {
+		case !ok:
+			w.malformed++ // response to a frame we never sent
+		case h.Type == wire.TypeWatchResp:
+			if _, derr := wire.DecodeWatchResp(payload); derr != nil {
+				w.malformed++
+			} else {
+				w.received++
+				w.lat = append(w.lat, now.Sub(sentAt))
+			}
+		case h.Type == wire.TypeErr:
+			w.serverErrors++
+		default:
+			w.malformed++
+		}
+		w.mu.Unlock()
+		if ok {
+			select {
+			case w.tokens <- struct{}{}:
+			default:
+			}
+		}
+	}
+}

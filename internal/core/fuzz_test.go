@@ -44,6 +44,21 @@ func FuzzPatternRoundTrip(f *testing.F) {
 			t.Fatal("ParsePattern accepted a '2'")
 		}
 
+		// AppendPacked → UnpackPattern round trip, and agreement with
+		// the string codec — the shared-codec invariant the binary wire
+		// protocol (internal/wire) depends on.
+		packed := p.AppendPacked(nil)
+		up, err := UnpackPattern(packed, width)
+		if err != nil {
+			t.Fatalf("UnpackPattern: %v", err)
+		}
+		if Hamming(p, up) != 0 {
+			t.Fatalf("packed round trip changed the pattern: %s -> %s", p, up)
+		}
+		if Hamming(q, up) != 0 {
+			t.Fatal("string codec and packed codec disagree")
+		}
+
 		// Key is injective against every 1-bit neighbor (and self-equal).
 		if p.Key() != q.Key() {
 			t.Fatal("equal patterns produced different keys")

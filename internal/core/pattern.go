@@ -110,17 +110,55 @@ func (p Pattern) String() string {
 	return string(b)
 }
 
-// Key packs the pattern into a compact string usable as a map key (8
-// neurons per byte). Patterns of different lengths never collide because
-// the length is prefixed.
-func (p Pattern) Key() string {
-	b := make([]byte, 2+(len(p)+7)/8)
-	b[0] = byte(len(p) >> 8)
-	b[1] = byte(len(p))
+// PackedLen returns the byte length of the bit-packed form of a
+// width-bit pattern: 8 neurons per byte, so ceil(width/8).
+func PackedLen(width int) int { return (width + 7) / 8 }
+
+// AppendPacked appends the bit-packed form of p to dst and returns the
+// extended slice: neuron i lands in bit i%8 of byte i/8 (LSB-first),
+// trailing pad bits of the last byte are zero. This is THE bit-packed
+// pattern codec — Pattern.Key, the monitor save format and the binary
+// wire protocol (internal/wire) all encode through it, so the HTTP
+// string path (String/ParsePattern) and the wire path cannot drift.
+func (p Pattern) AppendPacked(dst []byte) []byte {
+	off := len(dst)
+	dst = append(dst, make([]byte, PackedLen(len(p)))...)
 	for i, v := range p {
 		if v {
-			b[2+i/8] |= 1 << (i % 8)
+			dst[off+i/8] |= 1 << (i % 8)
 		}
 	}
-	return string(b)
+	return dst
+}
+
+// UnpackPattern decodes the AppendPacked form: exactly PackedLen(width)
+// bytes, LSB-first within each byte, with every pad bit of the last
+// byte zero. The strict length and pad checks make the encoding
+// canonical — one pattern, one byte string — which the wire protocol's
+// golden-byte ABI tests and fuzzer rely on.
+func UnpackPattern(data []byte, width int) (Pattern, error) {
+	if width < 0 {
+		return nil, fmt.Errorf("core: negative pattern width %d", width)
+	}
+	if len(data) != PackedLen(width) {
+		return nil, fmt.Errorf("core: packed pattern is %d bytes, width %d needs %d", len(data), width, PackedLen(width))
+	}
+	if pad := len(data)*8 - width; pad > 0 && data[len(data)-1]>>(8-pad) != 0 {
+		return nil, fmt.Errorf("core: nonzero pad bits in packed pattern of width %d", width)
+	}
+	p := make(Pattern, width)
+	for i := range p {
+		p[i] = data[i/8]&(1<<(i%8)) != 0
+	}
+	return p, nil
+}
+
+// Key packs the pattern into a compact string usable as a map key (the
+// AppendPacked form). Patterns of different lengths never collide
+// because the length is prefixed.
+func (p Pattern) Key() string {
+	b := make([]byte, 2, 2+PackedLen(len(p)))
+	b[0] = byte(len(p) >> 8)
+	b[1] = byte(len(p))
+	return string(p.AppendPacked(b))
 }

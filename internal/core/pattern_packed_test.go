@@ -1,0 +1,86 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"napmon/internal/rng"
+)
+
+// TestPackedRoundTrip pins the shared bit-packed codec: AppendPacked →
+// UnpackPattern is the identity at every width (including the ragged
+// final byte), the packed form is exactly what Key carries after its
+// length prefix, and — the cross-codec regression the wire protocol
+// relies on — the 0/1 string path (String/ParsePattern) and the packed
+// path (AppendPacked/UnpackPattern) decode any pattern to the same
+// bits, so the HTTP front end and the binary wire front end cannot
+// drift apart.
+func TestPackedRoundTrip(t *testing.T) {
+	r := rng.New(7)
+	for width := 0; width <= 130; width++ {
+		p := make(Pattern, width)
+		for i := range p {
+			p[i] = r.Uint64()&1 == 1
+		}
+
+		packed := p.AppendPacked(nil)
+		if len(packed) != PackedLen(width) {
+			t.Fatalf("width %d: packed %d bytes, want %d", width, len(packed), PackedLen(width))
+		}
+		q, err := UnpackPattern(packed, width)
+		if err != nil {
+			t.Fatalf("width %d: UnpackPattern: %v", width, err)
+		}
+		if width > 0 && Hamming(p, q) != 0 {
+			t.Fatalf("width %d: packed round trip changed the pattern", width)
+		}
+
+		// Key = 2-byte length prefix + the packed form, byte for byte.
+		if key := p.Key(); key[2:] != string(packed) {
+			t.Fatalf("width %d: Key payload %x differs from AppendPacked %x", width, key[2:], packed)
+		}
+
+		// Cross-codec: string path and packed path agree bit for bit.
+		viaString, err := ParsePattern(p.String())
+		if err != nil {
+			t.Fatalf("width %d: ParsePattern(String): %v", width, err)
+		}
+		if width > 0 && Hamming(viaString, q) != 0 {
+			t.Fatalf("width %d: string codec and packed codec disagree", width)
+		}
+	}
+}
+
+// TestUnpackPatternRejects pins the canonical-encoding checks: wrong
+// byte length and nonzero pad bits are errors, not silent truncation.
+func TestUnpackPatternRejects(t *testing.T) {
+	if _, err := UnpackPattern([]byte{0xFF}, 4); err == nil {
+		t.Fatal("UnpackPattern accepted nonzero pad bits")
+	}
+	if _, err := UnpackPattern([]byte{0x0F}, 4); err != nil {
+		t.Fatalf("UnpackPattern rejected clean pad bits: %v", err)
+	}
+	if _, err := UnpackPattern([]byte{0, 0}, 4); err == nil {
+		t.Fatal("UnpackPattern accepted an over-long buffer")
+	}
+	if _, err := UnpackPattern(nil, 4); err == nil {
+		t.Fatal("UnpackPattern accepted a short buffer")
+	}
+	if _, err := UnpackPattern(nil, -1); err == nil {
+		t.Fatal("UnpackPattern accepted a negative width")
+	}
+	if p, err := UnpackPattern(nil, 0); err != nil || len(p) != 0 {
+		t.Fatalf("UnpackPattern(nil, 0) = %v, %v; want empty pattern", p, err)
+	}
+}
+
+// TestAppendPackedAppends verifies AppendPacked really appends (the
+// wire encoder builds frames by appending header then payload pieces
+// into one buffer).
+func TestAppendPackedAppends(t *testing.T) {
+	p := Pattern{true, false, true}
+	got := p.AppendPacked([]byte{0xAB})
+	if !bytes.Equal(got, []byte{0xAB, 0x05}) {
+		t.Fatalf("AppendPacked = %x, want ab05", got)
+	}
+}

@@ -49,6 +49,10 @@ import (
 // begun, and resolves any Future the server aborted before serving.
 var ErrServerClosed = errors.New("serve: server closed")
 
+// ErrQueueFull is returned by TrySubmit when the request queue is at
+// capacity — the non-blocking counterpart of Submit's backpressure.
+var ErrQueueFull = errors.New("serve: request queue full")
+
 // Config sizes a Server. The zero value of any field selects its default.
 type Config struct {
 	// MaxBatch is the flush threshold: a micro-batch is dispatched as
@@ -166,6 +170,7 @@ type Server struct {
 	submitted  atomic.Uint64
 	served     atomic.Uint64
 	rejected   atomic.Uint64
+	shed       atomic.Uint64
 	numBatches atomic.Uint64
 	updates    atomic.Uint64
 	lat        latencyRing
@@ -218,6 +223,21 @@ func New(net *nn.Network, m *core.Monitor, cfg Config) (*Server, error) {
 // backpressure contract. After Shutdown has begun it returns
 // ErrServerClosed without enqueuing.
 func (s *Server) Submit(x *tensor.Tensor) (*Future, error) {
+	return s.submit(x, true)
+}
+
+// TrySubmit is the non-blocking Submit: when the request queue is full
+// it returns ErrQueueFull immediately instead of waiting for space, and
+// counts the request as shed (Stats.Shed). Datagram front ends use it
+// to turn queue pressure into explicit load shedding — a UDP reader
+// that blocked in Submit would stall every client behind one full
+// queue, where a connection-oriented front end simply stops reading its
+// socket and lets transport flow control push back.
+func (s *Server) TrySubmit(x *tensor.Tensor) (*Future, error) {
+	return s.submit(x, false)
+}
+
+func (s *Server) submit(x *tensor.Tensor, block bool) (*Future, error) {
 	if x == nil {
 		return nil, errors.New("serve: nil input")
 	}
@@ -234,6 +254,19 @@ func (s *Server) Submit(x *tensor.Tensor) (*Future, error) {
 	s.mu.Unlock()
 	defer s.inflight.Done()
 	fut := newFuture()
+	if !block {
+		select {
+		case s.queue <- request{input: x, fut: fut, enq: time.Now()}:
+			s.submitted.Add(1)
+			return fut, nil
+		case <-s.aborted:
+			s.rejected.Add(1)
+			return nil, ErrServerClosed
+		default:
+			s.shed.Add(1)
+			return nil, ErrQueueFull
+		}
+	}
 	select {
 	case s.queue <- request{input: x, fut: fut, enq: time.Now()}:
 		s.submitted.Add(1)
@@ -376,6 +409,7 @@ func (s *Server) Stats() Stats {
 		Submitted:     s.submitted.Load(),
 		Served:        served,
 		Rejected:      s.rejected.Load(),
+		Shed:          s.shed.Load(),
 		Batches:       nb,
 		MeanBatchSize: mean,
 		P50:           p50,

@@ -353,6 +353,66 @@ func TestBackpressureQueueFull(t *testing.T) {
 	shutdownOK(t, s)
 }
 
+// TestTrySubmitSheds pins the non-blocking contract on a bare Server
+// whose queue is never drained (no goroutines started): the first
+// TrySubmit takes the only queue slot, the second returns ErrQueueFull
+// immediately and bumps the shed counter instead of blocking.
+func TestTrySubmitSheds(t *testing.T) {
+	s := &Server{
+		queue:   make(chan request, 1),
+		aborted: make(chan struct{}),
+	}
+	if _, err := s.TrySubmit(tensor.New(4)); err != nil {
+		t.Fatalf("TrySubmit into empty queue: %v", err)
+	}
+	if _, err := s.TrySubmit(tensor.New(4)); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("TrySubmit into full queue: %v, want ErrQueueFull", err)
+	}
+	if got := s.shed.Load(); got != 1 {
+		t.Fatalf("shed counter %d, want 1", got)
+	}
+	if got := s.submitted.Load(); got != 1 {
+		t.Fatalf("submitted counter %d, want 1", got)
+	}
+}
+
+// TestTrySubmitLive drives a real server with TrySubmit only: accepted
+// requests all resolve, shed requests are counted, and accepted+shed
+// covers every attempt.
+func TestTrySubmitLive(t *testing.T) {
+	net, mon, inputs := toyServerParts(t, 11)
+	s, err := New(net, mon, Config{MaxBatch: 4, MaxDelay: time.Millisecond, QueueDepth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var futs []*Future
+	shed := 0
+	for i := 0; i < 200; i++ {
+		f, err := s.TrySubmit(inputs[i%len(inputs)])
+		switch {
+		case err == nil:
+			futs = append(futs, f)
+		case errors.Is(err, ErrQueueFull):
+			shed++
+		default:
+			t.Fatalf("TrySubmit %d: %v", i, err)
+		}
+	}
+	for i, f := range futs {
+		if _, err := f.Wait(); err != nil {
+			t.Fatalf("accepted future %d: %v", i, err)
+		}
+	}
+	st := s.Stats()
+	if int(st.Shed) != shed {
+		t.Fatalf("Stats.Shed %d, want %d", st.Shed, shed)
+	}
+	if int(st.Submitted)+shed != 200 {
+		t.Fatalf("submitted %d + shed %d != 200 attempts", st.Submitted, shed)
+	}
+	shutdownOK(t, s)
+}
+
 func TestConfigValidate(t *testing.T) {
 	net, mon, _ := toyServerParts(t, 9)
 	for _, cfg := range []Config{

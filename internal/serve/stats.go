@@ -18,6 +18,10 @@ type Stats struct {
 	// Rejected counts Submit calls refused because the server was
 	// closed or aborted.
 	Rejected uint64
+	// Shed counts TrySubmit calls refused with ErrQueueFull — load a
+	// non-blocking front end (the UDP gateway) dropped instead of
+	// queueing.
+	Shed uint64
 	// Batches is the number of micro-batches dispatched to lanes;
 	// MeanBatchSize is Served-so-far divided by it, the coalescer's
 	// effectiveness measure (1.0 = no coalescing happened).

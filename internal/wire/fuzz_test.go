@@ -1,0 +1,186 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"napmon/internal/core"
+)
+
+// FuzzWireRoundTrip fuzzes the binary protocol from both directions.
+//
+// Forward: fuzzed fields are encoded into each frame type, decoded
+// back, and re-encoded — decode(encode(x)) must equal x and the
+// re-encoding must be byte-identical (the encoding is canonical, which
+// is what lets TestABI pin single golden byte strings).
+//
+// Backward: the raw fuzz input itself is fed to ParseHeader,
+// BasicPacketFilter, ReadFrame and every payload decoder. None may
+// panic, over-read, or allocate past the declared caps, no matter the
+// bytes — this is the property that makes the gateway safe to point at
+// the open internet.
+func FuzzWireRoundTrip(f *testing.F) {
+	f.Add(uint32(0), []byte{})
+	f.Add(uint32(7), []byte{0x01, 0x03, 0x07, 0x00})
+	f.Add(uint32(1<<31), []byte{0xFF, 0xFF, 0x00, 0x10, 0x20, 0x30, 0x40, 0x50, 0x60})
+	ping := AppendPing(nil, 3)
+	f.Add(uint32(3), ping)
+	wr, _ := AppendWatchReq(nil, 5, []int{2, 3}, []float64{1, 2, 3, 4, 5, 6})
+	f.Add(uint32(5), wr)
+	f.Fuzz(func(t *testing.T, id uint32, data []byte) {
+		// --- Backward: arbitrary bytes never panic a decoder. ---
+		ParseHeader(data)
+		BasicPacketFilter(data)
+		if h, payload, err := ReadFrame(bytes.NewReader(data), nil); err == nil {
+			// A frame that parses off a stream must satisfy the filter
+			// when reassembled as a datagram, and vice versa.
+			whole := data[:HeaderSize+int(h.PayloadLen)]
+			if !BasicPacketFilter(whole) {
+				t.Fatalf("stream-parsed frame fails the packet filter: %#02x", whole)
+			}
+			_ = payload
+		}
+		DecodeWatchReq(data)
+		DecodeWatchResp(data)
+		DecodeLearnReq(data)
+		DecodeLearnResp(data)
+		DecodeStatsResp(data)
+		DecodeErr(data)
+
+		// --- Forward: structured round trips driven by the fuzz bytes. ---
+		next := func(n int) []byte { // consume up to n bytes of fuzz input
+			if n > len(data) {
+				n = len(data)
+			}
+			out := data[:n]
+			data = data[n:]
+			return out
+		}
+
+		// Watch request: rank and dims from the input, kept tiny.
+		dimBytes := next(3)
+		if len(dimBytes) > 0 {
+			shape := make([]int, 0, len(dimBytes))
+			vals := 1
+			for _, b := range dimBytes {
+				d := int(b%7) + 1
+				shape = append(shape, d)
+				vals *= d
+			}
+			in := make([]float64, vals)
+			for i, b := range next(vals) {
+				in[i] = float64(int8(b)) / 16 // exact in float32
+			}
+			frame, err := AppendWatchReq(nil, id, shape, in)
+			if err != nil {
+				t.Fatalf("AppendWatchReq(%v): %v", shape, err)
+			}
+			if !BasicPacketFilter(frame) {
+				t.Fatal("encoded watch request fails the filter")
+			}
+			h, err := ParseHeader(frame)
+			if err != nil || h.ID != id || h.Type != TypeWatchReq {
+				t.Fatalf("watch request header %+v, %v", h, err)
+			}
+			gotShape, gotData, err := DecodeWatchReq(frame[HeaderSize:])
+			if err != nil {
+				t.Fatalf("DecodeWatchReq: %v", err)
+			}
+			for i := range shape {
+				if gotShape[i] != shape[i] {
+					t.Fatalf("shape changed: %v -> %v", shape, gotShape)
+				}
+			}
+			for i := range in {
+				if gotData[i] != in[i] {
+					t.Fatalf("value %d changed: %v -> %v", i, in[i], gotData[i])
+				}
+			}
+			re, err := AppendWatchReq(nil, id, gotShape, gotData)
+			if err != nil || !bytes.Equal(re, frame) {
+				t.Fatal("watch request re-encoding differs")
+			}
+		}
+
+		// Watch response with a pattern built from fuzz bits.
+		pb := next(4)
+		pat := make(core.Pattern, len(pb)*8)
+		for i := range pat {
+			pat[i] = pb[i/8]&(1<<(i%8)) != 0
+		}
+		v := core.Verdict{
+			Class:        int(id % 43),
+			Monitored:    id%2 == 0,
+			OutOfPattern: id%3 == 0,
+			Pattern:      pat,
+			Epoch:        uint64(id) * 0x9E3779B97F4A7C15,
+		}
+		frame, err := AppendWatchResp(nil, id, v)
+		if err != nil {
+			t.Fatalf("AppendWatchResp: %v", err)
+		}
+		got, err := DecodeWatchResp(frame[HeaderSize:])
+		if err != nil {
+			t.Fatalf("DecodeWatchResp: %v", err)
+		}
+		if got.Class != v.Class || got.Monitored != v.Monitored ||
+			got.OutOfPattern != v.OutOfPattern || got.Epoch != v.Epoch ||
+			len(got.Pattern) != len(v.Pattern) {
+			t.Fatalf("verdict changed: %+v -> %+v", v, got)
+		}
+		if len(pat) > 0 && core.Hamming(got.Pattern, v.Pattern) != 0 {
+			t.Fatal("pattern changed across the wire")
+		}
+		re, err := AppendWatchResp(nil, id, got)
+		if err != nil || !bytes.Equal(re, frame) {
+			t.Fatal("watch response re-encoding differs")
+		}
+
+		// Learn round trip when enough bits remain.
+		if len(pat) > 0 {
+			class := int(id % 64)
+			lrFrame, err := AppendLearnReq(nil, id, class, []core.Pattern{pat, pat})
+			if err != nil {
+				t.Fatalf("AppendLearnReq: %v", err)
+			}
+			gotClass, gotPats, err := DecodeLearnReq(lrFrame[HeaderSize:])
+			if err != nil || gotClass != class || len(gotPats) != 2 ||
+				core.Hamming(gotPats[0], pat) != 0 || core.Hamming(gotPats[1], pat) != 0 {
+				t.Fatalf("learn round trip: class %d, %d pats, %v", gotClass, len(gotPats), err)
+			}
+			reLr, err := AppendLearnReq(nil, id, gotClass, gotPats)
+			if err != nil || !bytes.Equal(reLr, lrFrame) {
+				t.Fatal("learn re-encoding differs")
+			}
+		}
+
+		// Stats: fill every field from the id and round-trip.
+		st := Stats{
+			Queued: id, Submitted: uint64(id) + 1, Served: uint64(id) + 2,
+			Rejected: uint64(id) + 3, Shed: uint64(id) + 4, Batches: uint64(id) + 5,
+			P50Ns: uint64(id) + 6, P99Ns: uint64(id) + 7, Lanes: id + 8,
+			Epoch: uint64(id) + 9, Updates: uint64(id) + 10,
+			GwReceived: uint64(id) + 11, GwMalformed: uint64(id) + 12, GwDropped: uint64(id) + 13,
+		}
+		stFrame := AppendStatsResp(nil, id, st)
+		gotSt, err := DecodeStatsResp(stFrame[HeaderSize:])
+		if err != nil || gotSt != st {
+			t.Fatalf("stats round trip: %+v, %v", gotSt, err)
+		}
+
+		// Err frames round-trip any message bytes.
+		msg := string(next(64))
+		eFrame := AppendErr(nil, id, uint8(id%5)+1, msg)
+		code, gotMsg, err := DecodeErr(eFrame[HeaderSize:])
+		if err != nil || code != uint8(id%5)+1 || gotMsg != msg {
+			t.Fatalf("err round trip: %d %q %v", code, gotMsg, err)
+		}
+
+		// Header id/length fields survive independent of checksum math.
+		hb := AppendHeader(nil, TypePong, id, 77)
+		if binary.LittleEndian.Uint32(hb[2:6]) != id {
+			t.Fatal("id bytes moved")
+		}
+	})
+}

@@ -1,0 +1,483 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"napmon/internal/core"
+	"napmon/internal/serve"
+	"napmon/internal/tensor"
+)
+
+// GatewayConfig sizes a Gateway. The zero value of any field selects
+// its default.
+type GatewayConfig struct {
+	// MaxInflight bounds the watch requests a single TCP connection may
+	// have outstanding (submitted, verdict pending) before its reader
+	// stalls, and the total outstanding datagram requests of the UDP
+	// listener before new ones are shed (default 1024). Together with
+	// the serve queue it bounds gateway memory no matter how hard
+	// clients push.
+	MaxInflight int
+	// WriteQueue is the per-TCP-connection outbound frame queue depth
+	// (default 256). A full queue stalls the producing goroutines — the
+	// slow-consumer case degrades that one connection, not the server.
+	WriteQueue int
+}
+
+func (c GatewayConfig) withDefaults() GatewayConfig {
+	if c.MaxInflight == 0 {
+		c.MaxInflight = 1024
+	}
+	if c.WriteQueue == 0 {
+		c.WriteQueue = 256
+	}
+	return c
+}
+
+// GatewayCounters is a snapshot of a gateway's frame accounting.
+type GatewayCounters struct {
+	// Received counts frames accepted past the packet filter / stream
+	// header validation, across both transports.
+	Received uint64
+	// Responded counts response frames successfully handed to a socket.
+	Responded uint64
+	// Malformed counts datagrams the packet filter rejected, stream
+	// frames with invalid headers (those also kill their connection —
+	// a byte stream cannot resync), and well-framed requests whose
+	// payload failed its codec.
+	Malformed uint64
+	// Dropped counts watch requests shed under pressure: serve-queue
+	// full (UDP only — TCP blocks instead) or the UDP in-flight cap.
+	Dropped uint64
+	// Conns is the number of currently live TCP connections.
+	Conns uint64
+}
+
+// Gateway serves the binary wire protocol over UDP datagrams and
+// persistent TCP streams, feeding the serve.Server micro-batching
+// coalescer behind it.
+//
+// Backpressure is transport-shaped. A TCP connection's reader submits
+// with the blocking Submit and bounds its outstanding responses with a
+// per-connection in-flight cap, so a server at capacity simply stops
+// reading that socket and TCP flow control pushes back to the client —
+// connection-level backpressure, no frame ever dropped. The UDP loop
+// has no connection to stall, so it uses the non-blocking TrySubmit and
+// sheds: queue-full or cap-full requests get a TypeErr/ErrCodeOverloaded
+// reply and a Dropped tick.
+//
+// Responses carry the request's frame id and may be written out of
+// order; pipelining clients match on id.
+type Gateway struct {
+	srv *serve.Server
+	mon *core.Monitor
+	cfg GatewayConfig
+
+	udp *net.UDPConn
+	tcp net.Listener
+
+	udpTokens chan struct{} // UDP outstanding-request cap
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+
+	wg sync.WaitGroup // listener loops, conn readers/writers, responders
+
+	received  atomic.Uint64
+	responded atomic.Uint64
+	malformed atomic.Uint64
+	dropped   atomic.Uint64
+	connCount atomic.Uint64
+}
+
+// NewGateway wraps a running serve.Server (and the monitor it serves —
+// the learn path and the stats epoch come from it) in a protocol
+// gateway. Call ListenUDP/ListenTCP to bind transports, Close to stop.
+func NewGateway(srv *serve.Server, mon *core.Monitor, cfg GatewayConfig) *Gateway {
+	return &Gateway{
+		srv:       srv,
+		mon:       mon,
+		cfg:       cfg.withDefaults(),
+		udpTokens: make(chan struct{}, cfg.withDefaults().MaxInflight),
+		conns:     make(map[net.Conn]struct{}),
+	}
+}
+
+// Counters returns a snapshot of the gateway's frame accounting.
+func (g *Gateway) Counters() GatewayCounters {
+	return GatewayCounters{
+		Received:  g.received.Load(),
+		Responded: g.responded.Load(),
+		Malformed: g.malformed.Load(),
+		Dropped:   g.dropped.Load(),
+		Conns:     g.connCount.Load(),
+	}
+}
+
+// ListenUDP binds the datagram transport and starts its read loop.
+func (g *Gateway) ListenUDP(addr string) error {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return fmt.Errorf("wire: resolve udp %q: %w", addr, err)
+	}
+	pc, err := net.ListenUDP("udp", ua)
+	if err != nil {
+		return err
+	}
+	// Requests burst in faster than inference drains them and responses
+	// burst out at micro-batch boundaries; default-sized socket buffers
+	// drop datagrams under both. Best-effort — the kernel clamps to its
+	// configured max.
+	pc.SetReadBuffer(4 << 20)
+	pc.SetWriteBuffer(4 << 20)
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		pc.Close()
+		return errors.New("wire: gateway closed")
+	}
+	g.udp = pc
+	g.mu.Unlock()
+	g.wg.Add(1)
+	go g.serveUDP(pc)
+	return nil
+}
+
+// ListenTCP binds the stream transport and starts its accept loop.
+func (g *Gateway) ListenTCP(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		ln.Close()
+		return errors.New("wire: gateway closed")
+	}
+	g.tcp = ln
+	g.mu.Unlock()
+	g.wg.Add(1)
+	go g.serveTCP(ln)
+	return nil
+}
+
+// UDPAddr returns the bound UDP address (nil before ListenUDP).
+func (g *Gateway) UDPAddr() net.Addr {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.udp == nil {
+		return nil
+	}
+	return g.udp.LocalAddr()
+}
+
+// TCPAddr returns the bound TCP address (nil before ListenTCP).
+func (g *Gateway) TCPAddr() net.Addr {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.tcp == nil {
+		return nil
+	}
+	return g.tcp.Addr()
+}
+
+// Close stops the listeners, closes every live connection and waits
+// for all gateway goroutines to exit. It does not shut down the
+// serve.Server behind the gateway — pending futures still resolve
+// (their responses go nowhere once the sockets are gone). Close the
+// gateway before draining the server so in-flight verdicts can still
+// be delivered.
+func (g *Gateway) Close() error {
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		g.wg.Wait()
+		return nil
+	}
+	g.closed = true
+	udp, tcp := g.udp, g.tcp
+	conns := make([]net.Conn, 0, len(g.conns))
+	for c := range g.conns {
+		conns = append(conns, c)
+	}
+	g.mu.Unlock()
+	if udp != nil {
+		udp.Close()
+	}
+	if tcp != nil {
+		tcp.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	g.wg.Wait()
+	return nil
+}
+
+// respBufs recycles response encode buffers across requests.
+var respBufs = sync.Pool{New: func() any { return make([]byte, 0, 512) }}
+
+// --- UDP ---
+
+// serveUDP is the datagram read loop: filter, decode, dispatch. One
+// goroutine owns the reads; watch verdicts are awaited and written back
+// by short-lived responder goroutines bounded by udpTokens.
+func (g *Gateway) serveUDP(pc *net.UDPConn) {
+	defer g.wg.Done()
+	buf := make([]byte, MaxUDPFrame)
+	for {
+		n, raddr, err := pc.ReadFromUDP(buf)
+		if err != nil {
+			return // closed (or unrecoverable): the loop owns no other state
+		}
+		pkt := buf[:n]
+		if !BasicPacketFilter(pkt) {
+			g.malformed.Add(1)
+			continue
+		}
+		g.received.Add(1)
+		h, _ := ParseHeader(pkt)
+		payload := pkt[HeaderSize:]
+		switch h.Type {
+		case TypePing:
+			g.writeUDP(pc, raddr, AppendPong(g.getBuf(), h.ID))
+		case TypeStatsReq:
+			g.writeUDP(pc, raddr, AppendStatsResp(g.getBuf(), h.ID, g.stats()))
+		case TypeLearnReq:
+			g.writeUDP(pc, raddr, g.handleLearn(h.ID, payload))
+		case TypeWatchReq:
+			g.handleWatchUDP(pc, raddr, h.ID, payload)
+		default:
+			// A response type arriving at a server: answer with an error
+			// rather than silently eating it, so a misconfigured peer
+			// finds out.
+			g.writeUDP(pc, raddr, AppendErr(g.getBuf(), h.ID, ErrCodeBadRequest,
+				fmt.Sprintf("frame type %d is not a request", h.Type)))
+		}
+	}
+}
+
+// handleWatchUDP decodes and submits one datagram watch request. The
+// read loop must never block on the serve queue (one stalled client
+// would stall every client), so pressure turns into shedding here:
+// no in-flight token or TrySubmit queue-full → ErrCodeOverloaded.
+func (g *Gateway) handleWatchUDP(pc *net.UDPConn, raddr *net.UDPAddr, id uint32, payload []byte) {
+	shape, data, err := DecodeWatchReq(payload)
+	if err != nil {
+		g.malformed.Add(1)
+		g.writeUDP(pc, raddr, AppendErr(g.getBuf(), id, ErrCodeBadRequest, err.Error()))
+		return
+	}
+	select {
+	case g.udpTokens <- struct{}{}:
+	default:
+		g.dropped.Add(1)
+		g.writeUDP(pc, raddr, AppendErr(g.getBuf(), id, ErrCodeOverloaded, "gateway at in-flight cap"))
+		return
+	}
+	fut, err := g.srv.TrySubmit(tensor.FromSlice(data, shape...))
+	if err != nil {
+		<-g.udpTokens
+		g.writeUDP(pc, raddr, g.submitErrFrame(id, err))
+		return
+	}
+	g.wg.Add(1)
+	go func() {
+		defer g.wg.Done()
+		defer func() { <-g.udpTokens }()
+		v, err := fut.Wait()
+		if err != nil {
+			g.writeUDP(pc, raddr, AppendErr(g.getBuf(), id, ErrCodeShutdown, err.Error()))
+			return
+		}
+		frame, err := AppendWatchResp(g.getBuf(), id, v)
+		if err != nil {
+			frame = AppendErr(frame, id, ErrCodeInternal, err.Error())
+		}
+		g.writeUDP(pc, raddr, frame)
+	}()
+}
+
+// writeUDP sends one response datagram and returns the frame buffer to
+// the pool. UDPConn writes are goroutine-safe; send failures are
+// dropped on the floor like any datagram.
+func (g *Gateway) writeUDP(pc *net.UDPConn, raddr *net.UDPAddr, frame []byte) {
+	if _, err := pc.WriteToUDP(frame, raddr); err == nil {
+		g.responded.Add(1)
+	}
+	g.putBuf(frame)
+}
+
+// --- TCP ---
+
+// serveTCP is the stream accept loop.
+func (g *Gateway) serveTCP(ln net.Listener) {
+	defer g.wg.Done()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		g.mu.Lock()
+		if g.closed {
+			g.mu.Unlock()
+			c.Close()
+			return
+		}
+		g.conns[c] = struct{}{}
+		g.mu.Unlock()
+		g.connCount.Add(1)
+		g.wg.Add(1)
+		go g.serveConn(c)
+	}
+}
+
+// serveConn owns one persistent TCP connection: a reader goroutine
+// (this one) decoding frames in arrival order, a writer goroutine
+// draining the outbound queue, and one short-lived goroutine per
+// in-flight watch awaiting its future. Backpressure is the blocking
+// chain reader → inflight cap / serve queue → TCP flow control.
+func (g *Gateway) serveConn(c net.Conn) {
+	defer g.wg.Done()
+	out := make(chan []byte, g.cfg.WriteQueue)
+	inflight := make(chan struct{}, g.cfg.MaxInflight)
+	var pending sync.WaitGroup
+
+	g.wg.Add(1)
+	go func() { // writer: sole owner of conn writes
+		defer g.wg.Done()
+		for frame := range out {
+			if _, err := c.Write(frame); err == nil {
+				g.responded.Add(1)
+			}
+			// On write error keep draining so producers never block on a
+			// dead connection; the read side fails on its own and tears
+			// the connection down.
+			g.putBuf(frame)
+		}
+	}()
+
+	buf := make([]byte, 0, 4096)
+	for {
+		h, payload, err := ReadFrame(c, buf)
+		if err != nil {
+			// A malformed header is an unresyncable stream — count it
+			// and kill the connection. Hangups and transport errors
+			// just end the connection.
+			if errors.Is(err, ErrMalformed) {
+				g.malformed.Add(1)
+			}
+			break
+		}
+		buf = payload[:0]
+		g.received.Add(1)
+		switch h.Type {
+		case TypePing:
+			out <- AppendPong(g.getBuf(), h.ID)
+		case TypeStatsReq:
+			out <- AppendStatsResp(g.getBuf(), h.ID, g.stats())
+		case TypeLearnReq:
+			out <- g.handleLearn(h.ID, payload)
+		case TypeWatchReq:
+			shape, data, err := DecodeWatchReq(payload)
+			if err != nil {
+				g.malformed.Add(1)
+				out <- AppendErr(g.getBuf(), h.ID, ErrCodeBadRequest, err.Error())
+				continue
+			}
+			inflight <- struct{}{} // connection-level backpressure, cap in-flight
+			fut, err := g.srv.Submit(tensor.FromSlice(data, shape...))
+			if err != nil {
+				<-inflight
+				out <- g.submitErrFrame(h.ID, err)
+				continue
+			}
+			pending.Add(1)
+			go func(id uint32) {
+				defer pending.Done()
+				defer func() { <-inflight }()
+				v, err := fut.Wait()
+				if err != nil {
+					out <- AppendErr(g.getBuf(), id, ErrCodeShutdown, err.Error())
+					return
+				}
+				frame, err := AppendWatchResp(g.getBuf(), id, v)
+				if err != nil {
+					frame = AppendErr(frame, id, ErrCodeInternal, err.Error())
+				}
+				out <- frame
+			}(h.ID)
+		default:
+			out <- AppendErr(g.getBuf(), h.ID, ErrCodeBadRequest,
+				fmt.Sprintf("frame type %d is not a request", h.Type))
+		}
+	}
+	// Teardown: stop reading, let every in-flight verdict flush (their
+	// futures resolve once served — or failed by a server drain), then
+	// release the writer and the connection.
+	pending.Wait()
+	close(out)
+	g.mu.Lock()
+	delete(g.conns, c)
+	g.mu.Unlock()
+	c.Close()
+	g.connCount.Add(^uint64(0))
+}
+
+// --- shared handlers ---
+
+// handleLearn decodes a learn request, validates widths against the
+// monitor and publishes the update through the server (serialized, so
+// epoch observation order matches publication order).
+func (g *Gateway) handleLearn(id uint32, payload []byte) []byte {
+	class, pats, err := DecodeLearnReq(payload)
+	if err != nil {
+		g.malformed.Add(1)
+		return AppendErr(g.getBuf(), id, ErrCodeBadRequest, err.Error())
+	}
+	if width := len(g.mon.Neurons()); len(pats[0]) != width {
+		return AppendErr(g.getBuf(), id, ErrCodeBadRequest,
+			fmt.Sprintf("patterns have %d bits, monitor watches %d neurons", len(pats[0]), width))
+	}
+	epoch, err := g.srv.Update(map[int][]core.Pattern{class: pats})
+	if err != nil {
+		return AppendErr(g.getBuf(), id, ErrCodeBadRequest, err.Error())
+	}
+	return AppendLearnResp(g.getBuf(), id, epoch, len(pats))
+}
+
+// submitErrFrame maps a Submit/TrySubmit error to its wire error code.
+func (g *Gateway) submitErrFrame(id uint32, err error) []byte {
+	code := ErrCodeBadRequest
+	switch {
+	case errors.Is(err, serve.ErrServerClosed):
+		code = ErrCodeShutdown
+	case errors.Is(err, serve.ErrQueueFull):
+		g.dropped.Add(1)
+		code = ErrCodeOverloaded
+	}
+	return AppendErr(g.getBuf(), id, code, err.Error())
+}
+
+// stats merges the server snapshot with the gateway frame counters.
+func (g *Gateway) stats() Stats {
+	st := StatsFromServe(g.srv.Stats())
+	st.GwReceived = g.received.Load()
+	st.GwMalformed = g.malformed.Load()
+	st.GwDropped = g.dropped.Load()
+	return st
+}
+
+func (g *Gateway) getBuf() []byte { return respBufs.Get().([]byte)[:0] }
+
+func (g *Gateway) putBuf(b []byte) {
+	if cap(b) <= MaxUDPFrame {
+		respBufs.Put(b[:0]) //nolint:staticcheck // slice header allocation is amortized by reuse
+	}
+}

@@ -207,6 +207,14 @@ type Future = serve.Future
 // Shutdown has begun, and resolves any Future the server aborted.
 var ErrServerClosed = serve.ErrServerClosed
 
+// ErrQueueFull is returned by Server.TrySubmit when the request queue is
+// full. TrySubmit is the non-blocking submission path lossy transports
+// use to shed load explicitly (the UDP side of cmd/napmon-gateway
+// answers it with an "overloaded" error frame) instead of queueing
+// without bound; blocking callers should use Submit, which applies
+// backpressure by waiting.
+var ErrQueueFull = serve.ErrQueueFull
+
 // Serve starts a streaming serving front end over the network and
 // monitor: requests submitted from any number of goroutines are queued,
 // coalesced into micro-batches (flushed at cfg.MaxBatch or after
