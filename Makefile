@@ -4,12 +4,14 @@
 # a benchmark smoke run across a Go version matrix, plus a bench-regression
 # job (bench-json + bench-check against ci/bench-baseline.json), a
 # fuzz-smoke job (test-fuzz), a coverage gate (cover-check against
-# ci/coverage-baseline.txt), a serve-demo end-to-end daemon smoke job and
-# a soak-smoke wire-protocol gate (strict zero-loss UDP+TCP soak).
+# ci/coverage-baseline.txt), a serve-demo end-to-end daemon smoke job, a
+# metrics-smoke observability gate (/metrics exposition validated and
+# cross-checked against /stats) and a soak-smoke wire-protocol gate
+# (strict zero-loss UDP+TCP soak with server-vs-client accounting).
 
 GO ?= go
 
-.PHONY: build test race test-fuzz cover cover-check bench bench-serve bench-json bench-check serve-demo soak-smoke fmt vet lint ci clean
+.PHONY: build test race test-fuzz cover cover-check bench bench-serve bench-json bench-check serve-demo soak-smoke metrics-smoke fmt vet lint ci clean
 
 ## build: compile every package
 build:
@@ -118,20 +120,50 @@ serve-demo:
 ## soak-smoke: start napmon-gateway against a tiny self-trained model and
 ## drive it with cmd/napmon-soak over BOTH transports (closed loop,
 ## -strict: a single dropped, malformed or error frame fails the target).
-## Writes soak-udp.json / soak-tcp.json reports — the artifacts the CI
-## soak-smoke job uploads. SOAK_DURATION scales the run (CI uses ~10s per
-## transport).
+## The gateway's -admin /metrics endpoint is scraped before and after
+## each soak so the server-vs-client accounting diff is part of the
+## gate: requests the server counts as served must equal the responses
+## the soak received. Writes soak-udp.json / soak-tcp.json reports — the
+## artifacts the CI soak-smoke job uploads. SOAK_DURATION scales the run
+## (CI uses ~10s per transport).
 SOAK_UDP ?= 127.0.0.1:9710
 SOAK_TCP ?= 127.0.0.1:9711
+SOAK_ADMIN ?= 127.0.0.1:9712
 SOAK_DURATION ?= 10s
 soak-smoke:
 	$(GO) build -o bin/napmon-gateway ./cmd/napmon-gateway
 	$(GO) build -o bin/napmon-soak ./cmd/napmon-soak
 	@set -e; \
-	bin/napmon-gateway -selftrain 0.05 -udp $(SOAK_UDP) -tcp $(SOAK_TCP) & pid=$$!; \
+	bin/napmon-gateway -selftrain 0.05 -udp $(SOAK_UDP) -tcp $(SOAK_TCP) -admin $(SOAK_ADMIN) & pid=$$!; \
 	trap 'kill $$pid 2>/dev/null || true' EXIT; \
-	bin/napmon-soak -addr $(SOAK_UDP) -proto udp -duration $(SOAK_DURATION) -strict -o soak-udp.json -connect-timeout 120s; \
-	bin/napmon-soak -addr $(SOAK_TCP) -proto tcp -duration $(SOAK_DURATION) -strict -o soak-tcp.json -connect-timeout 120s; \
+	bin/napmon-soak -addr $(SOAK_UDP) -proto udp -duration $(SOAK_DURATION) -strict -o soak-udp.json -connect-timeout 120s -metrics http://$(SOAK_ADMIN)/metrics; \
+	bin/napmon-soak -addr $(SOAK_TCP) -proto tcp -duration $(SOAK_DURATION) -strict -o soak-tcp.json -connect-timeout 120s -metrics http://$(SOAK_ADMIN)/metrics; \
+	kill -TERM $$pid; wait $$pid; trap - EXIT
+
+## metrics-smoke: start napmon-serve against a tiny self-trained model,
+## drive a few /watch requests, then validate GET /metrics end to end
+## with cmd/napmon-metricslint: the exposition must parse under the
+## strict internal grammar, carry the core serve/monitor/epoch/BDD
+## series, and agree with the /stats JSON on the shared counters. CI
+## runs this as the metrics-smoke job.
+METRICS_DEMO_ADDR ?= 127.0.0.1:8842
+metrics-smoke:
+	$(GO) build -o bin/napmon-serve ./cmd/napmon-serve
+	$(GO) build -o bin/napmon-metricslint ./cmd/napmon-metricslint
+	@set -e; \
+	bin/napmon-serve -selftrain 0.05 -addr $(METRICS_DEMO_ADDR) & pid=$$!; \
+	trap 'kill $$pid 2>/dev/null || true' EXIT; \
+	for i in $$(seq 1 150); do \
+		curl -sf http://$(METRICS_DEMO_ADDR)/healthz >/dev/null 2>&1 && break; sleep 0.2; \
+	done; \
+	curl -sf http://$(METRICS_DEMO_ADDR)/healthz; \
+	for i in 1 2 3 4 5; do \
+		awk 'BEGIN{printf "{\"shape\":[1,28,28],\"input\":["; for(i=0;i<784;i++) printf "%s0.1",(i?",":""); print "]}"}' \
+			| curl -sf -X POST --data-binary @- http://$(METRICS_DEMO_ADDR)/watch >/dev/null; \
+	done; \
+	bin/napmon-metricslint -url http://$(METRICS_DEMO_ADDR)/metrics \
+		-stats-url http://$(METRICS_DEMO_ADDR)/stats \
+		-require napmon_requests_submitted_total,napmon_requests_served_total,napmon_stage_duration_seconds,napmon_watched_total,napmon_oop_total,napmon_unmonitored_total,napmon_gamma_level,napmon_epoch,napmon_epoch_swaps_total,napmon_zone_plans_recompiled_total,napmon_bdd_nodes,napmon_bdd_cache_hits_total,napmon_inference_seconds_total,napmon_zone_query_seconds_total; \
 	kill -TERM $$pid; wait $$pid; trap - EXIT
 
 ## fmt: fail if any file needs gofmt

@@ -17,6 +17,13 @@
 // the exact byte layout are documented in internal/wire and pinned by
 // its TestABI. cmd/napmon-soak is the matching load generator.
 //
+// -admin binds an HTTP side listener (disabled by default) serving
+// GET /metrics (Prometheus text: serve + monitor + gateway series) and
+// GET /healthz; -pprof additionally mounts net/http/pprof there. The
+// admin listener is separate from the wire transports so scraping never
+// competes with frame traffic and the profiling surface stays off the
+// data-plane ports.
+//
 // On SIGINT/SIGTERM the daemon shuts down gracefully: listeners stop,
 // open connections close, and the serving queue drains before exit.
 //
@@ -24,6 +31,7 @@
 //
 //	napmon-gateway -selftrain 0.05 [-udp :9710] [-tcp :9711]
 //	napmon-gateway -model m.model -monitor m.monitor [-udp :9710] [-tcp :9711]
+//	               [-admin :9712] [-pprof]
 //	               [-max-batch 64] [-max-delay 2ms] [-queue 1024] [-lanes 1]
 //	               [-max-inflight 1024] [-write-queue 256]
 //
@@ -34,13 +42,17 @@ package main
 import (
 	"context"
 	"flag"
+	"fmt"
 	"log"
+	"net/http"
+	"net/http/pprof"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"napmon"
 	"napmon/internal/exp"
+	"napmon/internal/obs"
 	"napmon/internal/wire"
 )
 
@@ -50,6 +62,8 @@ func main() {
 	var (
 		udpAddr     = flag.String("udp", "127.0.0.1:9710", "UDP listen address (empty = disable UDP)")
 		tcpAddr     = flag.String("tcp", "127.0.0.1:9711", "TCP listen address (empty = disable TCP)")
+		adminAddr   = flag.String("admin", "", "HTTP admin listen address for /metrics and /healthz (empty = disabled)")
+		pprofFlag   = flag.Bool("pprof", false, "mount net/http/pprof on the -admin listener")
 		modelPath   = flag.String("model", "", "trained model file (napmon-train -model)")
 		monitorPath = flag.String("monitor", "", "monitor file (napmon-train -monitor)")
 		selftrain   = flag.Float64("selftrain", 0, "train in-process at this dataset scale instead of loading files (0 = off)")
@@ -109,6 +123,38 @@ func main() {
 		log.Printf("tcp on %s (wire protocol v%d)", g.TCPAddr(), wire.Version)
 	}
 
+	var adminSrv *http.Server
+	if *adminAddr != "" {
+		reg := obs.NewRegistry()
+		srv.RegisterMetrics(reg)
+		g.RegisterMetrics(reg)
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", reg.Handler())
+		mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+			fmt.Fprintln(w, "ok")
+		})
+		if *pprofFlag {
+			mux.HandleFunc("/debug/pprof/", pprof.Index)
+			mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+			mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+			mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+			mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		}
+		adminSrv = &http.Server{
+			Addr:              *adminAddr,
+			Handler:           mux,
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() {
+			if err := adminSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Printf("admin listener: %v", err)
+			}
+		}()
+		log.Printf("admin on http://%s (GET /metrics, GET /healthz)", *adminAddr)
+	} else if *pprofFlag {
+		log.Fatal("-pprof requires -admin")
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 	<-ctx.Done()
@@ -123,6 +169,11 @@ func main() {
 	}
 	dctx, cancel := context.WithTimeout(context.Background(), *drainWait)
 	defer cancel()
+	if adminSrv != nil {
+		if err := adminSrv.Shutdown(dctx); err != nil {
+			log.Printf("admin shutdown: %v", err)
+		}
+	}
 	if err := srv.Shutdown(dctx); err != nil {
 		log.Printf("server shutdown: %v", err)
 	}

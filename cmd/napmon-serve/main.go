@@ -6,8 +6,16 @@
 //	POST /watch    {"shape":[1,28,28],"input":[...]} → one verdict
 //	POST /learn    {"class":3,"patterns":["0101..."]} → absorb patterns,
 //	               publish a new serving epoch (serve-while-retraining)
-//	GET  /stats    serving counters, latency percentiles, current epoch
+//	GET  /stats    serving counters, per-stage latency percentiles,
+//	               monitor verdict tallies, current epoch
+//	GET  /metrics  Prometheus text exposition (internal/obs registry):
+//	               serve counters, per-stage latency histograms, per-class
+//	               watched/out-of-pattern tallies, epoch/swap/BDD series
 //	GET  /healthz  liveness probe
+//
+// -pprof additionally mounts net/http/pprof under /debug/pprof/ on the
+// same listener (off by default: profiling endpoints leak heap contents
+// and should be opted into, not shipped silently).
 //
 // /learn is the online-update loop: a client that sees a flagged (or
 // independently misclassified) decision can feed the verdict's "pattern"
@@ -40,6 +48,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os/signal"
 	"slices"
 	"syscall"
@@ -47,6 +56,7 @@ import (
 
 	"napmon"
 	"napmon/internal/exp"
+	"napmon/internal/obs"
 )
 
 func main() {
@@ -66,6 +76,7 @@ func main() {
 		lanes       = flag.Int("lanes", 0, "serving lanes / network replicas (0 = default)")
 		drainWait   = flag.Duration("drain", 30*time.Second, "graceful shutdown budget")
 		shapeFlag   = flag.String("shape", "", "expected input tensor shape, e.g. 1,28,28 (default: per -dataset)")
+		pprofFlag   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
 
@@ -94,13 +105,24 @@ func main() {
 		log.Fatal(err)
 	}
 
+	reg := obs.NewRegistry()
+	srv.RegisterMetrics(reg)
+
 	mux := http.NewServeMux()
 	mux.HandleFunc("/watch", handleWatch(srv, shape))
 	mux.HandleFunc("/learn", handleLearn(srv, mon))
 	mux.HandleFunc("/stats", handleStats(srv))
+	mux.Handle("/metrics", reg.Handler())
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
+	if *pprofFlag {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	// Header/read timeouts keep one slow-trickling client from pinning a
 	// connection forever and forcing every graceful drain to abort.
 	httpSrv := &http.Server{
@@ -114,7 +136,7 @@ func main() {
 	defer stop()
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
-	log.Printf("serving on http://%s (POST /watch, GET /stats, GET /healthz)", *addr)
+	log.Printf("serving on http://%s (POST /watch, GET /stats, GET /metrics, GET /healthz)", *addr)
 
 	select {
 	case err := <-errCh:
@@ -267,22 +289,38 @@ func handleLearn(srv *napmon.Server, mon *napmon.Monitor) http.HandlerFunc {
 }
 
 // statsResponse renders napmon.ServerStats with latencies both raw (ns)
-// and human-readable.
+// and human-readable, plus the per-stage breakdown and the monitor's
+// verdict tallies.
 type statsResponse struct {
-	Queued        int     `json:"queued"`
-	Submitted     uint64  `json:"submitted"`
-	Served        uint64  `json:"served"`
-	Rejected      uint64  `json:"rejected"`
-	Batches       uint64  `json:"batches"`
-	MeanBatchSize float64 `json:"mean_batch_size"`
-	P50Ns         int64   `json:"p50_ns"`
-	P99Ns         int64   `json:"p99_ns"`
-	P50           string  `json:"p50"`
-	P99           string  `json:"p99"`
-	Lanes         int     `json:"lanes"`
-	Epoch         uint64  `json:"epoch"`
-	Updates       uint64  `json:"updates"`
-	Recompiled    uint64  `json:"recompiled"`
+	Queued        int                   `json:"queued"`
+	Submitted     uint64                `json:"submitted"`
+	Served        uint64                `json:"served"`
+	Rejected      uint64                `json:"rejected"`
+	Shed          uint64                `json:"shed"`
+	Batches       uint64                `json:"batches"`
+	MeanBatchSize float64               `json:"mean_batch_size"`
+	P50Ns         int64                 `json:"p50_ns"`
+	P99Ns         int64                 `json:"p99_ns"`
+	P50           string                `json:"p50"`
+	P99           string                `json:"p99"`
+	Stages        map[string]stageStats `json:"stages"`
+	Monitored     uint64                `json:"monitored"`
+	OutOfPattern  uint64                `json:"out_of_pattern"`
+	Unmonitored   uint64                `json:"unmonitored"`
+	Gamma         int                   `json:"gamma"`
+	Lanes         int                   `json:"lanes"`
+	Epoch         uint64                `json:"epoch"`
+	Updates       uint64                `json:"updates"`
+	Recompiled    uint64                `json:"recompiled"`
+}
+
+// stageStats is one pipeline stage's latency summary in /stats.
+type stageStats struct {
+	P50Ns int64  `json:"p50_ns"`
+	P99Ns int64  `json:"p99_ns"`
+	P50   string `json:"p50"`
+	P99   string `json:"p99"`
+	Count uint64 `json:"count"`
 }
 
 func handleStats(srv *napmon.Server) http.HandlerFunc {
@@ -292,17 +330,33 @@ func handleStats(srv *napmon.Server) http.HandlerFunc {
 			return
 		}
 		st := srv.Stats()
+		stages := make(map[string]stageStats, len(st.Stages))
+		for name, sl := range st.Stages {
+			stages[name] = stageStats{
+				P50Ns: sl.P50.Nanoseconds(),
+				P99Ns: sl.P99.Nanoseconds(),
+				P50:   sl.P50.String(),
+				P99:   sl.P99.String(),
+				Count: sl.Count,
+			}
+		}
 		writeJSON(w, statsResponse{
 			Queued:        st.Queued,
 			Submitted:     st.Submitted,
 			Served:        st.Served,
 			Rejected:      st.Rejected,
+			Shed:          st.Shed,
 			Batches:       st.Batches,
 			MeanBatchSize: st.MeanBatchSize,
 			P50Ns:         st.P50.Nanoseconds(),
 			P99Ns:         st.P99.Nanoseconds(),
 			P50:           st.P50.String(),
 			P99:           st.P99.String(),
+			Stages:        stages,
+			Monitored:     st.Monitored,
+			OutOfPattern:  st.OutOfPattern,
+			Unmonitored:   st.Unmonitored,
+			Gamma:         st.Gamma,
 			Lanes:         st.Lanes,
 			Epoch:         st.Epoch,
 			Updates:       st.Updates,

@@ -16,15 +16,25 @@
 //
 // Every response is matched to its request by frame id, so the report
 // also counts frames that never came back (dropped), responses that
-// fail the packet filter or decoder (malformed), and protocol-level
+// fail the packet filter or decoder (malformed), overload shed replies
+// (overloaded — error frames with code 3), and other protocol-level
 // error frames (server_errors). With -strict, any of those makes the
 // process exit 1 — this is the CI soak gate.
+//
+// -metrics URL points at the gateway's admin /metrics endpoint. The
+// soak scrapes it before and after the run and cross-checks the
+// server-side deltas against its own per-frame accounting: requests the
+// server says it served must equal watch responses this client
+// received, and gateway-reported sheds must equal the overload error
+// frames it got back. A mismatch means lost or double-counted frames
+// somewhere between the serving lanes and this socket; it is printed in
+// the report and fails -strict.
 //
 // Usage:
 //
 //	napmon-soak -addr 127.0.0.1:9710 -proto udp -duration 10s [-rate 0]
 //	            [-conns 4] [-window 32] [-shape 1,28,28] [-o soak.json]
-//	            [-strict]
+//	            [-metrics http://127.0.0.1:9712/metrics] [-strict]
 package main
 
 import (
@@ -34,12 +44,14 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"sort"
 	"sync"
 	"time"
 
 	"napmon/internal/exp"
+	"napmon/internal/obs"
 	"napmon/internal/rng"
 	"napmon/internal/wire"
 )
@@ -58,7 +70,8 @@ func main() {
 		ds        = flag.String("dataset", "mnist", "dataset whose native shape to send when -shape is empty")
 		seed      = flag.Uint64("seed", 1, "input generator seed")
 		out       = flag.String("o", "", "write the JSON report here (default stdout)")
-		strict    = flag.Bool("strict", false, "exit 1 on any dropped, malformed, or error-frame response")
+		metricsU  = flag.String("metrics", "", "gateway admin /metrics URL to scrape before and after for server-side accounting (empty = off)")
+		strict    = flag.Bool("strict", false, "exit 1 on any dropped, malformed, or error-frame response, or a server-vs-client accounting mismatch")
 		probeWait = flag.Duration("connect-timeout", 10*time.Second, "budget for the initial ping probe")
 		grace     = flag.Duration("grace", 2*time.Second, "wait this long after the send window for stragglers")
 	)
@@ -76,6 +89,15 @@ func main() {
 
 	if err := probe(*proto, *addr, *probeWait); err != nil {
 		log.Fatalf("gateway probe failed: %v", err)
+	}
+
+	var before *serverSample
+	if *metricsU != "" {
+		s, err := scrape(*metricsU)
+		if err != nil {
+			log.Fatalf("pre-run metrics scrape: %v", err)
+		}
+		before = s
 	}
 
 	workers := make([]*worker, *conns)
@@ -107,6 +129,7 @@ func main() {
 		rep.Sent += w.sent
 		rep.Received += w.received
 		rep.Malformed += w.malformed
+		rep.Overloaded += w.overloaded
 		rep.ServerErrors += w.serverErrors
 		rep.Dropped += uint64(len(w.pending))
 		lat = append(lat, w.lat...)
@@ -127,6 +150,35 @@ func main() {
 	rep.P50Ns, rep.P99Ns, rep.P999Ns = q(0.50).Nanoseconds(), q(0.99).Nanoseconds(), q(0.999).Nanoseconds()
 	rep.P50, rep.P99, rep.P999 = q(0.50).String(), q(0.99).String(), q(0.999).String()
 
+	accountingOK := true
+	if before != nil {
+		after, err := scrape(*metricsU)
+		if err != nil {
+			log.Fatalf("post-run metrics scrape: %v", err)
+		}
+		sv := &serverSide{
+			ServedDelta:    after.served - before.served,
+			ShedDelta:      after.shed - before.shed,
+			GwDroppedDelta: after.gwDropped - before.gwDropped,
+		}
+		// Served-side accounting must close: every request the server
+		// counts as served came back here as a watch response, and every
+		// gateway shed came back as an overload error frame. (Only holds
+		// when this soak is the gateway's sole client — as in CI.)
+		if sv.ServedDelta != rep.Received {
+			accountingOK = false
+			log.Printf("accounting mismatch: server served %d, client received %d",
+				sv.ServedDelta, rep.Received)
+		}
+		if sv.GwDroppedDelta != rep.Overloaded {
+			accountingOK = false
+			log.Printf("accounting mismatch: gateway shed %d, client saw %d overload frames",
+				sv.GwDroppedDelta, rep.Overloaded)
+		}
+		sv.ConsistentWithClient = accountingOK
+		rep.Server = sv
+	}
+
 	enc, _ := json.MarshalIndent(rep, "", "  ")
 	enc = append(enc, '\n')
 	if *out != "" {
@@ -136,10 +188,53 @@ func main() {
 	}
 	os.Stdout.Write(enc)
 
-	if *strict && (rep.Dropped > 0 || rep.Malformed > 0 || rep.ServerErrors > 0) {
-		log.Fatalf("strict: %d dropped, %d malformed, %d server errors",
-			rep.Dropped, rep.Malformed, rep.ServerErrors)
+	if *strict && (rep.Dropped > 0 || rep.Malformed > 0 || rep.Overloaded > 0 || rep.ServerErrors > 0 || !accountingOK) {
+		log.Fatalf("strict: %d dropped, %d malformed, %d overloaded, %d server errors, accounting ok=%v",
+			rep.Dropped, rep.Malformed, rep.Overloaded, rep.ServerErrors, accountingOK)
 	}
+}
+
+// serverSample is one scrape of the counters the accounting check uses.
+type serverSample struct {
+	served    uint64
+	shed      uint64
+	gwDropped uint64
+}
+
+// scrape fetches and parses a Prometheus exposition, pulling out the
+// serve/gateway counters the server-vs-client accounting diff needs.
+// The exposition is validated wholesale by the internal parser, so a
+// malformed metrics page fails the soak loudly rather than reading as
+// zeros.
+func scrape(url string) (*serverSample, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	exp, err := obs.ParseExposition(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("parse %s: %w", url, err)
+	}
+	s := &serverSample{}
+	for _, f := range []struct {
+		name string
+		dst  *uint64
+	}{
+		{"napmon_requests_served_total", &s.served},
+		{"napmon_requests_shed_total", &s.shed},
+		{"napmon_gateway_frames_dropped_total", &s.gwDropped},
+	} {
+		v, ok := exp.Value(f.name, nil)
+		if !ok {
+			return nil, fmt.Errorf("%s: series %s missing", url, f.name)
+		}
+		*f.dst = uint64(v)
+	}
+	return s, nil
 }
 
 // report is the JSON document the soak run emits.
@@ -153,6 +248,7 @@ type report struct {
 	Received      uint64  `json:"received"`
 	Dropped       uint64  `json:"dropped"`
 	Malformed     uint64  `json:"malformed"`
+	Overloaded    uint64  `json:"overloaded"`
 	ServerErrors  uint64  `json:"server_errors"`
 	ThroughputRPS float64 `json:"throughput_rps"`
 	P50Ns         int64   `json:"p50_ns"`
@@ -161,6 +257,17 @@ type report struct {
 	P50           string  `json:"p50"`
 	P99           string  `json:"p99"`
 	P999          string  `json:"p999"`
+	// Server is the /metrics-derived accounting diff; present only when
+	// -metrics was given.
+	Server *serverSide `json:"server,omitempty"`
+}
+
+// serverSide is the server's view of the run, from /metrics deltas.
+type serverSide struct {
+	ServedDelta          uint64 `json:"served_delta"`
+	ShedDelta            uint64 `json:"shed_delta"`
+	GwDroppedDelta       uint64 `json:"gw_dropped_delta"`
+	ConsistentWithClient bool   `json:"consistent_with_client"`
 }
 
 // probe pings the gateway once so a wrong address fails fast with a
@@ -220,6 +327,7 @@ type worker struct {
 	sent         uint64
 	received     uint64
 	malformed    uint64
+	overloaded   uint64
 	serverErrors uint64
 	lat          []time.Duration
 	err          error
@@ -401,7 +509,14 @@ func (w *worker) receive(c net.Conn, stop <-chan struct{}) {
 				w.lat = append(w.lat, now.Sub(sentAt))
 			}
 		case h.Type == wire.TypeErr:
-			w.serverErrors++
+			// Overload sheds are the server's explicit backpressure signal
+			// and must reconcile against the gateway's dropped counter;
+			// anything else is an unexpected failure.
+			if code, _, derr := wire.DecodeErr(payload); derr == nil && code == wire.ErrCodeOverloaded {
+				w.overloaded++
+			} else {
+				w.serverErrors++
+			}
 		default:
 			w.malformed++
 		}

@@ -80,7 +80,62 @@
 //
 // The cmd/napmon-serve binary exposes this server over HTTP/JSON
 // (POST /watch, POST /learn — the online-update feedback endpoint,
-// GET /stats, GET /healthz) with graceful shutdown.
+// GET /stats, GET /metrics, GET /healthz) with graceful shutdown.
+//
+// # Observability
+//
+// Every serving surface renders one internal/obs registry as
+// Prometheus text: GET /metrics on cmd/napmon-serve, and on
+// cmd/napmon-gateway's -admin listener (both mount net/http/pprof
+// behind an opt-in -pprof flag). Recording is lock-free — counters are
+// atomic adds, latency distributions land in log-bucketed atomic
+// histograms (bounded relative quantile error), and metrics that
+// already exist as atomics register as scrape-time callbacks, so the
+// hot path pays nothing for being observable. The serve pipeline
+// stamps every request through its stages; /stats and /metrics report
+// p50/p99 per stage. The exposed series:
+//
+//	napmon_requests_submitted_total        counter    requests accepted into the queue
+//	napmon_requests_served_total           counter    requests answered with a verdict
+//	napmon_requests_rejected_total         counter    submits refused (server closed)
+//	napmon_requests_shed_total             counter    non-blocking submits refused (queue full)
+//	napmon_batches_total                   counter    micro-batches dispatched to lanes
+//	napmon_queue_depth                     gauge      requests waiting in the bounded queue
+//	napmon_lanes                           gauge      serving lanes (network replicas)
+//	napmon_stage_duration_seconds          histogram  per-stage latency, stage label one of
+//	                                                  queue|coalesce|total (per request) or
+//	                                                  dispatch|inference|zone_query (per batch)
+//	napmon_watched_total                   counter    verdicts per monitored class (class label)
+//	napmon_oop_total                       counter    out-of-pattern verdicts per class (class label)
+//	napmon_unmonitored_total               counter    verdicts the monitor abstained on
+//	napmon_inference_seconds_total         counter    cumulative forward-pass + extraction time
+//	napmon_zone_query_seconds_total        counter    cumulative zone membership query time
+//	napmon_gamma_level                     gauge      Hamming enlargement of the serving epoch
+//	napmon_epoch                           gauge      id of the serving epoch
+//	napmon_epoch_swaps_total               counter    epochs published by online updates
+//	napmon_epoch_swap_seconds_total        counter    cumulative epoch publication wall time
+//	napmon_epoch_swap_last_seconds         gauge      wall time of the latest publication
+//	napmon_zone_plans_recompiled_total     counter    zone query plans rebuilt by updates
+//	napmon_patterns_absorbed_total         counter    activation patterns absorbed by updates
+//	napmon_epochs_released_total           counter    retired epochs past their grace period
+//	napmon_updates_total                   counter    epoch swaps published through the server
+//	napmon_bdd_nodes                       gauge      BDD nodes across the epoch's zone managers
+//	napmon_bdd_unique_hits_total           counter    unique-table hits (node reuse)
+//	napmon_bdd_unique_misses_total         counter    unique-table misses (node creations)
+//	napmon_bdd_cache_hits_total            counter    computed-table hits
+//	napmon_bdd_cache_misses_total          counter    computed-table misses
+//	napmon_bdd_compiles_total              counter    query plans compiled
+//	napmon_gateway_frames_received_total   counter    frames past the packet filter (gateway)
+//	napmon_gateway_frames_responded_total  counter    response frames handed to a socket
+//	napmon_gateway_frames_malformed_total  counter    rejected datagrams/headers/payloads
+//	napmon_gateway_frames_dropped_total    counter    watch requests shed under pressure
+//	napmon_gateway_tcp_conns               gauge      live TCP connections
+//
+// cmd/napmon-metricslint fetches an exposition, validates it with the
+// strict internal parser, and cross-checks it against /stats; the
+// napmon-soak harness scrapes before/after a run and reconciles
+// server-side served/shed deltas against its own per-frame accounting.
+// See DESIGN.md, "Observability: registry, histograms, tracing".
 //
 // Everything is implemented from scratch on the standard library: the
 // tensor math and neural-network substrate, the ROBDD engine (open-
@@ -96,6 +151,9 @@
 // benchmarks against ci/bench-baseline.json), a fuzz-smoke job (make
 // test-fuzz: the differential BDD fuzzer and the pattern wire-format
 // round trip), a coverage gate (make cover-check against
-// ci/coverage-baseline.txt) and a serve-demo end-to-end daemon smoke job
-// (make serve-demo).
+// ci/coverage-baseline.txt), a serve-demo end-to-end daemon smoke job
+// (make serve-demo), a metrics-smoke observability gate (make
+// metrics-smoke: /metrics validated and cross-checked against /stats)
+// and a soak-smoke wire-protocol gate (make soak-smoke: strict
+// zero-loss UDP+TCP soak with server-vs-client accounting).
 package napmon

@@ -106,6 +106,7 @@ func Load(r io.Reader) (*Monitor, error) {
 		m.zones[c] = z
 	}
 	m.upd.m = m
+	m.initWatchCounters()
 	return m, nil
 }
 

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"napmon/internal/nn"
 	"napmon/internal/tensor"
@@ -63,6 +64,14 @@ type Monitor struct {
 	// manager is read-only and membership queries are safe from any
 	// number of goroutines.
 	freezeOnce sync.Once
+
+	// Serving-signal counters (see obs.go): per-class verdict tallies,
+	// abstentions, and the inference/zone-query time split. wc's key set
+	// mirrors zones and is immutable after construction.
+	wc          map[int]*watchCounters
+	unmonitored atomic.Uint64
+	infNs       atomic.Int64
+	zoneNs      atomic.Int64
 }
 
 // Verdict is the outcome of watching one input.
@@ -168,6 +177,7 @@ func BuildFromPatterns(width, gamma int, perClass map[int][]Pattern) (*Monitor, 
 		zones:   zones,
 	}
 	m.upd.m = m
+	m.initWatchCounters()
 	if err := m.buildZones(perClass, gamma); err != nil {
 		return nil, err
 	}
@@ -228,6 +238,7 @@ func newMonitor(net *nn.Network, cfg Config) (*Monitor, error) {
 	}
 	m := &Monitor{cfg: cfg, neurons: neurons, width: width, zones: zones}
 	m.upd.m = m
+	m.initWatchCounters()
 	return m, nil
 }
 
@@ -373,9 +384,12 @@ func (m *Monitor) Watch(net *nn.Network, x *tensor.Tensor) Verdict {
 	}
 	z, ok := zones[pred]
 	if !ok {
+		m.countVerdict(pred, false, false)
 		return Verdict{Class: pred, Monitored: false, Pattern: p, Epoch: eid}
 	}
-	return Verdict{Class: pred, Monitored: true, OutOfPattern: !z.Contains(p), Pattern: p, Epoch: eid}
+	oop := !z.Contains(p)
+	m.countVerdict(pred, true, oop)
+	return Verdict{Class: pred, Monitored: true, OutOfPattern: oop, Pattern: p, Epoch: eid}
 }
 
 // scratchPools recycles tensor.Pool instances across WatchBatch calls so
@@ -478,6 +492,16 @@ func (m *Monitor) WatchBatch(net *nn.Network, inputs []*tensor.Tensor) []Verdict
 // first use; pool must not be shared between concurrent callers. A nil
 // pool uses a throwaway one.
 func (m *Monitor) WatchBatchPooled(net *nn.Network, inputs []*tensor.Tensor, pool *tensor.Pool) []Verdict {
+	return m.WatchBatchPooledTimed(net, inputs, pool, nil)
+}
+
+// WatchBatchPooledTimed is WatchBatchPooled with a per-call stage-time
+// split: when t is non-nil, the chunk's inference and zone-query wall
+// times are accumulated into it, letting a serving lane feed per-stage
+// latency histograms without a second clock read of its own. The
+// monitor-global time counters (InferenceNanos, ZoneQueryNanos) advance
+// either way.
+func (m *Monitor) WatchBatchPooledTimed(net *nn.Network, inputs []*tensor.Tensor, pool *tensor.Pool, t *BatchTiming) []Verdict {
 	if len(inputs) == 0 {
 		return []Verdict{}
 	}
@@ -485,14 +509,14 @@ func (m *Monitor) WatchBatchPooled(net *nn.Network, inputs []*tensor.Tensor, poo
 	e := m.acquire()
 	defer e.unpin()
 	out := make([]Verdict, len(inputs))
-	m.watchChunkPooled(net, inputs, out, pool, e)
+	m.watchChunkPooled(net, inputs, out, pool, e, t)
 	return out
 }
 
 // watchChunk serves one chunk with a recycled scratch pool.
 func (m *Monitor) watchChunk(net *nn.Network, inputs []*tensor.Tensor, out []Verdict, e *epoch) {
 	pool := scratchPools.Get().(*tensor.Pool)
-	m.watchChunkPooled(net, inputs, out, pool, e)
+	m.watchChunkPooled(net, inputs, out, pool, e, nil)
 	scratchPools.Put(pool)
 }
 
@@ -502,7 +526,8 @@ func (m *Monitor) watchChunk(net *nn.Network, inputs []*tensor.Tensor, out []Ver
 // compiled plan is consulted once per chunk (Zone.ContainsBatch →
 // Compiled.EvalBatch), so the branch program stays hot in cache across
 // all of the chunk's rows that hit it, against the caller's pinned epoch.
-func (m *Monitor) watchChunkPooled(net *nn.Network, inputs []*tensor.Tensor, out []Verdict, pool *tensor.Pool, e *epoch) {
+func (m *Monitor) watchChunkPooled(net *nn.Network, inputs []*tensor.Tensor, out []Verdict, pool *tensor.Pool, e *epoch, bt *BatchTiming) {
+	tStart := time.Now()
 	logits, acts := net.ForwardBatchCapture(inputs, m.cfg.Layer, pool)
 	b := len(inputs)
 	nc := logits.Len() / b
@@ -525,6 +550,7 @@ func (m *Monitor) watchChunkPooled(net *nn.Network, inputs []*tensor.Tensor, out
 			pool.Put(acts)
 		}
 	}
+	tInfer := time.Now()
 	// Group rows by predicted class: idx is row order stably sorted by
 	// class (insertion sort — chunks are at most maxWatchChunk rows), so
 	// each run of equal classes becomes one batched zone query.
@@ -554,6 +580,7 @@ func (m *Monitor) watchChunkPooled(net *nn.Network, inputs []*tensor.Tensor, out
 		}
 		z, ok := e.zones[cls]
 		if !ok {
+			m.unmonitored.Add(uint64(end - start))
 			start = end // monitor abstains: Monitored stays false
 			continue
 		}
@@ -562,11 +589,27 @@ func (m *Monitor) watchChunkPooled(net *nn.Network, inputs []*tensor.Tensor, out
 			pats = append(pats, out[idx[j]].Pattern)
 		}
 		z.ContainsBatch(pats, res[:end-start])
+		oop := 0
 		for j := start; j < end; j++ {
 			out[idx[j]].Monitored = true
-			out[idx[j]].OutOfPattern = !res[j-start]
+			if !res[j-start] {
+				out[idx[j]].OutOfPattern = true
+				oop++
+			}
+		}
+		if wc := m.wc[cls]; wc != nil {
+			wc.watched.Add(uint64(end - start))
+			wc.oop.Add(uint64(oop))
 		}
 		start = end
+	}
+	zoneNs := time.Since(tInfer).Nanoseconds()
+	infNs := tInfer.Sub(tStart).Nanoseconds()
+	m.infNs.Add(infNs)
+	m.zoneNs.Add(zoneNs)
+	if bt != nil {
+		bt.InferenceNs += infNs
+		bt.ZoneQueryNs += zoneNs
 	}
 	// Drop the pattern references before pooling the scratch so a parked
 	// buffer cannot pin a retired epoch's patterns. pats was re-sliced to
@@ -587,9 +630,12 @@ func (m *Monitor) WatchPattern(c int, p Pattern) (outOfPattern, monitored bool) 
 	}
 	z, ok := zones[c]
 	if !ok {
+		m.countVerdict(c, false, false)
 		return false, false
 	}
-	return !z.Contains(p), true
+	oop := !z.Contains(p)
+	m.countVerdict(c, true, oop)
+	return oop, true
 }
 
 // StorageNodes returns the total BDD node count across all zones at the

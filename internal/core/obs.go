@@ -1,0 +1,166 @@
+// Serving-signal counters: the paper-level observability surface of the
+// monitor. The out-of-pattern rate is the operational safety signal the
+// whole construction exists to produce, so the monitor counts every
+// verdict it issues — per class, since a fleet alert on "class 3 started
+// going out of pattern" is actionable where a global rate is noise — and
+// meters where serving time goes (inference vs zone query) and what
+// epoch swaps cost. The counters are plain atomics with accessor
+// methods; core deliberately does not import internal/obs — the serve
+// layer bridges these accessors into its metric registry as scrape-time
+// callbacks, so the monitor pays a handful of uncontended atomic adds
+// per chunk and nothing per scrape.
+
+package core
+
+import (
+	"sort"
+	"sync/atomic"
+
+	"napmon/internal/bdd"
+)
+
+// watchCounters tallies one class's verdicts.
+type watchCounters struct {
+	watched atomic.Uint64 // verdicts with Monitored == true
+	oop     atomic.Uint64 // of those, OutOfPattern == true
+}
+
+// initWatchCounters allocates the per-class counter map from the zone
+// set. Called at every construction site, before the monitor escapes:
+// online updates cannot add classes (Updater.Apply rejects unmonitored
+// classes), so the map's key set is immutable and concurrent lookups
+// need no locking.
+func (m *Monitor) initWatchCounters() {
+	m.wc = make(map[int]*watchCounters, len(m.zones))
+	for c := range m.zones {
+		m.wc[c] = &watchCounters{}
+	}
+}
+
+// countVerdict tallies one issued verdict.
+func (m *Monitor) countVerdict(class int, monitored, oop bool) {
+	if !monitored {
+		m.unmonitored.Add(1)
+		return
+	}
+	if c := m.wc[class]; c != nil {
+		c.watched.Add(1)
+		if oop {
+			c.oop.Add(1)
+		}
+	}
+}
+
+// WatchCount is one class's cumulative verdict tally.
+type WatchCount struct {
+	// Watched counts verdicts where the class was monitored.
+	Watched uint64
+	// OutOfPattern counts watched verdicts that fell outside the
+	// γ-comfort zone — the paper's safety signal.
+	OutOfPattern uint64
+}
+
+// WatchCounts returns the cumulative per-class verdict tallies since
+// construction. The returned map is a copy.
+func (m *Monitor) WatchCounts() map[int]WatchCount {
+	out := make(map[int]WatchCount, len(m.wc))
+	for c, wc := range m.wc {
+		out[c] = WatchCount{Watched: wc.watched.Load(), OutOfPattern: wc.oop.Load()}
+	}
+	return out
+}
+
+// WatchClasses returns the monitored class ids in ascending order —
+// the stable label set under which per-class counters are exported.
+func (m *Monitor) WatchClasses() []int {
+	cs := make([]int, 0, len(m.wc))
+	for c := range m.wc {
+		cs = append(cs, c)
+	}
+	sort.Ints(cs)
+	return cs
+}
+
+// WatchCountsFor returns one class's tally without allocating.
+func (m *Monitor) WatchCountsFor(class int) WatchCount {
+	wc := m.wc[class]
+	if wc == nil {
+		return WatchCount{}
+	}
+	return WatchCount{Watched: wc.watched.Load(), OutOfPattern: wc.oop.Load()}
+}
+
+// WatchTotals returns the cumulative verdict tallies across all classes
+// plus the count of verdicts the monitor abstained on (predicted class
+// had no zone).
+func (m *Monitor) WatchTotals() (watched, outOfPattern, unmonitored uint64) {
+	for _, wc := range m.wc {
+		watched += wc.watched.Load()
+		outOfPattern += wc.oop.Load()
+	}
+	return watched, outOfPattern, m.unmonitored.Load()
+}
+
+// InferenceNanos returns cumulative nanoseconds the serving paths spent
+// in batched forward passes and pattern extraction.
+func (m *Monitor) InferenceNanos() int64 { return m.infNs.Load() }
+
+// ZoneQueryNanos returns cumulative nanoseconds the serving paths spent
+// in comfort-zone membership queries.
+func (m *Monitor) ZoneQueryNanos() int64 { return m.zoneNs.Load() }
+
+// BatchTiming receives the per-call stage split of one batched watch:
+// how long the chunk spent in inference (forward pass + pattern
+// extraction) versus zone membership queries. Passed to
+// WatchBatchPooledTimed by serving lanes that feed per-stage latency
+// histograms; fields accumulate so one BatchTiming can span several
+// chunks.
+type BatchTiming struct {
+	InferenceNs int64
+	ZoneQueryNs int64
+}
+
+// ManagerStatsTotal sums BDD manager statistics across the zones of the
+// current serving epoch (or the build-phase zones before freeze). Zones
+// sharing a manager (γ re-view epochs) are counted once. Capacities and
+// hit/miss counters sum; Frozen reports the monitor's own state.
+func (m *Monitor) ManagerStatsTotal() bdd.Stats {
+	zones := m.zones
+	if e := m.acquire(); e != nil {
+		defer e.unpin()
+		zones = e.zones
+	}
+	seen := make(map[*bdd.Manager]bool, len(zones))
+	var total bdd.Stats
+	total.Frozen = m.Frozen()
+	for _, z := range zones {
+		mgr := z.Manager()
+		if seen[mgr] {
+			continue
+		}
+		seen[mgr] = true
+		st := mgr.Stats()
+		total.Nodes += st.Nodes
+		total.UniqueHits += st.UniqueHits
+		total.UniqueMisses += st.UniqueMisses
+		total.CacheHits += st.CacheHits
+		total.CacheMisses += st.CacheMisses
+		total.UniqueCap += st.UniqueCap
+		total.CacheCap += st.CacheCap
+		total.Compiles += st.Compiles
+	}
+	return total
+}
+
+// SwapNanos returns the cumulative and most-recent wall time of epoch
+// publications (shadow-build through pointer swap) — the serve-while-
+// retraining cost signal.
+func (u *Updater) SwapNanos() (total, last int64) {
+	return u.swapNsTotal.Load(), u.swapNsLast.Load()
+}
+
+// recordSwap accumulates one publication's duration.
+func (u *Updater) recordSwap(ns int64) {
+	u.swapNsTotal.Add(ns)
+	u.swapNsLast.Store(ns)
+}

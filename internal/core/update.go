@@ -14,6 +14,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"napmon/internal/bdd"
 )
@@ -117,6 +118,10 @@ type Updater struct {
 	absorbed   atomic.Uint64 // patterns absorbed across all updates
 	released   atomic.Uint64 // retired epochs whose grace period has ended
 	recompiled atomic.Uint64 // zones whose query plans were rebuilt by updates
+
+	// swap wall time, shadow-build through pointer swap (see obs.go)
+	swapNsTotal atomic.Int64
+	swapNsLast  atomic.Int64
 }
 
 // track registers a freshly published (or freeze) epoch's manager
@@ -202,6 +207,8 @@ func (u *Updater) Apply(delta map[int][]Pattern) (uint64, error) {
 	if total == 0 {
 		return cur.id, nil
 	}
+	tStart := time.Now()
+	defer func() { u.recordSwap(time.Since(tStart).Nanoseconds()) }()
 	zones := make(map[int]*Zone, len(cur.zones))
 	for c, z := range cur.zones {
 		zones[c] = z
@@ -246,6 +253,8 @@ func (u *Updater) ApplyGamma(gamma int) (uint64, error) {
 	if gamma == cur.gamma {
 		return cur.id, nil
 	}
+	tStart := time.Now()
+	defer func() { u.recordSwap(time.Since(tStart).Nanoseconds()) }()
 	zones := make(map[int]*Zone, len(cur.zones))
 	for c, z := range cur.zones {
 		nz := z.cloneAtGamma(gamma)

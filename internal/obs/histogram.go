@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// Histogram bucketing: values (non-negative int64, typically nanoseconds)
+// land in log-spaced buckets with subCount linear sub-buckets per octave,
+// HdrHistogram-style. Values below subCount are recorded exactly (one
+// bucket per value); above, a bucket spans [sub<<k, (sub+1)<<k) with
+// sub ∈ [subCount, 2·subCount), so the relative width of any bucket is at
+// most 1/subCount. Quantile estimates therefore carry a bounded relative
+// error of 1/subCount ≈ 3.1% — regardless of the stream's range or length
+// — while Record stays a single unconditional array indexing plus atomic
+// adds: no mutex, no sorting, no sample retention.
+const (
+	subBits  = 5
+	subCount = 1 << subBits // 32 sub-buckets per octave
+
+	// numBuckets covers every uint63 value: linear buckets 0..subCount-1
+	// plus (64-subBits) octaves of subCount sub-buckets each... laid out
+	// contiguously by bucketIndex. The top index is bucketIndex(2^63-1).
+	numBuckets = (63-subBits)*subCount + 2*subCount
+)
+
+// Histogram is a lock-free log-bucketed latency/size histogram. Record
+// costs two atomic adds (bucket and sum) and never allocates or blocks;
+// any quantile is computed at snapshot time from the bucket counts with
+// relative error at most 1/32. The zero value is ready to use, and one
+// Histogram may be shared by any number of recording and snapshotting
+// goroutines.
+//
+// It replaces the mutex-guarded sample ring previously used for serving
+// percentiles: a ring serializes every request on one lock and pays a
+// copy+sort per scrape, where the histogram's hot path is wait-free and a
+// scrape is one bounded array walk (see BenchmarkStatsRecord in
+// internal/serve).
+type Histogram struct {
+	buckets [numBuckets]atomic.Uint64
+	sum     atomic.Int64
+}
+
+// bucketIndex maps a non-negative value to its bucket.
+func bucketIndex(v int64) int {
+	u := uint64(v)
+	if u < subCount {
+		return int(u)
+	}
+	e := bits.Len64(u) - 1 // 2^e <= u < 2^(e+1), e >= subBits
+	return (e-subBits)*subCount + int(u>>(e-subBits))
+}
+
+// bucketMax returns the largest value mapping to bucket idx — the
+// estimate a quantile lookup reports, so estimates never undershoot the
+// exact sample and overshoot by at most the bucket width.
+func bucketMax(idx int) int64 {
+	if idx < subCount {
+		return int64(idx)
+	}
+	e := (idx-subCount)/subCount + subBits
+	sub := uint64(idx - (e-subBits)*subCount)
+	return int64((sub+1)<<(e-subBits) - 1)
+}
+
+// Record adds one observation. Negative values are clamped to zero (they
+// can only arise from clock retrogression in a latency measurement).
+func (h *Histogram) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bucketIndex(v)].Add(1)
+	h.sum.Add(v)
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram's buckets,
+// safe to query without further synchronization. Concurrent Records
+// during the copy may or may not be included (each is atomically counted
+// or not — never torn).
+type HistogramSnapshot struct {
+	counts [numBuckets]uint64
+	count  uint64
+	sum    int64
+}
+
+// Snapshot copies the bucket counts. O(numBuckets), allocation-free when
+// the caller keeps the snapshot on the stack.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	for i := range h.buckets {
+		c := h.buckets[i].Load()
+		s.counts[i] = c
+		s.count += c
+	}
+	s.sum = h.sum.Load()
+	return s
+}
+
+// Count returns the number of recorded observations.
+func (s *HistogramSnapshot) Count() uint64 { return s.count }
+
+// Sum returns the sum of all recorded values. It is read independently
+// of the buckets, so under concurrent recording it may differ from the
+// exact sum of the snapshot's observations by in-flight records.
+func (s *HistogramSnapshot) Sum() int64 { return s.sum }
+
+// Quantile returns the q-quantile (q in [0,1]) of the recorded stream
+// using the same nearest-rank convention as a sorted-sample lookup at
+// index round(q·n): the reported value is the upper bound of the bucket
+// holding that rank, so it is ≥ the exact order statistic and at most
+// one bucket width (≤ 1/32 relative) above it. Returns 0 for an empty
+// histogram.
+func (s *HistogramSnapshot) Quantile(q float64) int64 {
+	if s.count == 0 {
+		return 0
+	}
+	rank := uint64(q*float64(s.count) + 0.5)
+	if rank >= s.count {
+		rank = s.count - 1
+	}
+	var cum uint64
+	for i, c := range s.counts {
+		cum += c
+		if cum > rank {
+			return bucketMax(i)
+		}
+	}
+	return bucketMax(numBuckets - 1) // unreachable: cum == count > rank
+}
+
+// CumulativeLE returns how many recorded observations are ≤ v (exact at
+// bucket boundaries; v is rounded up to its bucket's upper bound). The
+// exposition writer uses it to emit Prometheus cumulative buckets.
+func (s *HistogramSnapshot) CumulativeLE(v int64) uint64 {
+	if v < 0 {
+		return 0
+	}
+	hi := bucketIndex(v)
+	var cum uint64
+	for i := 0; i <= hi; i++ {
+		cum += s.counts[i]
+	}
+	return cum
+}
+
+// nonEmptyRange returns the lowest and highest nonzero bucket indices,
+// or ok=false for an empty snapshot.
+func (s *HistogramSnapshot) nonEmptyRange() (lo, hi int, ok bool) {
+	lo, hi = -1, -1
+	for i, c := range s.counts {
+		if c == 0 {
+			continue
+		}
+		if lo < 0 {
+			lo = i
+		}
+		hi = i
+	}
+	return lo, hi, lo >= 0
+}

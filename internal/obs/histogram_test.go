@@ -1,0 +1,196 @@
+package obs
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// TestBucketIndexRoundTrip pins the bucket geometry: every value maps
+// into a bucket whose [min, max] range contains it, indices are
+// monotone in the value, and bucketMax is the true upper edge (the next
+// value after it lands in a later bucket).
+func TestBucketIndexRoundTrip(t *testing.T) {
+	values := []int64{0, 1, 31, 32, 33, 63, 64, 65, 1023, 1024, 1025, 1 << 20, 1<<40 + 12345, 1<<62 + 999}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 10000; i++ {
+		values = append(values, rng.Int63())
+	}
+	prevIdx := -1
+	sort.Slice(values, func(i, j int) bool { return values[i] < values[j] })
+	for _, v := range values {
+		idx := bucketIndex(v)
+		if idx < 0 || idx >= numBuckets {
+			t.Fatalf("bucketIndex(%d) = %d out of range", v, idx)
+		}
+		if idx < prevIdx {
+			t.Fatalf("bucketIndex not monotone at %d: %d < %d", v, idx, prevIdx)
+		}
+		prevIdx = idx
+		max := bucketMax(idx)
+		if v > max {
+			t.Fatalf("value %d above bucketMax(%d)=%d", v, idx, max)
+		}
+		if max < 1<<62 && bucketIndex(max+1) != idx+1 {
+			t.Fatalf("bucketMax(%d)=%d is not the upper edge: index(max+1)=%d", idx, max, bucketIndex(max+1))
+		}
+	}
+}
+
+// TestHistogramQuantileProperty is the satellite property test: on
+// random streams of varied shape, every quantile estimate must sit
+// within one bucket's relative error of the exact sort-based quantile —
+// at least the exact order statistic, at most (1 + 1/32) times it.
+func TestHistogramQuantileProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	gens := map[string]func() int64{
+		"uniform-small": func() int64 { return rng.Int63n(100) },
+		"uniform-wide":  func() int64 { return rng.Int63n(1 << 40) },
+		"exponential":   func() int64 { return int64(rng.ExpFloat64() * 1e6) },
+		"latency-like":  func() int64 { return 50_000 + int64(rng.ExpFloat64()*700_000) },
+		"heavy-tail": func() int64 {
+			if rng.Intn(100) == 0 {
+				return rng.Int63n(1 << 50)
+			}
+			return rng.Int63n(1000)
+		},
+	}
+	quantiles := []float64{0, 0.01, 0.25, 0.5, 0.9, 0.99, 0.999, 1}
+	for name, gen := range gens {
+		for _, n := range []int{1, 2, 10, 1000, 20000} {
+			var h Histogram
+			samples := make([]int64, n)
+			for i := range samples {
+				v := gen()
+				samples[i] = v
+				h.Record(v)
+			}
+			sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+			snap := h.Snapshot()
+			if snap.Count() != uint64(n) {
+				t.Fatalf("%s n=%d: count %d", name, n, snap.Count())
+			}
+			for _, q := range quantiles {
+				rank := int(q*float64(n) + 0.5)
+				if rank >= n {
+					rank = n - 1
+				}
+				exact := samples[rank]
+				est := snap.Quantile(q)
+				if est < exact {
+					t.Fatalf("%s n=%d q=%v: estimate %d below exact %d", name, n, q, est, exact)
+				}
+				// one bucket of relative error: bucket width ≤ max/32
+				// for the log range, and ±0 for exact linear buckets
+				limit := exact + exact/subCount
+				if exact < subCount {
+					limit = exact // linear range is exact
+				}
+				if est > limit {
+					t.Fatalf("%s n=%d q=%v: estimate %d exceeds exact %d + 1/32 (%d)",
+						name, n, q, est, exact, limit)
+				}
+			}
+		}
+	}
+}
+
+func TestHistogramEmptyAndNegative(t *testing.T) {
+	var h Histogram
+	snap := h.Snapshot()
+	if snap.Count() != 0 || snap.Sum() != 0 || snap.Quantile(0.5) != 0 {
+		t.Fatalf("empty snapshot not zero: count=%d sum=%d p50=%d", snap.Count(), snap.Sum(), snap.Quantile(0.5))
+	}
+	h.Record(-5) // clock retrogression clamps to 0
+	snap = h.Snapshot()
+	if snap.Count() != 1 || snap.Quantile(1) != 0 {
+		t.Fatalf("negative record not clamped: count=%d max=%d", snap.Count(), snap.Quantile(1))
+	}
+}
+
+func TestHistogramSum(t *testing.T) {
+	var h Histogram
+	var want int64
+	for i := int64(1); i <= 1000; i++ {
+		h.Record(i * 37)
+		want += i * 37
+	}
+	snap := h.Snapshot()
+	if got := snap.Sum(); got != want {
+		t.Fatalf("sum %d, want %d", got, want)
+	}
+}
+
+// TestHistogramConcurrent hammers one histogram from many recording
+// goroutines while another snapshots continuously — the -race
+// concurrency coverage for the lock-free claim. Snapshot counts must be
+// monotone and the final state exact.
+func TestHistogramConcurrent(t *testing.T) {
+	const (
+		workers = 8
+		perW    = 5000
+	)
+	var h Histogram
+	stop := make(chan struct{})
+	var snapWG sync.WaitGroup
+	snapWG.Add(1)
+	go func() {
+		defer snapWG.Done()
+		var last uint64
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := h.Snapshot()
+			c := s.Count()
+			if c < last {
+				t.Error("snapshot count went backwards")
+				return
+			}
+			last = c
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < perW; i++ {
+				h.Record(rng.Int63n(1 << 30))
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	close(stop)
+	snapWG.Wait()
+	final := h.Snapshot()
+	if got := final.Count(); got != workers*perW {
+		t.Fatalf("final count %d, want %d", got, workers*perW)
+	}
+}
+
+func TestCumulativeLE(t *testing.T) {
+	var h Histogram
+	for v := int64(0); v < 200; v++ {
+		h.Record(v)
+	}
+	snap := h.Snapshot()
+	// Linear range: exact at every value.
+	if got := snap.CumulativeLE(31); got != 32 {
+		t.Fatalf("CumulativeLE(31) = %d, want 32", got)
+	}
+	// Octave edge 2^7-1 = 127: exact boundary.
+	if got := snap.CumulativeLE(127); got != 128 {
+		t.Fatalf("CumulativeLE(127) = %d, want 128", got)
+	}
+	if got := snap.CumulativeLE(1 << 40); got != 200 {
+		t.Fatalf("CumulativeLE(big) = %d, want 200", got)
+	}
+	if got := snap.CumulativeLE(-1); got != 0 {
+		t.Fatalf("CumulativeLE(-1) = %d, want 0", got)
+	}
+}

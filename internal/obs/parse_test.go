@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"bad value":           "foo_total abc\n",
+		"bad metric name":     "9foo 1\n",
+		"unterminated labels": "foo{a=\"b\" 1\n",
+		"unquoted label":      "foo{a=b} 1\n",
+		"bad escape":          "foo{a=\"\\x\"} 1\n",
+		"duplicate label":     "foo{a=\"1\",a=\"2\"} 1\n",
+		"bad label name":      "foo{9a=\"1\"} 1\n",
+		"duplicate TYPE":      "# TYPE foo counter\n# TYPE foo gauge\nfoo 1\n",
+		"unknown TYPE":        "# TYPE foo widget\nfoo 1\n",
+		"malformed TYPE":      "# TYPE foo\nfoo 1\n",
+		"bucket without le":   "# TYPE h histogram\nh_bucket 3\nh_sum 1\nh_count 3\n",
+		"bad le":              "# TYPE h histogram\nh_bucket{le=\"x\"} 3\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 3\n",
+		"decreasing buckets":  "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n",
+		"histogram bare":      "# TYPE h histogram\nh 3\n",
+		"histogram stray":     "# TYPE h histogram\nh_quantile 3\n",
+		"missing inf":         "# TYPE h histogram\nh_bucket{le=\"1\"} 3\nh_sum 1\nh_count 3\n",
+		"inf count mismatch":  "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 4\n",
+		"bad timestamp":       "foo 1 nope\n",
+		"missing value":       "foo\n",
+		"trailing junk":       "foo 1 2 3\n",
+	}
+	for name, in := range cases {
+		if _, err := ParseExposition(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted %q", name, in)
+		}
+	}
+}
+
+func TestParseAcceptsValidForms(t *testing.T) {
+	in := strings.Join([]string{
+		"# a bare comment line",
+		"# HELP foo_total something helpful",
+		"# TYPE foo_total counter",
+		"foo_total 3",
+		"bar{x=\"1\",y=\"two\"} 4.5 1700000000000",
+		"baz_gauge -12",
+		"inf_gauge +Inf",
+		"nan_gauge NaN",
+		"",
+		"# TYPE lat_seconds histogram",
+		"lat_seconds_bucket{le=\"0.001\"} 2",
+		"lat_seconds_bucket{le=\"+Inf\"} 5",
+		"lat_seconds_sum 0.25",
+		"lat_seconds_count 5",
+	}, "\n") + "\n"
+	exp, err := ParseExposition(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := exp.Value("bar", map[string]string{"x": "1", "y": "two"}); !ok || v != 4.5 {
+		t.Fatalf("bar = %v ok=%v", v, ok)
+	}
+	if v, ok := exp.Value("lat_seconds_bucket", map[string]string{"le": "0.001"}); !ok || v != 2 {
+		t.Fatalf("bucket = %v ok=%v", v, ok)
+	}
+	if exp.Types["foo_total"] != "counter" || exp.Types["lat_seconds"] != "histogram" {
+		t.Fatalf("types: %v", exp.Types)
+	}
+}

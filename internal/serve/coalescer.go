@@ -11,12 +11,14 @@ import (
 // lanes. It accumulates requests into a batch and flushes when the batch
 // reaches MaxBatch, when MaxDelay has passed since the batch's first
 // request, or when the queue closes (drain on Shutdown). On abort it
-// fails everything still queued instead of serving it.
+// fails everything still queued instead of serving it. Each request is
+// stamped on pickup (req.deq) and each batch on flush, feeding the
+// queue/coalesce/dispatch stage histograms.
 func (s *Server) coalesce() {
 	defer s.wg.Done()
 	defer close(s.batches)
 	var (
-		batch    []request
+		pending  []request
 		timer    *time.Timer
 		deadline <-chan time.Time
 	)
@@ -28,27 +30,28 @@ func (s *Server) coalesce() {
 	}
 	flush := func() {
 		disarm()
-		if len(batch) == 0 {
+		if len(pending) == 0 {
 			return
 		}
-		b := batch
-		batch = nil
+		b := batch{reqs: pending, flushed: time.Now()}
+		pending = nil
 		select {
 		case s.batches <- b:
 		case <-s.aborted:
-			failAll(b)
+			failAll(b.reqs)
 		}
 	}
 	for {
-		if batch == nil {
+		if pending == nil {
 			// Empty batch: nothing to time out, block for the next request.
 			select {
 			case req, ok := <-s.queue:
 				if !ok {
 					return
 				}
-				batch = append(batch, req)
-				if len(batch) >= s.cfg.MaxBatch {
+				req.deq = time.Now()
+				pending = append(pending, req)
+				if len(pending) >= s.cfg.MaxBatch {
 					flush()
 					continue
 				}
@@ -66,8 +69,9 @@ func (s *Server) coalesce() {
 				flush()
 				return
 			}
-			batch = append(batch, req)
-			if len(batch) >= s.cfg.MaxBatch {
+			req.deq = time.Now()
+			pending = append(pending, req)
+			if len(pending) >= s.cfg.MaxBatch {
 				flush()
 			}
 		case <-deadline:
@@ -75,7 +79,7 @@ func (s *Server) coalesce() {
 			flush()
 		case <-s.aborted:
 			disarm()
-			failAll(batch)
+			failAll(pending)
 			s.drainFail()
 			return
 		}
@@ -92,41 +96,65 @@ func (s *Server) drainFail() {
 }
 
 // failAll resolves every future in the batch to ErrServerClosed.
-func failAll(batch []request) {
-	for _, req := range batch {
+func failAll(reqs []request) {
+	for _, req := range reqs {
 		req.fut.complete(core.Verdict{}, ErrServerClosed)
 	}
 }
 
 // serveLane is one serving shard's loop: take a micro-batch, feed it
-// whole through the batched GEMM inference path (Monitor.WatchBatchPooled
-// over Network.ForwardBatch) on the lane's private replica and scratch
-// pool, resolve the futures, record metrics. The coalescer's MaxBatch
-// therefore translates directly into GEMM width — no per-input goroutine
-// fan-out; on multi-core hosts the GEMM kernels parallelize internally.
-// The lane's pool stays warm across batches, so a steady lane allocates
-// almost nothing per batch. After an abort, remaining batches are failed
-// without inference so Shutdown returns promptly.
+// whole through the batched GEMM inference path (Monitor.
+// WatchBatchPooledTimed over Network.ForwardBatch) on the lane's private
+// replica and scratch pool, resolve the futures, record metrics. The
+// coalescer's MaxBatch therefore translates directly into GEMM width —
+// no per-input goroutine fan-out; on multi-core hosts the GEMM kernels
+// parallelize internally. The lane's pool stays warm across batches, so
+// a steady lane allocates almost nothing per batch beyond the published
+// counter pair. After an abort, remaining batches are failed without
+// inference so Shutdown returns promptly.
+//
+// Stage accounting per batch: dispatch (flush → here), inference and
+// zone_query (split reported by the monitor) are batch-level
+// observations; queue (enq → deq), coalesce (deq → flush) and total
+// (enq → verdict) are recorded per request.
 func (s *Server) serveLane(ln *lane) {
 	defer s.wg.Done()
-	for batch := range s.batches {
+	for b := range s.batches {
 		select {
 		case <-s.aborted:
-			failAll(batch)
+			failAll(b.reqs)
 			continue
 		default:
 		}
-		inputs := make([]*tensor.Tensor, len(batch))
-		for i, req := range batch {
+		start := time.Now()
+		s.stages.record(stageDispatch, start.Sub(b.flushed))
+		inputs := make([]*tensor.Tensor, len(b.reqs))
+		for i, req := range b.reqs {
 			inputs[i] = req.input
 		}
-		verdicts := s.mon.WatchBatchPooled(ln.net, inputs, ln.scratch)
+		var bt core.BatchTiming
+		verdicts := s.mon.WatchBatchPooledTimed(ln.net, inputs, ln.scratch, &bt)
+		s.stages.hist[stageInference].Record(bt.InferenceNs)
+		s.stages.hist[stageZoneQuery].Record(bt.ZoneQueryNs)
 		now := time.Now()
-		for i, req := range batch {
-			s.lat.record(now.Sub(req.enq))
+		for i, req := range b.reqs {
+			s.stages.record(stageQueue, req.deq.Sub(req.enq))
+			s.stages.record(stageCoalesce, b.flushed.Sub(req.deq))
+			s.stages.record(stageTotal, now.Sub(req.enq))
 			req.fut.complete(verdicts[i], nil)
 		}
-		s.served.Add(uint64(len(batch)))
-		s.numBatches.Add(1)
+		// Publish (served, batches) as one immutable pair: a CAS loop
+		// instead of two independent atomic adds, so Stats can read a
+		// consistent snapshot for MeanBatchSize.
+		for {
+			old := s.counts.Load()
+			next := &servedCounts{
+				served:  old.served + uint64(len(b.reqs)),
+				batches: old.batches + 1,
+			}
+			if s.counts.CompareAndSwap(old, next) {
+				break
+			}
+		}
 	}
 }

@@ -72,8 +72,10 @@ type Config struct {
 	// oversubscribing cores, since each WatchBatch already fans out over
 	// GOMAXPROCS workers.
 	Lanes int
-	// LatencyWindow is how many recent request latencies the p50/p99
-	// estimates in Stats are computed over (default 1024).
+	// LatencyWindow is accepted for configuration compatibility but no
+	// longer bounds anything: latency percentiles now come from
+	// constant-memory log-bucketed histograms over every request since
+	// start (see stageStats), not a sliding sample window.
 	LatencyWindow int
 	// InputShape, when non-nil, makes Submit reject inputs whose tensor
 	// shape differs from it. The tensor substrate panics on
@@ -124,11 +126,22 @@ func (c Config) validate() error {
 }
 
 // request is one queued unit of work: the input, the future that carries
-// its verdict back, and the enqueue time the latency metrics are based on.
+// its verdict back, and the enqueue/dequeue timestamps the per-stage
+// latency metrics are based on (enq set by Submit, deq by the coalescer
+// when it picks the request up).
 type request struct {
 	input *tensor.Tensor
 	fut   *Future
 	enq   time.Time
+	deq   time.Time
+}
+
+// batch is one coalesced micro-batch in flight to a lane, stamped with
+// its flush time so the dispatch stage (flush → lane pickup) is
+// measurable.
+type batch struct {
+	reqs    []request
+	flushed time.Time
 }
 
 // lane is one serving shard: a CloneShared network replica plus a
@@ -148,10 +161,10 @@ type Server struct {
 	mon   *core.Monitor
 	lanes []*lane
 
-	queue   chan request   // Submit → coalescer (bounded; backpressure)
-	batches chan []request // coalescer → lanes
-	aborted chan struct{}  // closed when a Shutdown context expires
-	done    chan struct{}  // closed when coalescer and all lanes exit
+	queue   chan request  // Submit → coalescer (bounded; backpressure)
+	batches chan batch    // coalescer → lanes
+	aborted chan struct{} // closed when a Shutdown context expires
+	done    chan struct{} // closed when coalescer and all lanes exit
 
 	mu       sync.Mutex
 	closed   bool
@@ -167,13 +180,14 @@ type Server struct {
 	abortOnce sync.Once
 	wg        sync.WaitGroup // coalescer + lanes
 
-	submitted  atomic.Uint64
-	served     atomic.Uint64
-	rejected   atomic.Uint64
-	shed       atomic.Uint64
-	numBatches atomic.Uint64
-	updates    atomic.Uint64
-	lat        latencyRing
+	submitted atomic.Uint64
+	rejected  atomic.Uint64
+	shed      atomic.Uint64
+	updates   atomic.Uint64
+	// counts carries (served, batches) as one immutable pair so readers
+	// snapshot both atomically; see servedCounts.
+	counts atomic.Pointer[servedCounts]
+	stages stageStats
 }
 
 // New builds a Server over the network and monitor and starts its
@@ -196,11 +210,11 @@ func New(net *nn.Network, m *core.Monitor, cfg Config) (*Server, error) {
 		cfg:     cfg,
 		mon:     m,
 		queue:   make(chan request, cfg.QueueDepth),
-		batches: make(chan []request, cfg.Lanes),
+		batches: make(chan batch, cfg.Lanes),
 		aborted: make(chan struct{}),
 		done:    make(chan struct{}),
 	}
-	s.lat.init(cfg.LatencyWindow)
+	s.counts.Store(&servedCounts{})
 	s.lanes = make([]*lane, cfg.Lanes)
 	for i := range s.lanes {
 		s.lanes[i] = &lane{net: net.CloneShared(), scratch: tensor.NewPool()}
@@ -397,26 +411,42 @@ func (s *Server) abort() {
 // Stats returns a snapshot of the server's counters and latency
 // percentiles. Safe to call at any time, including after Shutdown.
 func (s *Server) Stats() Stats {
-	nb := s.numBatches.Load()
-	served := s.served.Load()
+	// One pointer load yields served and batches from the same instant:
+	// the mean cannot be skewed by a batch completing between two loads.
+	sc := s.counts.Load()
 	mean := 0.0
-	if nb > 0 {
-		mean = float64(served) / float64(nb)
+	if sc.batches > 0 {
+		mean = float64(sc.served) / float64(sc.batches)
 	}
-	p50, p99 := s.lat.percentiles()
+	total := s.stages.latency(stageTotal)
+	stages := make(map[string]StageLatency, numStages)
+	for i, name := range stageNames {
+		stages[name] = s.stages.latency(i)
+	}
+	watched, oop, unmon := s.mon.WatchTotals()
 	return Stats{
 		Queued:        len(s.queue),
 		Submitted:     s.submitted.Load(),
-		Served:        served,
+		Served:        sc.served,
 		Rejected:      s.rejected.Load(),
 		Shed:          s.shed.Load(),
-		Batches:       nb,
+		Batches:       sc.batches,
 		MeanBatchSize: mean,
-		P50:           p50,
-		P99:           p99,
+		P50:           total.P50,
+		P99:           total.P99,
+		Stages:        stages,
+		Monitored:     watched,
+		OutOfPattern:  oop,
+		Unmonitored:   unmon,
+		Gamma:         s.mon.Gamma(),
 		Lanes:         len(s.lanes),
 		Epoch:         s.mon.Epoch(),
 		Updates:       s.updates.Load(),
 		Recompiled:    s.mon.Updater().Recompiled(),
 	}
 }
+
+// Monitor returns the monitor this server serves — the handle metric
+// registration and admin surfaces use to reach the paper-level signals
+// (per-class verdict tallies, epoch/update counters, BDD stats).
+func (s *Server) Monitor() *core.Monitor { return s.mon }

@@ -464,24 +464,41 @@ func TestInputShapeGate(t *testing.T) {
 	}
 }
 
-func TestLatencyRingPercentiles(t *testing.T) {
-	var r latencyRing
-	r.init(4)
-	if p50, p99 := r.percentiles(); p50 != 0 || p99 != 0 {
-		t.Fatalf("empty ring percentiles = %v, %v", p50, p99)
+// TestStagePercentiles pins the latencyRing-replacement shim: Stats.P50
+// and P99 keep their nearest-rank-on-rank semantics, now answered by the
+// total-stage histogram within its 1/32 relative error bound.
+func TestStagePercentiles(t *testing.T) {
+	var st stageStats
+	if lat := st.latency(stageTotal); lat.P50 != 0 || lat.P99 != 0 || lat.Count != 0 {
+		t.Fatalf("empty stage latency = %+v", lat)
 	}
+	// Small exact values (below 32ns they land in exact linear buckets).
 	for _, d := range []time.Duration{40, 10, 30, 20} {
-		r.record(d)
+		st.record(stageTotal, d)
 	}
-	p50, p99 := r.percentiles()
-	if p50 != 30 || p99 != 40 {
-		t.Fatalf("percentiles = %v, %v; want 30, 40", p50, p99)
+	lat := st.latency(stageTotal)
+	// Nearest rank over {10,20,30,40}: p50 → index 2 (30), p99 → index 3.
+	if lat.P50 < 30 || lat.P50 > 30+30/32 {
+		t.Fatalf("P50 = %v, want ~30", lat.P50)
 	}
-	// Overwrite wraps: the window now holds {50, 60, 30, 20}.
-	r.record(50)
-	r.record(60)
-	if p50, p99 = r.percentiles(); p50 != 50 || p99 != 60 {
-		t.Fatalf("post-wrap percentiles = %v, %v; want 50, 60", p50, p99)
+	if lat.P99 < 40 || lat.P99 > 40+40/32 {
+		t.Fatalf("P99 = %v, want ~40", lat.P99)
+	}
+	if lat.Count != 4 {
+		t.Fatalf("Count = %d, want 4", lat.Count)
+	}
+	// Realistic latency magnitudes stay within the error bound too.
+	var st2 stageStats
+	for i := 1; i <= 1000; i++ {
+		st2.record(stageTotal, time.Duration(i)*time.Microsecond)
+	}
+	lat = st2.latency(stageTotal)
+	exact50, exact99 := 501*time.Microsecond, 991*time.Microsecond
+	if lat.P50 < exact50 || lat.P50 > exact50+exact50/32 {
+		t.Fatalf("P50 = %v, want [%v, +1/32]", lat.P50, exact50)
+	}
+	if lat.P99 < exact99 || lat.P99 > exact99+exact99/32 {
+		t.Fatalf("P99 = %v, want [%v, +1/32]", lat.P99, exact99)
 	}
 }
 

@@ -1,9 +1,9 @@
 package serve
 
 import (
-	"sort"
-	"sync"
 	"time"
+
+	"napmon/internal/obs"
 )
 
 // Stats is a point-in-time snapshot of a Server's counters, reported by
@@ -23,15 +23,34 @@ type Stats struct {
 	// queueing.
 	Shed uint64
 	// Batches is the number of micro-batches dispatched to lanes;
-	// MeanBatchSize is Served-so-far divided by it, the coalescer's
-	// effectiveness measure (1.0 = no coalescing happened).
+	// MeanBatchSize is Served divided by it, the coalescer's
+	// effectiveness measure (1.0 = no coalescing happened). Both come
+	// from one atomic snapshot, so the ratio is exact even while lanes
+	// are completing batches concurrently.
 	Batches       uint64
 	MeanBatchSize float64
-	// P50 and P99 are request latency percentiles (enqueue to verdict)
-	// over the most recent LatencyWindow served requests; zero until the
+	// P50 and P99 are end-to-end request latency percentiles (enqueue to
+	// verdict) over every request served since start, estimated from a
+	// log-bucketed histogram with ≤1/32 relative error; zero until the
 	// first request is served.
 	P50 time.Duration
 	P99 time.Duration
+	// Stages breaks the pipeline down: per-stage latency percentiles
+	// keyed by stage name. "queue" (enqueue → coalescer pickup),
+	// "coalesce" (pickup → batch flush) and "total" (enqueue → verdict)
+	// are per-request distributions; "dispatch" (flush → lane pickup),
+	// "inference" (forward pass + pattern extraction) and "zone_query"
+	// (comfort-zone membership) are per-batch.
+	Stages map[string]StageLatency
+	// Monitored and OutOfPattern are the monitor's cumulative verdict
+	// tallies across all classes — the paper's safety signal, summed
+	// (per-class resolution is on /metrics). Unmonitored counts verdicts
+	// the monitor abstained on.
+	Monitored    uint64
+	OutOfPattern uint64
+	Unmonitored  uint64
+	// Gamma is the serving enlargement level of the current epoch.
+	Gamma int
 	// Lanes is the number of serving lanes (network replicas).
 	Lanes int
 	// Epoch is the id of the monitor epoch currently serving; it starts
@@ -51,48 +70,59 @@ type Stats struct {
 	Recompiled uint64
 }
 
-// latencyRing keeps the last cap(buf) request latencies for percentile
-// estimates. A fixed window keeps Stats O(window) and the memory bounded
-// no matter how long the server lives.
-type latencyRing struct {
-	mu  sync.Mutex
-	buf []time.Duration
-	n   uint64 // total ever recorded; buf[i] valid for i < min(n, len(buf))
+// StageLatency is one pipeline stage's latency percentiles.
+type StageLatency struct {
+	P50 time.Duration
+	P99 time.Duration
+	// Count is how many observations the percentiles summarize
+	// (requests for per-request stages, batches for per-batch ones).
+	Count uint64
 }
 
-func (r *latencyRing) init(window int) {
-	r.buf = make([]time.Duration, window)
+// stageNames lists the pipeline stages in flow order; stageStats.hist
+// is indexed by these positions.
+var stageNames = [...]string{"queue", "coalesce", "dispatch", "inference", "zone_query", "total"}
+
+const (
+	stageQueue = iota
+	stageCoalesce
+	stageDispatch
+	stageInference
+	stageZoneQuery
+	stageTotal
+	numStages
+)
+
+// stageStats holds one lock-free histogram per pipeline stage. Recording
+// is a pair of atomic adds per observation — no mutex, no sample
+// retention — so many lanes record concurrently without contention; the
+// old latencyRing serialized every request on one lock and paid a
+// copy+sort per scrape (BenchmarkStatsRecord holds the comparison).
+// Values are nanoseconds.
+type stageStats struct {
+	hist [numStages]obs.Histogram
 }
 
-func (r *latencyRing) record(d time.Duration) {
-	r.mu.Lock()
-	if len(r.buf) > 0 {
-		r.buf[r.n%uint64(len(r.buf))] = d
-		r.n++
-	}
-	r.mu.Unlock()
+func (st *stageStats) record(stage int, d time.Duration) {
+	st.hist[stage].Record(d.Nanoseconds())
 }
 
-// percentiles returns the p50 and p99 of the current window (nearest-rank
-// on the sorted window), or zeros when nothing has been recorded.
-func (r *latencyRing) percentiles() (p50, p99 time.Duration) {
-	r.mu.Lock()
-	live := len(r.buf)
-	if r.n < uint64(live) {
-		live = int(r.n)
+// latency summarizes one stage from a fresh snapshot.
+func (st *stageStats) latency(stage int) StageLatency {
+	snap := st.hist[stage].Snapshot()
+	return StageLatency{
+		P50:   time.Duration(snap.Quantile(0.50)),
+		P99:   time.Duration(snap.Quantile(0.99)),
+		Count: snap.Count(),
 	}
-	sample := append([]time.Duration(nil), r.buf[:live]...)
-	r.mu.Unlock()
-	if len(sample) == 0 {
-		return 0, 0
-	}
-	sort.Slice(sample, func(i, j int) bool { return sample[i] < sample[j] })
-	rank := func(p float64) time.Duration {
-		i := int(p*float64(len(sample)) + 0.5)
-		if i >= len(sample) {
-			i = len(sample) - 1
-		}
-		return sample[i]
-	}
-	return rank(0.50), rank(0.99)
+}
+
+// servedCounts is the (served, batches) pair behind Stats.MeanBatchSize.
+// Lanes publish updates by swapping a fresh immutable pair in with CAS,
+// so a reader's single pointer load observes both counters from the
+// same instant — the two-independent-loads race that used to skew the
+// mean under load is structurally gone.
+type servedCounts struct {
+	served  uint64
+	batches uint64
 }

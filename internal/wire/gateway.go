@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"napmon/internal/core"
+	"napmon/internal/obs"
 	"napmon/internal/serve"
 	"napmon/internal/tensor"
 )
@@ -471,7 +472,31 @@ func (g *Gateway) stats() Stats {
 	st.GwReceived = g.received.Load()
 	st.GwMalformed = g.malformed.Load()
 	st.GwDropped = g.dropped.Load()
+	st.GwConns = uint32(g.connCount.Load())
 	return st
+}
+
+// RegisterMetrics exposes the gateway's frame accounting on reg under
+// the napmon_gateway_ namespace, as scrape-time callbacks over the
+// counters the transport loops already maintain. Call once per
+// registry; pair with Server.RegisterMetrics on the same registry for
+// the full serving picture.
+func (g *Gateway) RegisterMetrics(reg *obs.Registry) {
+	reg.CounterFunc("napmon_gateway_frames_received_total",
+		"frames accepted past the packet filter / stream header validation",
+		func() uint64 { return g.received.Load() })
+	reg.CounterFunc("napmon_gateway_frames_responded_total",
+		"response frames successfully handed to a socket",
+		func() uint64 { return g.responded.Load() })
+	reg.CounterFunc("napmon_gateway_frames_malformed_total",
+		"datagrams, stream headers or payloads rejected as malformed",
+		func() uint64 { return g.malformed.Load() })
+	reg.CounterFunc("napmon_gateway_frames_dropped_total",
+		"watch requests shed under pressure (queue full or in-flight cap)",
+		func() uint64 { return g.dropped.Load() })
+	reg.GaugeFunc("napmon_gateway_tcp_conns",
+		"live TCP connections",
+		func() float64 { return float64(g.connCount.Load()) })
 }
 
 func (g *Gateway) getBuf() []byte { return respBufs.Get().([]byte)[:0] }

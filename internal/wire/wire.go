@@ -51,7 +51,10 @@ import (
 
 const (
 	// Version is the protocol version carried in byte 0 of every frame.
-	Version = 1
+	// v2 extended the stats response with monitor-level counters
+	// (monitored/out-of-pattern verdicts, gamma, recompiled plans) and
+	// the gateway's live TCP connection count.
+	Version = 2
 
 	// HeaderSize is the fixed frame header length in bytes.
 	HeaderSize = 12
@@ -454,18 +457,28 @@ type Stats struct {
 	Lanes     uint32
 	Epoch     uint64
 	Updates   uint64
+	// Monitor-level signals (v2): zone query plans recompiled by online
+	// updates, verdicts issued for monitored classes, out-of-pattern
+	// verdicts among them (the paper's safety signal), and the Hamming
+	// enlargement level of the serving epoch.
+	Recompiled uint64
+	Monitored  uint64
+	OOP        uint64
+	Gamma      uint32
 	// Gateway-level frame accounting (zero when reported by a
 	// non-gateway peer): frames accepted past the packet filter, frames
-	// the filter or a codec rejected, and watch requests dropped by
-	// load shedding or overload instead of being served.
+	// the filter or a codec rejected, watch requests dropped by load
+	// shedding or overload instead of being served, and live TCP
+	// connections (v2).
 	GwReceived  uint64
 	GwMalformed uint64
 	GwDropped   uint64
+	GwConns     uint32
 }
 
-// statsPayloadLen is the fixed stats response payload size: two uint32
-// fields and twelve uint64 fields, little-endian, declaration order.
-const statsPayloadLen = 104
+// statsPayloadLen is the fixed stats response payload size: four uint32
+// fields and fifteen uint64 fields, little-endian, declaration order.
+const statsPayloadLen = 136
 
 // AppendStatsReq appends an empty stats request frame.
 func AppendStatsReq(dst []byte, id uint32) []byte { return AppendHeader(dst, TypeStatsReq, id, 0) }
@@ -473,21 +486,25 @@ func AppendStatsReq(dst []byte, id uint32) []byte { return AppendHeader(dst, Typ
 // StatsFromServe converts a serve.Stats snapshot to its wire form.
 func StatsFromServe(st serve.Stats) Stats {
 	return Stats{
-		Queued:    uint32(st.Queued),
-		Submitted: st.Submitted,
-		Served:    st.Served,
-		Rejected:  st.Rejected,
-		Shed:      st.Shed,
-		Batches:   st.Batches,
-		P50Ns:     uint64(st.P50.Nanoseconds()),
-		P99Ns:     uint64(st.P99.Nanoseconds()),
-		Lanes:     uint32(st.Lanes),
-		Epoch:     st.Epoch,
-		Updates:   st.Updates,
+		Queued:     uint32(st.Queued),
+		Submitted:  st.Submitted,
+		Served:     st.Served,
+		Rejected:   st.Rejected,
+		Shed:       st.Shed,
+		Batches:    st.Batches,
+		P50Ns:      uint64(st.P50.Nanoseconds()),
+		P99Ns:      uint64(st.P99.Nanoseconds()),
+		Lanes:      uint32(st.Lanes),
+		Epoch:      st.Epoch,
+		Updates:    st.Updates,
+		Recompiled: st.Recompiled,
+		Monitored:  st.Monitored,
+		OOP:        st.OutOfPattern,
+		Gamma:      uint32(st.Gamma),
 	}
 }
 
-// AppendStatsResp appends a stats response: the fixed 104-byte counter
+// AppendStatsResp appends a stats response: the fixed 136-byte counter
 // block, every field little-endian in declaration order.
 func AppendStatsResp(dst []byte, id uint32, st Stats) []byte {
 	dst = AppendHeader(dst, TypeStatsResp, id, statsPayloadLen)
@@ -502,9 +519,14 @@ func AppendStatsResp(dst []byte, id uint32, st Stats) []byte {
 	dst = binary.LittleEndian.AppendUint32(dst, st.Lanes)
 	dst = binary.LittleEndian.AppendUint64(dst, st.Epoch)
 	dst = binary.LittleEndian.AppendUint64(dst, st.Updates)
+	dst = binary.LittleEndian.AppendUint64(dst, st.Recompiled)
+	dst = binary.LittleEndian.AppendUint64(dst, st.Monitored)
+	dst = binary.LittleEndian.AppendUint64(dst, st.OOP)
+	dst = binary.LittleEndian.AppendUint32(dst, st.Gamma)
 	dst = binary.LittleEndian.AppendUint64(dst, st.GwReceived)
 	dst = binary.LittleEndian.AppendUint64(dst, st.GwMalformed)
 	dst = binary.LittleEndian.AppendUint64(dst, st.GwDropped)
+	dst = binary.LittleEndian.AppendUint32(dst, st.GwConns)
 	return dst
 }
 
@@ -525,9 +547,14 @@ func DecodeStatsResp(payload []byte) (Stats, error) {
 		Lanes:       binary.LittleEndian.Uint32(payload[60:64]),
 		Epoch:       binary.LittleEndian.Uint64(payload[64:72]),
 		Updates:     binary.LittleEndian.Uint64(payload[72:80]),
-		GwReceived:  binary.LittleEndian.Uint64(payload[80:88]),
-		GwMalformed: binary.LittleEndian.Uint64(payload[88:96]),
-		GwDropped:   binary.LittleEndian.Uint64(payload[96:104]),
+		Recompiled:  binary.LittleEndian.Uint64(payload[80:88]),
+		Monitored:   binary.LittleEndian.Uint64(payload[88:96]),
+		OOP:         binary.LittleEndian.Uint64(payload[96:104]),
+		Gamma:       binary.LittleEndian.Uint32(payload[104:108]),
+		GwReceived:  binary.LittleEndian.Uint64(payload[108:116]),
+		GwMalformed: binary.LittleEndian.Uint64(payload[116:124]),
+		GwDropped:   binary.LittleEndian.Uint64(payload[124:132]),
+		GwConns:     binary.LittleEndian.Uint32(payload[132:136]),
 	}, nil
 }
 
