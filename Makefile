@@ -6,12 +6,15 @@
 # fuzz-smoke job (test-fuzz), a coverage gate (cover-check against
 # ci/coverage-baseline.txt), a serve-demo end-to-end daemon smoke job, a
 # metrics-smoke observability gate (/metrics exposition validated and
-# cross-checked against /stats) and a soak-smoke wire-protocol gate
-# (strict zero-loss UDP+TCP soak with server-vs-client accounting).
+# cross-checked against /stats), a soak-smoke wire-protocol gate
+# (strict zero-loss UDP+TCP soak with server-vs-client accounting) and a
+# fleet-smoke replication gate (leader with two self-trained tenants,
+# snapshot-bootstrapped follower, streamed learn deltas, epoch-equality
+# convergence with per-tenant metrics asserted on both daemons).
 
 GO ?= go
 
-.PHONY: build test race test-fuzz cover cover-check bench bench-serve bench-json bench-check serve-demo soak-smoke metrics-smoke fmt vet lint ci clean
+.PHONY: build test race test-fuzz cover cover-check bench bench-serve bench-json bench-check serve-demo soak-smoke metrics-smoke fleet-smoke fmt vet lint ci clean
 
 ## build: compile every package
 build:
@@ -70,21 +73,22 @@ bench-serve:
 	$(GO) test -run '^$$' -bench 'BenchmarkServe|BenchmarkWatchBatch|BenchmarkForwardBatch' -benchtime=1x -benchmem .
 
 ## bench-json: run the serving benchmarks for real (multiple iterations)
-## and record them as BENCH_PR6.json via cmd/benchjson — the artifact the
+## and record them as BENCH_PR8.json via cmd/benchjson — the artifact the
 ## bench-regression CI job uploads and gates on. BenchmarkWatchBatch's
 ## workers1/2/4 sub-benchmarks and BenchmarkMonitorBuildParallel's
 ## cpu1/cpu4 pin GOMAXPROCS internally — the -cpu axis with names that
 ## stay stable across machines of different core counts.
-BENCH_JSON ?= BENCH_PR6.json
+BENCH_JSON ?= BENCH_PR8.json
 bench-json:
 	$(GO) build -o bin/benchjson ./cmd/benchjson
-	$(GO) test -run '^$$' -bench 'BenchmarkServe|BenchmarkWatchBatch|BenchmarkForwardBatch|BenchmarkZoneBuild|BenchmarkUpdateSwap|BenchmarkZoneQueryCompiled|BenchmarkMonitorBuildParallel|BenchmarkWireEncode|BenchmarkGatewayRoundTrip' -benchtime=2x -benchmem . \
+	$(GO) test -run '^$$' -bench 'BenchmarkServe|BenchmarkWatchBatch|BenchmarkForwardBatch|BenchmarkZoneBuild|BenchmarkUpdateSwap|BenchmarkZoneQueryCompiled|BenchmarkMonitorBuildParallel|BenchmarkWireEncode|BenchmarkGatewayRoundTrip|BenchmarkSnapshotRoundTrip|BenchmarkRegistryLookup' -benchtime=2x -benchmem . \
 		| bin/benchjson -o $(BENCH_JSON)
 
 ## bench-check: fail if the serving/update/build hot paths (WatchBatch,
 ## Serve + ServeWhileUpdating, ForwardBatch, UpdateSwap, the compiled
-## zone query, the sharded monitor build, the wire codecs and the TCP
-## gateway round trip) regressed more than 1.3x
+## zone query, the sharded monitor build, the wire codecs, the TCP
+## gateway round trip, the snapshot codec and the registry tenant
+## lookup) regressed more than 1.3x
 ## against the committed baseline (machine-speed-normalized; see
 ## cmd/benchjson). Only the single-core entries of the parallel axes are
 ## gated (workers1, cpu1): the other widths exist to show scaling on
@@ -95,13 +99,14 @@ bench-json:
 bench-check:
 	$(GO) build -o bin/benchjson ./cmd/benchjson
 	bin/benchjson -check -baseline ci/bench-baseline.json -current $(BENCH_JSON) \
-		-watch 'BenchmarkWatchBatch/workers1|BenchmarkServe|BenchmarkForwardBatch|BenchmarkUpdateSwap|BenchmarkZoneQueryCompiled|BenchmarkMonitorBuildParallel/cpu1|BenchmarkWireEncode|BenchmarkGatewayRoundTrip' \
+		-watch 'BenchmarkWatchBatch/workers1|BenchmarkServe|BenchmarkForwardBatch|BenchmarkUpdateSwap|BenchmarkZoneQueryCompiled|BenchmarkMonitorBuildParallel/cpu1|BenchmarkWireEncode|BenchmarkGatewayRoundTrip|BenchmarkSnapshotRoundTrip|BenchmarkRegistryLookup' \
 		-ref 'BenchmarkZoneBuild$$' -max-ratio 1.3
 
 ## serve-demo: start napmon-serve against a tiny self-trained model,
-## probe /healthz, POST one /watch request, read /stats, and shut the
-## daemon down gracefully with SIGTERM (CI runs this as the end-to-end
-## daemon smoke job)
+## probe /healthz, POST one watch request through the /v1 tenant route
+## and one through the legacy /watch alias, read /v1 stats, and shut
+## the daemon down gracefully with SIGTERM (CI runs this as the
+## end-to-end daemon smoke job)
 SERVE_DEMO_ADDR ?= 127.0.0.1:8841
 serve-demo:
 	$(GO) build -o bin/napmon-serve ./cmd/napmon-serve
@@ -113,8 +118,11 @@ serve-demo:
 	done; \
 	curl -sf http://$(SERVE_DEMO_ADDR)/healthz; \
 	awk 'BEGIN{printf "{\"shape\":[1,28,28],\"input\":["; for(i=0;i<784;i++) printf "%s0.1",(i?",":""); print "]}"}' \
+		| curl -sf -X POST --data-binary @- http://$(SERVE_DEMO_ADDR)/v1/models/default/watch; \
+	awk 'BEGIN{printf "{\"shape\":[1,28,28],\"input\":["; for(i=0;i<784;i++) printf "%s0.1",(i?",":""); print "]}"}' \
 		| curl -sf -X POST --data-binary @- http://$(SERVE_DEMO_ADDR)/watch; \
-	curl -sf http://$(SERVE_DEMO_ADDR)/stats; \
+	curl -sf http://$(SERVE_DEMO_ADDR)/v1/models/default/stats; \
+	curl -sf http://$(SERVE_DEMO_ADDR)/v1/models; \
 	kill -TERM $$pid; wait $$pid; trap - EXIT
 
 ## soak-smoke: start napmon-gateway against a tiny self-trained model and
@@ -159,12 +167,75 @@ metrics-smoke:
 	curl -sf http://$(METRICS_DEMO_ADDR)/healthz; \
 	for i in 1 2 3 4 5; do \
 		awk 'BEGIN{printf "{\"shape\":[1,28,28],\"input\":["; for(i=0;i<784;i++) printf "%s0.1",(i?",":""); print "]}"}' \
-			| curl -sf -X POST --data-binary @- http://$(METRICS_DEMO_ADDR)/watch >/dev/null; \
+			| curl -sf -X POST --data-binary @- http://$(METRICS_DEMO_ADDR)/v1/models/default/watch >/dev/null; \
 	done; \
 	bin/napmon-metricslint -url http://$(METRICS_DEMO_ADDR)/metrics \
-		-stats-url http://$(METRICS_DEMO_ADDR)/stats \
-		-require napmon_requests_submitted_total,napmon_requests_served_total,napmon_stage_duration_seconds,napmon_watched_total,napmon_oop_total,napmon_unmonitored_total,napmon_gamma_level,napmon_epoch,napmon_epoch_swaps_total,napmon_zone_plans_recompiled_total,napmon_bdd_nodes,napmon_bdd_cache_hits_total,napmon_inference_seconds_total,napmon_zone_query_seconds_total; \
+		-stats-url http://$(METRICS_DEMO_ADDR)/v1/models/default/stats \
+		-require napmon_requests_submitted_total,napmon_requests_served_total,napmon_stage_duration_seconds,napmon_watched_total,napmon_oop_total,napmon_unmonitored_total,napmon_gamma_level,napmon_epoch,napmon_epoch_swaps_total,napmon_zone_plans_recompiled_total,napmon_bdd_nodes,napmon_bdd_cache_hits_total,napmon_inference_seconds_total,napmon_zone_query_seconds_total,napmon_registry_tenants,napmon_tenant_up,napmon_tenant_served_total; \
 	kill -TERM $$pid; wait $$pid; trap - EXIT
+
+## fleet-smoke: end-to-end multi-tenant replication gate. A leader
+## napmon-serve self-trains the default tenant, hot-loads a second
+## tenant over PUT /v1/models/alpha, and a follower napmon-serve
+## -follow bootstraps both tenants from compact snapshots. The smoke
+## then streams 20 /learn epoch deltas into the leader's alpha tenant
+## and polls until the follower's epoch equals the leader's (the
+## replication protocol converges bit-for-bit; epoch equality is the
+## observable half, the bit-for-bit half is pinned by the registry and
+## core test suites). Finally both daemons' /metrics must expose the
+## per-tenant napmon_tenant_* series for every loaded tenant.
+FLEET_LEADER ?= 127.0.0.1:8843
+FLEET_FOLLOWER ?= 127.0.0.1:8844
+fleet-smoke:
+	$(GO) build -o bin/napmon-serve ./cmd/napmon-serve
+	@set -e; \
+	bin/napmon-serve -selftrain 0.03 -addr $(FLEET_LEADER) & lpid=$$!; \
+	trap 'kill $$lpid $$fpid 2>/dev/null || true' EXIT; \
+	for i in $$(seq 1 150); do \
+		curl -sf http://$(FLEET_LEADER)/healthz >/dev/null 2>&1 && break; sleep 0.2; \
+	done; \
+	curl -sf http://$(FLEET_LEADER)/healthz >/dev/null; \
+	echo "fleet-smoke: loading tenant alpha on the leader"; \
+	curl -sf -X PUT http://$(FLEET_LEADER)/v1/models/alpha \
+		-d '{"selftrain":0.03,"seed":7}' >/dev/null; \
+	bin/napmon-serve -follow http://$(FLEET_LEADER) -follow-poll 200ms \
+		-addr $(FLEET_FOLLOWER) & fpid=$$!; \
+	for i in $$(seq 1 150); do \
+		curl -sf http://$(FLEET_FOLLOWER)/healthz >/dev/null 2>&1 && break; sleep 0.2; \
+	done; \
+	curl -sf http://$(FLEET_FOLLOWER)/healthz >/dev/null; \
+	verdict=$$(awk 'BEGIN{printf "{\"shape\":[1,28,28],\"input\":["; for(i=0;i<784;i++) printf "%s0.1",(i?",":""); print "]}"}' \
+		| curl -sf -X POST --data-binary @- http://$(FLEET_LEADER)/v1/models/alpha/watch); \
+	pat=$$(echo "$$verdict" | sed -n 's/.*"pattern": "\([01]*\)".*/\1/p'); \
+	cls=$$(echo "$$verdict" | sed -n 's/.*"class": \([0-9]*\).*/\1/p'); \
+	test -n "$$pat" || { echo "fleet-smoke: no pattern in watch verdict"; exit 1; }; \
+	echo "fleet-smoke: streaming 20 learn deltas into alpha (class $$cls)"; \
+	for i in $$(seq 1 20); do \
+		flip=$$(echo "$$pat" | awk -v i=$$i '{ c=substr($$0,i,1); \
+			printf "%s%s%s", substr($$0,1,i-1), (c=="0"?"1":"0"), substr($$0,i+1) }'); \
+		curl -sf -X POST http://$(FLEET_LEADER)/v1/models/alpha/learn \
+			-d "{\"class\":$$cls,\"patterns\":[\"$$flip\"]}" >/dev/null; \
+	done; \
+	le=$$(curl -sf http://$(FLEET_LEADER)/v1/models/alpha/stats | sed -n 's/.*"epoch": \([0-9]*\).*/\1/p'); \
+	test "$$le" -gt 1 || { echo "fleet-smoke: leader epoch never advanced ($$le)"; exit 1; }; \
+	for i in $$(seq 1 100); do \
+		fe=$$(curl -sf http://$(FLEET_FOLLOWER)/v1/models/alpha/stats | sed -n 's/.*"epoch": \([0-9]*\).*/\1/p'); \
+		test "$$fe" = "$$le" && break; sleep 0.2; \
+	done; \
+	test "$$fe" = "$$le" || { echo "fleet-smoke: follower epoch $$fe never converged to leader $$le"; exit 1; }; \
+	echo "fleet-smoke: follower converged at epoch $$fe"; \
+	for host in $(FLEET_LEADER) $(FLEET_FOLLOWER); do \
+		m=$$(curl -sf http://$$host/metrics); \
+		for tn in default alpha; do \
+			echo "$$m" | grep -q "napmon_tenant_up{tenant=\"$$tn\"} 1" \
+				|| { echo "fleet-smoke: $$host missing napmon_tenant_up for $$tn"; exit 1; }; \
+			echo "$$m" | grep -q "napmon_tenant_epoch{tenant=\"$$tn\"}" \
+				|| { echo "fleet-smoke: $$host missing napmon_tenant_epoch for $$tn"; exit 1; }; \
+		done; \
+	done; \
+	echo "fleet-smoke: per-tenant metrics live on leader and follower"; \
+	kill -TERM $$fpid; wait $$fpid; \
+	kill -TERM $$lpid; wait $$lpid; trap - EXIT
 
 ## fmt: fail if any file needs gofmt
 fmt:

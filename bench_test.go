@@ -9,6 +9,7 @@ package napmon
 // ns/op, so `go test -bench=.` prints the shape of every result.
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"net"
@@ -22,6 +23,7 @@ import (
 	"napmon/internal/exp"
 	"napmon/internal/frontcar"
 	"napmon/internal/nn"
+	"napmon/internal/registry"
 	"napmon/internal/rng"
 	"napmon/internal/tensor"
 	"napmon/internal/wire"
@@ -806,11 +808,11 @@ func BenchmarkWireEncode(b *testing.B) {
 		bytesPerOp = 0
 		for f := 0; f < framesPerOp; f++ {
 			var err error
-			reqBuf, err = wire.AppendWatchReq(reqBuf[:0], uint32(f), shape, in)
+			reqBuf, err = wire.AppendWatchReq(reqBuf[:0], uint32(f), wire.DefaultTenant, shape, in)
 			if err != nil {
 				b.Fatal(err)
 			}
-			if _, _, err := wire.DecodeWatchReq(reqBuf[wire.HeaderSize:]); err != nil {
+			if _, _, _, err := wire.DecodeWatchReq(reqBuf[wire.HeaderSize:]); err != nil {
 				b.Fatal(err)
 			}
 			respBuf, err = wire.AppendWatchResp(respBuf[:0], uint32(f), v)
@@ -897,7 +899,7 @@ func BenchmarkGatewayRoundTrip(b *testing.B) {
 		}()
 		var frame []byte
 		for j, x := range inputs {
-			frame, err = wire.AppendWatchReq(frame[:0], uint32(j), x.Shape(), x.Data())
+			frame, err = wire.AppendWatchReq(frame[:0], uint32(j), wire.DefaultTenant, x.Shape(), x.Data())
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -915,4 +917,101 @@ func BenchmarkGatewayRoundTrip(b *testing.B) {
 	if ct.Dropped != 0 || ct.Malformed != 0 {
 		b.Fatalf("gateway dropped %d / malformed %d during a closed-loop bench", ct.Dropped, ct.Malformed)
 	}
+}
+
+// BenchmarkSnapshotRoundTrip measures the compact snapshot codec on a
+// production-shaped monitor (3 classes × 400 patterns × 40 neurons,
+// γ=2, compiled plans): encode is what a leader pays per follower
+// bootstrap, decode is the follower's warm-start cost, and bytes/op
+// reports the snapshot size the replication path ships.
+func BenchmarkSnapshotRoundTrip(b *testing.B) {
+	const width = 40
+	r := rng.New(11)
+	perClass := make(map[int][]core.Pattern, 3)
+	for c := 0; c < 3; c++ {
+		pats := make([]core.Pattern, 400)
+		for i := range pats {
+			p := make(core.Pattern, width)
+			for j := range p {
+				p[j] = r.Bool(0.5)
+			}
+			pats[i] = p
+		}
+		perClass[c] = pats
+	}
+	mon, err := core.BuildFromPatterns(width, 2, perClass)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mon.Freeze()
+	var buf bytes.Buffer
+	if err := mon.Snapshot(&buf, nil); err != nil {
+		b.Fatal(err)
+	}
+	blob := buf.Bytes()
+
+	b.Run("encode", func(b *testing.B) {
+		var out bytes.Buffer
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			out.Reset()
+			if err := mon.Snapshot(&out, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(out.Len()), "snapshot_bytes")
+	})
+	b.Run("decode", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := core.LoadSnapshot(bytes.NewReader(blob)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkRegistryLookup measures the fleet hot path every routed
+// request pays: pin a tenant by wire id, read its lane, release. The
+// registry holds 8 untrained tenants; lookups run via RunParallel the
+// way concurrent gateway responders issue them.
+func BenchmarkRegistryLookup(b *testing.B) {
+	reg := registry.New(registry.Config{})
+	defer reg.Close(context.Background())
+	r := rng.New(13)
+	for i := 0; i < 8; i++ {
+		netw, err := nn.Build([]nn.Spec{
+			{Kind: nn.KindDense, In: 4, Out: 8},
+			{Kind: nn.KindReLU},
+			{Kind: nn.KindDense, In: 8, Out: 3},
+		}, r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		samples := make([]nn.Sample, 30)
+		for j := range samples {
+			x := tensor.New(4)
+			for k := range x.Data() {
+				x.Data()[k] = r.Norm()
+			}
+			samples[j] = nn.Sample{Input: x, Label: j % 3}
+		}
+		mon, err := core.Build(netw, samples, core.Config{Layer: 1, Gamma: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := reg.Load(fmt.Sprintf("tenant-%d", i), registry.TenantConfig{Net: netw, Mon: mon}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			t, err := reg.AcquireID(3)
+			if err != nil {
+				b.Fatal(err)
+			}
+			_ = t.Server()
+			t.Release()
+		}
+	})
 }

@@ -17,6 +17,12 @@
 // the exact byte layout are documented in internal/wire and pinned by
 // its TestABI. cmd/napmon-soak is the matching load generator.
 //
+// Since wire v3 every request frame names a tenant, and the gateway
+// routes it through a napmon.Registry by tenant id: each frame pins the
+// tenant's lane for its lifetime, so a hot unload can never kill an
+// in-flight batch. This daemon loads one model as the default tenant
+// (wire id 0), which is the id v2-era clients implicitly speak.
+//
 // -admin binds an HTTP side listener (disabled by default) serving
 // GET /metrics (Prometheus text: serve + monitor + gateway series) and
 // GET /healthz; -pprof additionally mounts net/http/pprof there. The
@@ -95,21 +101,33 @@ func main() {
 	if err := exp.ProbeShape(net, shape); err != nil {
 		log.Fatal(err)
 	}
-	srv, err := napmon.Serve(net, mon, napmon.ServerConfig{
-		MaxBatch:   *maxBatch,
-		MaxDelay:   *maxDelay,
-		QueueDepth: *queueDepth,
-		Lanes:      *lanes,
-		InputShape: shape,
+	// The gateway fronts a fleet registry: frames carry a tenant id (v3)
+	// and are routed to that tenant's serving lane. A single -model /
+	// -selftrain invocation loads the default tenant under wire id 0, so
+	// v2-era clients that never learned about tenants keep working.
+	reg := napmon.NewRegistry(napmon.RegistryConfig{Grace: *drainWait})
+	tenant, err := reg.Load(napmon.DefaultTenant, napmon.TenantConfig{
+		Net: net, Mon: mon,
+		Serve: napmon.ServerConfig{
+			MaxBatch:   *maxBatch,
+			MaxDelay:   *maxDelay,
+			QueueDepth: *queueDepth,
+			Lanes:      *lanes,
+			InputShape: shape,
+		},
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	srv := tenant.Server()
 
-	g := wire.NewGateway(srv, mon, wire.GatewayConfig{
-		MaxInflight: *maxInflight,
-		WriteQueue:  *writeQueue,
-	})
+	g := wire.NewFleetGateway(
+		func(id uint32) (wire.TenantLane, error) { return reg.AcquireID(id) },
+		reg.Len,
+		wire.GatewayConfig{
+			MaxInflight: *maxInflight,
+			WriteQueue:  *writeQueue,
+		})
 	if *udpAddr != "" {
 		if err := g.ListenUDP(*udpAddr); err != nil {
 			log.Fatal(err)
@@ -125,11 +143,12 @@ func main() {
 
 	var adminSrv *http.Server
 	if *adminAddr != "" {
-		reg := obs.NewRegistry()
-		srv.RegisterMetrics(reg)
-		g.RegisterMetrics(reg)
+		obsReg := obs.NewRegistry()
+		srv.RegisterMetrics(obsReg)
+		reg.RegisterMetrics(obsReg)
+		g.RegisterMetrics(obsReg)
 		mux := http.NewServeMux()
-		mux.Handle("/metrics", reg.Handler())
+		mux.Handle("/metrics", obsReg.Handler())
 		mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 			fmt.Fprintln(w, "ok")
 		})
@@ -174,8 +193,8 @@ func main() {
 			log.Printf("admin shutdown: %v", err)
 		}
 	}
-	if err := srv.Shutdown(dctx); err != nil {
-		log.Printf("server shutdown: %v", err)
+	if err := reg.Close(dctx); err != nil {
+		log.Printf("registry close: %v", err)
 	}
 	st := srv.Stats()
 	ct := g.Counters()

@@ -1,0 +1,205 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"time"
+
+	"napmon"
+)
+
+// follower replicates a leader daemon: it mirrors the leader's tenant
+// set, warm-starts each tenant from a compact snapshot (frozen at the
+// leader's epoch) and then polls /deltas, applying each epoch delta in
+// order so the local monitors converge bit-for-bit with the leader's.
+// A follower that falls behind the leader's bounded delta log (410 on
+// /deltas) drops the stale tenant and re-syncs from a fresh snapshot.
+type follower struct {
+	d    *daemon
+	base string // leader base URL, e.g. http://127.0.0.1:8080
+	poll time.Duration
+
+	client http.Client
+}
+
+// bootstrap mirrors the leader's current tenant set before the local
+// listener opens, so the follower never serves an empty fleet to the
+// first request.
+func (f *follower) bootstrap(ctx context.Context) error {
+	names, err := f.leaderModels(ctx)
+	if err != nil {
+		return err
+	}
+	if len(names) == 0 {
+		return fmt.Errorf("leader serves no models")
+	}
+	for _, m := range names {
+		if err := f.syncTenant(ctx, m); err != nil {
+			return fmt.Errorf("tenant %q: %v", m.Name, err)
+		}
+	}
+	return nil
+}
+
+// run is the replication loop: every poll interval it reconciles the
+// local tenant set against the leader's and pulls pending deltas.
+func (f *follower) run(ctx context.Context) {
+	tick := time.NewTicker(f.poll)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+		}
+		models, err := f.leaderModels(ctx)
+		if err != nil {
+			log.Printf("follow: list models: %v", err)
+			continue
+		}
+		seen := make(map[string]bool, len(models))
+		for _, m := range models {
+			seen[m.Name] = true
+			if err := f.syncTenant(ctx, m); err != nil {
+				log.Printf("follow: tenant %q: %v", m.Name, err)
+			}
+		}
+		// Tenants the leader unloaded disappear here too.
+		for _, name := range f.d.reg.Names() {
+			if !seen[name] {
+				if err := f.d.reg.Unload(ctx, name); err == nil {
+					log.Printf("follow: unloaded %q (gone from leader)", name)
+				}
+			}
+		}
+	}
+}
+
+func (f *follower) leaderModels(ctx context.Context) ([]modelInfo, error) {
+	body, err := f.get(ctx, "/v1/models")
+	if err != nil {
+		return nil, err
+	}
+	var out struct {
+		Models []modelInfo `json:"models"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		return nil, fmt.Errorf("parse model list: %v", err)
+	}
+	return out.Models, nil
+}
+
+// syncTenant brings one tenant up to the leader's epoch: a snapshot
+// load if the tenant is new locally, otherwise a delta pull.
+func (f *follower) syncTenant(ctx context.Context, m modelInfo) error {
+	t, err := f.d.reg.Acquire(m.Name)
+	if err != nil {
+		return f.loadFromSnapshot(ctx, m)
+	}
+	defer t.Release()
+	return f.pullDeltas(ctx, t, m.Name)
+}
+
+// loadFromSnapshot bootstraps a tenant: model weights, then the compact
+// monitor snapshot, loaded frozen at the leader's epoch.
+func (f *follower) loadFromSnapshot(ctx context.Context, m modelInfo) error {
+	modelBytes, err := f.get(ctx, "/v1/models/"+m.Name+"/model")
+	if err != nil {
+		return err
+	}
+	net, err := napmon.LoadModel(bytes.NewReader(modelBytes))
+	if err != nil {
+		return fmt.Errorf("parse model: %v", err)
+	}
+	snapBytes, err := f.get(ctx, "/v1/models/"+m.Name+"/snapshot")
+	if err != nil {
+		return err
+	}
+	sc := f.d.serveCfg
+	sc.InputShape = m.Shape
+	t, err := f.d.reg.LoadSnapshot(m.Name, net, bytes.NewReader(snapBytes), sc)
+	if err != nil {
+		return fmt.Errorf("load snapshot: %v", err)
+	}
+	f.d.setShape(m.Name, m.Shape)
+	log.Printf("follow: loaded %q from snapshot at epoch %d", m.Name, t.Monitor().Epoch())
+	return nil
+}
+
+// pullDeltas fetches and applies every epoch delta the leader published
+// past the follower's current epoch. A 410 means the leader's bounded
+// log evicted entries the follower still needs: the only way back to
+// convergence is a fresh snapshot, so the stale tenant is dropped and
+// the next poll re-bootstraps it.
+func (f *follower) pullDeltas(ctx context.Context, t *napmon.Tenant, name string) error {
+	since := t.Monitor().Epoch()
+	stream, err := f.get(ctx, fmt.Sprintf("/v1/models/%s/deltas?since=%d", name, since))
+	if err != nil {
+		if isGone(err) {
+			log.Printf("follow: %q fell behind the leader's delta log; re-syncing from snapshot", name)
+			return f.d.reg.Unload(ctx, name)
+		}
+		return err
+	}
+	entries, err := napmon.DecodeDeltaStream(stream, len(t.Monitor().Neurons()))
+	if err != nil {
+		return fmt.Errorf("parse delta stream: %v", err)
+	}
+	for _, e := range entries {
+		if err := t.ApplyDelta(e); err != nil {
+			return fmt.Errorf("apply epoch %d: %v", e.Epoch, err)
+		}
+	}
+	if len(entries) > 0 {
+		log.Printf("follow: %q applied %d deltas, now at epoch %d", name, len(entries), t.Monitor().Epoch())
+	}
+	return nil
+}
+
+// goneError marks a 410 response so pullDeltas can tell "re-snapshot"
+// apart from transient failures.
+type goneError struct{ url string }
+
+func (e *goneError) Error() string { return "410 gone: " + e.url }
+
+func isGone(err error) bool {
+	_, ok := err.(*goneError)
+	return ok
+}
+
+func (f *follower) get(ctx context.Context, path string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, f.base+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := f.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 256<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode == http.StatusGone {
+		return nil, &goneError{url: path}
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: %s: %s", path, resp.Status, firstLine(body))
+	}
+	return body, nil
+}
+
+func firstLine(b []byte) string {
+	for i, c := range b {
+		if c == '\n' {
+			return string(b[:i])
+		}
+	}
+	return string(b)
+}

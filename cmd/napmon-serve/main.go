@@ -1,17 +1,28 @@
-// Command napmon-serve runs the streaming serving daemon: it loads (or
-// self-trains) a model and its activation monitor, starts a napmon.Serve
-// server — bounded request queue, micro-batching coalescer, per-lane
-// network replicas — and exposes it over HTTP/JSON:
+// Command napmon-serve runs the streaming serving daemon. It fronts a
+// multi-tenant model registry (napmon.Registry): every loaded tenant is
+// a (model, monitor, server) lane with its own micro-batching queue,
+// hot-loaded and hot-unloaded while traffic flows. The versioned HTTP
+// API is tenant-scoped:
 //
-//	POST /watch    {"shape":[1,28,28],"input":[...]} → one verdict
-//	POST /learn    {"class":3,"patterns":["0101..."]} → absorb patterns,
-//	               publish a new serving epoch (serve-while-retraining)
-//	GET  /stats    serving counters, per-stage latency percentiles,
-//	               monitor verdict tallies, current epoch
-//	GET  /metrics  Prometheus text exposition (internal/obs registry):
-//	               serve counters, per-stage latency histograms, per-class
-//	               watched/out-of-pattern tallies, epoch/swap/BDD series
-//	GET  /healthz  liveness probe
+//	POST   /v1/models/{name}/watch    {"shape":[1,28,28],"input":[...]} → one verdict
+//	POST   /v1/models/{name}/learn    {"class":3,"patterns":["0101..."]} → absorb
+//	                                  patterns, publish a new serving epoch
+//	GET    /v1/models/{name}/stats    serving counters, latency percentiles, epoch
+//	GET    /v1/models                 list loaded tenants
+//	PUT    /v1/models/{name}          load a tenant (model/monitor files or selftrain)
+//	DELETE /v1/models/{name}          unload a tenant (drains in-flight work)
+//	GET    /v1/models/{name}/snapshot compact binary monitor snapshot (replication)
+//	GET    /v1/models/{name}/deltas   ?since=N → binary epoch-delta stream; 410 Gone
+//	                                  when N predates the bounded delta log
+//	GET    /v1/models/{name}/model    binary model weights (follower bootstrap)
+//	GET    /metrics                   Prometheus text: registry + per-tenant series
+//	GET    /healthz                   liveness probe
+//
+// The pre-fleet routes survive as aliases for the "default" tenant —
+// POST /watch, POST /learn and GET /stats behave exactly as before but
+// answer with a Deprecation header pointing at the /v1 successor, so
+// existing clients keep working while new ones bind the versioned
+// paths.
 //
 // -pprof additionally mounts net/http/pprof under /debug/pprof/ on the
 // same listener (off by default: profiling endpoints leak heap contents
@@ -21,36 +32,43 @@
 // independently misclassified) decision can feed the verdict's "pattern"
 // string back under the decision's true class; the monitor shadow-builds
 // the touched zones and swaps them in atomically while /watch traffic
-// keeps flowing.
+// keeps flowing. Each tenant's updates also land in a bounded
+// epoch-keyed delta log, which is what /deltas serves to followers.
+//
+// Started with -follow <leader-url> the daemon is a replication
+// follower: it lists the leader's tenants, warm-starts each from a
+// compact snapshot (frozen at the leader's epoch), then polls the delta
+// streams and applies them in epoch order — converging bit-for-bit with
+// the leader's monitors. A follower serves /watch traffic but is
+// read-only: /learn, PUT and DELETE answer 409. If a follower falls
+// behind the leader's bounded delta log (410 on /deltas) it re-syncs
+// from a fresh snapshot.
 //
 // On SIGINT/SIGTERM the daemon shuts down gracefully: the listener stops
-// accepting, in-flight HTTP requests finish, and the serving queue is
-// drained before exit.
+// accepting, in-flight HTTP requests finish, and every tenant's serving
+// queue is drained before exit.
 //
 // Usage:
 //
 //	napmon-serve -model m.model -monitor m.monitor [-addr :8080]
 //	napmon-serve -selftrain 0.05 [-dataset mnist] [-gamma 2]
 //	             [-max-batch 64] [-max-delay 2ms] [-queue 1024] [-lanes 1]
+//	napmon-serve -follow http://leader:8080 [-follow-poll 500ms]
 //
 // -selftrain trains the chosen Table I network at the given dataset scale
-// in-process (handy for demos and smoke tests; see `make serve-demo`).
-// Requests whose input shape differs from the model's (-shape, default
-// the dataset's native shape) are rejected with 400 — the tensor kernels
-// panic on mismatched inference, so the daemon gates them out up front.
+// in-process and serves it as the "default" tenant (handy for demos and
+// smoke tests; see `make serve-demo` and `make fleet-smoke`). Requests
+// whose input shape differs from a tenant's model are rejected with 400 —
+// the tensor kernels panic on mismatched inference, so the daemon gates
+// them out up front.
 package main
 
 import (
 	"context"
-	"encoding/json"
-	"errors"
 	"flag"
-	"fmt"
 	"log"
 	"net/http"
-	"net/http/pprof"
 	"os/signal"
-	"slices"
 	"syscall"
 	"time"
 
@@ -77,52 +95,64 @@ func main() {
 		drainWait   = flag.Duration("drain", 30*time.Second, "graceful shutdown budget")
 		shapeFlag   = flag.String("shape", "", "expected input tensor shape, e.g. 1,28,28 (default: per -dataset)")
 		pprofFlag   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		followURL   = flag.String("follow", "", "replicate from this leader base URL instead of loading a model (read-only follower)")
+		followPoll  = flag.Duration("follow-poll", 500*time.Millisecond, "delta poll interval in -follow mode")
 	)
 	flag.Parse()
 
-	shape, err := exp.InputShape(*shapeFlag, *ds)
-	if err != nil {
-		log.Fatal(err)
+	d := &daemon{
+		reg:      napmon.NewRegistry(napmon.RegistryConfig{Grace: *drainWait}),
+		obsReg:   obs.NewRegistry(),
+		follower: *followURL != "",
+		shapes:   map[string][]int{},
+		serveCfg: napmon.ServerConfig{
+			MaxBatch:   *maxBatch,
+			MaxDelay:   *maxDelay,
+			QueueDepth: *queueDepth,
+			Lanes:      *lanes,
+		},
 	}
-	net, mon, err := exp.LoadOrTrain(*modelPath, *monitorPath, *selftrain, *ds, *seed, *gamma, log.Printf)
-	if err != nil {
-		log.Fatal(err)
-	}
-	if err := exp.ProbeShape(net, shape); err != nil {
-		log.Fatal(err)
-	}
-	srv, err := napmon.Serve(net, mon, napmon.ServerConfig{
-		MaxBatch:   *maxBatch,
-		MaxDelay:   *maxDelay,
-		QueueDepth: *queueDepth,
-		Lanes:      *lanes,
+	d.reg.RegisterMetrics(d.obsReg)
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	var fol *follower
+	if d.follower {
+		fol = &follower{d: d, base: *followURL, poll: *followPoll}
+		if err := fol.bootstrap(ctx); err != nil {
+			log.Fatalf("follow %s: %v", *followURL, err)
+		}
+		log.Printf("following %s (%d tenants, poll %v)", *followURL, d.reg.Len(), *followPoll)
+	} else {
+		shape, err := exp.InputShape(*shapeFlag, *ds)
+		if err != nil {
+			log.Fatal(err)
+		}
+		net, mon, err := exp.LoadOrTrain(*modelPath, *monitorPath, *selftrain, *ds, *seed, *gamma, log.Printf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := exp.ProbeShape(net, shape); err != nil {
+			log.Fatal(err)
+		}
+		sc := d.serveCfg
 		// Shape-mismatched inference panics in the tensor kernels; the
 		// server-side gate turns an untrusted bad request into a Submit
 		// error instead of a dead daemon.
-		InputShape: shape,
-	})
-	if err != nil {
-		log.Fatal(err)
+		sc.InputShape = shape
+		t, err := d.reg.Load(napmon.DefaultTenant, napmon.TenantConfig{Net: net, Mon: mon, Serve: sc})
+		if err != nil {
+			log.Fatal(err)
+		}
+		d.setShape(napmon.DefaultTenant, shape)
+		// The default tenant also feeds the unlabelled napmon_* series the
+		// legacy /stats cross-checks expect; per-tenant series live in the
+		// napmon_tenant_* families the registry registered above.
+		t.Server().RegisterMetrics(d.obsReg)
 	}
 
-	reg := obs.NewRegistry()
-	srv.RegisterMetrics(reg)
-
-	mux := http.NewServeMux()
-	mux.HandleFunc("/watch", handleWatch(srv, shape))
-	mux.HandleFunc("/learn", handleLearn(srv, mon))
-	mux.HandleFunc("/stats", handleStats(srv))
-	mux.Handle("/metrics", reg.Handler())
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		fmt.Fprintln(w, "ok")
-	})
-	if *pprofFlag {
-		mux.HandleFunc("/debug/pprof/", pprof.Index)
-		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	}
+	mux := d.routes(*pprofFlag)
 	// Header/read timeouts keep one slow-trickling client from pinning a
 	// connection forever and forcing every graceful drain to abort.
 	httpSrv := &http.Server{
@@ -132,11 +162,12 @@ func main() {
 		ReadTimeout:       time.Minute,
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
-	defer stop()
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
-	log.Printf("serving on http://%s (POST /watch, GET /stats, GET /metrics, GET /healthz)", *addr)
+	if fol != nil {
+		go fol.run(ctx)
+	}
+	log.Printf("serving on http://%s (/v1/models..., legacy /watch /learn /stats, GET /metrics, GET /healthz)", *addr)
 
 	select {
 	case err := <-errCh:
@@ -153,223 +184,16 @@ func main() {
 	if err := httpSrv.Shutdown(dctx); err != nil {
 		log.Printf("http shutdown: %v", err)
 	}
-	if err := srv.Shutdown(dctx); err != nil {
-		log.Printf("server shutdown: %v", err)
+	var served, batches uint64
+	for _, name := range d.reg.Names() {
+		if t := d.reg.Peek(name); t != nil {
+			st := t.Server().Stats()
+			served += st.Served
+			batches += st.Batches
+		}
 	}
-	st := srv.Stats()
-	log.Printf("drained: served %d requests in %d batches (mean %.1f/batch), p50 %v, p99 %v",
-		st.Served, st.Batches, st.MeanBatchSize, st.P50, st.P99)
-}
-
-// watchRequest is the POST /watch body: a flat row-major input plus its
-// tensor shape (e.g. [1,28,28] for the MNIST-like network).
-type watchRequest struct {
-	Shape []int     `json:"shape"`
-	Input []float64 `json:"input"`
-}
-
-// watchResponse mirrors napmon.Verdict for JSON consumers.
-type watchResponse struct {
-	Class        int    `json:"class"`
-	Monitored    bool   `json:"monitored"`
-	OutOfPattern bool   `json:"out_of_pattern"`
-	Pattern      string `json:"pattern"`
-}
-
-func handleWatch(srv *napmon.Server, shape []int) http.HandlerFunc {
-	want := 1
-	for _, d := range shape {
-		want *= d
+	if err := d.reg.Close(dctx); err != nil {
+		log.Printf("registry close: %v", err)
 	}
-	return func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodPost {
-			http.Error(w, "POST only", http.StatusMethodNotAllowed)
-			return
-		}
-		// Cap the body before decoding: without a limit, one oversized
-		// request allocates its whole float array (and can OOM the
-		// daemon) before the element-count check below ever runs. ~25
-		// bytes per JSON float is generous; 4 KiB covers the envelope.
-		r.Body = http.MaxBytesReader(w, r.Body, int64(want)*25+4096)
-		var req watchRequest
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			http.Error(w, "bad JSON: "+err.Error(), http.StatusBadRequest)
-			return
-		}
-		// Check against the model's expected shape before building the
-		// tensor: TensorFromSlice panics on a shape/len mismatch, and
-		// shapes other than the model's would panic inside inference.
-		if !slices.Equal(req.Shape, shape) {
-			http.Error(w, fmt.Sprintf("input shape %v, this model expects %v", req.Shape, shape), http.StatusBadRequest)
-			return
-		}
-		if len(req.Input) != want {
-			http.Error(w, fmt.Sprintf("shape %v needs %d input values, got %d", req.Shape, want, len(req.Input)), http.StatusBadRequest)
-			return
-		}
-		fut, err := srv.Submit(napmon.TensorFromSlice(req.Input, req.Shape...))
-		if err != nil {
-			status := http.StatusBadRequest
-			if errors.Is(err, napmon.ErrServerClosed) {
-				status = http.StatusServiceUnavailable
-			}
-			http.Error(w, err.Error(), status)
-			return
-		}
-		v, err := fut.Wait()
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusServiceUnavailable)
-			return
-		}
-		writeJSON(w, watchResponse{
-			Class:        v.Class,
-			Monitored:    v.Monitored,
-			OutOfPattern: v.OutOfPattern,
-			Pattern:      v.Pattern.String(),
-		})
-	}
-}
-
-// learnRequest is the POST /learn body: activation patterns (the 0/1
-// string form returned by /watch) to absorb into one class's comfort
-// zone.
-type learnRequest struct {
-	Class    int      `json:"class"`
-	Patterns []string `json:"patterns"`
-}
-
-// learnResponse reports the published epoch after the update.
-type learnResponse struct {
-	Epoch    uint64 `json:"epoch"`
-	Absorbed int    `json:"absorbed"`
-}
-
-func handleLearn(srv *napmon.Server, mon *napmon.Monitor) http.HandlerFunc {
-	width := len(mon.Neurons())
-	return func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodPost {
-			http.Error(w, "POST only", http.StatusMethodNotAllowed)
-			return
-		}
-		// Each pattern is width bytes of JSON string plus quoting; the cap
-		// bounds one request to a generous batch without letting a rogue
-		// client allocate unbounded pattern slices.
-		r.Body = http.MaxBytesReader(w, r.Body, int64(width+16)*4096+4096)
-		var req learnRequest
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			http.Error(w, "bad JSON: "+err.Error(), http.StatusBadRequest)
-			return
-		}
-		if len(req.Patterns) == 0 {
-			http.Error(w, "no patterns", http.StatusBadRequest)
-			return
-		}
-		pats := make([]napmon.Pattern, len(req.Patterns))
-		for i, s := range req.Patterns {
-			p, err := napmon.ParsePattern(s)
-			if err != nil {
-				http.Error(w, fmt.Sprintf("pattern %d: %v", i, err), http.StatusBadRequest)
-				return
-			}
-			if len(p) != width {
-				http.Error(w, fmt.Sprintf("pattern %d has %d bits, monitor watches %d neurons", i, len(p), width), http.StatusBadRequest)
-				return
-			}
-			pats[i] = p
-		}
-		epoch, err := srv.Update(map[int][]napmon.Pattern{req.Class: pats})
-		if err != nil {
-			// Validation failures (unmonitored class) are the client's
-			// fault; the update path has no server-side failure modes.
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
-		}
-		writeJSON(w, learnResponse{Epoch: epoch, Absorbed: len(pats)})
-	}
-}
-
-// statsResponse renders napmon.ServerStats with latencies both raw (ns)
-// and human-readable, plus the per-stage breakdown and the monitor's
-// verdict tallies.
-type statsResponse struct {
-	Queued        int                   `json:"queued"`
-	Submitted     uint64                `json:"submitted"`
-	Served        uint64                `json:"served"`
-	Rejected      uint64                `json:"rejected"`
-	Shed          uint64                `json:"shed"`
-	Batches       uint64                `json:"batches"`
-	MeanBatchSize float64               `json:"mean_batch_size"`
-	P50Ns         int64                 `json:"p50_ns"`
-	P99Ns         int64                 `json:"p99_ns"`
-	P50           string                `json:"p50"`
-	P99           string                `json:"p99"`
-	Stages        map[string]stageStats `json:"stages"`
-	Monitored     uint64                `json:"monitored"`
-	OutOfPattern  uint64                `json:"out_of_pattern"`
-	Unmonitored   uint64                `json:"unmonitored"`
-	Gamma         int                   `json:"gamma"`
-	Lanes         int                   `json:"lanes"`
-	Epoch         uint64                `json:"epoch"`
-	Updates       uint64                `json:"updates"`
-	Recompiled    uint64                `json:"recompiled"`
-}
-
-// stageStats is one pipeline stage's latency summary in /stats.
-type stageStats struct {
-	P50Ns int64  `json:"p50_ns"`
-	P99Ns int64  `json:"p99_ns"`
-	P50   string `json:"p50"`
-	P99   string `json:"p99"`
-	Count uint64 `json:"count"`
-}
-
-func handleStats(srv *napmon.Server) http.HandlerFunc {
-	return func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodGet {
-			http.Error(w, "GET only", http.StatusMethodNotAllowed)
-			return
-		}
-		st := srv.Stats()
-		stages := make(map[string]stageStats, len(st.Stages))
-		for name, sl := range st.Stages {
-			stages[name] = stageStats{
-				P50Ns: sl.P50.Nanoseconds(),
-				P99Ns: sl.P99.Nanoseconds(),
-				P50:   sl.P50.String(),
-				P99:   sl.P99.String(),
-				Count: sl.Count,
-			}
-		}
-		writeJSON(w, statsResponse{
-			Queued:        st.Queued,
-			Submitted:     st.Submitted,
-			Served:        st.Served,
-			Rejected:      st.Rejected,
-			Shed:          st.Shed,
-			Batches:       st.Batches,
-			MeanBatchSize: st.MeanBatchSize,
-			P50Ns:         st.P50.Nanoseconds(),
-			P99Ns:         st.P99.Nanoseconds(),
-			P50:           st.P50.String(),
-			P99:           st.P99.String(),
-			Stages:        stages,
-			Monitored:     st.Monitored,
-			OutOfPattern:  st.OutOfPattern,
-			Unmonitored:   st.Unmonitored,
-			Gamma:         st.Gamma,
-			Lanes:         st.Lanes,
-			Epoch:         st.Epoch,
-			Updates:       st.Updates,
-			Recompiled:    st.Recompiled,
-		})
-	}
-}
-
-func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(v); err != nil {
-		log.Printf("encode response: %v", err)
-	}
+	log.Printf("drained: served %d requests in %d batches across the fleet", served, batches)
 }

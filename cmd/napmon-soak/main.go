@@ -353,7 +353,7 @@ func (w *worker) nextFrame(id uint32) []byte {
 	for i := range in {
 		in[i] = w.r.Float64()
 	}
-	frame, err := wire.AppendWatchReq(w.frame[:0], id, w.shape, in)
+	frame, err := wire.AppendWatchReq(w.frame[:0], id, wire.DefaultTenant, w.shape, in)
 	if err != nil {
 		panic(err) // shape was validated at startup
 	}

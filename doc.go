@@ -78,9 +78,48 @@
 // See the Monitor.Update example and DESIGN.md, "Online updates: epochs,
 // grace periods".
 //
-// The cmd/napmon-serve binary exposes this server over HTTP/JSON
-// (POST /watch, POST /learn — the online-update feedback endpoint,
-// GET /stats, GET /metrics, GET /healthz) with graceful shutdown.
+// # Fleet serving: registry, snapshots, replication
+//
+// One process can serve many models. napmon.ServeFleet (or
+// napmon.NewRegistry + Registry.Load) runs a named fleet of
+// (network, monitor, server-config) tenants behind one Registry, each
+// with its own serving lane, queue caps and per-tenant metrics:
+//
+//	fleet, _ := napmon.ServeFleet(napmon.RegistryConfig{}, map[string]napmon.TenantConfig{
+//		"traffic-signs": {Net: signNet, Mon: signMon},
+//		"front-car":     {Net: carNet, Mon: carMon, Serve: napmon.ServerConfig{MaxBatch: 32}},
+//	})
+//	t, _ := fleet.Acquire("traffic-signs") // pins the tenant against unload
+//	fut, _ := t.Server().Submit(input)
+//	t.Release()
+//
+// Tenants hot-load and hot-unload while traffic flows: lookups pin a
+// tenant, and Unload publishes the removal immediately but drains the
+// server through a grace period, so in-flight batches always complete.
+// napmon.Serve is the one-tenant form — it loads the DefaultTenant of a
+// fresh registry, so single-model callers keep the old API unchanged.
+//
+// A frozen monitor serializes to a compact snapshot (compiled zone
+// query plans + bit-packed patterns, checksummed) with
+// Monitor.Snapshot / Tenant.Snapshot, and loads back frozen at the same
+// epoch with napmon.LoadSnapshot / Registry.LoadSnapshot. Each tenant
+// also keeps a bounded epoch-keyed delta log of its online updates
+// (Tenant.DeltasSince, framed by EncodeDeltaStream); a follower that
+// warm-starts from a snapshot and applies the stream in order with
+// Tenant.ApplyDelta converges bit-for-bit with the leader's monitor —
+// this is the replication protocol behind `napmon-serve -follow`. See
+// DESIGN.md, "Multi-tenant registry, snapshots, replication".
+//
+// The cmd/napmon-serve binary exposes all of this over HTTP/JSON: the
+// versioned tenant-scoped API (POST /v1/models/{name}/watch and /learn,
+// GET /v1/models/{name}/stats, GET /v1/models, PUT/DELETE
+// /v1/models/{name} for hot load/unload, plus the replication endpoints
+// GET /v1/models/{name}/snapshot and /deltas?since=N), the legacy
+// unprefixed routes (POST /watch, POST /learn, GET /stats) as aliases
+// for the default tenant that answer with a Deprecation header, and
+// GET /metrics, GET /healthz, with graceful shutdown. Started with
+// -follow <leader-url> it warm-starts every tenant from leader
+// snapshots and polls the delta streams, serving read-only.
 //
 // # Observability
 //
@@ -131,6 +170,28 @@
 //	napmon_gateway_frames_dropped_total    counter    watch requests shed under pressure
 //	napmon_gateway_tcp_conns               gauge      live TCP connections
 //
+// A Registry adds fleet-level series plus one tenant-labelled family
+// per lane (kept separate from the unlabelled napmon_* families above
+// so sum-across-labels cross-checks stay double-count-free):
+//
+//	napmon_registry_tenants                gauge      tenants currently loaded
+//	napmon_registry_generation             gauge      fleet generation (bumps on load/unload)
+//	napmon_registry_loads_total            counter    tenants loaded
+//	napmon_registry_unloads_total          counter    tenants unloaded
+//	napmon_registry_lookups_total          counter    Acquire/AcquireID pins
+//	napmon_tenant_up                       gauge      1 while the named tenant serves
+//	napmon_tenant_submitted_total          counter    per-tenant requests accepted
+//	napmon_tenant_served_total             counter    per-tenant verdicts answered
+//	napmon_tenant_rejected_total           counter    per-tenant submits refused
+//	napmon_tenant_shed_total               counter    per-tenant non-blocking shed
+//	napmon_tenant_batches_total            counter    per-tenant micro-batches
+//	napmon_tenant_queue_depth              gauge      per-tenant queued requests
+//	napmon_tenant_epoch                    gauge      per-tenant serving epoch id
+//	napmon_tenant_gamma                    gauge      per-tenant γ level
+//	napmon_tenant_updates_total            counter    per-tenant epoch swaps
+//	napmon_tenant_watched_total            counter    per-tenant monitored verdicts
+//	napmon_tenant_oop_total                counter    per-tenant out-of-pattern verdicts
+//
 // cmd/napmon-metricslint fetches an exposition, validates it with the
 // strict internal parser, and cross-checks it against /stats; the
 // napmon-soak harness scrapes before/after a run and reconciles
@@ -146,14 +207,17 @@
 // is gated by .github/workflows/ci.yml, mirrored locally by `make ci`:
 // gofmt, vet + staticcheck (make lint), build, race-detector tests and a
 // -benchmem benchmark smoke run on a Go 1.22/1.23 matrix, plus a
-// bench-regression job (make bench-json records BENCH_PR3.json and make
-// bench-check fails >1.3x ns/op regressions of the serving and update
-// benchmarks against ci/bench-baseline.json), a fuzz-smoke job (make
-// test-fuzz: the differential BDD fuzzer and the pattern wire-format
-// round trip), a coverage gate (make cover-check against
-// ci/coverage-baseline.txt), a serve-demo end-to-end daemon smoke job
-// (make serve-demo), a metrics-smoke observability gate (make
-// metrics-smoke: /metrics validated and cross-checked against /stats)
-// and a soak-smoke wire-protocol gate (make soak-smoke: strict
-// zero-loss UDP+TCP soak with server-vs-client accounting).
+// bench-regression job (make bench-json records BENCH_PR8.json and make
+// bench-check fails >1.3x ns/op regressions of the serving, update,
+// registry and snapshot benchmarks against ci/bench-baseline.json), a
+// fuzz-smoke job (make test-fuzz: the differential BDD fuzzer and the
+// pattern wire-format round trip), a coverage gate (make cover-check
+// against ci/coverage-baseline.txt), a serve-demo end-to-end daemon
+// smoke job (make serve-demo), a metrics-smoke observability gate (make
+// metrics-smoke: /metrics validated and cross-checked against /stats),
+// a soak-smoke wire-protocol gate (make soak-smoke: strict zero-loss
+// UDP+TCP soak with server-vs-client accounting) and a fleet-smoke
+// replication gate (make fleet-smoke: a two-tenant leader snapshots
+// into a follower, streams learn deltas, and the follower must converge
+// to epoch equality with per-tenant metrics live on both daemons).
 package napmon

@@ -1,0 +1,135 @@
+// Compiled-plan (de)serialization hooks. A Compiled branch program is a
+// complete, canonical description of the diagram it was compiled from —
+// level-ordered nodes, forward-only targets, terminals as sentinels — so
+// it doubles as a compact wire/disk form: the snapshot codec
+// (internal/core) ships frozen zones as their compiled plans, and the
+// loader rebuilds the canonical ROBDD from the program bottom-up through
+// mk. Because mk re-canonicalizes every node and Compile's output is a
+// pure function of diagram structure, rebuild-then-recompile reproduces
+// the serialized plan exactly — the property the replication path's
+// bit-for-bit convergence rests on.
+
+package bdd
+
+import "fmt"
+
+// Terminal target codes of a compiled plan in exported form, for codecs
+// that serialize branch programs. They match the internal sentinels:
+// branch targets >= 0 are program indices, these two never collide.
+const (
+	TerminalFalse int32 = compiledFalse
+	TerminalTrue  int32 = compiledTrue
+)
+
+// PlanBranch is the exported form of one compiled decision: test
+// variable Va; follow Hi when the pattern bit is set, Lo otherwise.
+// Lo/Hi are forward program indices or a Terminal sentinel.
+type PlanBranch struct {
+	Va, Lo, Hi int32
+}
+
+// Entry returns the plan's entry point: a program index (always 0 for a
+// plan compiled from a non-terminal root) or a Terminal sentinel for a
+// constant diagram.
+func (c *Compiled) Entry() int32 { return c.entry }
+
+// Branch returns the i-th compiled decision.
+func (c *Compiled) Branch(i int) PlanBranch {
+	b := c.prog[i]
+	return PlanBranch{Va: b.va, Lo: b.lo, Hi: b.hi}
+}
+
+// NewCompiled reconstructs a plan from its serialized parts, validating
+// every structural invariant Compile guarantees — so a corrupt or
+// hostile stream fails loudly here instead of walking out of bounds at
+// query time:
+//
+//   - every Va is a variable of the plan, and Va is non-decreasing
+//     through the program (level ordering);
+//   - every branch target is a Terminal sentinel or a strictly forward
+//     index whose branch tests a strictly later variable;
+//   - no branch is redundant (Lo == Hi never survives reduction);
+//   - the entry is a Terminal exactly when the program is empty.
+func NewCompiled(numVars int, entry int32, branches []PlanBranch) (*Compiled, error) {
+	if numVars <= 0 {
+		return nil, fmt.Errorf("bdd: compiled plan needs at least one variable, got %d", numVars)
+	}
+	if len(branches) == 0 {
+		if entry != TerminalFalse && entry != TerminalTrue {
+			return nil, fmt.Errorf("bdd: empty plan with non-terminal entry %d", entry)
+		}
+		return &Compiled{numVars: numVars, entry: entry}, nil
+	}
+	if entry < 0 || int(entry) >= len(branches) {
+		return nil, fmt.Errorf("bdd: plan entry %d out of range [0,%d)", entry, len(branches))
+	}
+	checkTarget := func(i int, t int32) error {
+		if t == TerminalFalse || t == TerminalTrue {
+			return nil
+		}
+		if t <= int32(i) || int(t) >= len(branches) {
+			return fmt.Errorf("bdd: branch %d target %d is not forward in [%d,%d)", i, t, i+1, len(branches))
+		}
+		if branches[t].Va <= branches[i].Va {
+			return fmt.Errorf("bdd: branch %d (var %d) targets branch %d testing var %d out of order",
+				i, branches[i].Va, t, branches[t].Va)
+		}
+		return nil
+	}
+	prog := make([]branch, len(branches))
+	for i, b := range branches {
+		if b.Va < 0 || b.Va >= int32(numVars) {
+			return nil, fmt.Errorf("bdd: branch %d variable %d out of range [0,%d)", i, b.Va, numVars)
+		}
+		if i > 0 && b.Va < branches[i-1].Va {
+			return nil, fmt.Errorf("bdd: branch %d variable %d breaks level ordering after %d",
+				i, b.Va, branches[i-1].Va)
+		}
+		if b.Lo == b.Hi {
+			return nil, fmt.Errorf("bdd: branch %d is redundant (lo == hi == %d)", i, b.Lo)
+		}
+		if err := checkTarget(i, b.Lo); err != nil {
+			return nil, err
+		}
+		if err := checkTarget(i, b.Hi); err != nil {
+			return nil, err
+		}
+		prog[i] = branch{va: b.Va, lo: b.Lo, hi: b.Hi}
+	}
+	return &Compiled{numVars: numVars, entry: entry, prog: prog}, nil
+}
+
+// FromCompiled rebuilds the canonical diagram a plan was compiled from
+// into this manager and returns its root. Targets only point forward, so
+// a single reverse pass interns every branch through mk with its
+// children already materialized; mk re-canonicalizes, so loading into a
+// non-empty manager shares structure with whatever it already holds.
+// The manager must be mutable and match the plan's variable count.
+func (m *Manager) FromCompiled(c *Compiled) (Node, error) {
+	m.checkLive()
+	if c.numVars != m.numVars {
+		return falseNode, fmt.Errorf("bdd: plan over %d variables loaded into manager with %d", c.numVars, m.numVars)
+	}
+	if len(c.prog) == 0 {
+		if c.entry == compiledTrue {
+			return trueNode, nil
+		}
+		return falseNode, nil
+	}
+	nodes := make([]Node, len(c.prog))
+	resolve := func(t int32) Node {
+		switch t {
+		case compiledFalse:
+			return falseNode
+		case compiledTrue:
+			return trueNode
+		default:
+			return nodes[t]
+		}
+	}
+	for i := len(c.prog) - 1; i >= 0; i-- {
+		b := c.prog[i]
+		nodes[i] = m.mk(b.va, resolve(b.lo), resolve(b.hi))
+	}
+	return nodes[c.entry], nil
+}

@@ -1,0 +1,144 @@
+package bdd
+
+import (
+	"testing"
+)
+
+// buildTestDiagram constructs a deterministic non-trivial diagram: a
+// union of cubes derived from a seed, Hamming-expanded once — the same
+// shape a comfort zone has.
+func buildTestDiagram(m *Manager, seed uint64) Node {
+	nv := m.NumVars()
+	f := m.False()
+	s := seed
+	for c := 0; c < 4; c++ {
+		bits := make([]bool, nv)
+		for i := range bits {
+			s = s*6364136223846793005 + 1442695040888963407
+			bits[i] = s>>63 == 1
+		}
+		f = m.Or(f, m.Cube(bits))
+	}
+	return m.ExpandHamming1(f)
+}
+
+// TestCompiledExportRoundTrip pins the serialization hooks: a compiled
+// plan exported through Entry/Branch and reconstructed with NewCompiled
+// answers identically, FromCompiled rebuilds the exact canonical
+// diagram, and recompiling the rebuilt diagram reproduces the original
+// program branch for branch — the invariant the snapshot codec's
+// bit-for-bit replication rests on.
+func TestCompiledExportRoundTrip(t *testing.T) {
+	const nv = 6
+	for seed := uint64(1); seed <= 5; seed++ {
+		m := NewManager(nv)
+		root := buildTestDiagram(m, seed)
+		plan := m.Compile(root)[0]
+
+		branches := make([]PlanBranch, plan.Len())
+		for i := range branches {
+			branches[i] = plan.Branch(i)
+		}
+		rebuilt, err := NewCompiled(plan.NumVars(), plan.Entry(), branches)
+		if err != nil {
+			t.Fatalf("seed %d: NewCompiled: %v", seed, err)
+		}
+
+		m2 := NewManager(nv)
+		root2, err := m2.FromCompiled(rebuilt)
+		if err != nil {
+			t.Fatalf("seed %d: FromCompiled: %v", seed, err)
+		}
+		plan2 := m2.Compile(root2)[0]
+		if plan2.Len() != plan.Len() || plan2.Entry() != plan.Entry() {
+			t.Fatalf("seed %d: recompiled plan shape (%d,%d) != original (%d,%d)",
+				seed, plan2.Len(), plan2.Entry(), plan.Len(), plan.Entry())
+		}
+		for i := 0; i < plan.Len(); i++ {
+			if plan.Branch(i) != plan2.Branch(i) {
+				t.Fatalf("seed %d: branch %d differs: %+v vs %+v", seed, i, plan.Branch(i), plan2.Branch(i))
+			}
+		}
+
+		// Exhaustive agreement across the full assignment space.
+		bits := make([]bool, nv)
+		for a := 0; a < 1<<nv; a++ {
+			for i := range bits {
+				bits[i] = a>>i&1 == 1
+			}
+			want := m.EvalBits(root, bits)
+			if got := rebuilt.Eval(bits); got != want {
+				t.Fatalf("seed %d: NewCompiled plan disagrees at %06b: %v != %v", seed, a, got, want)
+			}
+			if got := m2.EvalBits(root2, bits); got != want {
+				t.Fatalf("seed %d: FromCompiled diagram disagrees at %06b: %v != %v", seed, a, got, want)
+			}
+		}
+	}
+}
+
+// TestCompiledExportTerminals covers the constant diagrams.
+func TestCompiledExportTerminals(t *testing.T) {
+	m := NewManager(3)
+	for _, root := range []Node{m.False(), m.True()} {
+		plan := m.Compile(root)[0]
+		rebuilt, err := NewCompiled(plan.NumVars(), plan.Entry(), nil)
+		if err != nil {
+			t.Fatalf("NewCompiled(terminal): %v", err)
+		}
+		m2 := NewManager(3)
+		got, err := m2.FromCompiled(rebuilt)
+		if err != nil {
+			t.Fatalf("FromCompiled(terminal): %v", err)
+		}
+		if got != root {
+			t.Fatalf("terminal round trip: got node %d, want %d", got, root)
+		}
+	}
+}
+
+// TestNewCompiledRejectsCorrupt exercises the validator against the
+// malformations a hostile snapshot stream could carry.
+func TestNewCompiledRejectsCorrupt(t *testing.T) {
+	ok := []PlanBranch{
+		{Va: 0, Lo: TerminalFalse, Hi: 1},
+		{Va: 1, Lo: TerminalFalse, Hi: TerminalTrue},
+	}
+	cases := []struct {
+		name     string
+		numVars  int
+		entry    int32
+		branches []PlanBranch
+	}{
+		{"zero vars", 0, TerminalFalse, nil},
+		{"terminal entry with program", 2, TerminalTrue, ok},
+		{"entry out of range", 2, 2, ok},
+		{"non-terminal entry empty program", 2, 0, nil},
+		{"var out of range", 1, 0, ok},
+		{"level order broken", 2, 0, []PlanBranch{
+			{Va: 1, Lo: TerminalFalse, Hi: 1},
+			{Va: 0, Lo: TerminalFalse, Hi: TerminalTrue},
+		}},
+		{"redundant branch", 2, 0, []PlanBranch{
+			{Va: 0, Lo: TerminalTrue, Hi: TerminalTrue},
+		}},
+		{"backward target", 2, 0, []PlanBranch{
+			{Va: 0, Lo: 0, Hi: TerminalTrue},
+		}},
+		{"target out of range", 2, 0, []PlanBranch{
+			{Va: 0, Lo: 7, Hi: TerminalTrue},
+		}},
+		{"target level not later", 2, 0, []PlanBranch{
+			{Va: 1, Lo: TerminalFalse, Hi: 1},
+			{Va: 1, Lo: TerminalFalse, Hi: TerminalTrue},
+		}},
+	}
+	for _, c := range cases {
+		if _, err := NewCompiled(c.numVars, c.entry, c.branches); err == nil {
+			t.Errorf("%s: NewCompiled accepted a corrupt plan", c.name)
+		}
+	}
+	if _, err := NewCompiled(2, 0, ok); err != nil {
+		t.Fatalf("valid plan rejected: %v", err)
+	}
+}

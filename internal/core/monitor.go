@@ -348,12 +348,18 @@ func (m *Monitor) Gamma() int {
 // whole-epoch replacement: Update/UpdateBatch absorb new patterns and
 // UpdateGamma re-levels the zones, each publishing a successor epoch
 // without a serving gap; SetGamma and Insert fail.
-func (m *Monitor) Freeze() {
+func (m *Monitor) Freeze() { m.freezeAt(1) }
+
+// freezeAt is Freeze with an explicit id for the first published epoch.
+// A freshly built monitor starts at epoch 1; a monitor warm-started from
+// a snapshot resumes at the snapshot's epoch id so replayed deltas keep
+// publishing the same ids as the leader they came from (LoadSnapshot).
+func (m *Monitor) freezeAt(id uint64) {
 	m.freezeOnce.Do(func() {
 		for _, z := range m.zones {
 			z.Freeze()
 		}
-		e := newEpoch(1, m.cfg.Gamma, m.zones)
+		e := newEpoch(id, m.cfg.Gamma, m.zones)
 		m.upd.track(e)
 		m.cur.Store(e)
 	})

@@ -26,7 +26,7 @@ func FuzzWireRoundTrip(f *testing.F) {
 	f.Add(uint32(1<<31), []byte{0xFF, 0xFF, 0x00, 0x10, 0x20, 0x30, 0x40, 0x50, 0x60})
 	ping := AppendPing(nil, 3)
 	f.Add(uint32(3), ping)
-	wr, _ := AppendWatchReq(nil, 5, []int{2, 3}, []float64{1, 2, 3, 4, 5, 6})
+	wr, _ := AppendWatchReq(nil, 5, 1, []int{2, 3}, []float64{1, 2, 3, 4, 5, 6})
 	f.Add(uint32(5), wr)
 	f.Fuzz(func(t *testing.T, id uint32, data []byte) {
 		// --- Backward: arbitrary bytes never panic a decoder. ---
@@ -45,6 +45,7 @@ func FuzzWireRoundTrip(f *testing.F) {
 		DecodeWatchResp(data)
 		DecodeLearnReq(data)
 		DecodeLearnResp(data)
+		DecodeStatsReq(data)
 		DecodeStatsResp(data)
 		DecodeErr(data)
 
@@ -58,7 +59,8 @@ func FuzzWireRoundTrip(f *testing.F) {
 			return out
 		}
 
-		// Watch request: rank and dims from the input, kept tiny.
+		// Watch request: tenant, rank and dims from the input, kept tiny.
+		tenant := id ^ 0xA5A5_0000
 		dimBytes := next(3)
 		if len(dimBytes) > 0 {
 			shape := make([]int, 0, len(dimBytes))
@@ -72,7 +74,7 @@ func FuzzWireRoundTrip(f *testing.F) {
 			for i, b := range next(vals) {
 				in[i] = float64(int8(b)) / 16 // exact in float32
 			}
-			frame, err := AppendWatchReq(nil, id, shape, in)
+			frame, err := AppendWatchReq(nil, id, tenant, shape, in)
 			if err != nil {
 				t.Fatalf("AppendWatchReq(%v): %v", shape, err)
 			}
@@ -83,9 +85,12 @@ func FuzzWireRoundTrip(f *testing.F) {
 			if err != nil || h.ID != id || h.Type != TypeWatchReq {
 				t.Fatalf("watch request header %+v, %v", h, err)
 			}
-			gotShape, gotData, err := DecodeWatchReq(frame[HeaderSize:])
+			gotTenant, gotShape, gotData, err := DecodeWatchReq(frame[HeaderSize:])
 			if err != nil {
 				t.Fatalf("DecodeWatchReq: %v", err)
+			}
+			if gotTenant != tenant {
+				t.Fatalf("tenant changed: %d -> %d", tenant, gotTenant)
 			}
 			for i := range shape {
 				if gotShape[i] != shape[i] {
@@ -97,7 +102,7 @@ func FuzzWireRoundTrip(f *testing.F) {
 					t.Fatalf("value %d changed: %v -> %v", i, in[i], gotData[i])
 				}
 			}
-			re, err := AppendWatchReq(nil, id, gotShape, gotData)
+			re, err := AppendWatchReq(nil, id, gotTenant, gotShape, gotData)
 			if err != nil || !bytes.Equal(re, frame) {
 				t.Fatal("watch request re-encoding differs")
 			}
@@ -140,16 +145,16 @@ func FuzzWireRoundTrip(f *testing.F) {
 		// Learn round trip when enough bits remain.
 		if len(pat) > 0 {
 			class := int(id % 64)
-			lrFrame, err := AppendLearnReq(nil, id, class, []core.Pattern{pat, pat})
+			lrFrame, err := AppendLearnReq(nil, id, tenant, class, []core.Pattern{pat, pat})
 			if err != nil {
 				t.Fatalf("AppendLearnReq: %v", err)
 			}
-			gotClass, gotPats, err := DecodeLearnReq(lrFrame[HeaderSize:])
-			if err != nil || gotClass != class || len(gotPats) != 2 ||
+			gotTenant, gotClass, gotPats, err := DecodeLearnReq(lrFrame[HeaderSize:])
+			if err != nil || gotTenant != tenant || gotClass != class || len(gotPats) != 2 ||
 				core.Hamming(gotPats[0], pat) != 0 || core.Hamming(gotPats[1], pat) != 0 {
-				t.Fatalf("learn round trip: class %d, %d pats, %v", gotClass, len(gotPats), err)
+				t.Fatalf("learn round trip: tenant %d, class %d, %d pats, %v", gotTenant, gotClass, len(gotPats), err)
 			}
-			reLr, err := AppendLearnReq(nil, id, gotClass, gotPats)
+			reLr, err := AppendLearnReq(nil, id, gotTenant, gotClass, gotPats)
 			if err != nil || !bytes.Equal(reLr, lrFrame) {
 				t.Fatal("learn re-encoding differs")
 			}
@@ -162,11 +167,16 @@ func FuzzWireRoundTrip(f *testing.F) {
 			P50Ns: uint64(id) + 6, P99Ns: uint64(id) + 7, Lanes: id + 8,
 			Epoch: uint64(id) + 9, Updates: uint64(id) + 10,
 			GwReceived: uint64(id) + 11, GwMalformed: uint64(id) + 12, GwDropped: uint64(id) + 13,
+			Tenant: tenant, Tenants: id + 14,
 		}
 		stFrame := AppendStatsResp(nil, id, st)
 		gotSt, err := DecodeStatsResp(stFrame[HeaderSize:])
 		if err != nil || gotSt != st {
 			t.Fatalf("stats round trip: %+v, %v", gotSt, err)
+		}
+		sReq := AppendStatsReq(nil, id, tenant)
+		if gotTenant, err := DecodeStatsReq(sReq[HeaderSize:]); err != nil || gotTenant != tenant {
+			t.Fatalf("stats request round trip: tenant %d, %v", gotTenant, err)
 		}
 
 		// Err frames round-trip any message bytes.

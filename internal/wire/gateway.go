@@ -58,9 +58,38 @@ type GatewayCounters struct {
 	Conns uint64
 }
 
+// TenantLane is one routable serving lane: the server frames submit to
+// and the monitor the learn path validates against. A lane handed out
+// by ResolveTenant is pinned — the gateway calls Release exactly once
+// when the frame's work is done, so a fleet registry can drain an
+// unloading tenant without killing the frame's in-flight batch.
+// registry.Tenant implements it structurally.
+type TenantLane interface {
+	Server() *serve.Server
+	Monitor() *core.Monitor
+	Release()
+}
+
+// TenantResolver pins the lane for a wire tenant id, or reports that no
+// such tenant is loaded. It runs once per routed frame, so it must be
+// cheap — an atomic table lookup, not a lock queue.
+type TenantResolver func(id uint32) (TenantLane, error)
+
+// staticLane adapts a fixed server/monitor pair — the single-tenant
+// gateway — to the lane interface. Nothing ever unloads it, so Release
+// is a no-op.
+type staticLane struct {
+	srv *serve.Server
+	mon *core.Monitor
+}
+
+func (l staticLane) Server() *serve.Server  { return l.srv }
+func (l staticLane) Monitor() *core.Monitor { return l.mon }
+func (l staticLane) Release()               {}
+
 // Gateway serves the binary wire protocol over UDP datagrams and
-// persistent TCP streams, feeding the serve.Server micro-batching
-// coalescer behind it.
+// persistent TCP streams, routing each frame by its tenant id to one
+// serving lane and feeding that lane's micro-batching coalescer.
 //
 // Backpressure is transport-shaped. A TCP connection's reader submits
 // with the blocking Submit and bounds its outstanding responses with a
@@ -74,9 +103,9 @@ type GatewayCounters struct {
 // Responses carry the request's frame id and may be written out of
 // order; pipelining clients match on id.
 type Gateway struct {
-	srv *serve.Server
-	mon *core.Monitor
-	cfg GatewayConfig
+	resolve TenantResolver
+	tenants func() int
+	cfg     GatewayConfig
 
 	udp *net.UDPConn
 	tcp net.Listener
@@ -97,12 +126,28 @@ type Gateway struct {
 }
 
 // NewGateway wraps a running serve.Server (and the monitor it serves —
-// the learn path and the stats epoch come from it) in a protocol
-// gateway. Call ListenUDP/ListenTCP to bind transports, Close to stop.
+// the learn path and the stats epoch come from it) in a single-tenant
+// protocol gateway: only the default tenant id (0) routes; every other
+// id answers ErrCodeUnknownTenant. Call ListenUDP/ListenTCP to bind
+// transports, Close to stop.
 func NewGateway(srv *serve.Server, mon *core.Monitor, cfg GatewayConfig) *Gateway {
+	lane := staticLane{srv: srv, mon: mon}
+	return NewFleetGateway(func(id uint32) (TenantLane, error) {
+		if id != DefaultTenant {
+			return nil, fmt.Errorf("wire: tenant %d not loaded (single-tenant gateway)", id)
+		}
+		return lane, nil
+	}, func() int { return 1 }, cfg)
+}
+
+// NewFleetGateway builds a multi-tenant gateway: every routed frame
+// (watch, learn, stats) pins its lane through resolve for the duration
+// of its work; count reports the fleet size for stats responses. A
+// fleet registry's AcquireID is the intended resolver.
+func NewFleetGateway(resolve TenantResolver, count func() int, cfg GatewayConfig) *Gateway {
 	return &Gateway{
-		srv:       srv,
-		mon:       mon,
+		resolve:   resolve,
+		tenants:   count,
 		cfg:       cfg.withDefaults(),
 		udpTokens: make(chan struct{}, cfg.withDefaults().MaxInflight),
 		conns:     make(map[net.Conn]struct{}),
@@ -249,7 +294,7 @@ func (g *Gateway) serveUDP(pc *net.UDPConn) {
 		case TypePing:
 			g.writeUDP(pc, raddr, AppendPong(g.getBuf(), h.ID))
 		case TypeStatsReq:
-			g.writeUDP(pc, raddr, AppendStatsResp(g.getBuf(), h.ID, g.stats()))
+			g.writeUDP(pc, raddr, g.handleStats(h.ID, payload))
 		case TypeLearnReq:
 			g.writeUDP(pc, raddr, g.handleLearn(h.ID, payload))
 		case TypeWatchReq:
@@ -269,22 +314,29 @@ func (g *Gateway) serveUDP(pc *net.UDPConn) {
 // would stall every client), so pressure turns into shedding here:
 // no in-flight token or TrySubmit queue-full → ErrCodeOverloaded.
 func (g *Gateway) handleWatchUDP(pc *net.UDPConn, raddr *net.UDPAddr, id uint32, payload []byte) {
-	shape, data, err := DecodeWatchReq(payload)
+	tenant, shape, data, err := DecodeWatchReq(payload)
 	if err != nil {
 		g.malformed.Add(1)
 		g.writeUDP(pc, raddr, AppendErr(g.getBuf(), id, ErrCodeBadRequest, err.Error()))
 		return
 	}
+	lane, err := g.resolve(tenant)
+	if err != nil {
+		g.writeUDP(pc, raddr, AppendErr(g.getBuf(), id, ErrCodeUnknownTenant, err.Error()))
+		return
+	}
 	select {
 	case g.udpTokens <- struct{}{}:
 	default:
+		lane.Release()
 		g.dropped.Add(1)
 		g.writeUDP(pc, raddr, AppendErr(g.getBuf(), id, ErrCodeOverloaded, "gateway at in-flight cap"))
 		return
 	}
-	fut, err := g.srv.TrySubmit(tensor.FromSlice(data, shape...))
+	fut, err := lane.Server().TrySubmit(tensor.FromSlice(data, shape...))
 	if err != nil {
 		<-g.udpTokens
+		lane.Release()
 		g.writeUDP(pc, raddr, g.submitErrFrame(id, err))
 		return
 	}
@@ -292,6 +344,7 @@ func (g *Gateway) handleWatchUDP(pc *net.UDPConn, raddr *net.UDPAddr, id uint32,
 	go func() {
 		defer g.wg.Done()
 		defer func() { <-g.udpTokens }()
+		defer lane.Release() // lane stays pinned until the verdict is out
 		v, err := fut.Wait()
 		if err != nil {
 			g.writeUDP(pc, raddr, AppendErr(g.getBuf(), id, ErrCodeShutdown, err.Error()))
@@ -382,20 +435,26 @@ func (g *Gateway) serveConn(c net.Conn) {
 		case TypePing:
 			out <- AppendPong(g.getBuf(), h.ID)
 		case TypeStatsReq:
-			out <- AppendStatsResp(g.getBuf(), h.ID, g.stats())
+			out <- g.handleStats(h.ID, payload)
 		case TypeLearnReq:
 			out <- g.handleLearn(h.ID, payload)
 		case TypeWatchReq:
-			shape, data, err := DecodeWatchReq(payload)
+			tenant, shape, data, err := DecodeWatchReq(payload)
 			if err != nil {
 				g.malformed.Add(1)
 				out <- AppendErr(g.getBuf(), h.ID, ErrCodeBadRequest, err.Error())
 				continue
 			}
+			lane, err := g.resolve(tenant)
+			if err != nil {
+				out <- AppendErr(g.getBuf(), h.ID, ErrCodeUnknownTenant, err.Error())
+				continue
+			}
 			inflight <- struct{}{} // connection-level backpressure, cap in-flight
-			fut, err := g.srv.Submit(tensor.FromSlice(data, shape...))
+			fut, err := lane.Server().Submit(tensor.FromSlice(data, shape...))
 			if err != nil {
 				<-inflight
+				lane.Release()
 				out <- g.submitErrFrame(h.ID, err)
 				continue
 			}
@@ -403,6 +462,7 @@ func (g *Gateway) serveConn(c net.Conn) {
 			go func(id uint32) {
 				defer pending.Done()
 				defer func() { <-inflight }()
+				defer lane.Release() // lane stays pinned until the verdict is out
 				v, err := fut.Wait()
 				if err != nil {
 					out <- AppendErr(g.getBuf(), id, ErrCodeShutdown, err.Error())
@@ -433,24 +493,53 @@ func (g *Gateway) serveConn(c net.Conn) {
 
 // --- shared handlers ---
 
-// handleLearn decodes a learn request, validates widths against the
-// monitor and publishes the update through the server (serialized, so
-// epoch observation order matches publication order).
+// handleLearn decodes a learn request, routes it to its tenant lane,
+// validates widths against that tenant's monitor and publishes the
+// update through its server (serialized, so epoch observation order
+// matches publication order).
 func (g *Gateway) handleLearn(id uint32, payload []byte) []byte {
-	class, pats, err := DecodeLearnReq(payload)
+	tenant, class, pats, err := DecodeLearnReq(payload)
 	if err != nil {
 		g.malformed.Add(1)
 		return AppendErr(g.getBuf(), id, ErrCodeBadRequest, err.Error())
 	}
-	if width := len(g.mon.Neurons()); len(pats[0]) != width {
+	lane, err := g.resolve(tenant)
+	if err != nil {
+		return AppendErr(g.getBuf(), id, ErrCodeUnknownTenant, err.Error())
+	}
+	defer lane.Release()
+	if width := len(lane.Monitor().Neurons()); len(pats[0]) != width {
 		return AppendErr(g.getBuf(), id, ErrCodeBadRequest,
 			fmt.Sprintf("patterns have %d bits, monitor watches %d neurons", len(pats[0]), width))
 	}
-	epoch, err := g.srv.Update(map[int][]core.Pattern{class: pats})
+	epoch, err := lane.Server().Update(map[int][]core.Pattern{class: pats})
 	if err != nil {
 		return AppendErr(g.getBuf(), id, ErrCodeBadRequest, err.Error())
 	}
 	return AppendLearnResp(g.getBuf(), id, epoch, len(pats))
+}
+
+// handleStats decodes a stats request and answers with the addressed
+// tenant's counter block merged with the gateway's frame accounting.
+func (g *Gateway) handleStats(id uint32, payload []byte) []byte {
+	tenant, err := DecodeStatsReq(payload)
+	if err != nil {
+		g.malformed.Add(1)
+		return AppendErr(g.getBuf(), id, ErrCodeBadRequest, err.Error())
+	}
+	lane, err := g.resolve(tenant)
+	if err != nil {
+		return AppendErr(g.getBuf(), id, ErrCodeUnknownTenant, err.Error())
+	}
+	defer lane.Release()
+	st := StatsFromServe(lane.Server().Stats())
+	st.GwReceived = g.received.Load()
+	st.GwMalformed = g.malformed.Load()
+	st.GwDropped = g.dropped.Load()
+	st.GwConns = uint32(g.connCount.Load())
+	st.Tenant = tenant
+	st.Tenants = uint32(g.tenants())
+	return AppendStatsResp(g.getBuf(), id, st)
 }
 
 // submitErrFrame maps a Submit/TrySubmit error to its wire error code.
@@ -464,16 +553,6 @@ func (g *Gateway) submitErrFrame(id uint32, err error) []byte {
 		code = ErrCodeOverloaded
 	}
 	return AppendErr(g.getBuf(), id, code, err.Error())
-}
-
-// stats merges the server snapshot with the gateway frame counters.
-func (g *Gateway) stats() Stats {
-	st := StatsFromServe(g.srv.Stats())
-	st.GwReceived = g.received.Load()
-	st.GwMalformed = g.malformed.Load()
-	st.GwDropped = g.dropped.Load()
-	st.GwConns = uint32(g.connCount.Load())
-	return st
 }
 
 // RegisterMetrics exposes the gateway's frame accounting on reg under

@@ -2,7 +2,9 @@ package wire
 
 import (
 	"context"
+	"fmt"
 	"net"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -118,11 +120,11 @@ func TestGatewayUDP(t *testing.T) {
 	// float32 — so compare against the direct verdict of the narrowed
 	// input, which is what the wire carries.
 	for i, x := range inputs {
-		frame, err := AppendWatchReq(nil, uint32(i), x.Shape(), x.Data())
+		frame, err := AppendWatchReq(nil, uint32(i), DefaultTenant, x.Shape(), x.Data())
 		if err != nil {
 			t.Fatal(err)
 		}
-		narrowShape, narrowData, err := DecodeWatchReq(frame[HeaderSize:])
+		_, narrowShape, narrowData, err := DecodeWatchReq(frame[HeaderSize:])
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -143,7 +145,7 @@ func TestGatewayUDP(t *testing.T) {
 	}
 
 	// Stats reflects the served traffic and the gateway accounting.
-	h, payload := udpExchange(t, c, AppendStatsReq(nil, 1000))
+	h, payload := udpExchange(t, c, AppendStatsReq(nil, 1000, DefaultTenant))
 	if h.Type != TypeStatsResp {
 		t.Fatalf("stats answered with %+v", h)
 	}
@@ -165,7 +167,7 @@ func TestGatewayUDP(t *testing.T) {
 		pat[i] = i%2 == 0
 	}
 	before := mon.Epoch()
-	lr, err := AppendLearnReq(nil, 2000, 1, []core.Pattern{pat})
+	lr, err := AppendLearnReq(nil, 2000, DefaultTenant, 1, []core.Pattern{pat})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,7 +182,7 @@ func TestGatewayUDP(t *testing.T) {
 	}
 
 	// A wrong-width learn is a clean error, not a dead gateway.
-	lr, err = AppendLearnReq(nil, 2001, 1, []core.Pattern{{true, false}})
+	lr, err = AppendLearnReq(nil, 2001, DefaultTenant, 1, []core.Pattern{{true, false}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -227,11 +229,11 @@ func TestGatewayTCP(t *testing.T) {
 	want := make(map[uint32]core.Verdict, len(inputs))
 	var frames []byte
 	for i, x := range inputs {
-		frame, err := AppendWatchReq(nil, uint32(i), x.Shape(), x.Data())
+		frame, err := AppendWatchReq(nil, uint32(i), DefaultTenant, x.Shape(), x.Data())
 		if err != nil {
 			t.Fatal(err)
 		}
-		narrowShape, narrowData, err := DecodeWatchReq(frame[HeaderSize:])
+		_, narrowShape, narrowData, err := DecodeWatchReq(frame[HeaderSize:])
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -267,7 +269,7 @@ func TestGatewayTCP(t *testing.T) {
 	}
 
 	// Stats over the same connection.
-	if _, err := c.Write(AppendStatsReq(nil, 7)); err != nil {
+	if _, err := c.Write(AppendStatsReq(nil, 7, DefaultTenant)); err != nil {
 		t.Fatal(err)
 	}
 	h, payload, err := ReadFrame(c, nil)
@@ -315,7 +317,7 @@ func TestGatewayTCPMalformedKillsConn(t *testing.T) {
 	}
 	defer good.Close()
 	good.SetDeadline(time.Now().Add(time.Minute))
-	frame, err := AppendWatchReq(nil, 1, inputs[0].Shape(), inputs[0].Data())
+	frame, err := AppendWatchReq(nil, 1, DefaultTenant, inputs[0].Shape(), inputs[0].Data())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -365,7 +367,7 @@ func TestGatewayTCPSustained(t *testing.T) {
 				}()
 				for i := 0; i < perConn; i++ {
 					x := inputs[(ci+i)%len(inputs)]
-					frame, err := AppendWatchReq(nil, uint32(i), x.Shape(), x.Data())
+					frame, err := AppendWatchReq(nil, uint32(i), DefaultTenant, x.Shape(), x.Data())
 					if err != nil {
 						return err
 					}
@@ -420,5 +422,152 @@ func TestGatewayCloseIdempotent(t *testing.T) {
 	}
 	if err := g.ListenTCP("127.0.0.1:0"); err == nil {
 		t.Fatal("ListenTCP accepted after Close")
+	}
+}
+
+// fleetLane is a resolver-side fake: a real serving lane plus pin
+// accounting, standing in for a registry tenant.
+type fleetLane struct {
+	srv      *serve.Server
+	mon      *core.Monitor
+	acquires *atomic.Int64
+	releases *atomic.Int64
+}
+
+func (l fleetLane) Server() *serve.Server  { return l.srv }
+func (l fleetLane) Monitor() *core.Monitor { return l.mon }
+func (l fleetLane) Release()               { l.releases.Add(1) }
+
+// TestFleetGatewayRouting drives the v3 tenant dimension end to end
+// over UDP: frames route to the lane their tenant id names, an unknown
+// id answers ErrCodeUnknownTenant, stats report the addressed tenant,
+// and every resolved pin is released.
+func TestFleetGatewayRouting(t *testing.T) {
+	r := rng.New(31)
+	mkLane := func() fleetLane {
+		net := nn.New(
+			nn.NewDense(4, 8, r), nn.NewReLU(),
+			nn.NewDense(8, 3, r),
+		)
+		samples := make([]nn.Sample, 0, 24)
+		for i := 0; i < 24; i++ {
+			x := tensor.New(4)
+			for j := range x.Data() {
+				x.Data()[j] = r.NormScaled(0, 1)
+			}
+			samples = append(samples, nn.Sample{Input: x, Label: i % 3})
+		}
+		mon, err := core.Build(net, samples, core.Config{Layer: 1, Gamma: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err := serve.New(net, mon, serve.Config{MaxBatch: 4, MaxDelay: time.Millisecond, InputShape: []int{4}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() {
+			ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+			defer cancel()
+			srv.Shutdown(ctx)
+		})
+		return fleetLane{srv: srv, mon: mon, acquires: new(atomic.Int64), releases: new(atomic.Int64)}
+	}
+	lanes := map[uint32]fleetLane{0: mkLane(), 7: mkLane()}
+	g := NewFleetGateway(func(id uint32) (TenantLane, error) {
+		l, ok := lanes[id]
+		if !ok {
+			return nil, fmt.Errorf("tenant %d not loaded", id)
+		}
+		l.acquires.Add(1)
+		return l, nil
+	}, func() int { return len(lanes) }, GatewayConfig{})
+	if err := g.ListenUDP("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { g.Close() })
+	c, err := net.Dial("udp", g.UDPAddr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Watch frames land on the lane their tenant id names.
+	input := tensor.New(4)
+	for tenant, wantEpochBump := range map[uint32]bool{0: false, 7: true} {
+		frame, err := AppendWatchReq(nil, 100+tenant, tenant, input.Shape(), input.Data())
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, _ := udpExchange(t, c, frame)
+		if h.Type != TypeWatchResp {
+			t.Fatalf("tenant %d watch answered with %+v", tenant, h)
+		}
+		_ = wantEpochBump
+	}
+
+	// A learn addressed to tenant 7 moves only tenant 7's epoch.
+	before0, before7 := lanes[0].mon.Epoch(), lanes[7].mon.Epoch()
+	pat := make(core.Pattern, len(lanes[7].mon.Neurons()))
+	lr, err := AppendLearnReq(nil, 200, 7, 1, []core.Pattern{pat})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, payload := udpExchange(t, c, lr)
+	if h.Type != TypeLearnResp {
+		code, msg, _ := DecodeErr(payload)
+		t.Fatalf("fleet learn answered with %+v (code %d: %s)", h, code, msg)
+	}
+	if got := lanes[7].mon.Epoch(); got != before7+1 {
+		t.Fatalf("tenant 7 epoch %d, want %d", got, before7+1)
+	}
+	if got := lanes[0].mon.Epoch(); got != before0 {
+		t.Fatalf("tenant 0 epoch moved to %d on a tenant-7 learn", got)
+	}
+
+	// Stats report the addressed tenant and the fleet size.
+	h, payload = udpExchange(t, c, AppendStatsReq(nil, 300, 7))
+	if h.Type != TypeStatsResp {
+		t.Fatalf("fleet stats answered with %+v", h)
+	}
+	st, err := DecodeStatsResp(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Tenant != 7 || st.Tenants != 2 {
+		t.Fatalf("stats tenant %d of %d, want 7 of 2", st.Tenant, st.Tenants)
+	}
+	if st.Epoch != before7+1 {
+		t.Fatalf("stats epoch %d, want tenant 7's %d", st.Epoch, before7+1)
+	}
+
+	// An unloaded tenant id answers ErrCodeUnknownTenant for every
+	// request type.
+	wf, err := AppendWatchReq(nil, 400, 3, input.Shape(), input.Data())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lf, err := AppendLearnReq(nil, 401, 3, 1, []core.Pattern{pat})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frame := range [][]byte{wf, lf, AppendStatsReq(nil, 402, 3)} {
+		h, payload := udpExchange(t, c, frame)
+		if h.Type != TypeErr {
+			t.Fatalf("unknown tenant answered with %+v", h)
+		}
+		if code, _, err := DecodeErr(payload); err != nil || code != ErrCodeUnknownTenant {
+			t.Fatalf("unknown tenant code %d, %v", code, err)
+		}
+	}
+
+	// Close the gateway: every pin taken by the resolver must have been
+	// released — the lease discipline a draining registry relies on.
+	if err := g.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for id, l := range lanes {
+		if a, r := l.acquires.Load(), l.releases.Load(); a == 0 || a != r {
+			t.Fatalf("tenant %d: %d acquires, %d releases", id, a, r)
+		}
 	}
 }

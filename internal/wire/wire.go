@@ -53,8 +53,18 @@ const (
 	// Version is the protocol version carried in byte 0 of every frame.
 	// v2 extended the stats response with monitor-level counters
 	// (monitored/out-of-pattern verdicts, gamma, recompiled plans) and
-	// the gateway's live TCP connection count.
-	Version = 2
+	// the gateway's live TCP connection count. v3 added the tenant
+	// dimension for fleet serving: watch, learn and stats requests
+	// carry a uint32 tenant id routing the frame to one registry lane,
+	// and the stats response reports the answering tenant and the fleet
+	// size. Tenant 0 is the default tenant, preserving v2's semantics
+	// for single-tenant deployments.
+	Version = 3
+
+	// DefaultTenant is the wire id of the default tenant — the only
+	// tenant a single-tenant gateway serves, and what pre-fleet clients
+	// implicitly addressed.
+	DefaultTenant uint32 = 0
 
 	// HeaderSize is the fixed frame header length in bytes.
 	HeaderSize = 12
@@ -101,10 +111,11 @@ func typeValid(t uint8) bool { return t >= TypePing && t <= TypeErr }
 
 // Error codes carried by TypeErr frames.
 const (
-	ErrCodeBadRequest uint8 = 1 // malformed payload or rejected input
-	ErrCodeShutdown   uint8 = 2 // server is draining; retry elsewhere
-	ErrCodeOverloaded uint8 = 3 // queue full; request was shed
-	ErrCodeInternal   uint8 = 4
+	ErrCodeBadRequest    uint8 = 1 // malformed payload or rejected input
+	ErrCodeShutdown      uint8 = 2 // server is draining; retry elsewhere
+	ErrCodeOverloaded    uint8 = 3 // queue full; request was shed
+	ErrCodeInternal      uint8 = 4
+	ErrCodeUnknownTenant uint8 = 5 // tenant id not loaded on this peer (v3)
 )
 
 // Header is the decoded fixed frame header.
@@ -234,12 +245,12 @@ func AppendPong(dst []byte, id uint32) []byte { return AppendHeader(dst, TypePon
 
 // --- watch ---
 
-// AppendWatchReq appends a watch request: rank byte, uint16 dims, then
-// the row-major input as float32. data must hold exactly prod(shape)
-// values; the float64→float32 narrowing is the protocol's contract
-// (inputs are normalized activations, float32 halves the dominant
-// payload).
-func AppendWatchReq(dst []byte, id uint32, shape []int, data []float64) ([]byte, error) {
+// AppendWatchReq appends a watch request: uint32 tenant id, rank byte,
+// uint16 dims, then the row-major input as float32. data must hold
+// exactly prod(shape) values; the float64→float32 narrowing is the
+// protocol's contract (inputs are normalized activations, float32
+// halves the dominant payload).
+func AppendWatchReq(dst []byte, id uint32, tenant uint32, shape []int, data []float64) ([]byte, error) {
 	if len(shape) == 0 || len(shape) > MaxDims {
 		return dst, fmt.Errorf("wire: tensor rank %d, want 1..%d", len(shape), MaxDims)
 	}
@@ -258,6 +269,7 @@ func AppendWatchReq(dst []byte, id uint32, shape []int, data []float64) ([]byte,
 	}
 	hdrOff := len(dst)
 	dst = AppendHeader(dst, TypeWatchReq, id, 0)
+	dst = binary.LittleEndian.AppendUint32(dst, tenant)
 	dst = append(dst, uint8(len(shape)))
 	for _, d := range shape {
 		dst = binary.LittleEndian.AppendUint16(dst, uint16(d))
@@ -268,43 +280,45 @@ func AppendWatchReq(dst []byte, id uint32, shape []int, data []float64) ([]byte,
 	return finishFrame(dst, hdrOff), nil
 }
 
-// DecodeWatchReq decodes a watch request payload into a shape and the
-// float64 input values the tensor substrate works in. It validates rank,
-// dimension and element bounds before allocating, so a hostile length
-// can not balloon memory past MaxTensorElems.
-func DecodeWatchReq(payload []byte) (shape []int, data []float64, err error) {
-	if len(payload) < 1 {
-		return nil, nil, fmt.Errorf("wire: empty watch request")
+// DecodeWatchReq decodes a watch request payload into its tenant id, a
+// shape and the float64 input values the tensor substrate works in. It
+// validates rank, dimension and element bounds before allocating, so a
+// hostile length can not balloon memory past MaxTensorElems.
+func DecodeWatchReq(payload []byte) (tenant uint32, shape []int, data []float64, err error) {
+	if len(payload) < 5 {
+		return 0, nil, nil, fmt.Errorf("wire: watch request needs 5 bytes, have %d", len(payload))
 	}
+	tenant = binary.LittleEndian.Uint32(payload[0:4])
+	payload = payload[4:]
 	rank := int(payload[0])
 	if rank == 0 || rank > MaxDims {
-		return nil, nil, fmt.Errorf("wire: tensor rank %d, want 1..%d", rank, MaxDims)
+		return 0, nil, nil, fmt.Errorf("wire: tensor rank %d, want 1..%d", rank, MaxDims)
 	}
 	if len(payload) < 1+2*rank {
-		return nil, nil, fmt.Errorf("wire: watch request truncated in shape")
+		return 0, nil, nil, fmt.Errorf("wire: watch request truncated in shape")
 	}
 	shape = make([]int, rank)
 	elems := 1
 	for i := range shape {
 		d := int(binary.LittleEndian.Uint16(payload[1+2*i:]))
 		if d == 0 {
-			return nil, nil, fmt.Errorf("wire: zero tensor dimension")
+			return 0, nil, nil, fmt.Errorf("wire: zero tensor dimension")
 		}
 		shape[i] = d
 		elems *= d
 		if elems > MaxTensorElems {
-			return nil, nil, fmt.Errorf("wire: tensor exceeds %d elements", MaxTensorElems)
+			return 0, nil, nil, fmt.Errorf("wire: tensor exceeds %d elements", MaxTensorElems)
 		}
 	}
 	rest := payload[1+2*rank:]
 	if len(rest) != 4*elems {
-		return nil, nil, fmt.Errorf("wire: shape %v needs %d payload bytes, have %d", shape, 4*elems, len(rest))
+		return 0, nil, nil, fmt.Errorf("wire: shape %v needs %d payload bytes, have %d", shape, 4*elems, len(rest))
 	}
 	data = make([]float64, elems)
 	for i := range data {
 		data[i] = float64(math.Float32frombits(binary.LittleEndian.Uint32(rest[4*i:])))
 	}
-	return shape, data, nil
+	return tenant, shape, data, nil
 }
 
 // Watch response flag bits.
@@ -365,11 +379,11 @@ func DecodeWatchResp(payload []byte) (core.Verdict, error) {
 
 // --- learn ---
 
-// AppendLearnReq appends a learn request: uint16 class, uint16 pattern
-// width in bits, uint16 count, then count bit-packed patterns. All
-// patterns must share one width (the monitor watches a fixed neuron
-// set).
-func AppendLearnReq(dst []byte, id uint32, class int, pats []core.Pattern) ([]byte, error) {
+// AppendLearnReq appends a learn request: uint32 tenant id, uint16
+// class, uint16 pattern width in bits, uint16 count, then count
+// bit-packed patterns. All patterns must share one width (the monitor
+// watches a fixed neuron set).
+func AppendLearnReq(dst []byte, id uint32, tenant uint32, class int, pats []core.Pattern) ([]byte, error) {
 	if class < 0 || class > math.MaxUint16 {
 		return dst, fmt.Errorf("wire: class %d out of range [0,%d]", class, math.MaxUint16)
 	}
@@ -387,6 +401,7 @@ func AppendLearnReq(dst []byte, id uint32, class int, pats []core.Pattern) ([]by
 	}
 	hdrOff := len(dst)
 	dst = AppendHeader(dst, TypeLearnReq, id, 0)
+	dst = binary.LittleEndian.AppendUint32(dst, tenant)
 	dst = binary.LittleEndian.AppendUint16(dst, uint16(class))
 	dst = binary.LittleEndian.AppendUint16(dst, uint16(width))
 	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(pats)))
@@ -397,31 +412,32 @@ func AppendLearnReq(dst []byte, id uint32, class int, pats []core.Pattern) ([]by
 }
 
 // DecodeLearnReq decodes a learn request payload.
-func DecodeLearnReq(payload []byte) (class int, pats []core.Pattern, err error) {
-	if len(payload) < 6 {
-		return 0, nil, fmt.Errorf("wire: learn request needs 6 bytes, have %d", len(payload))
+func DecodeLearnReq(payload []byte) (tenant uint32, class int, pats []core.Pattern, err error) {
+	if len(payload) < 10 {
+		return 0, 0, nil, fmt.Errorf("wire: learn request needs 10 bytes, have %d", len(payload))
 	}
-	class = int(binary.LittleEndian.Uint16(payload[0:2]))
-	width := int(binary.LittleEndian.Uint16(payload[2:4]))
-	count := int(binary.LittleEndian.Uint16(payload[4:6]))
+	tenant = binary.LittleEndian.Uint32(payload[0:4])
+	class = int(binary.LittleEndian.Uint16(payload[4:6]))
+	width := int(binary.LittleEndian.Uint16(payload[6:8]))
+	count := int(binary.LittleEndian.Uint16(payload[8:10]))
 	if width == 0 {
-		return 0, nil, fmt.Errorf("wire: zero pattern width")
+		return 0, 0, nil, fmt.Errorf("wire: zero pattern width")
 	}
 	if count == 0 || count > MaxPatterns {
-		return 0, nil, fmt.Errorf("wire: %d patterns, want 1..%d", count, MaxPatterns)
+		return 0, 0, nil, fmt.Errorf("wire: %d patterns, want 1..%d", count, MaxPatterns)
 	}
 	per := core.PackedLen(width)
-	rest := payload[6:]
+	rest := payload[10:]
 	if len(rest) != count*per {
-		return 0, nil, fmt.Errorf("wire: %d patterns of %d bits need %d payload bytes, have %d", count, width, count*per, len(rest))
+		return 0, 0, nil, fmt.Errorf("wire: %d patterns of %d bits need %d payload bytes, have %d", count, width, count*per, len(rest))
 	}
 	pats = make([]core.Pattern, count)
 	for i := range pats {
 		if pats[i], err = core.UnpackPattern(rest[i*per:(i+1)*per], width); err != nil {
-			return 0, nil, fmt.Errorf("wire: learn pattern %d: %w", i, err)
+			return 0, 0, nil, fmt.Errorf("wire: learn pattern %d: %w", i, err)
 		}
 	}
-	return class, pats, nil
+	return tenant, class, pats, nil
 }
 
 // AppendLearnResp appends a learn response: uint64 published epoch,
@@ -474,14 +490,35 @@ type Stats struct {
 	GwMalformed uint64
 	GwDropped   uint64
 	GwConns     uint32
+	// Fleet dimension (v3): the tenant these counters describe and the
+	// number of tenants loaded on the answering peer.
+	Tenant  uint32
+	Tenants uint32
 }
 
-// statsPayloadLen is the fixed stats response payload size: four uint32
+// statsPayloadLen is the fixed stats response payload size: six uint32
 // fields and fifteen uint64 fields, little-endian, declaration order.
-const statsPayloadLen = 136
+const statsPayloadLen = 144
 
-// AppendStatsReq appends an empty stats request frame.
-func AppendStatsReq(dst []byte, id uint32) []byte { return AppendHeader(dst, TypeStatsReq, id, 0) }
+// AppendStatsReq appends a stats request frame: a uint32 tenant id
+// naming the lane whose counters are wanted.
+func AppendStatsReq(dst []byte, id uint32, tenant uint32) []byte {
+	dst = AppendHeader(dst, TypeStatsReq, id, 4)
+	return binary.LittleEndian.AppendUint32(dst, tenant)
+}
+
+// DecodeStatsReq decodes a stats request payload. An empty payload —
+// a v2-shaped request — selects the default tenant.
+func DecodeStatsReq(payload []byte) (uint32, error) {
+	switch len(payload) {
+	case 0:
+		return DefaultTenant, nil
+	case 4:
+		return binary.LittleEndian.Uint32(payload), nil
+	default:
+		return 0, fmt.Errorf("wire: stats request is 0 or 4 bytes, have %d", len(payload))
+	}
+}
 
 // StatsFromServe converts a serve.Stats snapshot to its wire form.
 func StatsFromServe(st serve.Stats) Stats {
@@ -527,6 +564,8 @@ func AppendStatsResp(dst []byte, id uint32, st Stats) []byte {
 	dst = binary.LittleEndian.AppendUint64(dst, st.GwMalformed)
 	dst = binary.LittleEndian.AppendUint64(dst, st.GwDropped)
 	dst = binary.LittleEndian.AppendUint32(dst, st.GwConns)
+	dst = binary.LittleEndian.AppendUint32(dst, st.Tenant)
+	dst = binary.LittleEndian.AppendUint32(dst, st.Tenants)
 	return dst
 }
 
@@ -555,6 +594,8 @@ func DecodeStatsResp(payload []byte) (Stats, error) {
 		GwMalformed: binary.LittleEndian.Uint64(payload[116:124]),
 		GwDropped:   binary.LittleEndian.Uint64(payload[124:132]),
 		GwConns:     binary.LittleEndian.Uint32(payload[132:136]),
+		Tenant:      binary.LittleEndian.Uint32(payload[136:140]),
+		Tenants:     binary.LittleEndian.Uint32(payload[140:144]),
 	}, nil
 }
 

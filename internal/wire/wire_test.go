@@ -12,7 +12,7 @@ import (
 
 func mustWatchReq(t *testing.T, id uint32, shape []int, data []float64) []byte {
 	t.Helper()
-	frame, err := AppendWatchReq(nil, id, shape, data)
+	frame, err := AppendWatchReq(nil, id, DefaultTenant, shape, data)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,7 +125,10 @@ func TestWatchReqRoundTrip(t *testing.T) {
 	for i := range data {
 		data[i] = float64(i%256) / 256 // power-of-two denominator: exact in float32
 	}
-	frame := mustWatchReq(t, 42, shape, data)
+	frame, err := AppendWatchReq(nil, 42, 0xCAFE, shape, data)
+	if err != nil {
+		t.Fatal(err)
+	}
 	h, err := ParseHeader(frame)
 	if err != nil {
 		t.Fatal(err)
@@ -133,9 +136,12 @@ func TestWatchReqRoundTrip(t *testing.T) {
 	if int(h.PayloadLen) != len(frame)-HeaderSize {
 		t.Fatal("header length does not cover the payload")
 	}
-	gotShape, gotData, err := DecodeWatchReq(frame[HeaderSize:])
+	tenant, gotShape, gotData, err := DecodeWatchReq(frame[HeaderSize:])
 	if err != nil {
 		t.Fatal(err)
+	}
+	if tenant != 0xCAFE {
+		t.Fatalf("tenant %#x, want 0xCAFE", tenant)
 	}
 	if len(gotShape) != 3 || gotShape[0] != 1 || gotShape[1] != 28 || gotShape[2] != 28 {
 		t.Fatalf("shape %v", gotShape)
@@ -148,28 +154,31 @@ func TestWatchReqRoundTrip(t *testing.T) {
 }
 
 func TestWatchReqRejects(t *testing.T) {
-	if _, err := AppendWatchReq(nil, 1, nil, nil); err == nil {
+	if _, err := AppendWatchReq(nil, 1, 0, nil, nil); err == nil {
 		t.Fatal("empty shape accepted")
 	}
-	if _, err := AppendWatchReq(nil, 1, []int{1, 2}, []float64{1}); err == nil {
+	if _, err := AppendWatchReq(nil, 1, 0, []int{1, 2}, []float64{1}); err == nil {
 		t.Fatal("shape/data mismatch accepted")
 	}
-	if _, err := AppendWatchReq(nil, 1, []int{0}, nil); err == nil {
+	if _, err := AppendWatchReq(nil, 1, 0, []int{0}, nil); err == nil {
 		t.Fatal("zero dim accepted")
 	}
-	if _, err := AppendWatchReq(nil, 1, []int{1 << 11, 1 << 11}, nil); err == nil {
+	if _, err := AppendWatchReq(nil, 1, 0, []int{1 << 11, 1 << 11}, nil); err == nil {
 		t.Fatal("oversized tensor accepted")
 	}
-	if _, _, err := DecodeWatchReq(nil); err == nil {
+	if _, _, _, err := DecodeWatchReq(nil); err == nil {
 		t.Fatal("empty payload accepted")
 	}
-	if _, _, err := DecodeWatchReq([]byte{1}); err == nil {
+	if _, _, _, err := DecodeWatchReq([]byte{0, 0, 0, 0}); err == nil {
+		t.Fatal("tenant-only payload accepted")
+	}
+	if _, _, _, err := DecodeWatchReq([]byte{0, 0, 0, 0, 1}); err == nil {
 		t.Fatal("truncated shape accepted")
 	}
-	if _, _, err := DecodeWatchReq([]byte{1, 2, 0, 0, 0, 0, 0}); err == nil {
+	if _, _, _, err := DecodeWatchReq([]byte{0, 0, 0, 0, 1, 2, 0, 0, 0, 0, 0}); err == nil {
 		t.Fatal("short float payload accepted")
 	}
-	if _, _, err := DecodeWatchReq([]byte{1, 0, 0}); err == nil {
+	if _, _, _, err := DecodeWatchReq([]byte{0, 0, 0, 0, 1, 0, 0}); err == nil {
 		t.Fatal("zero dimension accepted")
 	}
 }
@@ -216,16 +225,16 @@ func TestLearnRoundTrip(t *testing.T) {
 		{false, false, false, false, true},
 		{true, true, true, true, true},
 	}
-	frame, err := AppendLearnReq(nil, 77, 3, pats)
+	frame, err := AppendLearnReq(nil, 77, 9, 3, pats)
 	if err != nil {
 		t.Fatal(err)
 	}
-	class, got, err := DecodeLearnReq(frame[HeaderSize:])
+	tenant, class, got, err := DecodeLearnReq(frame[HeaderSize:])
 	if err != nil {
 		t.Fatal(err)
 	}
-	if class != 3 || len(got) != 3 {
-		t.Fatalf("class %d, %d patterns", class, len(got))
+	if tenant != 9 || class != 3 || len(got) != 3 {
+		t.Fatalf("tenant %d, class %d, %d patterns", tenant, class, len(got))
 	}
 	for i := range pats {
 		if core.Hamming(got[i], pats[i]) != 0 {
@@ -239,19 +248,19 @@ func TestLearnRoundTrip(t *testing.T) {
 		t.Fatalf("learn response: %d, %d, %v", epoch, absorbed, err)
 	}
 
-	if _, err := AppendLearnReq(nil, 1, 1, nil); err == nil {
+	if _, err := AppendLearnReq(nil, 1, 0, 1, nil); err == nil {
 		t.Fatal("empty learn accepted")
 	}
-	if _, err := AppendLearnReq(nil, 1, 1, []core.Pattern{{true}, {true, false}}); err == nil {
+	if _, err := AppendLearnReq(nil, 1, 0, 1, []core.Pattern{{true}, {true, false}}); err == nil {
 		t.Fatal("ragged widths accepted")
 	}
-	if _, err := AppendLearnReq(nil, 1, -1, pats); err == nil {
+	if _, err := AppendLearnReq(nil, 1, 0, -1, pats); err == nil {
 		t.Fatal("negative class accepted")
 	}
-	if _, _, err := DecodeLearnReq(nil); err == nil {
+	if _, _, _, err := DecodeLearnReq(nil); err == nil {
 		t.Fatal("empty payload accepted")
 	}
-	if _, _, err := DecodeLearnReq(frame[HeaderSize : len(frame)-1]); err == nil {
+	if _, _, _, err := DecodeLearnReq(frame[HeaderSize : len(frame)-1]); err == nil {
 		t.Fatal("truncated patterns accepted")
 	}
 }
@@ -261,6 +270,7 @@ func TestStatsRoundTrip(t *testing.T) {
 		Queued: 3, Submitted: 100, Served: 98, Rejected: 1, Shed: 1,
 		Batches: 20, P50Ns: 700_000, P99Ns: 2_000_000, Lanes: 2,
 		Epoch: 4, Updates: 3, GwReceived: 105, GwMalformed: 2, GwDropped: 1,
+		Tenant: 7, Tenants: 3,
 	}
 	frame := AppendStatsResp(nil, 8, want)
 	if len(frame) != HeaderSize+statsPayloadLen {
@@ -275,6 +285,20 @@ func TestStatsRoundTrip(t *testing.T) {
 	}
 	if _, err := DecodeStatsResp(frame[HeaderSize : len(frame)-1]); err == nil {
 		t.Fatal("truncated stats accepted")
+	}
+
+	// The stats request addresses a tenant; an empty (v2-shaped) payload
+	// selects the default tenant.
+	req := AppendStatsReq(nil, 8, 5)
+	tenant, err := DecodeStatsReq(req[HeaderSize:])
+	if err != nil || tenant != 5 {
+		t.Fatalf("stats request tenant %d, %v", tenant, err)
+	}
+	if tenant, err := DecodeStatsReq(nil); err != nil || tenant != DefaultTenant {
+		t.Fatalf("empty stats request: tenant %d, %v", tenant, err)
+	}
+	if _, err := DecodeStatsReq([]byte{1, 2}); err == nil {
+		t.Fatal("odd-length stats request accepted")
 	}
 }
 

@@ -1,11 +1,15 @@
 package napmon
 
 import (
+	"context"
+	"fmt"
 	"io"
+	"sort"
 
 	"napmon/internal/core"
 	"napmon/internal/dataset"
 	"napmon/internal/nn"
+	"napmon/internal/registry"
 	"napmon/internal/rng"
 	"napmon/internal/serve"
 	"napmon/internal/tensor"
@@ -225,8 +229,128 @@ var ErrQueueFull = serve.ErrQueueFull
 // with Server.Shutdown, which drains accepted requests. The
 // cmd/napmon-serve binary wraps this in an HTTP daemon (POST /learn is
 // the update endpoint).
+//
+// Serve is the one-tenant form of the fleet API: it loads the network
+// and monitor as the DefaultTenant of a fresh Registry and returns that
+// tenant's Server, so a single-model deployment pays nothing for the
+// multi-tenant machinery while behaving identically to a one-entry
+// ServeFleet. Callers who need hot load/unload, snapshots or
+// replication should hold the Registry instead — see ServeFleet.
 func Serve(net *Network, m *Monitor, cfg ServerConfig) (*Server, error) {
-	return serve.New(net, m, cfg)
+	r := registry.New(registry.Config{})
+	t, err := r.Load(registry.DefaultTenant, registry.TenantConfig{Net: net, Mon: m, Serve: cfg})
+	if err != nil {
+		return nil, err
+	}
+	return t.Server(), nil
+}
+
+// --- Fleet serving: registry, snapshots, replication ---
+
+// Registry is the multi-tenant fleet front end: a concurrent map from
+// tenant name to a live (network, monitor, server) lane that supports
+// hot load and unload while traffic flows. Lookup pins a tenant against
+// unload (Acquire/AcquireID + Release); Unload publishes the removal
+// immediately but drains the tenant's server gracefully, so in-flight
+// batches always complete. Each tenant carries a bounded epoch-keyed
+// delta log (Tenant.DeltasSince / Tenant.ApplyDelta) and a compact
+// snapshot codec (Tenant.Snapshot / Registry.LoadSnapshot), which
+// together form the leader→follower replication protocol used by
+// `napmon-serve -follow`. See DESIGN.md, "Multi-tenant registry,
+// snapshots, replication".
+type Registry = registry.Registry
+
+// Tenant is one named model lane inside a Registry: its network,
+// monitor and streaming Server, plus the replication surface (Learn,
+// UpdateGamma, Snapshot, DeltasSince, ApplyDelta). A Tenant returned by
+// Acquire/AcquireID is pinned and must be Released.
+type Tenant = registry.Tenant
+
+// RegistryConfig sizes a Registry: the drain grace period applied when
+// a tenant is unloaded and the per-tenant delta-log capacity bounding
+// how far behind a replication follower may fall before it must
+// re-snapshot. The zero value selects sensible defaults.
+type RegistryConfig = registry.Config
+
+// TenantConfig describes one tenant to load: its network, monitor and
+// the ServerConfig for its serving lane.
+type TenantConfig = registry.TenantConfig
+
+// DeltaEntry is one replicated monitor update: the epoch it published
+// plus either a per-class pattern delta or a γ re-level. Streams of
+// entries encode with EncodeDeltaStream / DecodeDeltaStream; a
+// follower applies them in epoch order with Tenant.ApplyDelta and
+// converges bit-for-bit with the leader's monitor.
+type DeltaEntry = core.DeltaEntry
+
+// DefaultTenant is the tenant name the single-tenant surfaces map to:
+// napmon.Serve, the legacy unprefixed HTTP routes of cmd/napmon-serve
+// and wire-protocol frames carrying tenant id 0.
+const DefaultTenant = registry.DefaultTenant
+
+// Fleet registry errors, re-exported for errors.Is against facade
+// calls.
+var (
+	// ErrTenantNotFound reports a lookup for a name or wire id that no
+	// loaded tenant matches.
+	ErrTenantNotFound = registry.ErrNotFound
+	// ErrTenantExists reports a Load under a name already serving.
+	ErrTenantExists = registry.ErrExists
+	// ErrRegistryClosed reports use of a Registry after Close.
+	ErrRegistryClosed = registry.ErrClosed
+	// ErrDeltaGap reports that a follower asked for deltas older than
+	// the leader's bounded log retains; the follower must re-snapshot.
+	ErrDeltaGap = registry.ErrDeltaGap
+)
+
+// NewRegistry returns an empty fleet registry. Load tenants with
+// Registry.Load (or warm-start them from a leader snapshot with
+// Registry.LoadSnapshot), then route traffic by name or wire id via
+// Acquire/AcquireID.
+func NewRegistry(cfg RegistryConfig) *Registry { return registry.New(cfg) }
+
+// ServeFleet builds a Registry and loads every named tenant, in
+// lexical name order so wire ids assign deterministically. It is the
+// multi-tenant analogue of Serve: one call takes a fleet of
+// (network, monitor, server-config) triples live. On any load failure
+// the partially built fleet is torn down and the error identifies the
+// offending tenant.
+func ServeFleet(cfg RegistryConfig, tenants map[string]TenantConfig) (*Registry, error) {
+	r := registry.New(cfg)
+	names := make([]string, 0, len(tenants))
+	for name := range tenants {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if _, err := r.Load(name, tenants[name]); err != nil {
+			r.Close(context.Background())
+			return nil, fmt.Errorf("napmon: load tenant %q: %w", name, err)
+		}
+	}
+	return r, nil
+}
+
+// LoadSnapshot reads a compact monitor snapshot written with
+// Monitor.Snapshot: compiled zone query plans plus bit-packed patterns,
+// checksummed, with the trailing delta-log entries the leader saved
+// alongside. The returned monitor is frozen at the leader's epoch and
+// answers queries identically; Registry.LoadSnapshot wraps this to
+// warm-start a serving tenant directly.
+func LoadSnapshot(r io.Reader) (*Monitor, []DeltaEntry, error) {
+	return core.LoadSnapshot(r)
+}
+
+// EncodeDeltaStream frames replication deltas for transport: the
+// leader's answer to a follower's "give me everything since epoch N".
+// width is the monitored pattern width (Monitor.Neurons).
+func EncodeDeltaStream(width int, entries []DeltaEntry) ([]byte, error) {
+	return core.EncodeDeltaStream(width, entries)
+}
+
+// DecodeDeltaStream parses a delta stream produced by EncodeDeltaStream.
+func DecodeDeltaStream(data []byte, width int) ([]DeltaEntry, error) {
+	return core.DecodeDeltaStream(data, width)
 }
 
 // GammaSweep evaluates the monitor at each γ in gammas.

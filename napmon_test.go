@@ -293,3 +293,119 @@ func ExampleMonitor_Update() {
 	// epoch after update: 2
 	// absorbed pattern now in its comfort zone: true
 }
+
+// TestPublicServeFleet drives the multi-tenant surface through the
+// facade: two tenants served side by side, per-tenant verdicts matching
+// serial Watch, pinned lookups surviving an unload of the other tenant,
+// and a snapshot + delta-stream replication round trip between two
+// registries using exported identifiers only.
+func TestPublicServeFleet(t *testing.T) {
+	build := func(netSeed, dataSeed uint64) (*napmon.Network, *napmon.Monitor, []napmon.Sample) {
+		train := toyData(dataSeed, 300)
+		net := toyNet(t, netSeed)
+		napmon.Train(net, train, napmon.TrainConfig{Epochs: 10, BatchSize: 16, LR: 0.05, Seed: netSeed + 1})
+		mon, err := napmon.BuildMonitor(net, train, napmon.Config{Layer: 3, Gamma: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return net, mon, train
+	}
+	netA, monA, _ := build(30, 31)
+	netB, monB, _ := build(32, 33)
+
+	fleet, err := napmon.ServeFleet(napmon.RegistryConfig{}, map[string]napmon.TenantConfig{
+		"alpha": {Net: netA, Mon: monA},
+		"beta":  {Net: netB, Mon: monB, Serve: napmon.ServerConfig{MaxBatch: 16, Lanes: 2}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	defer fleet.Close(ctx)
+
+	if n := fleet.Len(); n != 2 {
+		t.Fatalf("fleet has %d tenants, want 2", n)
+	}
+	if _, err := fleet.Acquire("gamma"); !errors.Is(err, napmon.ErrTenantNotFound) {
+		t.Fatalf("Acquire(gamma) = %v, want ErrTenantNotFound", err)
+	}
+
+	// Per-tenant verdicts match serial Watch against that tenant's model.
+	val := toyData(34, 60)
+	alpha, err := fleet.Acquire("alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range val {
+		fut, err := alpha.Server().Submit(s.Input)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := fut.Wait()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := monA.Watch(netA, s.Input)
+		if v.Class != want.Class || v.OutOfPattern != want.OutOfPattern {
+			t.Fatalf("alpha verdict %+v != serial %+v", v, want)
+		}
+	}
+
+	// Unloading beta must not disturb the pinned alpha lane.
+	if err := fleet.Unload(ctx, "beta"); err != nil {
+		t.Fatal(err)
+	}
+	if fut, err := alpha.Server().Submit(val[0].Input); err != nil {
+		t.Fatal(err)
+	} else if _, err := fut.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	alpha.Release()
+
+	// Replication: snapshot alpha, learn on the leader, stream the
+	// deltas into a follower registry, and require epoch convergence.
+	leader, err := fleet.Acquire("alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer leader.Release()
+	var snap bytes.Buffer
+	if err := leader.Snapshot(&snap); err != nil {
+		t.Fatal(err)
+	}
+	followerReg := napmon.NewRegistry(napmon.RegistryConfig{})
+	defer followerReg.Close(ctx)
+	follower, err := followerReg.LoadSnapshot("alpha", netA, &snap, napmon.ServerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := follower.Monitor().Epoch()
+	pat, _ := napmon.ParsePattern("10110101")
+	if _, err := leader.Learn(map[int][]napmon.Pattern{1: {pat}}); err != nil {
+		t.Fatal(err)
+	}
+	deltas, err := leader.DeltasSince(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := napmon.EncodeDeltaStream(len(leader.Monitor().Neurons()), deltas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := napmon.DecodeDeltaStream(stream, len(follower.Monitor().Neurons()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range decoded {
+		if err := follower.ApplyDelta(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if le, fe := leader.Monitor().Epoch(), follower.Monitor().Epoch(); le != fe {
+		t.Fatalf("follower epoch %d != leader epoch %d", fe, le)
+	}
+	if out, monitored := follower.Monitor().WatchPattern(1, pat); !monitored || out {
+		t.Fatal("replicated pattern not in follower comfort zone")
+	}
+}
