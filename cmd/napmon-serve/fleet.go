@@ -35,6 +35,33 @@ func (d *daemon) setShape(name string, shape []int) {
 	d.shapes[name] = shape
 }
 
+// swapShape installs a shape and returns what it replaced, so a load
+// path can register the gate BEFORE the tenant becomes acquirable (a
+// watch racing the load must validate against this load's shape, not
+// nil or a previous incarnation's) and still restore on load failure.
+func (d *daemon) swapShape(name string, shape []int) (prev []int, had bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	prev, had = d.shapes[name]
+	d.shapes[name] = shape
+	return prev, had
+}
+
+func (d *daemon) deleteShape(name string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.shapes, name)
+}
+
+// undoShape reverts a swapShape after a failed load.
+func (d *daemon) undoShape(name string, prev []int, had bool) {
+	if had {
+		d.setShape(name, prev)
+	} else {
+		d.deleteShape(name)
+	}
+}
+
 func (d *daemon) shape(name string) []int {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -333,15 +360,19 @@ func (d *daemon) handleStats(tenant func(*http.Request) string) http.HandlerFunc
 }
 
 // modelInfo is one entry of the GET /v1/models list. Shape rides along
-// so replication followers can mirror the leader's input gate.
+// so replication followers can mirror the leader's input gate;
+// Incarnation identifies the load (it changes on a DELETE+PUT reload,
+// where epochs restart) so a follower can tell "nothing new" apart from
+// "the tenant I synced no longer exists" and re-snapshot.
 type modelInfo struct {
-	Name    string `json:"name"`
-	ID      uint32 `json:"id"`
-	Epoch   uint64 `json:"epoch"`
-	Gamma   int    `json:"gamma"`
-	Served  uint64 `json:"served"`
-	Updates uint64 `json:"updates"`
-	Shape   []int  `json:"shape,omitempty"`
+	Name        string `json:"name"`
+	ID          uint32 `json:"id"`
+	Incarnation uint64 `json:"incarnation"`
+	Epoch       uint64 `json:"epoch"`
+	Gamma       int    `json:"gamma"`
+	Served      uint64 `json:"served"`
+	Updates     uint64 `json:"updates"`
+	Shape       []int  `json:"shape,omitempty"`
 }
 
 func (d *daemon) handleList(w http.ResponseWriter, _ *http.Request) {
@@ -354,13 +385,14 @@ func (d *daemon) handleList(w http.ResponseWriter, _ *http.Request) {
 		}
 		st := t.Server().Stats()
 		out = append(out, modelInfo{
-			Name:    t.Name(),
-			ID:      t.ID(),
-			Epoch:   st.Epoch,
-			Gamma:   st.Gamma,
-			Served:  st.Served,
-			Updates: st.Updates,
-			Shape:   d.shape(name),
+			Name:        t.Name(),
+			ID:          t.ID(),
+			Incarnation: t.Incarnation(),
+			Epoch:       st.Epoch,
+			Gamma:       st.Gamma,
+			Served:      st.Served,
+			Updates:     st.Updates,
+			Shape:       d.shape(name),
 		})
 		t.Release()
 	}
@@ -431,8 +463,10 @@ func (d *daemon) handleLoad(w http.ResponseWriter, r *http.Request) {
 	if req.Lanes > 0 {
 		sc.Lanes = req.Lanes
 	}
+	prev, had := d.swapShape(name, shape)
 	t, err := d.reg.Load(name, napmon.TenantConfig{Net: net, Mon: mon, Serve: sc})
 	if err != nil {
+		d.undoShape(name, prev, had)
 		status := http.StatusBadRequest
 		if errors.Is(err, napmon.ErrTenantExists) {
 			status = http.StatusConflict
@@ -440,13 +474,12 @@ func (d *daemon) handleLoad(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), status)
 		return
 	}
-	d.setShape(name, shape)
 	log.Printf("loaded tenant %q (id %d) in %v", name, t.ID(), time.Since(start).Round(time.Millisecond))
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusCreated)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(modelInfo{Name: t.Name(), ID: t.ID(), Epoch: t.Monitor().Epoch(), Gamma: mon.Gamma(), Shape: shape}); err != nil {
+	if err := enc.Encode(modelInfo{Name: t.Name(), ID: t.ID(), Incarnation: t.Incarnation(), Epoch: t.Monitor().Epoch(), Gamma: mon.Gamma(), Shape: shape}); err != nil {
 		log.Printf("encode response: %v", err)
 	}
 }
@@ -464,6 +497,7 @@ func (d *daemon) handleUnload(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), status)
 		return
 	}
+	d.deleteShape(name)
 	log.Printf("unloaded tenant %q", name)
 	w.WriteHeader(http.StatusNoContent)
 }

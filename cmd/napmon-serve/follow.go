@@ -24,6 +24,15 @@ type follower struct {
 	base string // leader base URL, e.g. http://127.0.0.1:8080
 	poll time.Duration
 
+	// incs records, per tenant name, the leader incarnation the local
+	// replica was synced from. A reload on the leader (DELETE+PUT
+	// between polls) restarts the name at a new incarnation whose epochs
+	// begin below the replica's, so every later DeltasSince poll would
+	// come back empty forever — no 410, no error, just a silently stale
+	// replica. Comparing incarnations turns that into a drop-and-resync.
+	// Only the bootstrap and run goroutine touch it (sequentially).
+	incs map[string]uint64
+
 	client http.Client
 }
 
@@ -73,6 +82,8 @@ func (f *follower) run(ctx context.Context) {
 		for _, name := range f.d.reg.Names() {
 			if !seen[name] {
 				if err := f.d.reg.Unload(ctx, name); err == nil {
+					f.d.deleteShape(name)
+					delete(f.incs, name)
 					log.Printf("follow: unloaded %q (gone from leader)", name)
 				}
 			}
@@ -95,14 +106,39 @@ func (f *follower) leaderModels(ctx context.Context) ([]modelInfo, error) {
 }
 
 // syncTenant brings one tenant up to the leader's epoch: a snapshot
-// load if the tenant is new locally, otherwise a delta pull.
+// load if the tenant is new locally, a drop-and-resync if the leader
+// reloaded the name since the last sync, otherwise a delta pull.
 func (f *follower) syncTenant(ctx context.Context, m modelInfo) error {
 	t, err := f.d.reg.Acquire(m.Name)
 	if err != nil {
 		return f.loadFromSnapshot(ctx, m)
 	}
+	// A new leader incarnation (or a leader epoch behind the local one —
+	// the same symptom when the leader predates incarnation reporting)
+	// means the replica's epochs no longer speak about the model the
+	// leader serves; deltas would never arrive. Re-bootstrap.
+	if f.incs[m.Name] != m.Incarnation || m.Epoch < t.Monitor().Epoch() {
+		t.Release()
+		log.Printf("follow: leader reloaded %q (incarnation %d -> %d); re-syncing from snapshot",
+			m.Name, f.incs[m.Name], m.Incarnation)
+		if err := f.dropTenant(ctx, m.Name); err != nil {
+			return err
+		}
+		return f.loadFromSnapshot(ctx, m)
+	}
 	defer t.Release()
 	return f.pullDeltas(ctx, t, m.Name)
+}
+
+// dropTenant discards a stale local replica so the next poll (or this
+// one's caller) re-bootstraps it from a fresh leader snapshot.
+func (f *follower) dropTenant(ctx context.Context, name string) error {
+	if err := f.d.reg.Unload(ctx, name); err != nil {
+		return err
+	}
+	f.d.deleteShape(name)
+	delete(f.incs, name)
+	return nil
 }
 
 // loadFromSnapshot bootstraps a tenant: model weights, then the compact
@@ -122,12 +158,18 @@ func (f *follower) loadFromSnapshot(ctx context.Context, m modelInfo) error {
 	}
 	sc := f.d.serveCfg
 	sc.InputShape = m.Shape
+	// Shape gate first: the tenant is acquirable the moment LoadSnapshot
+	// publishes it, and a watch landing in that window must validate
+	// against this incarnation's shape.
+	prev, had := f.d.swapShape(m.Name, m.Shape)
 	t, err := f.d.reg.LoadSnapshot(m.Name, net, bytes.NewReader(snapBytes), sc)
 	if err != nil {
+		f.d.undoShape(m.Name, prev, had)
 		return fmt.Errorf("load snapshot: %v", err)
 	}
-	f.d.setShape(m.Name, m.Shape)
-	log.Printf("follow: loaded %q from snapshot at epoch %d", m.Name, t.Monitor().Epoch())
+	f.incs[m.Name] = m.Incarnation
+	log.Printf("follow: loaded %q from snapshot at epoch %d (leader incarnation %d)",
+		m.Name, t.Monitor().Epoch(), m.Incarnation)
 	return nil
 }
 
@@ -142,7 +184,7 @@ func (f *follower) pullDeltas(ctx context.Context, t *napmon.Tenant, name string
 	if err != nil {
 		if isGone(err) {
 			log.Printf("follow: %q fell behind the leader's delta log; re-syncing from snapshot", name)
-			return f.d.reg.Unload(ctx, name)
+			return f.dropTenant(ctx, name)
 		}
 		return err
 	}

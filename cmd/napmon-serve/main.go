@@ -119,7 +119,7 @@ func main() {
 
 	var fol *follower
 	if d.follower {
-		fol = &follower{d: d, base: *followURL, poll: *followPoll}
+		fol = &follower{d: d, base: *followURL, poll: *followPoll, incs: map[string]uint64{}}
 		if err := fol.bootstrap(ctx); err != nil {
 			log.Fatalf("follow %s: %v", *followURL, err)
 		}
@@ -141,11 +141,11 @@ func main() {
 		// server-side gate turns an untrusted bad request into a Submit
 		// error instead of a dead daemon.
 		sc.InputShape = shape
+		d.setShape(napmon.DefaultTenant, shape) // gate before the tenant is acquirable
 		t, err := d.reg.Load(napmon.DefaultTenant, napmon.TenantConfig{Net: net, Mon: mon, Serve: sc})
 		if err != nil {
 			log.Fatal(err)
 		}
-		d.setShape(napmon.DefaultTenant, shape)
 		// The default tenant also feeds the unlabelled napmon_* series the
 		// legacy /stats cross-checks expect; per-tenant series live in the
 		// napmon_tenant_* families the registry registered above.

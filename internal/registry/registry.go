@@ -105,10 +105,11 @@ type Registry struct {
 
 	// mu serializes the writers (Load/Unload/Close); lookups never take
 	// it.
-	mu     sync.Mutex
-	closed bool
-	ids    map[string]uint32 // name → wire id, sticky across reload
-	nextID uint32
+	mu      sync.Mutex
+	closed  bool
+	ids     map[string]uint32 // name → wire id, sticky across reload
+	nextID  uint32
+	lastInc uint64 // last incarnation handed out; keeps them strictly increasing
 
 	cur atomic.Pointer[generation]
 
@@ -144,6 +145,7 @@ func New(cfg Config) *Registry {
 type Tenant struct {
 	name string
 	id   uint32
+	inc  uint64
 	reg  *Registry
 
 	net *nn.Network
@@ -169,6 +171,15 @@ func (t *Tenant) Name() string { return t.name }
 // ID returns the tenant's wire id (0 for the default tenant). Ids are
 // sticky: reloading a name reuses its id.
 func (t *Tenant) ID() uint32 { return t.id }
+
+// Incarnation identifies this particular load of the name: wall-clock
+// based and strictly increasing, so two loads never share a value even
+// across registry (or process) restarts. A replication follower records
+// the leader incarnation it synced from and re-snapshots when it
+// changes — epochs restart on reload, so without this a reloaded
+// tenant's follower would poll epochs the new incarnation never reaches
+// and silently serve the stale model forever.
+func (t *Tenant) Incarnation() uint64 { return t.inc }
 
 // Server returns the tenant's serving front end.
 func (t *Tenant) Server() *serve.Server { return t.srv }
@@ -315,6 +326,15 @@ func validateName(name string) error {
 // name. The returned handle is not pinned — it stays valid until
 // Unload; concurrent request paths should pin via Acquire.
 func (r *Registry) Load(name string, tc TenantConfig) (*Tenant, error) {
+	return r.load(name, tc, nil)
+}
+
+// load is the shared Load/LoadSnapshot body. tail seeds the tenant's
+// delta log BEFORE the tenant is published: once a generation carries
+// the tenant, a concurrent DeltasSince may run, and an empty log behind
+// a warm-started (nonzero) epoch reads as an eviction gap — a chained
+// follower would be told to re-snapshot for no reason.
+func (r *Registry) load(name string, tc TenantConfig, tail []core.DeltaEntry) (*Tenant, error) {
 	if err := validateName(name); err != nil {
 		return nil, err
 	}
@@ -337,15 +357,24 @@ func (r *Registry) Load(name string, tc TenantConfig) (*Tenant, error) {
 		r.nextID++
 		r.ids[name] = id
 	}
+	inc := uint64(time.Now().UnixNano())
+	if inc <= r.lastInc {
+		inc = r.lastInc + 1
+	}
+	r.lastInc = inc
 	t := &Tenant{
 		name:    name,
 		id:      id,
+		inc:     inc,
 		reg:     r,
 		net:     tc.Net,
 		mon:     tc.Mon,
 		srv:     srv,
 		drained: make(chan struct{}),
 		log:     deltaLog{cap: r.cfg.DeltaLogSize},
+	}
+	for _, e := range tail {
+		t.log.append(e) // not yet published: no logMu needed
 	}
 	t.refs.Store(1) // the registry's base reference
 	r.publish(g, func(ng *generation) {
@@ -368,16 +397,7 @@ func (r *Registry) LoadSnapshot(name string, net *nn.Network, snap io.Reader, sc
 	if err != nil {
 		return nil, err
 	}
-	t, err := r.Load(name, TenantConfig{Net: net, Mon: mon, Serve: sc})
-	if err != nil {
-		return nil, err
-	}
-	t.logMu.Lock()
-	for _, e := range tail {
-		t.log.append(e)
-	}
-	t.logMu.Unlock()
-	return t, nil
+	return r.load(name, TenantConfig{Net: net, Mon: mon, Serve: sc}, tail)
 }
 
 // publish installs a successor generation derived from g. Callers hold

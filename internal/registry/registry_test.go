@@ -123,10 +123,16 @@ func TestRegistryLifecycle(t *testing.T) {
 		t.Fatal("generation did not advance on unload")
 	}
 	// Ids are sticky across reload: the wire id keeps meaning the same
-	// name for the lifetime of the process.
+	// name for the lifetime of the process. Incarnations are the
+	// opposite — every load gets a fresh, strictly larger one, so a
+	// replication follower can detect the reload (epochs restart with
+	// it) and re-snapshot instead of polling epochs that never come.
 	a2, _ := load(t, r, "alpha", 3)
 	if a2.ID() != oldID {
 		t.Fatalf("reloaded tenant id %d, want sticky %d", a2.ID(), oldID)
+	}
+	if a2.Incarnation() <= a.Incarnation() {
+		t.Fatalf("reloaded incarnation %d not after original %d", a2.Incarnation(), a.Incarnation())
 	}
 
 	if err := r.Close(ctx); err != nil {
@@ -297,6 +303,13 @@ func TestRegistryReplication(t *testing.T) {
 	}
 	if got, want := follower.Monitor().Epoch(), leader.Monitor().Epoch(); got != want {
 		t.Fatalf("warm-started follower at epoch %d, leader at %d", got, want)
+	}
+	// The snapshot's embedded tail is in the follower's own log from the
+	// instant the tenant is acquirable, so a chained replica polling
+	// right after the warm start must get deltas, not a spurious
+	// ErrDeltaGap ordering it to re-snapshot.
+	if chained, err := follower.DeltasSince(follower.Monitor().Epoch() - 1); err != nil || len(chained) == 0 {
+		t.Fatalf("chained DeltasSince right after LoadSnapshot: %v (%d entries)", err, len(chained))
 	}
 
 	// Leader keeps moving: more patterns and a γ re-level.

@@ -58,15 +58,21 @@ type GatewayCounters struct {
 	Conns uint64
 }
 
-// TenantLane is one routable serving lane: the server frames submit to
-// and the monitor the learn path validates against. A lane handed out
-// by ResolveTenant is pinned — the gateway calls Release exactly once
-// when the frame's work is done, so a fleet registry can drain an
-// unloading tenant without killing the frame's in-flight batch.
-// registry.Tenant implements it structurally.
+// TenantLane is one routable serving lane: the server frames submit to,
+// the monitor the learn path validates against, and the lane's own
+// learn entry point. Learn must publish the update AND record it
+// wherever the lane replicates from — a fleet registry appends the
+// (epoch, delta) pair to its tenant's delta log, so followers see
+// wire-published epochs too; going straight to Server().Update would
+// silently skip that log and stall replication. A lane handed out by
+// ResolveTenant is pinned — the gateway calls Release exactly once when
+// the frame's work is done, so a fleet registry can drain an unloading
+// tenant without killing the frame's in-flight batch. registry.Tenant
+// implements it structurally.
 type TenantLane interface {
 	Server() *serve.Server
 	Monitor() *core.Monitor
+	Learn(delta map[int][]core.Pattern) (uint64, error)
 	Release()
 }
 
@@ -86,6 +92,12 @@ type staticLane struct {
 func (l staticLane) Server() *serve.Server  { return l.srv }
 func (l staticLane) Monitor() *core.Monitor { return l.mon }
 func (l staticLane) Release()               {}
+
+// Learn publishes straight through the server: a static lane has no
+// replication log to feed.
+func (l staticLane) Learn(delta map[int][]core.Pattern) (uint64, error) {
+	return l.srv.Update(delta)
+}
 
 // Gateway serves the binary wire protocol over UDP datagrams and
 // persistent TCP streams, routing each frame by its tenant id to one
@@ -495,8 +507,9 @@ func (g *Gateway) serveConn(c net.Conn) {
 
 // handleLearn decodes a learn request, routes it to its tenant lane,
 // validates widths against that tenant's monitor and publishes the
-// update through its server (serialized, so epoch observation order
-// matches publication order).
+// update through the lane's Learn (serialized, so epoch observation
+// order matches publication order — and, for registry lanes, so the
+// published epoch lands in the tenant's replication delta log).
 func (g *Gateway) handleLearn(id uint32, payload []byte) []byte {
 	tenant, class, pats, err := DecodeLearnReq(payload)
 	if err != nil {
@@ -512,7 +525,7 @@ func (g *Gateway) handleLearn(id uint32, payload []byte) []byte {
 		return AppendErr(g.getBuf(), id, ErrCodeBadRequest,
 			fmt.Sprintf("patterns have %d bits, monitor watches %d neurons", len(pats[0]), width))
 	}
-	epoch, err := lane.Server().Update(map[int][]core.Pattern{class: pats})
+	epoch, err := lane.Learn(map[int][]core.Pattern{class: pats})
 	if err != nil {
 		return AppendErr(g.getBuf(), id, ErrCodeBadRequest, err.Error())
 	}

@@ -432,11 +432,21 @@ type fleetLane struct {
 	mon      *core.Monitor
 	acquires *atomic.Int64
 	releases *atomic.Int64
+	learns   *atomic.Int64
 }
 
 func (l fleetLane) Server() *serve.Server  { return l.srv }
 func (l fleetLane) Monitor() *core.Monitor { return l.mon }
 func (l fleetLane) Release()               { l.releases.Add(1) }
+
+// Learn counts the call before publishing, pinning the gateway to the
+// lane's learn entry point: a registry lane's Learn is what feeds its
+// replication delta log, so a gateway that published via
+// Server().Update directly would leak epochs past every follower.
+func (l fleetLane) Learn(delta map[int][]core.Pattern) (uint64, error) {
+	l.learns.Add(1)
+	return l.srv.Update(delta)
+}
 
 // TestFleetGatewayRouting drives the v3 tenant dimension end to end
 // over UDP: frames route to the lane their tenant id names, an unknown
@@ -470,7 +480,7 @@ func TestFleetGatewayRouting(t *testing.T) {
 			defer cancel()
 			srv.Shutdown(ctx)
 		})
-		return fleetLane{srv: srv, mon: mon, acquires: new(atomic.Int64), releases: new(atomic.Int64)}
+		return fleetLane{srv: srv, mon: mon, acquires: new(atomic.Int64), releases: new(atomic.Int64), learns: new(atomic.Int64)}
 	}
 	lanes := map[uint32]fleetLane{0: mkLane(), 7: mkLane()}
 	g := NewFleetGateway(func(id uint32) (TenantLane, error) {
@@ -522,6 +532,9 @@ func TestFleetGatewayRouting(t *testing.T) {
 	}
 	if got := lanes[0].mon.Epoch(); got != before0 {
 		t.Fatalf("tenant 0 epoch moved to %d on a tenant-7 learn", got)
+	}
+	if got := lanes[7].learns.Load(); got != 1 {
+		t.Fatalf("learn frame went through lane.Learn %d times, want 1 (replication log would miss the epoch)", got)
 	}
 
 	// Stats report the addressed tenant and the fleet size.
