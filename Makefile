@@ -73,20 +73,20 @@ bench-serve:
 	$(GO) test -run '^$$' -bench 'BenchmarkServe|BenchmarkWatchBatch|BenchmarkForwardBatch' -benchtime=1x -benchmem .
 
 ## bench-json: run the serving benchmarks for real (multiple iterations)
-## and record them as BENCH_PR8.json via cmd/benchjson — the artifact the
+## and record them as BENCH_PR9.json via cmd/benchjson — the artifact the
 ## bench-regression CI job uploads and gates on. BenchmarkWatchBatch's
 ## workers1/2/4 sub-benchmarks and BenchmarkMonitorBuildParallel's
 ## cpu1/cpu4 pin GOMAXPROCS internally — the -cpu axis with names that
 ## stay stable across machines of different core counts.
-BENCH_JSON ?= BENCH_PR8.json
+BENCH_JSON ?= BENCH_PR9.json
 bench-json:
 	$(GO) build -o bin/benchjson ./cmd/benchjson
-	$(GO) test -run '^$$' -bench 'BenchmarkServe|BenchmarkWatchBatch|BenchmarkForwardBatch|BenchmarkZoneBuild|BenchmarkUpdateSwap|BenchmarkZoneQueryCompiled|BenchmarkMonitorBuildParallel|BenchmarkWireEncode|BenchmarkGatewayRoundTrip|BenchmarkSnapshotRoundTrip|BenchmarkRegistryLookup' -benchtime=2x -benchmem . \
+	$(GO) test -run '^$$' -bench 'BenchmarkServe|BenchmarkWatchBatch|BenchmarkForwardBatch|BenchmarkZoneBuild|BenchmarkUpdateSwap|BenchmarkZoneQueryCompiled|BenchmarkZoneQueryBitSliced|BenchmarkMonitorBuildParallel|BenchmarkWireEncode|BenchmarkGatewayRoundTrip|BenchmarkSnapshotRoundTrip|BenchmarkRegistryLookup' -benchtime=2x -benchmem . \
 		| bin/benchjson -o $(BENCH_JSON)
 
 ## bench-check: fail if the serving/update/build hot paths (WatchBatch,
 ## Serve + ServeWhileUpdating, ForwardBatch, UpdateSwap, the compiled
-## zone query, the sharded monitor build, the wire codecs, the TCP
+## zone query, the bit-sliced zone query, the sharded monitor build, the wire codecs, the TCP
 ## gateway round trip, the snapshot codec and the registry tenant
 ## lookup) regressed more than 1.3x
 ## against the committed baseline (machine-speed-normalized; see
@@ -99,7 +99,7 @@ bench-json:
 bench-check:
 	$(GO) build -o bin/benchjson ./cmd/benchjson
 	bin/benchjson -check -baseline ci/bench-baseline.json -current $(BENCH_JSON) \
-		-watch 'BenchmarkWatchBatch/workers1|BenchmarkServe|BenchmarkForwardBatch|BenchmarkUpdateSwap|BenchmarkZoneQueryCompiled|BenchmarkMonitorBuildParallel/cpu1|BenchmarkWireEncode|BenchmarkGatewayRoundTrip|BenchmarkSnapshotRoundTrip|BenchmarkRegistryLookup' \
+		-watch 'BenchmarkWatchBatch/workers1|BenchmarkServe|BenchmarkForwardBatch|BenchmarkUpdateSwap|BenchmarkZoneQueryCompiled|BenchmarkZoneQueryBitSliced|BenchmarkMonitorBuildParallel/cpu1|BenchmarkWireEncode|BenchmarkGatewayRoundTrip|BenchmarkSnapshotRoundTrip|BenchmarkRegistryLookup' \
 		-ref 'BenchmarkZoneBuild$$' -max-ratio 1.3
 
 ## serve-demo: start napmon-serve against a tiny self-trained model,

@@ -360,6 +360,129 @@ func BenchmarkZoneQueryCompiled(b *testing.B) {
 	})
 }
 
+// BenchmarkZoneQueryBitSliced compares the three membership-query
+// engines on the same frozen production-shaped zone as
+// BenchmarkZoneQueryCompiled (400 patterns × 40 neurons, γ=2), on two
+// streams bounding the traffic spectrum. "diverse" is the existing
+// 16384-query uniform-random stream — the worst case for slicing: 64
+// arbitrary queries share almost no BDD paths, so the sliced walk
+// degrades to the scalar visit count and wins only on mask arithmetic
+// replacing per-hop mispredicted branches. "sameclass" models the
+// serving path's common case, a per-class coalescer run with source
+// locality: the monitor watches a stream of decisions (successive
+// frames, retried inputs, the same hot inputs across users), and
+// discrete activation signatures recur — that recurrence is the
+// comfort-zone premise itself — so one 64-wide run concentrates on a
+// handful of distinct signatures rather than 64 unrelated ones. Each
+// run here draws from 8 run-local signature modes, a quarter of them
+// one-bit near-boundary variants (the novelty probes the monitor
+// exists to flag); repeated signatures merge into one lane group and
+// the block walks each distinct path once. interpreted walks the
+// manager arena per query, scalar walks the compiled program per query
+// (Compiled.EvalBatchScalar on the same 64-wide micro-batches), and
+// bitsliced runs the 64-queries-per-walk path through
+// Zone.ContainsBatch (64-wide, exercising the auto-dispatch) plus a
+// wide1024 variant showing the widest runs, where the sliced path
+// additionally clusters repeats across blocks by sorted bit prefix.
+// queries/s is the headline metric; the acceptance gate is bitsliced
+// ≥3× scalar on the ≥64-wide same-class stream.
+func BenchmarkZoneQueryBitSliced(b *testing.B) {
+	const width = 40
+	const nPatterns = 400
+	r := rng.New(7)
+	z := core.NewZone(width)
+	inserted := make([]core.Pattern, nPatterns)
+	for i := range inserted {
+		p := make(core.Pattern, width)
+		for j := range p {
+			p[j] = r.Bool(0.5)
+		}
+		inserted[i] = p
+		z.Insert(p)
+	}
+	z.SetGamma(2)
+	randStream := func(n int) [][]bool {
+		qs := make([][]bool, n)
+		for i := range qs {
+			p := make(core.Pattern, width)
+			for j := range p {
+				p[j] = r.Bool(0.5)
+			}
+			qs[i] = p
+		}
+		return qs
+	}
+	diverse := randStream(16384)
+	sameclass := make([][]bool, 0, 16384)
+	for len(sameclass) < 16384 {
+		// One 64-wide run: 8 run-local signature modes drawn from the
+		// class's training signatures, 1 in 4 perturbed by one bit into
+		// a near-boundary variant the zone has not absorbed.
+		var modes [8]core.Pattern
+		for m := range modes {
+			p := inserted[r.Uint64()%nPatterns]
+			if r.Bool(0.25) {
+				p = p.Clone()
+				v := int(r.Uint64() % width)
+				p[v] = !p[v]
+			}
+			modes[m] = p
+		}
+		for q := 0; q < 64; q++ {
+			sameclass = append(sameclass, modes[r.Uint64()%8])
+		}
+	}
+	streams := []struct {
+		name    string
+		queries [][]bool
+	}{{"diverse", diverse}, {"sameclass", sameclass}}
+	perQuery := func(b *testing.B, n int) {
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(n), "ns/query")
+		b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+	}
+	b.Run("interpreted/diverse", func(b *testing.B) {
+		// Unfrozen zone: Contains dispatches to the arena interpreter.
+		for i := 0; i < b.N; i++ {
+			for _, q := range diverse {
+				z.Contains(q)
+			}
+		}
+		perQuery(b, len(diverse))
+	})
+	z.Freeze()
+	// A standalone plan handle so the scalar walk stays measurable now
+	// that ContainsBatch auto-dispatches wide batches to the sliced path.
+	plan := z.Manager().Compile(z.Root())[0]
+	out := make([]bool, 1024)
+	for _, s := range streams {
+		s := s
+		b.Run("scalar/"+s.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for o := 0; o+64 <= len(s.queries); o += 64 {
+					plan.EvalBatchScalar(s.queries[o:o+64], out[:64])
+				}
+			}
+			perQuery(b, len(s.queries))
+		})
+		b.Run("bitsliced/"+s.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for o := 0; o+64 <= len(s.queries); o += 64 {
+					z.ContainsBatch(s.queries[o:o+64], out[:64])
+				}
+			}
+			perQuery(b, len(s.queries))
+		})
+	}
+	b.Run("bitsliced/wide1024", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for o := 0; o+1024 <= len(sameclass); o += 1024 {
+				z.ContainsBatch(sameclass[o:o+1024], out)
+			}
+		}
+		perQuery(b, len(sameclass))
+	})
+}
+
 // BenchmarkMonitorBuildParallel measures the manager-sharded zone build
 // in isolation (BuildFromPatterns: no inference, pure per-class BDD
 // insertion + γ-enlargement) on an 8-class monitor, with GOMAXPROCS

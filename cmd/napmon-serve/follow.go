@@ -33,7 +33,30 @@ type follower struct {
 	// Only the bootstrap and run goroutine touch it (sequentially).
 	incs map[string]uint64
 
-	client http.Client
+	// timeout bounds every leader request end to end (dial through body
+	// read). A zero-value http.Client has NO timeout, so a leader socket
+	// that accepts and then hangs used to stall bootstrap and the whole
+	// replication loop forever with no log line; now the hung request
+	// fails within the deadline, run logs it, and the next tick retries.
+	timeout time.Duration
+	client  http.Client
+}
+
+// newFollower wires a follower for one leader. The request deadline is
+// derived from the poll cadence — generous enough for a snapshot fetch
+// (many polls' worth), short enough that a hung leader surfaces as a
+// logged error within seconds rather than a silent stall.
+func newFollower(d *daemon, base string, poll time.Duration) *follower {
+	timeout := 10 * poll
+	if timeout < 5*time.Second {
+		timeout = 5 * time.Second
+	}
+	f := &follower{d: d, base: base, poll: poll, timeout: timeout, incs: map[string]uint64{}}
+	// Belt and suspenders: the per-request context deadline in get is
+	// the primary bound; Client.Timeout catches any future call path
+	// that forgets to derive one.
+	f.client.Timeout = timeout
+	return f
 }
 
 // bootstrap mirrors the leader's current tenant set before the local
@@ -214,7 +237,17 @@ func isGone(err error) bool {
 	return ok
 }
 
+// get fetches one leader path. Every request carries a deadline derived
+// from the poll interval AND honors the caller's ctx — cancelling the
+// replication loop (SIGTERM) aborts an in-flight snapshot or delta
+// fetch immediately, including the body read below, which runs under
+// the same request context.
 func (f *follower) get(ctx context.Context, path string) ([]byte, error) {
+	if f.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, f.timeout)
+		defer cancel()
+	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, f.base+path, nil)
 	if err != nil {
 		return nil, err

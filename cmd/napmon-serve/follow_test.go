@@ -1,0 +1,132 @@
+package main
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// hangingLeader is the regression fixture for the zero-value-client
+// bug: it accepts every connection and never writes a response (or,
+// with headers=true, writes headers and then hangs mid-body — the case
+// Client.Timeout alone would also need to cover). Close releases every
+// parked handler.
+type hangingLeader struct {
+	srv     *httptest.Server
+	release chan struct{}
+	once    sync.Once
+}
+
+func newHangingLeader(headers bool) *hangingLeader {
+	h := &hangingLeader{release: make(chan struct{})}
+	h.srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if headers {
+			w.WriteHeader(http.StatusOK)
+			if fl, ok := w.(http.Flusher); ok {
+				fl.Flush()
+			}
+		}
+		<-h.release
+	}))
+	return h
+}
+
+func (h *hangingLeader) Close() {
+	h.once.Do(func() { close(h.release) })
+	h.srv.Close()
+}
+
+// TestFollowerTimeoutDerivedFromPoll pins the deadline policy: a
+// multiple of the poll interval with a floor generous enough for
+// snapshot fetches, applied to both the per-request context and the
+// http.Client (which must no longer be the zero value).
+func TestFollowerTimeoutDerivedFromPoll(t *testing.T) {
+	f := newFollower(&daemon{}, "http://127.0.0.1:1", 200*time.Millisecond)
+	if f.timeout != 5*time.Second {
+		t.Fatalf("poll 200ms derived timeout %v, want the 5s floor", f.timeout)
+	}
+	if f.client.Timeout != f.timeout {
+		t.Fatalf("client timeout %v does not match follower timeout %v", f.client.Timeout, f.timeout)
+	}
+	f = newFollower(&daemon{}, "http://127.0.0.1:1", 2*time.Second)
+	if f.timeout != 20*time.Second {
+		t.Fatalf("poll 2s derived timeout %v, want 10x the poll", f.timeout)
+	}
+}
+
+// TestFollowerGetTimesOutOnHungLeader is the regression test for the
+// zero-value http.Client: a leader socket that accepts and then never
+// responds must fail the request within the derived deadline instead
+// of stalling the replication loop forever. Both hang modes are
+// covered — before any response bytes, and mid-body after headers.
+func TestFollowerGetTimesOutOnHungLeader(t *testing.T) {
+	for _, headers := range []bool{false, true} {
+		leader := newHangingLeader(headers)
+		f := newFollower(&daemon{}, leader.srv.URL, 10*time.Millisecond)
+		f.timeout = 200 * time.Millisecond // keep the test fast
+		f.client.Timeout = f.timeout
+		start := time.Now()
+		_, err := f.get(context.Background(), "/v1/models")
+		elapsed := time.Since(start)
+		leader.Close()
+		if err == nil {
+			t.Fatalf("headers=%v: request against a hung leader returned no error", headers)
+		}
+		if elapsed > 5*time.Second {
+			t.Fatalf("headers=%v: hung request took %v to fail, deadline was %v", headers, elapsed, f.timeout)
+		}
+	}
+}
+
+// TestFollowerBootstrapFailsOnHungLeader drives the original symptom
+// end to end: bootstrap against a never-responding leader used to block
+// forever before the daemon's listener ever opened; now it returns an
+// error once the deadline fires.
+func TestFollowerBootstrapFailsOnHungLeader(t *testing.T) {
+	leader := newHangingLeader(false)
+	defer leader.Close()
+	f := newFollower(&daemon{}, leader.srv.URL, 10*time.Millisecond)
+	f.timeout = 200 * time.Millisecond
+	f.client.Timeout = f.timeout
+	done := make(chan error, 1)
+	go func() { done <- f.bootstrap(context.Background()) }()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("bootstrap against a hung leader returned no error")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("bootstrap still blocked on a hung leader after 10s")
+	}
+}
+
+// TestFollowerGetHonorsContextCancel checks the snapshot/delta fetch
+// paths abort promptly on ctx cancellation (the SIGTERM path), without
+// waiting out the request deadline.
+func TestFollowerGetHonorsContextCancel(t *testing.T) {
+	leader := newHangingLeader(false)
+	defer leader.Close()
+	f := newFollower(&daemon{}, leader.srv.URL, 10*time.Millisecond)
+	f.timeout = time.Hour // cancellation, not the deadline, must fire
+	f.client.Timeout = f.timeout
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := f.get(ctx, "/v1/models/default/snapshot")
+	if err == nil {
+		t.Fatal("cancelled request returned no error")
+	}
+	if !strings.Contains(err.Error(), "context canceled") {
+		t.Fatalf("cancelled request failed with %v, want a context cancellation", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancelled request took %v to abort", elapsed)
+	}
+}

@@ -119,7 +119,7 @@ func main() {
 
 	var fol *follower
 	if d.follower {
-		fol = &follower{d: d, base: *followURL, poll: *followPoll, incs: map[string]uint64{}}
+		fol = newFollower(d, *followURL, *followPoll)
 		if err := fol.bootstrap(ctx); err != nil {
 			log.Fatalf("follow %s: %v", *followURL, err)
 		}

@@ -34,7 +34,12 @@
 // bias+ReLU and bias+ReLU+maxpool epilogues, pooled allocation-free
 // scratch — see DESIGN.md, "Batched inference") with membership queries
 // grouped per predicted class against the compiled plans (DESIGN.md,
-// "Compiled query plans + sharded build"), and may be issued from any
+// "Compiled query plans + sharded build"). Membership batches 32 wide
+// or more are answered bit-sliced — the branch program is walked once
+// per 64 queries over transposed lane masks rather than once per query
+// (DESIGN.md, "Bit-sliced zone evaluation"); narrower batches keep the
+// scalar walk, whose per-query cost beats the transpose overhead.
+// WatchBatch may be issued from any
 // number of goroutines concurrently (safety by construction — the
 // serving path performs no writes; see DESIGN.md, "Freeze-then-serve
 // concurrency model"):

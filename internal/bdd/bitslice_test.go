@@ -1,0 +1,316 @@
+package bdd
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestTranspose64 pins the bit-matrix transpose against the naive
+// definition on random matrices: bit q of out[v] must be bit v of
+// in[q].
+func TestTranspose64(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	for rep := 0; rep < 50; rep++ {
+		var in, got [64]uint64
+		for i := range in {
+			in[i] = r.Uint64()
+		}
+		got = in
+		transpose64(&got)
+		for v := 0; v < 64; v++ {
+			for q := 0; q < 64; q++ {
+				want := in[q]&(1<<uint(v)) != 0
+				if have := got[v]&(1<<uint(q)) != 0; have != want {
+					t.Fatalf("rep %d: transposed[%d] bit %d = %v, want in[%d] bit %d = %v",
+						rep, v, q, have, q, v, want)
+				}
+			}
+		}
+	}
+	// Involution: transposing twice is the identity.
+	var a, b [64]uint64
+	for i := range a {
+		a[i] = r.Uint64()
+	}
+	b = a
+	transpose64(&b)
+	transpose64(&b)
+	if a != b {
+		t.Fatal("transpose64 applied twice is not the identity")
+	}
+}
+
+// raggedSizes are the batch widths every bit-sliced suite exercises:
+// a single query, the widths straddling one 64-lane block, and a
+// width that spills into a ragged tail block.
+var raggedSizes = []int{1, 63, 64, 65}
+
+// checkSlicedParity runs one plan over the probes through all three
+// engines — interpreted EvalBits, scalar-compiled, bit-sliced — at
+// full width and at every ragged prefix, and fails on any divergence.
+func checkSlicedParity(t *testing.T, m *Manager, root Node, cp *Compiled, probes [][]bool, tag string) {
+	t.Helper()
+	sizes := append([]int{len(probes)}, raggedSizes...)
+	outS := make([]bool, len(probes))
+	outB := make([]bool, len(probes))
+	for _, n := range sizes {
+		if n > len(probes) {
+			continue
+		}
+		sub := probes[:n]
+		cp.EvalBatchScalar(sub, outS[:n])
+		cp.EvalBatchSliced(sub, outB[:n])
+		for i := 0; i < n; i++ {
+			want := m.EvalBits(root, sub[i])
+			if outS[i] != want {
+				t.Fatalf("%s n=%d probe %d: scalar %v, interpreted %v", tag, n, i, outS[i], want)
+			}
+			if outB[i] != want {
+				t.Fatalf("%s n=%d probe %d: bit-sliced %v, interpreted %v", tag, n, i, outB[i], want)
+			}
+		}
+	}
+}
+
+// TestBitSlicedExhaustive pins bit-sliced == scalar == interpreted on
+// every assignment of every diagram, for widths small enough to
+// enumerate, including the ragged batch widths.
+func TestBitSlicedExhaustive(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	for _, nv := range []int{1, 2, 3, 5, 8, 12} {
+		m := NewManager(nv)
+		roots := []Node{
+			m.False(), m.True(), m.Var(0), m.NVar(nv - 1),
+			randomDiagram(m, r, 3, 0),
+			randomDiagram(m, r, 5, 1),
+			randomDiagram(m, r, 2, 2),
+		}
+		plans := m.Compile(roots...)
+		na := 1 << nv
+		patterns := make([][]bool, na)
+		for a := 0; a < na; a++ {
+			bits := make([]bool, nv)
+			for v := 0; v < nv; v++ {
+				bits[v] = a&(1<<v) != 0
+			}
+			patterns[a] = bits
+		}
+		for ri, root := range roots {
+			checkSlicedParity(t, m, root, plans[ri], patterns, "exhaustive")
+		}
+	}
+}
+
+// TestBitSlicedWide cross-checks the three engines on monitor-sized
+// diagrams, including one wider than 64 variables so the transpose's
+// multi-group path (more than one lane word group) is exercised.
+func TestBitSlicedWide(t *testing.T) {
+	r := rand.New(rand.NewSource(37))
+	for _, nv := range []int{40, 70, 129} {
+		m := NewManager(nv)
+		roots := []Node{
+			randomDiagram(m, r, 40, 0),
+			randomDiagram(m, r, 40, 1),
+			randomDiagram(m, r, 15, 2),
+		}
+		plans := m.Compile(roots...)
+		probes := make([][]bool, 321) // 5 full blocks + a one-lane tail
+		for i := range probes {
+			bits := make([]bool, nv)
+			for v := range bits {
+				bits[v] = r.Intn(2) == 1
+			}
+			probes[i] = bits
+		}
+		for ri, root := range roots {
+			checkSlicedParity(t, m, root, plans[ri], probes, "wide")
+		}
+	}
+}
+
+// TestBitSlicedConstants covers the empty-program plans at every ragged
+// width: a constant diagram has no branches to sweep, and every lane
+// must still get the terminal verdict.
+func TestBitSlicedConstants(t *testing.T) {
+	m := NewManager(6)
+	plans := m.Compile(m.False(), m.True())
+	for _, n := range raggedSizes {
+		patterns := make([][]bool, n)
+		for i := range patterns {
+			patterns[i] = make([]bool, 6)
+		}
+		out := make([]bool, n)
+		plans[0].EvalBatchSliced(patterns, out)
+		for i, v := range out {
+			if v {
+				t.Fatalf("n=%d: constant-false plan returned true at lane %d", n, i)
+			}
+		}
+		plans[1].EvalBatchSliced(patterns, out)
+		for i, v := range out {
+			if !v {
+				t.Fatalf("n=%d: constant-true plan returned false at lane %d", n, i)
+			}
+		}
+	}
+}
+
+// TestEvalBatchDispatch checks the auto-dispatch boundary: EvalBatch
+// answers identically just below, at, and above slicedThreshold (both
+// paths are pinned bit-for-bit elsewhere; this guards the dispatch
+// plumbing itself).
+func TestEvalBatchDispatch(t *testing.T) {
+	r := rand.New(rand.NewSource(43))
+	m := NewManager(20)
+	root := randomDiagram(m, r, 15, 1)
+	cp := m.Compile(root)[0]
+	probes := make([][]bool, slicedThreshold+33)
+	for i := range probes {
+		bits := make([]bool, 20)
+		for v := range bits {
+			bits[v] = r.Intn(2) == 1
+		}
+		probes[i] = bits
+	}
+	want := make([]bool, len(probes))
+	cp.EvalBatchScalar(probes, want)
+	for _, n := range []int{slicedThreshold - 1, slicedThreshold, len(probes)} {
+		out := make([]bool, n)
+		cp.EvalBatch(probes[:n], out)
+		for i := 0; i < n; i++ {
+			if out[i] != want[i] {
+				t.Fatalf("n=%d probe %d: EvalBatch %v, scalar %v", n, i, out[i], want[i])
+			}
+		}
+	}
+}
+
+// TestEvalBatchValidatesUpFront pins the batch contract on all three
+// entry points: a short out and a mid-batch width mismatch both panic
+// with a bdd:-prefixed message BEFORE any verdict is written.
+func TestEvalBatchValidatesUpFront(t *testing.T) {
+	r := rand.New(rand.NewSource(47))
+	m := NewManager(8)
+	root := randomDiagram(m, r, 4, 1)
+	cp := m.Compile(root)[0]
+	entries := map[string]func([][]bool, []bool){
+		"EvalBatch":       cp.EvalBatch,
+		"EvalBatchScalar": cp.EvalBatchScalar,
+		"EvalBatchSliced": cp.EvalBatchSliced,
+	}
+	mustPanic := func(name string, f func()) string {
+		t.Helper()
+		var msg string
+		func() {
+			defer func() {
+				rec := recover()
+				if rec == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+				msg = rec.(string)
+			}()
+			f()
+		}()
+		if !strings.HasPrefix(msg, "bdd:") {
+			t.Fatalf("%s panic %q lacks the bdd: prefix", name, msg)
+		}
+		return msg
+	}
+	goodRow := func() []bool { return make([]bool, 8) }
+	for name, eval := range entries {
+		// Short out.
+		patterns := [][]bool{goodRow(), goodRow(), goodRow()}
+		mustPanic(name+"/short-out", func() { eval(patterns, make([]bool, 2)) })
+
+		// Width mismatch mid-batch: out must stay untouched — the
+		// sentinel values survive because validation runs before any
+		// verdict is written.
+		bad := make([][]bool, 40)
+		for i := range bad {
+			bad[i] = goodRow()
+		}
+		bad[25] = make([]bool, 7)
+		out := make([]bool, len(bad))
+		for i := range out {
+			out[i] = true // sentinel: a write would flip some entry false
+		}
+		msg := mustPanic(name+"/mid-batch-width", func() { eval(bad, out) })
+		if !strings.Contains(msg, "pattern 25") {
+			t.Fatalf("%s panic %q does not name the offending pattern", name, msg)
+		}
+		for i, v := range out {
+			if !v {
+				t.Fatalf("%s wrote verdict %d before validating the whole batch", name, i)
+			}
+		}
+	}
+}
+
+// TestBitSlicedScratchReuse runs many blocks back-to-back through the
+// pooled scratch so stale lane masks or transpose words surviving a
+// previous (possibly ragged) block would poison a later block's
+// verdicts.
+func TestBitSlicedScratchReuse(t *testing.T) {
+	r := rand.New(rand.NewSource(53))
+	m := NewManager(24)
+	roots := []Node{
+		randomDiagram(m, r, 20, 1),
+		randomDiagram(m, r, 6, 2),
+		randomDiagram(m, r, 30, 0),
+	}
+	plans := m.Compile(roots...)
+	for rep := 0; rep < 20; rep++ {
+		n := 1 + r.Intn(200)
+		probes := make([][]bool, n)
+		for i := range probes {
+			bits := make([]bool, 24)
+			for v := range bits {
+				bits[v] = r.Intn(2) == 1
+			}
+			probes[i] = bits
+		}
+		for ri := range roots {
+			checkSlicedParity(t, m, roots[ri], plans[ri], probes, "reuse")
+		}
+	}
+}
+
+// TestBitSlicedClusteredDuplicates drives the multi-block clustering
+// path with the traffic it exists for — wide batches dominated by
+// repeated signatures — and checks the verdict permutation: clustering
+// reorders which block answers each query, and a fan-out bug would
+// write the right verdicts to the wrong indices. Widths straddle the
+// 40-variable boundary between the key-decode fill (the whole pattern
+// reconstructed from the cluster key) and the indirect refill.
+func TestBitSlicedClusteredDuplicates(t *testing.T) {
+	r := rand.New(rand.NewSource(61))
+	for _, nv := range []int{13, 40, 70} {
+		m := NewManager(nv)
+		root := randomDiagram(m, r, 30, 1)
+		plan := m.Compile(root)[0]
+		// 8 signatures, then 1024 queries drawn from them with a few
+		// one-bit variants mixed in.
+		sigs := make([][]bool, 8)
+		for i := range sigs {
+			bits := make([]bool, nv)
+			for v := range bits {
+				bits[v] = r.Intn(2) == 1
+			}
+			sigs[i] = bits
+		}
+		probes := make([][]bool, 1024)
+		for i := range probes {
+			p := sigs[r.Intn(len(sigs))]
+			if r.Intn(4) == 0 {
+				q := make([]bool, nv)
+				copy(q, p)
+				v := r.Intn(nv)
+				q[v] = !q[v]
+				p = q
+			}
+			probes[i] = p
+		}
+		checkSlicedParity(t, m, root, plan, probes, "clustered")
+	}
+}

@@ -164,20 +164,56 @@ func (c *Compiled) Eval(bits []bool) bool {
 
 // EvalBatch evaluates the plan on every pattern, writing one verdict per
 // pattern into out (len(out) must cover len(patterns)). This is the
-// micro-batch entry point of the serving path: the program stays hot in
-// cache across the whole batch and the per-call setup of Eval is paid
-// once.
+// micro-batch entry point of the serving path. Narrow batches run the
+// scalar walk (one forward chase per pattern, program hot in cache
+// across the batch); at slicedThreshold patterns and above the batch is
+// dispatched to the bit-sliced walk (bitslice.go), which answers up to
+// 64 queries per pass over the program. Both paths are bit-exact with
+// Eval. The out-length and every pattern width are validated up front,
+// before any verdict is written, so a bad batch never leaves out
+// partially filled.
 func (c *Compiled) EvalBatch(patterns [][]bool, out []bool) {
+	c.checkBatch(patterns, out)
+	if len(patterns) >= slicedThreshold && len(c.prog) > 0 {
+		c.evalSliced(patterns, out)
+		return
+	}
+	c.evalScalar(patterns, out)
+}
+
+// EvalBatchScalar evaluates the plan on every pattern through the
+// scalar walk regardless of batch width — one forward chase per
+// pattern. It exists for the parity suites and benchmarks that must
+// pin the scalar and bit-sliced paths against each other explicitly;
+// serving goes through EvalBatch, which picks the path by batch width.
+// Same up-front validation contract as EvalBatch.
+func (c *Compiled) EvalBatchScalar(patterns [][]bool, out []bool) {
+	c.checkBatch(patterns, out)
+	c.evalScalar(patterns, out)
+}
+
+// checkBatch validates the batch contract shared by every batch entry
+// point: out covers the patterns and every pattern has the plan's
+// width. Validation happens before any verdict is written, so a
+// mid-batch width mismatch cannot leave earlier verdicts behind.
+func (c *Compiled) checkBatch(patterns [][]bool, out []bool) {
 	if len(out) < len(patterns) {
 		panic(fmt.Sprintf("bdd: EvalBatch output %d shorter than %d patterns", len(out), len(patterns)))
 	}
-	prog := c.prog
-	entry := c.entry
 	nv := c.numVars
 	for pi, bits := range patterns {
 		if len(bits) != nv {
-			panic(fmt.Sprintf("bdd: compiled plan over %d variables evaluated on %d bits", nv, len(bits)))
+			panic(fmt.Sprintf("bdd: compiled plan over %d variables evaluated on %d bits (pattern %d)", nv, len(bits), pi))
 		}
+	}
+}
+
+// evalScalar is the unvalidated scalar core shared by EvalBatch
+// dispatch and EvalBatchScalar.
+func (c *Compiled) evalScalar(patterns [][]bool, out []bool) {
+	prog := c.prog
+	entry := c.entry
+	for pi, bits := range patterns {
 		i := entry
 		for i >= 0 {
 			b := prog[i]

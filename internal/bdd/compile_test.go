@@ -52,6 +52,7 @@ func TestCompiledExhaustive(t *testing.T) {
 			patterns[a] = bits
 		}
 		out := make([]bool, na)
+		sliced := make([]bool, na)
 		for ri, root := range roots {
 			cp := plans[ri]
 			if cp.NumVars() != nv {
@@ -61,6 +62,7 @@ func TestCompiledExhaustive(t *testing.T) {
 				t.Fatalf("nv=%d root %d: plan Len %d, NodeCount %d", nv, ri, got, want)
 			}
 			cp.EvalBatch(patterns, out)
+			cp.EvalBatchSliced(patterns, sliced)
 			for a := 0; a < na; a++ {
 				want := m.EvalBits(root, patterns[a])
 				if got := cp.Eval(patterns[a]); got != want {
@@ -68,6 +70,9 @@ func TestCompiledExhaustive(t *testing.T) {
 				}
 				if out[a] != want {
 					t.Fatalf("nv=%d root %d assignment %d: EvalBatch %v, interpreted %v", nv, ri, a, out[a], want)
+				}
+				if sliced[a] != want {
+					t.Fatalf("nv=%d root %d assignment %d: EvalBatchSliced %v, interpreted %v", nv, ri, a, sliced[a], want)
 				}
 			}
 		}
@@ -96,8 +101,10 @@ func TestCompiledRandomWide(t *testing.T) {
 		probes[i] = bits
 	}
 	out := make([]bool, len(probes))
+	sliced := make([]bool, len(probes))
 	for ri, root := range roots {
 		plans[ri].EvalBatch(probes, out)
+		plans[ri].EvalBatchSliced(probes, sliced)
 		for i, p := range probes {
 			want := m.EvalBits(root, p)
 			if got := plans[ri].Eval(p); got != want {
@@ -105,6 +112,9 @@ func TestCompiledRandomWide(t *testing.T) {
 			}
 			if out[i] != want {
 				t.Fatalf("root %d probe %d: EvalBatch %v, interpreted %v", ri, i, out[i], want)
+			}
+			if sliced[i] != want {
+				t.Fatalf("root %d probe %d: EvalBatchSliced %v, interpreted %v", ri, i, sliced[i], want)
 			}
 		}
 	}

@@ -83,6 +83,8 @@ func FuzzBDDOps(f *testing.F) {
 			assigns[a] = bits
 		}
 		batchOut := make([]bool, na)
+		scalarOut := make([]bool, na)
+		slicedOut := make([]bool, na)
 
 		const maxSteps = 64 // bound work per input
 		steps := 0
@@ -196,9 +198,14 @@ func FuzzBDDOps(f *testing.F) {
 				}
 			}
 			// Invariant 1b: the compiled plan agrees with the truth table
-			// both per-query and batched.
+			// per-query and batched — through the dispatching EvalBatch,
+			// the explicit scalar walk and the bit-sliced walk, so all
+			// three serving engines are pinned to the same oracle every
+			// step.
 			cp := m.Compile(e.n)[0]
 			cp.EvalBatch(assigns, batchOut)
+			cp.EvalBatchScalar(assigns, scalarOut)
+			cp.EvalBatchSliced(assigns, slicedOut)
 			for a := 0; a < na; a++ {
 				want := e.tt.get(a)
 				if got := cp.Eval(assigns[a]); got != want {
@@ -206,6 +213,23 @@ func FuzzBDDOps(f *testing.F) {
 				}
 				if batchOut[a] != want {
 					t.Fatalf("step %d: compiled EvalBatch(%d)=%v, truth table says %v", steps, a, batchOut[a], want)
+				}
+				if scalarOut[a] != want {
+					t.Fatalf("step %d: scalar EvalBatch(%d)=%v, truth table says %v", steps, a, scalarOut[a], want)
+				}
+				if slicedOut[a] != want {
+					t.Fatalf("step %d: bit-sliced EvalBatch(%d)=%v, truth table says %v", steps, a, slicedOut[a], want)
+				}
+			}
+			// Ragged tail block: a 65-query prefix exercises the second,
+			// one-lane block of the bit-sliced walk when enough
+			// assignments exist.
+			if na > 65 {
+				cp.EvalBatchSliced(assigns[:65], slicedOut[:65])
+				for a := 0; a < 65; a++ {
+					if want := e.tt.get(a); slicedOut[a] != want {
+						t.Fatalf("step %d: ragged bit-sliced EvalBatch(%d)=%v, truth table says %v", steps, a, slicedOut[a], want)
+					}
 				}
 			}
 			if got, want := cp.Len(), m.NodeCount(e.n); got != want {

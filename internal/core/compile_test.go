@@ -82,7 +82,9 @@ func TestCompiledZoneAgreesWithInterpreted(t *testing.T) {
 }
 
 // TestContainsBatchMatchesContains checks the micro-batch entry point
-// against per-pattern queries, frozen and unfrozen.
+// against per-pattern queries, frozen and unfrozen, at batch widths on
+// both sides of the bit-sliced dispatch threshold and across ragged
+// 64-lane block boundaries (1, 63, 64, 65).
 func TestContainsBatchMatchesContains(t *testing.T) {
 	r := rng.New(17)
 	const width = 24
@@ -102,11 +104,67 @@ func TestContainsBatchMatchesContains(t *testing.T) {
 		for i, p := range probes {
 			batch[i] = p
 		}
-		out := make([]bool, len(probes))
-		z.ContainsBatch(batch, out)
-		for i, p := range probes {
-			if want := z.Contains(p); out[i] != want {
-				t.Fatalf("frozen=%v probe %d: batch %v, single %v", freeze, i, out[i], want)
+		for _, n := range []int{1, 63, 64, 65, len(batch)} {
+			out := make([]bool, n)
+			z.ContainsBatch(batch[:n], out)
+			for i, p := range probes[:n] {
+				if want := z.Contains(p); out[i] != want {
+					t.Fatalf("frozen=%v n=%d probe %d: batch %v, single %v", freeze, n, i, out[i], want)
+				}
+			}
+		}
+	}
+}
+
+// TestContainsBatchValidatesUpFront pins the batch contract fixed in
+// PR 9: on BOTH the frozen (compiled) and unfrozen (interpreted) paths,
+// a short out and a mid-batch width mismatch panic with a core:-prefixed
+// message before any verdict lands in out — previously the frozen path
+// leaked a bdd:-prefixed panic for short outputs, and a bad pattern
+// mid-batch panicked only after earlier verdicts were already written.
+func TestContainsBatchValidatesUpFront(t *testing.T) {
+	const width = 12
+	for _, freeze := range []bool{false, true} {
+		z := NewZone(width)
+		z.Insert(make(Pattern, width)) // zone = {all-zeros}, γ=0
+		if freeze {
+			z.Freeze()
+		}
+		mustPanicCore := func(name string, f func()) {
+			t.Helper()
+			defer func() {
+				rec := recover()
+				if rec == nil {
+					t.Fatalf("frozen=%v: %s did not panic", freeze, name)
+				}
+				if msg, ok := rec.(string); !ok || !strings.HasPrefix(msg, "core:") {
+					t.Fatalf("frozen=%v: %s panicked with %v, want a core:-prefixed message", freeze, name, rec)
+				}
+			}()
+			f()
+		}
+		good := func() []bool { return make([]bool, width) }
+		mustPanicCore("short out", func() {
+			z.ContainsBatch([][]bool{good(), good(), good()}, make([]bool, 2))
+		})
+		// A batch whose every valid pattern is OUTSIDE the zone (bit 0
+		// set) would write false into out; the true sentinels surviving
+		// the panic proves validation ran before any verdict.
+		bad := make([][]bool, 40)
+		for i := range bad {
+			p := good()
+			p[0] = true
+			bad[i] = p
+		}
+		bad[25] = make([]bool, width-1)
+		out := make([]bool, len(bad))
+		for i := range out {
+			out[i] = true
+		}
+		mustPanicCore("mid-batch width mismatch", func() { z.ContainsBatch(bad, out) })
+		for i, v := range out {
+			if !v {
+				t.Fatalf("frozen=%v: verdict %d written before the whole batch was validated", freeze, i)
 			}
 		}
 	}

@@ -138,16 +138,28 @@ func (z *Zone) Contains(p Pattern) bool {
 // patterns at the current γ, writing one verdict per pattern into out
 // (len(out) must cover the patterns). On a frozen zone the batch runs
 // through the compiled plan's EvalBatch — one setup, the branch program
-// hot in cache across the batch — which is how WatchBatch consults each
-// class once per chunk. Elements of patterns may be Pattern values
-// (Pattern's underlying type is []bool).
+// hot in cache across the batch, and wide batches auto-dispatch to the
+// bit-sliced walk (64 queries per pass over the program) — which is how
+// WatchBatch consults each class once per chunk. Elements of patterns
+// may be Pattern values (Pattern's underlying type is []bool).
+//
+// The batch contract is validated up front on both the frozen and
+// unfrozen paths: a short out or a width-mismatched pattern anywhere in
+// the batch panics with a core:-prefixed message before any verdict is
+// written, so a bad batch never leaves out partially filled.
 func (z *Zone) ContainsBatch(patterns [][]bool, out []bool) {
+	if len(out) < len(patterns) {
+		panic(fmt.Sprintf("core: ContainsBatch output %d shorter than %d patterns", len(out), len(patterns)))
+	}
+	nv := z.m.NumVars()
+	for i, p := range patterns {
+		if len(p) != nv {
+			panic(fmt.Sprintf("core: pattern %d width %d does not match zone width %d", i, len(p), nv))
+		}
+	}
 	if z.plans != nil {
 		z.plans[z.gamma].EvalBatch(patterns, out)
 		return
-	}
-	if len(out) < len(patterns) {
-		panic(fmt.Sprintf("core: ContainsBatch output %d shorter than %d patterns", len(out), len(patterns)))
 	}
 	root := z.roots[z.gamma]
 	for i, p := range patterns {
