@@ -7,14 +7,16 @@
 # ci/coverage-baseline.txt), a serve-demo end-to-end daemon smoke job, a
 # metrics-smoke observability gate (/metrics exposition validated and
 # cross-checked against /stats), a soak-smoke wire-protocol gate
-# (strict zero-loss UDP+TCP soak with server-vs-client accounting) and a
+# (strict zero-loss UDP+TCP soak with server-vs-client accounting), a
 # fleet-smoke replication gate (leader with two self-trained tenants,
 # snapshot-bootstrapped follower, streamed learn deltas, epoch-equality
-# convergence with per-tenant metrics asserted on both daemons).
+# convergence with per-tenant metrics asserted on both daemons) and a
+# chaos-smoke resilience gate (seeded fault injection against the TCP
+# gateway and the replication follower; see the chaos-smoke target).
 
 GO ?= go
 
-.PHONY: build test race test-fuzz cover cover-check bench bench-serve bench-json bench-check serve-demo soak-smoke metrics-smoke fleet-smoke fmt vet lint ci clean
+.PHONY: build test race test-fuzz cover cover-check bench bench-serve bench-json bench-check serve-demo soak-smoke metrics-smoke fleet-smoke chaos-smoke fmt vet lint ci clean
 
 ## build: compile every package
 build:
@@ -237,6 +239,81 @@ fleet-smoke:
 	kill -TERM $$fpid; wait $$fpid; \
 	kill -TERM $$lpid; wait $$lpid; trap - EXIT
 
+## chaos-smoke: the fault-injection resilience gate, two halves sharing
+## one seed (CHAOS_SEED, echoed on failure — replaying with the same
+## value reproduces the same fault sequence).
+## 1. Gateway half: napmon-gateway serves TCP behind a chaos-wrapped
+##    listener (resets, stalls, corruption, partial writes, accept
+##    failures; the fault budget is bounded so the schedule drains
+##    mid-run) while napmon-soak drives it with -reconnect -chaos-check:
+##    the run must produce verdicts, every received response must decode
+##    to a valid verdict, the client must never receive more verdicts
+##    than the server served, and the daemon's -leak-check must find
+##    every gateway goroutine gone after the drain. Writes
+##    chaos-soak.json — the artifact the CI chaos-smoke job uploads.
+## 2. Follower half: a napmon-serve follower replicates from a live
+##    leader through a fault-injected leader client (resets, 5xx bursts,
+##    hangs); learn deltas stream into the leader, and once the fault
+##    budget drains the follower's exponential-backoff poller must still
+##    converge to epoch equality.
+CHAOS_SEED ?= 1
+CHAOS_TCP ?= 127.0.0.1:9713
+CHAOS_ADMIN ?= 127.0.0.1:9714
+CHAOS_LEADER ?= 127.0.0.1:8845
+CHAOS_FOLLOWER ?= 127.0.0.1:8846
+CHAOS_DURATION ?= 10s
+chaos-smoke:
+	$(GO) build -o bin/napmon-gateway ./cmd/napmon-gateway
+	$(GO) build -o bin/napmon-soak ./cmd/napmon-soak
+	$(GO) build -o bin/napmon-serve ./cmd/napmon-serve
+	@set -e; \
+	fail() { echo "chaos-smoke: $$1 (CHAOS_SEED=$(CHAOS_SEED) replays this fault sequence)"; exit 1; }; \
+	bin/napmon-gateway -selftrain 0.05 -udp "" -tcp $(CHAOS_TCP) -admin $(CHAOS_ADMIN) \
+		-chaos-seed $(CHAOS_SEED) -chaos-faults 40 -leak-check & pid=$$!; \
+	trap 'kill $$pid 2>/dev/null || true' EXIT; \
+	bin/napmon-soak -addr $(CHAOS_TCP) -proto tcp -duration $(CHAOS_DURATION) \
+		-reconnect -chaos-check -o chaos-soak.json -connect-timeout 120s \
+		-metrics http://$(CHAOS_ADMIN)/metrics \
+		|| fail "soak chaos invariants failed"; \
+	kill -TERM $$pid; wait $$pid || fail "gateway drain or goroutine leak check failed"; \
+	trap - EXIT; \
+	bin/napmon-serve -selftrain 0.03 -addr $(CHAOS_LEADER) & lpid=$$!; \
+	trap 'kill $$lpid $$fpid 2>/dev/null || true' EXIT; \
+	for i in $$(seq 1 150); do \
+		curl -sf http://$(CHAOS_LEADER)/healthz >/dev/null 2>&1 && break; sleep 0.2; \
+	done; \
+	curl -sf http://$(CHAOS_LEADER)/healthz >/dev/null || fail "leader never came up"; \
+	bin/napmon-serve -follow http://$(CHAOS_LEADER) -follow-poll 100ms \
+		-follow-chaos-seed $(CHAOS_SEED) -follow-chaos-faults 30 \
+		-addr $(CHAOS_FOLLOWER) & fpid=$$!; \
+	for i in $$(seq 1 300); do \
+		curl -sf http://$(CHAOS_FOLLOWER)/healthz >/dev/null 2>&1 && break; sleep 0.2; \
+	done; \
+	curl -sf http://$(CHAOS_FOLLOWER)/healthz >/dev/null \
+		|| fail "follower never bootstrapped through the fault schedule"; \
+	verdict=$$(awk 'BEGIN{printf "{\"shape\":[1,28,28],\"input\":["; for(i=0;i<784;i++) printf "%s0.1",(i?",":""); print "]}"}' \
+		| curl -sf -X POST --data-binary @- http://$(CHAOS_LEADER)/v1/models/default/watch); \
+	pat=$$(echo "$$verdict" | sed -n 's/.*"pattern": "\([01]*\)".*/\1/p'); \
+	cls=$$(echo "$$verdict" | sed -n 's/.*"class": \([0-9]*\).*/\1/p'); \
+	test -n "$$pat" || fail "no pattern in leader watch verdict"; \
+	echo "chaos-smoke: streaming 20 learn deltas into the leader (class $$cls)"; \
+	for i in $$(seq 1 20); do \
+		flip=$$(echo "$$pat" | awk -v i=$$i '{ c=substr($$0,i,1); \
+			printf "%s%s%s", substr($$0,1,i-1), (c=="0"?"1":"0"), substr($$0,i+1) }'); \
+		curl -sf -X POST http://$(CHAOS_LEADER)/v1/models/default/learn \
+			-d "{\"class\":$$cls,\"patterns\":[\"$$flip\"]}" >/dev/null; \
+	done; \
+	le=$$(curl -sf http://$(CHAOS_LEADER)/v1/models/default/stats | sed -n 's/.*"epoch": \([0-9]*\).*/\1/p'); \
+	test "$$le" -gt 1 || fail "leader epoch never advanced ($$le)"; \
+	for i in $$(seq 1 200); do \
+		fe=$$(curl -sf http://$(CHAOS_FOLLOWER)/v1/models/default/stats | sed -n 's/.*"epoch": \([0-9]*\).*/\1/p'); \
+		test "$$fe" = "$$le" && break; sleep 0.2; \
+	done; \
+	test "$$fe" = "$$le" || fail "follower epoch $$fe never converged to leader $$le"; \
+	echo "chaos-smoke: follower converged at epoch $$fe through injected faults"; \
+	kill -TERM $$fpid; wait $$fpid; \
+	kill -TERM $$lpid; wait $$lpid; trap - EXIT
+
 ## fmt: fail if any file needs gofmt
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -261,7 +338,7 @@ lint: vet
 ## coverage profiles, the bin/ tool directory) — everything .gitignore
 ## hides from git but that still clutters the working tree
 clean:
-	rm -f ./*.test ./*.prof ./*.out coverage.out soak-*.json
+	rm -f ./*.test ./*.prof ./*.out coverage.out soak-*.json chaos-soak.json
 	rm -rf bin
 
 ## ci: everything the pipeline's verify job runs, in the same order

@@ -40,9 +40,19 @@
 //	               [-admin :9712] [-pprof]
 //	               [-max-batch 64] [-max-delay 2ms] [-queue 1024] [-lanes 1]
 //	               [-max-inflight 1024] [-write-queue 256]
+//	               [-read-idle 30s] [-write-timeout 10s] [-malformed-budget 8]
 //
 // Passing an empty -udp or -tcp disables that transport; at least one
 // must be enabled.
+//
+// TCP connections live under per-frame read/write deadlines and a
+// malformed-payload budget (see wire.GatewayConfig); reaped connections
+// show up in napmon_gateway_conns_reaped_total / _overbudget_total.
+// For resilience gates, -chaos-seed wraps the TCP listener in
+// internal/chaos seeded fault injection (resets, stalls, corruption,
+// partial writes, accept failures; -chaos-faults bounds the budget so
+// the schedule drains), and -leak-check verifies at exit that every
+// gateway goroutine returned to the pre-listener baseline.
 package main
 
 import (
@@ -50,13 +60,17 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	stdnet "net" // the model variable below shadows the package name
 	"net/http"
 	"net/http/pprof"
+	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
 	"napmon"
+	"napmon/internal/chaos"
 	"napmon/internal/exp"
 	"napmon/internal/obs"
 	"napmon/internal/wire"
@@ -84,11 +98,25 @@ func main() {
 		writeQueue  = flag.Int("write-queue", 0, "per-TCP-connection response queue depth (0 = default)")
 		drainWait   = flag.Duration("drain", 30*time.Second, "graceful shutdown budget")
 		shapeFlag   = flag.String("shape", "", "expected input tensor shape, e.g. 1,28,28 (default: per -dataset)")
+
+		readIdle     = flag.Duration("read-idle", 0, "per-TCP-conn read idle timeout (0 = default 30s, negative = disabled)")
+		writeTimeout = flag.Duration("write-timeout", 0, "per-TCP-conn response write timeout (0 = default 10s, negative = disabled)")
+		malfBudget   = flag.Int("malformed-budget", 0, "malformed payloads one TCP conn may send before teardown (0 = default 8, negative = disabled)")
+
+		chaosSeed   = flag.Uint64("chaos-seed", 0, "wrap the TCP listener in seeded fault injection (testing; 0 = off)")
+		chaosFaults = flag.Int("chaos-faults", 0, "fault budget for -chaos-seed (0 = unbounded)")
+		chaosStall  = flag.Duration("chaos-stall", 100*time.Millisecond, "injected stall duration for -chaos-seed")
+		leakCheck   = flag.Bool("leak-check", false, "after drain, verify gateway goroutines returned to baseline (exit 1 and dump stacks on leak)")
 	)
 	flag.Parse()
 	if *udpAddr == "" && *tcpAddr == "" {
 		log.Fatal("both transports disabled; set -udp and/or -tcp")
 	}
+
+	// Goroutine baseline before any listener exists: after the drain,
+	// -leak-check compares against this to prove the gateway's reader/
+	// writer/responder goroutines all exited.
+	baseline := runtime.NumGoroutine()
 
 	shape, err := exp.InputShape(*shapeFlag, *ds)
 	if err != nil {
@@ -125,8 +153,11 @@ func main() {
 		func(id uint32) (wire.TenantLane, error) { return reg.AcquireID(id) },
 		reg.Len,
 		wire.GatewayConfig{
-			MaxInflight: *maxInflight,
-			WriteQueue:  *writeQueue,
+			MaxInflight:     *maxInflight,
+			WriteQueue:      *writeQueue,
+			ReadIdleTimeout: *readIdle,
+			WriteTimeout:    *writeTimeout,
+			MalformedBudget: *malfBudget,
 		})
 	if *udpAddr != "" {
 		if err := g.ListenUDP(*udpAddr); err != nil {
@@ -135,7 +166,29 @@ func main() {
 		log.Printf("udp on %s (wire protocol v%d)", g.UDPAddr(), wire.Version)
 	}
 	if *tcpAddr != "" {
-		if err := g.ListenTCP(*tcpAddr); err != nil {
+		ln, err := stdnet.Listen("tcp", *tcpAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *chaosSeed != 0 {
+			// Every accepted conn (and the accept path itself) rides the
+			// seeded fault schedule: resets, stalls, corruption, partial
+			// writes, transient accept failures. Same seed, same faults —
+			// a red chaos gate is replayable byte for byte.
+			plan := chaos.NewSchedule(*chaosSeed, chaos.Rates{
+				Reset:        0.02,
+				ReadStall:    0.02,
+				Corrupt:      0.02,
+				WriteStall:   0.02,
+				PartialWrite: 0.02,
+				AcceptFail:   0.10,
+				StallFor:     *chaosStall,
+				MaxFaults:    *chaosFaults,
+			})
+			ln = chaos.WrapListener(ln, plan, nil)
+			log.Printf("chaos listener armed (seed %d, budget %d, stall %v)", *chaosSeed, *chaosFaults, *chaosStall)
+		}
+		if err := g.ServeTCP(ln); err != nil {
 			log.Fatal(err)
 		}
 		log.Printf("tcp on %s (wire protocol v%d)", g.TCPAddr(), wire.Version)
@@ -198,6 +251,33 @@ func main() {
 	}
 	st := srv.Stats()
 	ct := g.Counters()
-	log.Printf("drained: %d frames in (%d malformed, %d shed), served %d in %d batches, p50 %v, p99 %v",
-		ct.Received, ct.Malformed, ct.Dropped, st.Served, st.Batches, st.P50, st.P99)
+	log.Printf("drained: %d frames in (%d malformed, %d shed, %d conns reaped, %d over budget), served %d in %d batches, p50 %v, p99 %v",
+		ct.Received, ct.Malformed, ct.Dropped, ct.Reaped, ct.OverBudget, st.Served, st.Batches, st.P50, st.P99)
+	if *leakCheck {
+		checkGoroutines(baseline)
+	}
+}
+
+// checkGoroutines polls until the goroutine count settles back at (or
+// under) the pre-listener baseline, with slack for runtime helpers; a
+// count still elevated after the grace window is a leak — dump stacks
+// and fail, so the chaos gate catches a reader/writer/responder that
+// survived its connection.
+func checkGoroutines(baseline int) {
+	const slack = 2
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= baseline+slack {
+			log.Printf("leak check ok: %d goroutines (baseline %d)", n, baseline)
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			buf = buf[:runtime.Stack(buf, true)]
+			log.Printf("leak check FAILED: %d goroutines, baseline %d+%d\n%s", n, baseline, slack, buf)
+			os.Exit(1)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
 }

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"context"
+	"math/rand"
+	"time"
+)
+
+// backoff paces the follower's replication polls by leader health. A
+// healthy leader is polled at the base interval; after a failure the
+// delay is drawn with full jitter — uniform over (0, window] where the
+// window doubles per consecutive failure up to the cap — so a dead
+// leader is not hammered at full rate and a recovering one is not
+// stampeded by every follower waking on the same beat. The first
+// success snaps back to the base interval.
+type backoff struct {
+	base time.Duration // healthy poll interval
+	max  time.Duration // window cap (≈30× base)
+
+	fails int
+	rand  func() float64 // uniform [0,1); injectable for tests
+}
+
+func newBackoff(poll time.Duration) *backoff {
+	return &backoff{base: poll, max: 30 * poll, rand: rand.Float64}
+}
+
+// next returns the delay before the next poll attempt.
+func (b *backoff) next() time.Duration {
+	if b.fails == 0 {
+		return b.base
+	}
+	window := b.base << uint(b.fails)
+	if window <= 0 || window > b.max { // <= 0 is shift overflow
+		window = b.max
+	}
+	d := time.Duration(b.rand() * float64(window))
+	if d < time.Millisecond {
+		// Full jitter can draw ~0; a floor keeps a zero draw from
+		// degenerating into a busy retry.
+		d = time.Millisecond
+	}
+	return d
+}
+
+// success resets the window: the leader answered.
+func (b *backoff) success() { b.fails = 0 }
+
+// failure widens the window for the next draw.
+func (b *backoff) failure() {
+	if b.base<<uint(b.fails) < b.max {
+		b.fails++
+	}
+}
+
+// sleepCtx blocks for d or until ctx is done, reporting whether the
+// full delay elapsed. It is the follower's default sleeper; tests swap
+// in a recorder.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}

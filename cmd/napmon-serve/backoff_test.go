@@ -1,0 +1,151 @@
+package main
+
+import (
+	"context"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestBackoffSequence pins the pacing policy with a deterministic rand
+// (always drawing the top of the jitter window): base while healthy,
+// then windows doubling per failure — 2×, 4×, 8×, 16×, 32× capped at
+// 30× — and an instant snap back to base on success.
+func TestBackoffSequence(t *testing.T) {
+	const base = 100 * time.Millisecond
+	bo := newBackoff(base)
+	bo.rand = func() float64 { return 1 }
+
+	if got := bo.next(); got != base {
+		t.Fatalf("healthy delay %v, want base %v", got, base)
+	}
+	want := []time.Duration{
+		200 * time.Millisecond,  // 2×
+		400 * time.Millisecond,  // 4×
+		800 * time.Millisecond,  // 8×
+		1600 * time.Millisecond, // 16×
+		3 * time.Second,         // 32× capped at 30×
+		3 * time.Second,         // stays at the cap
+		3 * time.Second,
+	}
+	for i, w := range want {
+		bo.failure()
+		if got := bo.next(); got != w {
+			t.Fatalf("delay after %d failures = %v, want %v", i+1, got, w)
+		}
+	}
+	bo.success()
+	if got := bo.next(); got != base {
+		t.Fatalf("post-recovery delay %v, want base %v", got, base)
+	}
+	// A fresh failure after recovery starts the doubling over.
+	bo.failure()
+	if got := bo.next(); got != 200*time.Millisecond {
+		t.Fatalf("first failure after recovery drew %v, want 2× base", got)
+	}
+}
+
+// TestBackoffJitterBounds: real draws stay strictly inside (0, window]
+// — never zero (busy retry) and never above the window.
+func TestBackoffJitterBounds(t *testing.T) {
+	bo := newBackoff(100 * time.Millisecond)
+	bo.failure()
+	bo.failure() // window 400ms
+	for i := 0; i < 1000; i++ {
+		d := bo.next()
+		if d < time.Millisecond || d > 400*time.Millisecond {
+			t.Fatalf("draw %d: %v outside (1ms, 400ms]", i, d)
+		}
+	}
+}
+
+// TestFollowerRunBacksOff drives run against a leader that fails every
+// poll, with a fake sleeper recording the requested delays: the
+// sequence must grow per the backoff policy, proving run actually feeds
+// failures back into its pacing.
+func TestFollowerRunBacksOff(t *testing.T) {
+	srv := newHangingLeader(false) // reuse fixture for its URL...
+	srv.Close()                    // ...but closed: every poll fails instantly
+	f := newFollower(&daemon{}, srv.srv.URL, 100*time.Millisecond)
+
+	var delays []time.Duration
+	ctx, cancel := context.WithCancel(context.Background())
+	f.sleep = func(_ context.Context, d time.Duration) bool {
+		delays = append(delays, d)
+		if len(delays) >= 4 {
+			cancel()
+			return false
+		}
+		return true
+	}
+	done := make(chan struct{})
+	go func() { f.run(ctx); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not exit after its sleeper reported cancellation")
+	}
+	// delays[0] is the healthy pre-poll delay; each later one follows a
+	// failed poll, so its jitter window doubles: (0, 200ms], (0, 400ms],
+	// (0, 800ms].
+	if len(delays) != 4 {
+		t.Fatalf("recorded %d delays, want 4", len(delays))
+	}
+	if delays[0] != 100*time.Millisecond {
+		t.Fatalf("first delay %v, want the healthy poll interval", delays[0])
+	}
+	for i, window := range []time.Duration{200, 400, 800} {
+		d := delays[i+1]
+		if d < time.Millisecond || d > window*time.Millisecond {
+			t.Fatalf("delay after %d failures = %v, outside (0, %vms]", i+1, d, window)
+		}
+	}
+}
+
+// TestBootstrapRetryRecovers: a leader that refuses the first attempts
+// and then comes up is bootstrapped, not fatal. The follower here has
+// no tenants to load (empty model list is an error), so success is
+// approximated by observing the retry loop spin under backoff and then
+// give up within its budget — the retry mechanics, not the sync.
+func TestBootstrapRetryBudget(t *testing.T) {
+	srv := newHangingLeader(false)
+	srv.Close() // connection refused on every attempt
+	f := newFollower(&daemon{}, srv.srv.URL, 10*time.Millisecond)
+	attempts := 0
+	f.sleep = func(_ context.Context, d time.Duration) bool {
+		attempts++
+		return true
+	}
+	start := time.Now()
+	err := f.bootstrapRetry(context.Background(), 300*time.Millisecond)
+	if err == nil {
+		t.Fatal("bootstrapRetry against a dead leader returned nil")
+	}
+	if attempts == 0 {
+		t.Fatal("bootstrapRetry never slept — no retries happened")
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("bootstrapRetry overran its budget: %v", elapsed)
+	}
+}
+
+// TestBootstrapRetryCancelled: a done context stops the retry loop with
+// the bootstrap error instead of spinning out the budget.
+func TestBootstrapRetryCancelled(t *testing.T) {
+	srv := newHangingLeader(false)
+	srv.Close()
+	f := newFollower(&daemon{}, srv.srv.URL, 10*time.Millisecond)
+	f.client = http.Client{Timeout: 50 * time.Millisecond}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	done := make(chan error, 1)
+	go func() { done <- f.bootstrapRetry(ctx, time.Hour) }()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("cancelled bootstrapRetry returned nil")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancelled bootstrapRetry did not return")
+	}
+}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -189,18 +190,30 @@ func (d *daemon) handleWatch(tenant func(*http.Request) string) http.HandlerFunc
 			http.Error(w, fmt.Sprintf("shape %v needs %d input values, got %d", req.Shape, want, len(req.Input)), http.StatusBadRequest)
 			return
 		}
-		fut, err := t.Server().Submit(napmon.TensorFromSlice(req.Input, req.Shape...))
+		// The HTTP request context rides into the pipeline: a client that
+		// hangs up (or whose deadline fires) while its request is queued
+		// is shed before inference instead of inferred into the void.
+		fut, err := t.Server().SubmitCtx(r.Context(), napmon.TensorFromSlice(req.Input, req.Shape...))
 		if err != nil {
 			status := http.StatusBadRequest
-			if errors.Is(err, napmon.ErrServerClosed) {
+			switch {
+			case errors.Is(err, napmon.ErrServerClosed):
 				status = http.StatusServiceUnavailable
+			case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+				// 499-style: the client is gone; the write likely goes
+				// nowhere, but the status keeps logs honest.
+				status = http.StatusRequestTimeout
 			}
 			http.Error(w, err.Error(), status)
 			return
 		}
 		v, err := fut.Wait()
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			status := http.StatusServiceUnavailable
+			if errors.Is(err, napmon.ErrExpired) {
+				status = http.StatusRequestTimeout
+			}
+			http.Error(w, err.Error(), status)
 			return
 		}
 		writeJSON(w, watchResponse{
@@ -287,6 +300,7 @@ type statsResponse struct {
 	Served        uint64                `json:"served"`
 	Rejected      uint64                `json:"rejected"`
 	Shed          uint64                `json:"shed"`
+	Expired       uint64                `json:"expired"`
 	Batches       uint64                `json:"batches"`
 	MeanBatchSize float64               `json:"mean_batch_size"`
 	P50Ns         int64                 `json:"p50_ns"`
@@ -340,6 +354,7 @@ func (d *daemon) handleStats(tenant func(*http.Request) string) http.HandlerFunc
 			Served:        st.Served,
 			Rejected:      st.Rejected,
 			Shed:          st.Shed,
+			Expired:       st.Expired,
 			Batches:       st.Batches,
 			MeanBatchSize: st.MeanBatchSize,
 			P50Ns:         st.P50.Nanoseconds(),

@@ -40,6 +40,10 @@ type follower struct {
 	// fails within the deadline, run logs it, and the next tick retries.
 	timeout time.Duration
 	client  http.Client
+
+	// sleep paces the replication loop (sleepCtx in production); tests
+	// inject a recorder to pin backoff sequences without wall time.
+	sleep func(ctx context.Context, d time.Duration) bool
 }
 
 // newFollower wires a follower for one leader. The request deadline is
@@ -51,12 +55,36 @@ func newFollower(d *daemon, base string, poll time.Duration) *follower {
 	if timeout < 5*time.Second {
 		timeout = 5 * time.Second
 	}
-	f := &follower{d: d, base: base, poll: poll, timeout: timeout, incs: map[string]uint64{}}
+	f := &follower{d: d, base: base, poll: poll, timeout: timeout, incs: map[string]uint64{}, sleep: sleepCtx}
 	// Belt and suspenders: the per-request context deadline in get is
 	// the primary bound; Client.Timeout catches any future call path
 	// that forgets to derive one.
 	f.client.Timeout = timeout
 	return f
+}
+
+// bootstrapRetry keeps attempting bootstrap under backoff until it
+// succeeds, ctx ends, or the budget elapses. A follower started into a
+// leader's bad minute — restarting, flapping, or behind an injected
+// fault schedule — should come up once the leader does, not die on the
+// first refused connection.
+func (f *follower) bootstrapRetry(ctx context.Context, budget time.Duration) error {
+	bo := newBackoff(f.poll)
+	deadline := time.Now().Add(budget)
+	for {
+		err := f.bootstrap(ctx)
+		if err == nil {
+			return nil
+		}
+		bo.failure()
+		if ctx.Err() != nil || time.Now().After(deadline) {
+			return err
+		}
+		log.Printf("follow: bootstrap: %v (retrying)", err)
+		if !f.sleep(ctx, bo.next()) {
+			return err
+		}
+	}
 }
 
 // bootstrap mirrors the leader's current tenant set before the local
@@ -78,40 +106,54 @@ func (f *follower) bootstrap(ctx context.Context) error {
 	return nil
 }
 
-// run is the replication loop: every poll interval it reconciles the
-// local tenant set against the leader's and pulls pending deltas.
+// run is the replication loop: it reconciles the local tenant set
+// against the leader's and pulls pending deltas, pacing itself with
+// failure-aware backoff — the healthy cadence is f.poll, a failing
+// leader widens the gap exponentially (full jitter, capped at ≈30×
+// poll), and the first successful poll snaps back to f.poll.
 func (f *follower) run(ctx context.Context) {
-	tick := time.NewTicker(f.poll)
-	defer tick.Stop()
+	bo := newBackoff(f.poll)
 	for {
-		select {
-		case <-ctx.Done():
+		if !f.sleep(ctx, bo.next()) {
 			return
-		case <-tick.C:
 		}
-		models, err := f.leaderModels(ctx)
-		if err != nil {
-			log.Printf("follow: list models: %v", err)
-			continue
+		if f.pollOnce(ctx) {
+			bo.success()
+		} else {
+			bo.failure()
 		}
-		seen := make(map[string]bool, len(models))
-		for _, m := range models {
-			seen[m.Name] = true
-			if err := f.syncTenant(ctx, m); err != nil {
-				log.Printf("follow: tenant %q: %v", m.Name, err)
-			}
+	}
+}
+
+// pollOnce performs one reconcile pass and reports whether the leader
+// fully answered — any listing or per-tenant sync failure counts
+// against it for backoff purposes.
+func (f *follower) pollOnce(ctx context.Context) bool {
+	models, err := f.leaderModels(ctx)
+	if err != nil {
+		log.Printf("follow: list models: %v", err)
+		return false
+	}
+	ok := true
+	seen := make(map[string]bool, len(models))
+	for _, m := range models {
+		seen[m.Name] = true
+		if err := f.syncTenant(ctx, m); err != nil {
+			log.Printf("follow: tenant %q: %v", m.Name, err)
+			ok = false
 		}
-		// Tenants the leader unloaded disappear here too.
-		for _, name := range f.d.reg.Names() {
-			if !seen[name] {
-				if err := f.d.reg.Unload(ctx, name); err == nil {
-					f.d.deleteShape(name)
-					delete(f.incs, name)
-					log.Printf("follow: unloaded %q (gone from leader)", name)
-				}
+	}
+	// Tenants the leader unloaded disappear here too.
+	for _, name := range f.d.reg.Names() {
+		if !seen[name] {
+			if err := f.d.reg.Unload(ctx, name); err == nil {
+				f.d.deleteShape(name)
+				delete(f.incs, name)
+				log.Printf("follow: unloaded %q (gone from leader)", name)
 			}
 		}
 	}
+	return ok
 }
 
 func (f *follower) leaderModels(ctx context.Context) ([]modelInfo, error) {

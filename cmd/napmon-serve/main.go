@@ -73,6 +73,7 @@ import (
 	"time"
 
 	"napmon"
+	"napmon/internal/chaos"
 	"napmon/internal/exp"
 	"napmon/internal/obs"
 )
@@ -97,6 +98,9 @@ func main() {
 		pprofFlag   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 		followURL   = flag.String("follow", "", "replicate from this leader base URL instead of loading a model (read-only follower)")
 		followPoll  = flag.Duration("follow-poll", 500*time.Millisecond, "delta poll interval in -follow mode")
+
+		followChaosSeed   = flag.Uint64("follow-chaos-seed", 0, "fault-injection seed for the leader client (testing; 0 = off)")
+		followChaosFaults = flag.Int("follow-chaos-faults", 0, "fault budget for -follow-chaos-seed (0 = unbounded)")
 	)
 	flag.Parse()
 
@@ -120,7 +124,25 @@ func main() {
 	var fol *follower
 	if d.follower {
 		fol = newFollower(d, *followURL, *followPoll)
-		if err := fol.bootstrap(ctx); err != nil {
+		if *followChaosSeed != 0 {
+			// Chaos gates put the whole leader conversation behind an
+			// injected-fault transport: resets, 5xx bursts and hangs (the
+			// stall outlives the request timeout, so hangs surface as
+			// client deadline errors). Same seed, same fault sequence.
+			plan := chaos.NewSchedule(*followChaosSeed, chaos.Rates{
+				Reset:     0.15,
+				HTTPErr:   0.15,
+				HTTPHang:  0.05,
+				StallFor:  2 * fol.timeout,
+				MaxFaults: *followChaosFaults,
+			})
+			fol.client.Transport = chaos.NewRoundTripper(nil, plan, nil)
+			log.Printf("follow: chaos transport armed (seed %d, budget %d)", *followChaosSeed, *followChaosFaults)
+		}
+		// Retry under backoff: a follower racing its leader up (or
+		// starting into an injected fault burst) converges instead of
+		// dying on the first refused connection.
+		if err := fol.bootstrapRetry(ctx, time.Minute); err != nil {
 			log.Fatalf("follow %s: %v", *followURL, err)
 		}
 		log.Printf("following %s (%d tenants, poll %v)", *followURL, d.reg.Len(), *followPoll)

@@ -30,11 +30,22 @@
 // somewhere between the serving lanes and this socket; it is printed in
 // the report and fails -strict.
 //
+// Against a fault-injected gateway (`make chaos-smoke`) two extra flags
+// apply. -reconnect turns a mid-run connection death into a re-dial
+// instead of a fatal error: the worker counts it in conn_errors,
+// abandons that connection's unanswered sends as drops, and carries on
+// with fresh pacing state. -chaos-check swaps -strict's closed
+// accounting for the invariants that survive injected resets and
+// corruption: responses were received at all, every received response
+// decoded to a valid verdict, and (with -metrics) the client never
+// received more verdicts than the server served.
+//
 // Usage:
 //
 //	napmon-soak -addr 127.0.0.1:9710 -proto udp -duration 10s [-rate 0]
 //	            [-conns 4] [-window 32] [-shape 1,28,28] [-o soak.json]
 //	            [-metrics http://127.0.0.1:9712/metrics] [-strict]
+//	            [-reconnect] [-chaos-check]
 package main
 
 import (
@@ -74,6 +85,9 @@ func main() {
 		strict    = flag.Bool("strict", false, "exit 1 on any dropped, malformed, or error-frame response, or a server-vs-client accounting mismatch")
 		probeWait = flag.Duration("connect-timeout", 10*time.Second, "budget for the initial ping probe")
 		grace     = flag.Duration("grace", 2*time.Second, "wait this long after the send window for stragglers")
+
+		reconnect  = flag.Bool("reconnect", false, "re-dial and keep going when a connection dies mid-run (for fault-injected gateways); transport failures are counted in conn_errors, not fatal")
+		chaosCheck = flag.Bool("chaos-check", false, "exit 1 unless the run upholds the chaos invariants: responses were received, every received response decoded to a valid verdict, and (with -metrics) the client never received more than the server served")
 	)
 	flag.Parse()
 	if *proto != "udp" && *proto != "tcp" {
@@ -103,7 +117,7 @@ func main() {
 	workers := make([]*worker, *conns)
 	var wg sync.WaitGroup
 	for i := range workers {
-		w := newWorker(i, *proto, *addr, shape, *seed+uint64(i)*1e6, *window)
+		w := newWorker(i, *proto, *addr, shape, *seed+uint64(i)*1e6, *window, *reconnect)
 		workers[i] = w
 		wg.Add(1)
 		go func() {
@@ -131,6 +145,7 @@ func main() {
 		rep.Malformed += w.malformed
 		rep.Overloaded += w.overloaded
 		rep.ServerErrors += w.serverErrors
+		rep.ConnErrors += w.connErrors
 		rep.Dropped += uint64(len(w.pending))
 		lat = append(lat, w.lat...)
 	}
@@ -192,6 +207,34 @@ func main() {
 		log.Fatalf("strict: %d dropped, %d malformed, %d overloaded, %d server errors, accounting ok=%v",
 			rep.Dropped, rep.Malformed, rep.Overloaded, rep.ServerErrors, accountingOK)
 	}
+
+	// Chaos gates can't demand -strict's closed accounting — injected
+	// resets legitimately lose responses and corrupted requests
+	// legitimately earn error frames. What must still hold: the service
+	// did real work (responses came back), every response that did come
+	// back decoded to a valid verdict, and the client never received more
+	// verdicts than the server claims it served (phantom responses).
+	if *chaosCheck {
+		ok := true
+		if rep.Received == 0 {
+			ok = false
+			log.Printf("chaos-check: no watch responses received — the service did no useful work under faults")
+		}
+		if rep.Malformed > 0 {
+			ok = false
+			log.Printf("chaos-check: %d malformed responses — an acknowledged frame carried an unreadable verdict", rep.Malformed)
+		}
+		if rep.Server != nil && rep.Received > rep.Server.ServedDelta {
+			ok = false
+			log.Printf("chaos-check: client received %d verdicts but the server only served %d — phantom responses",
+				rep.Received, rep.Server.ServedDelta)
+		}
+		if !ok {
+			log.Fatal("chaos-check failed")
+		}
+		log.Printf("chaos-check ok: %d verdicts received, 0 malformed, %d connection failures survived",
+			rep.Received, rep.ConnErrors)
+	}
 }
 
 // serverSample is one scrape of the counters the accounting check uses.
@@ -250,6 +293,7 @@ type report struct {
 	Malformed     uint64  `json:"malformed"`
 	Overloaded    uint64  `json:"overloaded"`
 	ServerErrors  uint64  `json:"server_errors"`
+	ConnErrors    uint64  `json:"conn_errors"`
 	ThroughputRPS float64 `json:"throughput_rps"`
 	P50Ns         int64   `json:"p50_ns"`
 	P99Ns         int64   `json:"p99_ns"`
@@ -323,20 +367,22 @@ type worker struct {
 	tokens  chan struct{}
 
 	window       int
+	reconnect    bool
 	sendElapsed  time.Duration
 	sent         uint64
 	received     uint64
 	malformed    uint64
 	overloaded   uint64
 	serverErrors uint64
+	connErrors   uint64
 	lat          []time.Duration
 	err          error
 }
 
-func newWorker(id int, proto, addr string, shape []int, seed uint64, window int) *worker {
+func newWorker(id int, proto, addr string, shape []int, seed uint64, window int, reconnect bool) *worker {
 	return &worker{
 		id: id, proto: proto, addr: addr, shape: shape,
-		r: rng.New(seed), window: window,
+		r: rng.New(seed), window: window, reconnect: reconnect,
 		pending: make(map[uint32]time.Time),
 	}
 }
@@ -362,13 +408,33 @@ func (w *worker) nextFrame(id uint32) []byte {
 }
 
 func (w *worker) run(duration time.Duration, rate float64, grace time.Duration) {
+	sendStart := time.Now()
+	end := sendStart.Add(duration)
+	var id uint32
+	for {
+		redial := w.session(sendStart, end, rate, grace, &id)
+		if !redial || !time.Now().Before(end) {
+			return
+		}
+		// Pause briefly so a flapping gateway doesn't turn the dial loop
+		// into a connect storm.
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// session owns one connection's lifetime: dial, pace sends until the
+// window ends or the transport dies, drain stragglers, tear down. It
+// returns true when run should re-dial — -reconnect mode and the
+// connection died with send time left. Frame ids continue across
+// sessions so late responses from a previous connection can never be
+// mistaken for current ones.
+func (w *worker) session(sendStart, end time.Time, rate float64, grace time.Duration, id *uint32) bool {
 	c, err := net.Dial(w.proto, w.addr)
 	if err != nil {
-		w.err = err
-		return
+		return w.connFailed(err)
 	}
 	defer c.Close()
-	c.SetDeadline(time.Now().Add(duration + grace + time.Minute))
+	c.SetDeadline(end.Add(grace + time.Minute))
 	if uc, ok := c.(*net.UDPConn); ok {
 		// Responses arrive in micro-batch-sized bursts; a default-sized
 		// socket buffer overflows under them and every loss leaks a
@@ -377,34 +443,47 @@ func (w *worker) run(duration time.Duration, rate float64, grace time.Duration) 
 		uc.SetWriteBuffer(4 << 20)
 	}
 
-	recvDone := make(chan struct{})
-	stopRecv := make(chan struct{})
-	go func() {
-		defer close(recvDone)
-		w.receive(c, stopRecv)
-	}()
-
 	// tokens caps outstanding requests in closed-loop mode; the receiver
-	// refills it. Open loop ignores it and trusts the pacer.
+	// refills it. Open loop ignores it and trusts the pacer. Fresh per
+	// session: tokens stranded in a dead connection's unanswered sends
+	// must not throttle the next session. Published before the receiver
+	// starts so its refills see the right channel.
 	tokens := make(chan struct{}, w.window)
 	for i := 0; i < w.window; i++ {
 		tokens <- struct{}{}
 	}
+	w.mu.Lock()
 	w.tokens = tokens
+	w.mu.Unlock()
+
+	recvDone := make(chan struct{})
+	stopRecv := make(chan struct{})
+	connDead := make(chan struct{})
+	go func() {
+		defer close(recvDone)
+		if !w.receive(c, stopRecv) {
+			close(connDead)
+		}
+	}()
 
 	var ticker *time.Ticker
 	if rate > 0 {
 		ticker = time.NewTicker(time.Duration(float64(time.Second) / rate))
 		defer ticker.Stop()
 	}
-	sendStart := time.Now()
-	end := sendStart.Add(duration)
-	endTimer := time.NewTimer(duration)
+	endTimer := time.NewTimer(time.Until(end))
 	defer endTimer.Stop()
-	var id uint32
+	var sessErr error
+	died := false
+sendLoop:
 	for time.Now().Before(end) {
 		if ticker != nil {
-			<-ticker.C
+			select {
+			case <-ticker.C:
+			case <-connDead:
+				died = true
+				break sendLoop
+			}
 		} else {
 			// A lost response (UDP) permanently leaks its window token, so
 			// the wait must not outlive the send window — losing the whole
@@ -414,46 +493,79 @@ func (w *worker) run(duration time.Duration, rate float64, grace time.Duration) 
 			case <-tokens:
 			case <-endTimer.C:
 				continue
+			case <-connDead:
+				died = true
+				break sendLoop
 			}
 		}
-		frame := w.nextFrame(id)
+		frame := w.nextFrame(*id)
 		w.mu.Lock()
-		w.pending[id] = time.Now()
+		w.pending[*id] = time.Now()
 		w.mu.Unlock()
 		if _, err := c.Write(frame); err != nil {
-			w.err = err
+			sessErr = err
+			died = true
 			break
 		}
 		w.sent++
-		id++
+		*id++
 	}
-	w.sendElapsed = time.Since(sendStart)
+	if se := time.Since(sendStart); se > w.sendElapsed {
+		w.sendElapsed = se
+	}
+	select {
+	case <-connDead:
+		died = true
+	default:
+	}
 
-	// Give stragglers a grace window, then stop the receiver; whatever
-	// is still pending counts as dropped.
-	gdl := time.Now().Add(grace)
-	for time.Now().Before(gdl) {
-		w.mu.Lock()
-		n := len(w.pending)
-		w.mu.Unlock()
-		if n == 0 {
-			break
+	if !died {
+		// Clean end of the send window: give stragglers a grace period,
+		// then stop the receiver; whatever is still pending counts as
+		// dropped. A dead connection skips this — its unanswered sends
+		// can never be answered.
+		gdl := time.Now().Add(grace)
+		for time.Now().Before(gdl) {
+			w.mu.Lock()
+			n := len(w.pending)
+			w.mu.Unlock()
+			if n == 0 {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
 		}
-		time.Sleep(10 * time.Millisecond)
 	}
 	close(stopRecv)
 	c.SetReadDeadline(time.Now()) // unblock the receiver
 	<-recvDone
+	if died {
+		return w.connFailed(sessErr)
+	}
+	return false
+}
+
+// connFailed tallies one dead connection and reports whether run should
+// re-dial. Outside -reconnect mode the first error is kept and the
+// worker stops, preserving the historical fail-fast behavior.
+func (w *worker) connFailed(err error) bool {
+	w.mu.Lock()
+	w.connErrors++
+	if err != nil && !w.reconnect && w.err == nil {
+		w.err = err
+	}
+	w.mu.Unlock()
+	return w.reconnect
 }
 
 // receive reads response frames until stop, matching them to pending
-// sends and recording latency.
-func (w *worker) receive(c net.Conn, stop <-chan struct{}) {
+// sends and recording latency. It returns false when the transport died
+// underneath it rather than being stopped by the sender.
+func (w *worker) receive(c net.Conn, stop <-chan struct{}) bool {
 	buf := make([]byte, wire.MaxUDPFrame)
 	for {
 		select {
 		case <-stop:
-			return
+			return true
 		default:
 		}
 		var (
@@ -481,16 +593,20 @@ func (w *worker) receive(c net.Conn, stop <-chan struct{}) {
 		if err != nil {
 			select {
 			case <-stop: // expected: deadline fired during teardown
+				return true
 			default:
-				if !errors.Is(err, net.ErrClosed) {
-					w.mu.Lock()
-					if w.err == nil {
-						w.err = err
-					}
-					w.mu.Unlock()
-				}
 			}
-			return
+			if errors.Is(err, net.ErrClosed) {
+				return true
+			}
+			if !w.reconnect {
+				w.mu.Lock()
+				if w.err == nil {
+					w.err = err
+				}
+				w.mu.Unlock()
+			}
+			return false
 		}
 		now := time.Now()
 		w.mu.Lock()

@@ -143,6 +143,8 @@
 //	napmon_requests_served_total           counter    requests answered with a verdict
 //	napmon_requests_rejected_total         counter    submits refused (server closed)
 //	napmon_requests_shed_total             counter    non-blocking submits refused (queue full)
+//	napmon_serve_expired_total             counter    queued requests shed because their context
+//	                                                  expired before inference (SubmitCtx)
 //	napmon_batches_total                   counter    micro-batches dispatched to lanes
 //	napmon_queue_depth                     gauge      requests waiting in the bounded queue
 //	napmon_lanes                           gauge      serving lanes (network replicas)
@@ -173,6 +175,10 @@
 //	napmon_gateway_frames_responded_total  counter    response frames handed to a socket
 //	napmon_gateway_frames_malformed_total  counter    rejected datagrams/headers/payloads
 //	napmon_gateway_frames_dropped_total    counter    watch requests shed under pressure
+//	napmon_gateway_conns_reaped_total      counter    TCP conns torn down by a read-idle or
+//	                                                  write deadline
+//	napmon_gateway_conns_overbudget_total  counter    TCP conns torn down for exhausting their
+//	                                                  malformed-frame budget
 //	napmon_gateway_tcp_conns               gauge      live TCP connections
 //
 // A Registry adds fleet-level series plus one tenant-labelled family

@@ -1,0 +1,323 @@
+// Package chaos is the deterministic fault-injection layer behind the
+// repo's resilience gates. It wraps the seams the serving stack talks
+// to the world through — net.Conn / net.Listener for the wire gateway,
+// http.RoundTripper for the replication follower's leader client — and
+// injects the failures production networks actually produce: connection
+// resets, read/write stalls, partial writes, byte corruption,
+// accept-time failures, 5xx bursts and request hangs.
+//
+// Everything is driven by a Plan. The production implementation is
+// Schedule: a seeded xoshiro stream draws one decision per injection
+// point, so a given seed reproduces the exact same fault sequence
+// run-to-run (print the seed on failure and any red run can be replayed
+// locally). A Schedule can carry a fault budget (MaxFaults): once spent
+// the plan is drained and the wrapped transport behaves perfectly,
+// which is what lets gates assert convergence "after the fault schedule
+// drains". Tests that need an exact, hand-written sequence use Script
+// instead.
+//
+// Time is injected through Clock so tests assert stall sequences
+// without sleeping; the zero value of every wrapper field falls back to
+// the wall clock.
+package chaos
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"napmon/internal/rng"
+)
+
+// Op names an injection point. Each wrapped operation consults the plan
+// with its Op, and a Plan decides which faults may fire there.
+type Op uint8
+
+const (
+	// OpRead is one Conn.Read call.
+	OpRead Op = iota
+	// OpWrite is one Conn.Write call.
+	OpWrite
+	// OpAccept is one Listener.Accept call.
+	OpAccept
+	// OpRoundTrip is one RoundTripper.RoundTrip call.
+	OpRoundTrip
+)
+
+// Fault is one injected failure mode.
+type Fault uint8
+
+const (
+	// FaultNone lets the operation through untouched.
+	FaultNone Fault = iota
+	// FaultReset closes the transport and fails the operation with
+	// ErrInjectedReset — the peer-reset / mid-flight-hangup case.
+	FaultReset
+	// FaultReadStall sleeps Plan.Stall before the read proceeds — a
+	// slow-loris sender or a congested path.
+	FaultReadStall
+	// FaultWriteStall sleeps Plan.Stall before the write proceeds — a
+	// receiver that stopped draining its socket.
+	FaultWriteStall
+	// FaultPartialWrite delivers a prefix of the buffer, then closes the
+	// transport and fails — a connection dying mid-frame.
+	FaultPartialWrite
+	// FaultCorrupt flips one byte of the data a read delivers — a
+	// checksum-exercising bit error.
+	FaultCorrupt
+	// FaultAcceptErr fails one Accept with a transient (net.Error,
+	// Temporary) error without touching the listener — fd-exhaustion
+	// bursts and kernel accept hiccups.
+	FaultAcceptErr
+	// FaultHTTPErr answers a round trip with a synthetic 503 without
+	// contacting the server — a flapping leader or an LB shedding.
+	FaultHTTPErr
+	// FaultHTTPHang stalls a round trip until the request context gives
+	// up (or Plan.Stall passes), then fails it — a server that accepted
+	// and went silent.
+	FaultHTTPHang
+)
+
+// String names the fault for logs and test failure messages.
+func (f Fault) String() string {
+	switch f {
+	case FaultNone:
+		return "none"
+	case FaultReset:
+		return "reset"
+	case FaultReadStall:
+		return "read-stall"
+	case FaultWriteStall:
+		return "write-stall"
+	case FaultPartialWrite:
+		return "partial-write"
+	case FaultCorrupt:
+		return "corrupt"
+	case FaultAcceptErr:
+		return "accept-err"
+	case FaultHTTPErr:
+		return "http-5xx"
+	case FaultHTTPHang:
+		return "http-hang"
+	}
+	return "unknown"
+}
+
+// Plan decides, one operation at a time, which fault (if any) to
+// inject. Implementations must be safe for concurrent use: one plan is
+// typically shared by every connection of a wrapped listener.
+type Plan interface {
+	// Next returns the fault to inject on the upcoming operation, or
+	// FaultNone. A plan must only return faults meaningful for op.
+	Next(op Op) Fault
+	// Stall is the duration FaultReadStall / FaultWriteStall /
+	// FaultHTTPHang sleep for.
+	Stall() time.Duration
+}
+
+// ErrInjectedReset fails operations the plan chose to reset. It is
+// deliberately distinct from net.ErrClosed so accept loops and tests
+// can tell an injected failure from a real local close.
+var ErrInjectedReset = errors.New("chaos: injected connection reset")
+
+// errTransient is the injected Accept failure: a net.Error that is
+// temporary and not a timeout, like EMFILE or ECONNABORTED.
+type errTransient struct{}
+
+func (errTransient) Error() string   { return "chaos: injected transient accept failure" }
+func (errTransient) Timeout() bool   { return false }
+func (errTransient) Temporary() bool { return true }
+
+// errHang is what a hung round trip resolves to when the stall elapses
+// before the request context gives up; it reads as a client timeout.
+type errHang struct{}
+
+func (errHang) Error() string   { return "chaos: injected request hang" }
+func (errHang) Timeout() bool   { return true }
+func (errHang) Temporary() bool { return true }
+
+// Clock abstracts the stalls the wrappers sleep through. Sleep blocks
+// for d or until done closes, reporting whether the full duration
+// elapsed — a fake clock records d and returns immediately, so tests
+// assert exact stall sequences without wall time.
+type Clock interface {
+	Sleep(d time.Duration, done <-chan struct{}) bool
+}
+
+// ClockFunc adapts a function to the Clock interface.
+type ClockFunc func(d time.Duration, done <-chan struct{}) bool
+
+// Sleep implements Clock.
+func (f ClockFunc) Sleep(d time.Duration, done <-chan struct{}) bool { return f(d, done) }
+
+// wallClock is the default Clock: a real timer, aborted by done.
+type wallClock struct{}
+
+func (wallClock) Sleep(d time.Duration, done <-chan struct{}) bool {
+	if d <= 0 {
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-done:
+		return false
+	}
+}
+
+// orWall returns clk, or the wall clock when clk is nil, so every
+// wrapper accepts a nil Clock.
+func orWall(clk Clock) Clock {
+	if clk == nil {
+		return wallClock{}
+	}
+	return clk
+}
+
+// Rates configures a Schedule: per-operation fault probabilities in
+// [0,1]. Probabilities for one Op are summed in the order the fields
+// are listed below, so their sum per Op must stay ≤ 1.
+type Rates struct {
+	// Reset applies to reads, writes and round trips.
+	Reset float64
+	// ReadStall and Corrupt apply to reads.
+	ReadStall float64
+	Corrupt   float64
+	// WriteStall and PartialWrite apply to writes.
+	WriteStall   float64
+	PartialWrite float64
+	// AcceptFail applies to accepts.
+	AcceptFail float64
+	// HTTPErr and HTTPHang apply to round trips.
+	HTTPErr  float64
+	HTTPHang float64
+
+	// StallFor is the stall duration (default 100ms).
+	StallFor time.Duration
+	// MaxFaults bounds the total faults the schedule injects before it
+	// drains and lets everything through (0 = unbounded). Gates rely on
+	// a drained schedule to assert recovery.
+	MaxFaults int
+}
+
+// Schedule is the seeded Plan: one xoshiro256** stream, shared (under a
+// mutex) by every wrapped transport, drawing one uniform variate per
+// operation. The same seed and the same per-goroutine operation order
+// reproduce the same fault sequence; single-connection gates are
+// exactly reproducible, multi-connection ones reproducible up to accept
+// interleaving.
+type Schedule struct {
+	rates Rates
+
+	mu       sync.Mutex
+	src      *rng.Source
+	injected uint64
+}
+
+// NewSchedule builds a seeded schedule over the given rates.
+func NewSchedule(seed uint64, rates Rates) *Schedule {
+	if rates.StallFor == 0 {
+		rates.StallFor = 100 * time.Millisecond
+	}
+	return &Schedule{rates: rates, src: rng.New(seed)}
+}
+
+// Next implements Plan.
+func (s *Schedule) Next(op Op) Fault {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.rates.MaxFaults > 0 && s.injected >= uint64(s.rates.MaxFaults) {
+		return FaultNone
+	}
+	u := s.src.Float64()
+	f := FaultNone
+	pick := func(p float64, fault Fault) bool {
+		if f != FaultNone || p <= 0 {
+			return f != FaultNone
+		}
+		if u < p {
+			f = fault
+			return true
+		}
+		u -= p
+		return false
+	}
+	switch op {
+	case OpRead:
+		_ = pick(s.rates.Reset, FaultReset) ||
+			pick(s.rates.ReadStall, FaultReadStall) ||
+			pick(s.rates.Corrupt, FaultCorrupt)
+	case OpWrite:
+		_ = pick(s.rates.Reset, FaultReset) ||
+			pick(s.rates.WriteStall, FaultWriteStall) ||
+			pick(s.rates.PartialWrite, FaultPartialWrite)
+	case OpAccept:
+		pick(s.rates.AcceptFail, FaultAcceptErr)
+	case OpRoundTrip:
+		_ = pick(s.rates.Reset, FaultReset) ||
+			pick(s.rates.HTTPErr, FaultHTTPErr) ||
+			pick(s.rates.HTTPHang, FaultHTTPHang)
+	}
+	if f != FaultNone {
+		s.injected++
+	}
+	return f
+}
+
+// Stall implements Plan.
+func (s *Schedule) Stall() time.Duration { return s.rates.StallFor }
+
+// Injected reports how many faults the schedule has fired so far.
+func (s *Schedule) Injected() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.injected
+}
+
+// Drained reports whether a bounded schedule has spent its fault
+// budget — from here on the wrapped transports behave perfectly.
+func (s *Schedule) Drained() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rates.MaxFaults > 0 && s.injected >= uint64(s.rates.MaxFaults)
+}
+
+// Script is the hand-written Plan for tests: Next pops faults in order
+// (regardless of Op — the test controls the operation sequence) and
+// returns FaultNone once the script is exhausted.
+type Script struct {
+	// StallFor is returned by Stall (zero is fine with a fake clock).
+	StallFor time.Duration
+
+	mu     sync.Mutex
+	faults []Fault
+}
+
+// NewScript builds a script that plays out the given faults in order.
+func NewScript(stall time.Duration, faults ...Fault) *Script {
+	return &Script{StallFor: stall, faults: faults}
+}
+
+// Next implements Plan.
+func (s *Script) Next(Op) Fault {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.faults) == 0 {
+		return FaultNone
+	}
+	f := s.faults[0]
+	s.faults = s.faults[1:]
+	return f
+}
+
+// Stall implements Plan.
+func (s *Script) Stall() time.Duration { return s.StallFor }
+
+// Remaining reports how many scripted faults have not fired yet.
+func (s *Script) Remaining() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.faults)
+}

@@ -1,0 +1,312 @@
+package chaos
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestScheduleDeterministic pins the seed contract: the same seed
+// produces the exact same fault sequence, a different seed a different
+// one, and a zero-rate schedule never fires.
+func TestScheduleDeterministic(t *testing.T) {
+	rates := Rates{Reset: 0.2, ReadStall: 0.2, Corrupt: 0.2}
+	draw := func(seed uint64) []Fault {
+		s := NewSchedule(seed, rates)
+		out := make([]Fault, 256)
+		for i := range out {
+			out[i] = s.Next(OpRead)
+		}
+		return out
+	}
+	a, b := draw(42), draw(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d diverged for the same seed: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := draw(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 42 and 43 produced identical 256-fault sequences")
+	}
+	var fired int
+	for _, f := range a {
+		if f != FaultNone {
+			fired++
+		}
+	}
+	// 256 draws at a summed rate of 0.6: statistically impossible to
+	// see none (or all) fire.
+	if fired == 0 || fired == len(a) {
+		t.Fatalf("implausible fault density %d/256 at rate 0.6", fired)
+	}
+
+	quiet := NewSchedule(1, Rates{})
+	for i := 0; i < 100; i++ {
+		for _, op := range []Op{OpRead, OpWrite, OpAccept, OpRoundTrip} {
+			if f := quiet.Next(op); f != FaultNone {
+				t.Fatalf("zero-rate schedule fired %v", f)
+			}
+		}
+	}
+}
+
+// TestScheduleDrains pins the fault budget: exactly MaxFaults faults
+// fire, then the schedule reports drained and lets everything through.
+func TestScheduleDrains(t *testing.T) {
+	s := NewSchedule(7, Rates{Reset: 1, MaxFaults: 5})
+	var fired int
+	for i := 0; i < 100; i++ {
+		if s.Next(OpRead) != FaultNone {
+			fired++
+		}
+	}
+	if fired != 5 {
+		t.Fatalf("fired %d faults, budget was 5", fired)
+	}
+	if !s.Drained() || s.Injected() != 5 {
+		t.Fatalf("drained=%v injected=%d, want true/5", s.Drained(), s.Injected())
+	}
+}
+
+// TestScriptOrder pins Script: faults pop in order, then FaultNone.
+func TestScriptOrder(t *testing.T) {
+	sc := NewScript(0, FaultReset, FaultCorrupt)
+	want := []Fault{FaultReset, FaultCorrupt, FaultNone, FaultNone}
+	for i, w := range want {
+		if got := sc.Next(OpRead); got != w {
+			t.Fatalf("draw %d: got %v, want %v", i, got, w)
+		}
+	}
+	if sc.Remaining() != 0 {
+		t.Fatalf("remaining %d, want 0", sc.Remaining())
+	}
+}
+
+// pipeConn returns a wrapped in-memory conn pair: a (chaos-wrapped,
+// per-test plan) side and its raw peer.
+func pipeConn(t *testing.T, plan Plan, clk Clock) (*Conn, net.Conn) {
+	t.Helper()
+	a, b := net.Pipe()
+	t.Cleanup(func() { a.Close(); b.Close() })
+	return WrapConn(a, plan, clk), b
+}
+
+// TestConnReset: a scripted reset fails the read and really closes the
+// transport — the peer sees EOF, not a healthy conn.
+func TestConnReset(t *testing.T) {
+	c, peer := pipeConn(t, NewScript(0, FaultReset), nil)
+	if _, err := c.Read(make([]byte, 8)); !errors.Is(err, ErrInjectedReset) {
+		t.Fatalf("read under reset: %v, want ErrInjectedReset", err)
+	}
+	peer.SetReadDeadline(time.Now().Add(time.Second))
+	if _, err := peer.Read(make([]byte, 8)); err == nil {
+		t.Fatal("peer read succeeded after injected reset")
+	}
+}
+
+// TestConnCorrupt: a corrupt fault flips exactly one byte of the
+// delivered data; the next read is clean.
+func TestConnCorrupt(t *testing.T) {
+	c, peer := pipeConn(t, NewScript(0, FaultCorrupt), nil)
+	payload := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	go func() { peer.Write(payload); peer.Write(payload) }()
+	buf := make([]byte, 8)
+	if _, err := io.ReadFull(c, buf); err != nil {
+		t.Fatal(err)
+	}
+	diff := 0
+	for i := range buf {
+		if buf[i] != payload[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("corrupt read changed %d bytes, want exactly 1 (%v)", diff, buf)
+	}
+	if _, err := io.ReadFull(c, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, payload) {
+		t.Fatalf("post-fault read not clean: %v", buf)
+	}
+}
+
+// TestConnStallUsesClock: stalls go through the injected clock with the
+// plan's duration, and a Close during the stall aborts it.
+func TestConnStallUsesClock(t *testing.T) {
+	var slept []time.Duration
+	clk := ClockFunc(func(d time.Duration, _ <-chan struct{}) bool {
+		slept = append(slept, d)
+		return true
+	})
+	c, peer := pipeConn(t, NewScript(25*time.Millisecond, FaultReadStall, FaultWriteStall), clk)
+	go func() { peer.Write([]byte{9}); io.Copy(io.Discard, peer) }()
+	if _, err := c.Read(make([]byte, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Write([]byte{9}); err != nil {
+		t.Fatal(err)
+	}
+	if len(slept) != 2 || slept[0] != 25*time.Millisecond || slept[1] != 25*time.Millisecond {
+		t.Fatalf("clock saw %v, want two 25ms stalls", slept)
+	}
+
+	// A real stall must abort when the conn closes mid-sleep.
+	c2, _ := pipeConn(t, NewScript(time.Hour, FaultReadStall), nil)
+	done := make(chan error, 1)
+	go func() {
+		_, err := c2.Read(make([]byte, 1))
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	c2.Close()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("stalled read returned nil after close")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("close did not abort an in-progress stall")
+	}
+}
+
+// TestConnPartialWrite: a partial write delivers a strict prefix, then
+// the transport dies.
+func TestConnPartialWrite(t *testing.T) {
+	c, peer := pipeConn(t, NewScript(0, FaultPartialWrite), nil)
+	got := make(chan []byte, 1)
+	go func() {
+		b, _ := io.ReadAll(peer)
+		got <- b
+	}()
+	payload := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	n, err := c.Write(payload)
+	if !errors.Is(err, ErrInjectedReset) {
+		t.Fatalf("partial write error %v, want ErrInjectedReset", err)
+	}
+	if n <= 0 || n >= len(payload) {
+		t.Fatalf("partial write delivered %d of %d bytes, want a strict prefix", n, len(payload))
+	}
+	if b := <-got; !bytes.Equal(b, payload[:n]) {
+		t.Fatalf("peer saw %v, want prefix %v", b, payload[:n])
+	}
+}
+
+// TestListenerAcceptFault: an injected accept failure is transient (the
+// listener keeps working) and is a non-timeout net.Error, and accepted
+// conns come back chaos-wrapped.
+func TestListenerAcceptFault(t *testing.T) {
+	raw, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Script order matters: Accept #1 pops the accept failure, Accept #2
+	// pops the explicit FaultNone, and the wrapped conn's first Read pops
+	// the reset.
+	ln := WrapListener(raw, NewScript(0, FaultAcceptErr, FaultNone, FaultReset), nil)
+	defer ln.Close()
+
+	_, err = ln.Accept()
+	var ne net.Error
+	if !errors.As(err, &ne) || ne.Timeout() {
+		t.Fatalf("injected accept failure %v, want a non-timeout net.Error", err)
+	}
+
+	dialed, err := net.Dial("tcp", raw.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dialed.Close()
+	c, err := ln.Accept()
+	if err != nil {
+		t.Fatalf("accept after transient failure: %v", err)
+	}
+	defer c.Close()
+	// The scripted FaultReset fires on the accepted conn's first read:
+	// proof the listener wraps what it hands out.
+	if _, err := c.Read(make([]byte, 1)); !errors.Is(err, ErrInjectedReset) {
+		t.Fatalf("accepted conn not chaos-wrapped: read err %v", err)
+	}
+}
+
+// TestRoundTripper covers all four round-trip outcomes: pass-through,
+// synthetic 503, reset, and a hang that respects the request context.
+func TestRoundTripper(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		io.WriteString(w, "ok")
+	}))
+	defer srv.Close()
+
+	plan := NewScript(time.Hour, FaultNone, FaultHTTPErr, FaultReset, FaultHTTPHang, FaultHTTPHang)
+	var hangSlept time.Duration
+	clk := ClockFunc(func(d time.Duration, done <-chan struct{}) bool {
+		hangSlept = d
+		select {
+		case <-done:
+			return false
+		default:
+			return true
+		}
+	})
+	client := &http.Client{Transport: NewRoundTripper(nil, plan, clk)}
+
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("pass-through: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || string(body) != "ok" {
+		t.Fatalf("pass-through got %d %q", resp.StatusCode, body)
+	}
+
+	resp, err = client.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("injected 503 surfaced as transport error: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("got %d, want 503", resp.StatusCode)
+	}
+
+	if _, err = client.Get(srv.URL); err == nil || !errors.Is(err, ErrInjectedReset) {
+		t.Fatalf("injected reset: %v, want ErrInjectedReset", err)
+	}
+
+	// Hang with a live context: the fake clock "sleeps" the full stall
+	// and the fault resolves to a timeout-flavored error.
+	if _, err = client.Get(srv.URL); err == nil {
+		t.Fatal("hang resolved to a response")
+	}
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Fatalf("hang error %v, want a timeout net.Error", err)
+	}
+	if hangSlept != time.Hour {
+		t.Fatalf("hang slept %v, want the plan's 1h stall", hangSlept)
+	}
+
+	// Hang with an already-expired context: aborts instantly with the
+	// context's error instead of sleeping.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, srv.URL, nil)
+	if _, err = client.Do(req); err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled hang: %v, want context.Canceled", err)
+	}
+}

@@ -1,0 +1,117 @@
+package chaos
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+// Conn wraps a net.Conn and injects the plan's read/write faults.
+// Reads can reset, stall or corrupt; writes can reset, stall or deliver
+// a partial prefix and die. A fault that kills the transport closes the
+// inner connection, so the peer observes a real reset/EOF, not just an
+// error on our side. Closing the Conn aborts any in-progress stall.
+type Conn struct {
+	inner net.Conn
+	plan  Plan
+	clk   Clock
+
+	closeOnce sync.Once
+	done      chan struct{}
+}
+
+// WrapConn wraps c. A nil clk selects the wall clock.
+func WrapConn(c net.Conn, plan Plan, clk Clock) *Conn {
+	return &Conn{inner: c, plan: plan, clk: orWall(clk), done: make(chan struct{})}
+}
+
+// Read implements net.Conn.
+func (c *Conn) Read(b []byte) (int, error) {
+	switch c.plan.Next(OpRead) {
+	case FaultReset:
+		c.Close()
+		return 0, ErrInjectedReset
+	case FaultReadStall:
+		if !c.clk.Sleep(c.plan.Stall(), c.done) {
+			return 0, net.ErrClosed
+		}
+	case FaultCorrupt:
+		n, err := c.inner.Read(b)
+		if n > 0 {
+			// Flip one mid-buffer byte: whatever protocol layer rides
+			// this conn has to catch it (or provably not care).
+			b[n/2] ^= 0xa5
+		}
+		return n, err
+	}
+	return c.inner.Read(b)
+}
+
+// Write implements net.Conn.
+func (c *Conn) Write(b []byte) (int, error) {
+	switch c.plan.Next(OpWrite) {
+	case FaultReset:
+		c.Close()
+		return 0, ErrInjectedReset
+	case FaultWriteStall:
+		if !c.clk.Sleep(c.plan.Stall(), c.done) {
+			return 0, net.ErrClosed
+		}
+	case FaultPartialWrite:
+		// Deliver a prefix, then die: the peer sees a frame cut
+		// mid-byte-stream followed by a reset.
+		n := len(b) / 2
+		if n > 0 {
+			n, _ = c.inner.Write(b[:n])
+		}
+		c.Close()
+		return n, ErrInjectedReset
+	}
+	return c.inner.Write(b)
+}
+
+// Close implements net.Conn; it is idempotent and aborts stalls.
+func (c *Conn) Close() error {
+	err := net.ErrClosed
+	c.closeOnce.Do(func() {
+		close(c.done)
+		err = c.inner.Close()
+	})
+	return err
+}
+
+// The deadline and address surface passes straight through: deadlines
+// set by the wrapped server still bound the inner reads and writes, so
+// fault stalls cannot defeat a server-side idle reaper.
+
+func (c *Conn) LocalAddr() net.Addr                { return c.inner.LocalAddr() }
+func (c *Conn) RemoteAddr() net.Addr               { return c.inner.RemoteAddr() }
+func (c *Conn) SetDeadline(t time.Time) error      { return c.inner.SetDeadline(t) }
+func (c *Conn) SetReadDeadline(t time.Time) error  { return c.inner.SetReadDeadline(t) }
+func (c *Conn) SetWriteDeadline(t time.Time) error { return c.inner.SetWriteDeadline(t) }
+
+// Listener wraps a net.Listener: Accept can fail transiently per the
+// plan, and every accepted connection is wrapped with the same plan and
+// clock.
+type Listener struct {
+	net.Listener
+	plan Plan
+	clk  Clock
+}
+
+// WrapListener wraps ln. A nil clk selects the wall clock.
+func WrapListener(ln net.Listener, plan Plan, clk Clock) *Listener {
+	return &Listener{Listener: ln, plan: plan, clk: orWall(clk)}
+}
+
+// Accept implements net.Listener.
+func (l *Listener) Accept() (net.Conn, error) {
+	if l.plan.Next(OpAccept) == FaultAcceptErr {
+		return nil, errTransient{}
+	}
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return WrapConn(c, l.plan, l.clk), nil
+}

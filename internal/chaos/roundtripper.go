@@ -1,0 +1,57 @@
+package chaos
+
+import (
+	"io"
+	"net/http"
+	"strings"
+)
+
+// RoundTripper wraps an http.RoundTripper and injects the plan's
+// round-trip faults: synthetic 503 bursts (FaultHTTPErr), hangs that
+// block until the request context gives up (FaultHTTPHang), and
+// transport resets (FaultReset). It is what a replication follower's
+// leader client hides behind in the chaos gates.
+type RoundTripper struct {
+	base http.RoundTripper
+	plan Plan
+	clk  Clock
+}
+
+// NewRoundTripper wraps base (nil selects http.DefaultTransport; a nil
+// clk selects the wall clock).
+func NewRoundTripper(base http.RoundTripper, plan Plan, clk Clock) *RoundTripper {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &RoundTripper{base: base, plan: plan, clk: orWall(clk)}
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *RoundTripper) RoundTrip(req *http.Request) (*http.Response, error) {
+	switch t.plan.Next(OpRoundTrip) {
+	case FaultReset:
+		return nil, ErrInjectedReset
+	case FaultHTTPErr:
+		// A synthetic 503, never touching the server — the shape of a
+		// flapping leader or a load balancer shedding.
+		return &http.Response{
+			Status:     "503 Service Unavailable (chaos)",
+			StatusCode: http.StatusServiceUnavailable,
+			Proto:      "HTTP/1.1",
+			ProtoMajor: 1,
+			ProtoMinor: 1,
+			Header:     http.Header{"Content-Type": []string{"text/plain"}},
+			Body:       io.NopCloser(strings.NewReader("chaos: injected 503\n")),
+			Request:    req,
+		}, nil
+	case FaultHTTPHang:
+		// A server that accepted and went silent: nothing moves until
+		// the caller's deadline fires (or the stall elapses, for plans
+		// shorter than the client timeout).
+		if !t.clk.Sleep(t.plan.Stall(), req.Context().Done()) {
+			return nil, req.Context().Err()
+		}
+		return nil, errHang{}
+	}
+	return t.base.RoundTrip(req)
+}

@@ -50,6 +50,9 @@ func (s *Server) coalesce() {
 					return
 				}
 				req.deq = time.Now()
+				if s.shedExpired(req) {
+					continue
+				}
 				pending = append(pending, req)
 				if len(pending) >= s.cfg.MaxBatch {
 					flush()
@@ -70,6 +73,9 @@ func (s *Server) coalesce() {
 				return
 			}
 			req.deq = time.Now()
+			if s.shedExpired(req) {
+				continue
+			}
 			pending = append(pending, req)
 			if len(pending) >= s.cfg.MaxBatch {
 				flush()
@@ -102,6 +108,40 @@ func failAll(reqs []request) {
 	}
 }
 
+// shedExpired sheds one request whose context is already done: its
+// Future resolves to ErrExpired, Stats.Expired counts it, and it never
+// reaches a batch. Expired requests are excluded from the latency
+// histograms — they measure served traffic, and a pile of
+// deadline-exceeded sheds should read as goodput loss (Expired), not as
+// a latency regression. Reports whether the request was shed.
+func (s *Server) shedExpired(req request) bool {
+	if req.ctx == nil {
+		return false
+	}
+	select {
+	case <-req.ctx.Done():
+		s.expired.Add(1)
+		req.fut.complete(core.Verdict{}, ErrExpired)
+		return true
+	default:
+		return false
+	}
+}
+
+// shedExpiredBatch filters a batch in place at lane pickup, shedding
+// (as shedExpired) every request whose deadline fired between coalescing
+// and dispatch, and returns the still-live remainder.
+func (s *Server) shedExpiredBatch(reqs []request) []request {
+	live := reqs[:0]
+	for _, req := range reqs {
+		if s.shedExpired(req) {
+			continue
+		}
+		live = append(live, req)
+	}
+	return live
+}
+
 // serveLane is one serving shard's loop: take a micro-batch, feed it
 // whole through the batched GEMM inference path (Monitor.
 // WatchBatchPooledTimed over Network.ForwardBatch) on the lane's private
@@ -125,6 +165,14 @@ func (s *Server) serveLane(ln *lane) {
 			failAll(b.reqs)
 			continue
 		default:
+		}
+		// Last chance to shed: deadlines that fired while the batch sat in
+		// the dispatch channel. A fully expired batch skips inference AND
+		// the batches counter, so MeanBatchSize keeps describing batches
+		// that actually ran.
+		b.reqs = s.shedExpiredBatch(b.reqs)
+		if len(b.reqs) == 0 {
+			continue
 		}
 		start := time.Now()
 		s.stages.record(stageDispatch, start.Sub(b.flushed))

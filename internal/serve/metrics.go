@@ -25,6 +25,8 @@ func (s *Server) RegisterMetrics(reg *obs.Registry) {
 		"submits refused because the server was closed", func() uint64 { return s.rejected.Load() })
 	reg.CounterFunc("napmon_requests_shed_total",
 		"non-blocking submits refused on a full queue", func() uint64 { return s.shed.Load() })
+	reg.CounterFunc("napmon_serve_expired_total",
+		"queued requests shed because their context expired before inference", func() uint64 { return s.expired.Load() })
 	reg.CounterFunc("napmon_batches_total",
 		"micro-batches dispatched to serving lanes", func() uint64 { return s.counts.Load().batches })
 	reg.GaugeFunc("napmon_queue_depth",

@@ -53,6 +53,14 @@ var ErrServerClosed = errors.New("serve: server closed")
 // capacity — the non-blocking counterpart of Submit's backpressure.
 var ErrQueueFull = errors.New("serve: request queue full")
 
+// ErrExpired resolves the Future of a SubmitCtx request whose context
+// was cancelled or deadline-expired while it waited in the queue or for
+// a lane: the server sheds it instead of spending inference on an
+// answer nobody is waiting for. It is deliberately distinct from the
+// context's own error so callers can tell "the server shed my stale
+// request" from errors raised on their side.
+var ErrExpired = errors.New("serve: request expired before serving")
+
 // Config sizes a Server. The zero value of any field selects its default.
 type Config struct {
 	// MaxBatch is the flush threshold: a micro-batch is dispatched as
@@ -126,10 +134,12 @@ func (c Config) validate() error {
 }
 
 // request is one queued unit of work: the input, the future that carries
-// its verdict back, and the enqueue/dequeue timestamps the per-stage
-// latency metrics are based on (enq set by Submit, deq by the coalescer
-// when it picks the request up).
+// its verdict back, the submitter's context (nil for the ctx-less Submit
+// paths — never consulted again once nil), and the enqueue/dequeue
+// timestamps the per-stage latency metrics are based on (enq set by
+// Submit, deq by the coalescer when it picks the request up).
 type request struct {
+	ctx   context.Context
 	input *tensor.Tensor
 	fut   *Future
 	enq   time.Time
@@ -183,6 +193,7 @@ type Server struct {
 	submitted atomic.Uint64
 	rejected  atomic.Uint64
 	shed      atomic.Uint64
+	expired   atomic.Uint64
 	updates   atomic.Uint64
 	// counts carries (served, batches) as one immutable pair so readers
 	// snapshot both atomically; see servedCounts.
@@ -237,7 +248,27 @@ func New(net *nn.Network, m *core.Monitor, cfg Config) (*Server, error) {
 // backpressure contract. After Shutdown has begun it returns
 // ErrServerClosed without enqueuing.
 func (s *Server) Submit(x *tensor.Tensor) (*Future, error) {
-	return s.submit(x, true)
+	return s.submit(nil, x, true)
+}
+
+// SubmitCtx is Submit with deadline and cancellation propagation. While
+// the caller is blocked on a full queue, ctx expiring unblocks it with
+// ctx.Err() and nothing is enqueued — the queue slot is not leaked. Once
+// enqueued, the request carries ctx through the pipeline: if the
+// deadline fires while it is still queued (or waiting for a lane), the
+// server sheds it before inference, its Future resolves to ErrExpired,
+// and Stats.Expired counts it. A ctx that is already done submits
+// nothing and returns ctx.Err() immediately. A nil ctx behaves exactly
+// like Submit.
+func (s *Server) SubmitCtx(ctx context.Context, x *tensor.Tensor) (*Future, error) {
+	if ctx != nil {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		default:
+		}
+	}
+	return s.submit(ctx, x, true)
 }
 
 // TrySubmit is the non-blocking Submit: when the request queue is full
@@ -248,10 +279,10 @@ func (s *Server) Submit(x *tensor.Tensor) (*Future, error) {
 // queue, where a connection-oriented front end simply stops reading its
 // socket and lets transport flow control push back.
 func (s *Server) TrySubmit(x *tensor.Tensor) (*Future, error) {
-	return s.submit(x, false)
+	return s.submit(nil, x, false)
 }
 
-func (s *Server) submit(x *tensor.Tensor, block bool) (*Future, error) {
+func (s *Server) submit(ctx context.Context, x *tensor.Tensor, block bool) (*Future, error) {
 	if x == nil {
 		return nil, errors.New("serve: nil input")
 	}
@@ -270,7 +301,7 @@ func (s *Server) submit(x *tensor.Tensor, block bool) (*Future, error) {
 	fut := newFuture()
 	if !block {
 		select {
-		case s.queue <- request{input: x, fut: fut, enq: time.Now()}:
+		case s.queue <- request{ctx: ctx, input: x, fut: fut, enq: time.Now()}:
 			s.submitted.Add(1)
 			return fut, nil
 		case <-s.aborted:
@@ -281,13 +312,21 @@ func (s *Server) submit(x *tensor.Tensor, block bool) (*Future, error) {
 			return nil, ErrQueueFull
 		}
 	}
+	// A nil ctx leaves ctxDone nil — a never-ready select case — so the
+	// ctx-less Submit pays nothing for the extra arm.
+	var ctxDone <-chan struct{}
+	if ctx != nil {
+		ctxDone = ctx.Done()
+	}
 	select {
-	case s.queue <- request{input: x, fut: fut, enq: time.Now()}:
+	case s.queue <- request{ctx: ctx, input: x, fut: fut, enq: time.Now()}:
 		s.submitted.Add(1)
 		return fut, nil
 	case <-s.aborted:
 		s.rejected.Add(1)
 		return nil, ErrServerClosed
+	case <-ctxDone:
+		return nil, ctx.Err()
 	}
 }
 
@@ -430,6 +469,7 @@ func (s *Server) Stats() Stats {
 		Served:        sc.served,
 		Rejected:      s.rejected.Load(),
 		Shed:          s.shed.Load(),
+		Expired:       s.expired.Load(),
 		Batches:       sc.batches,
 		MeanBatchSize: mean,
 		P50:           total.P50,

@@ -22,6 +22,13 @@ type Stats struct {
 	// non-blocking front end (the UDP gateway) dropped instead of
 	// queueing.
 	Shed uint64
+	// Expired counts SubmitCtx requests whose context fired after they
+	// were queued but before inference: the server shed them with
+	// ErrExpired instead of computing a verdict nobody was waiting for.
+	// Under overload with client deadlines this is the goodput-protection
+	// signal — rising Expired means the queue is holding requests longer
+	// than clients are willing to wait.
+	Expired uint64
 	// Batches is the number of micro-batches dispatched to lanes;
 	// MeanBatchSize is Served divided by it, the coalescer's
 	// effectiveness measure (1.0 = no coalescing happened). Both come

@@ -6,6 +6,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"napmon/internal/core"
 	"napmon/internal/obs"
@@ -27,6 +28,25 @@ type GatewayConfig struct {
 	// (default 256). A full queue stalls the producing goroutines — the
 	// slow-consumer case degrades that one connection, not the server.
 	WriteQueue int
+	// ReadIdleTimeout bounds the silence between a TCP client's frames
+	// (default 30s, negative disables): the reader arms a read deadline
+	// before every frame, so a conn that stalls mid-header or goes mute
+	// is reaped (Counters.Reaped) instead of pinning its goroutines
+	// forever. Clients only waiting on in-flight verdicts still count as
+	// idle — pipeline or ping within the window to stay alive.
+	ReadIdleTimeout time.Duration
+	// WriteTimeout bounds each response frame write (default 10s,
+	// negative disables). A client that stops draining its socket beyond
+	// what the write queue absorbs fails the write; the connection is
+	// reaped rather than left wedged.
+	WriteTimeout time.Duration
+	// MalformedBudget is how many malformed-but-resyncable frames
+	// (payloads that fail their codec — framing errors already kill the
+	// stream) one TCP connection may send before the gateway stops
+	// talking to it (default 8, negative disables). A peer speaking the
+	// wrong dialect gets a few error frames to notice, not a permanent
+	// error-reply amplifier.
+	MalformedBudget int
 }
 
 func (c GatewayConfig) withDefaults() GatewayConfig {
@@ -35,6 +55,15 @@ func (c GatewayConfig) withDefaults() GatewayConfig {
 	}
 	if c.WriteQueue == 0 {
 		c.WriteQueue = 256
+	}
+	if c.ReadIdleTimeout == 0 {
+		c.ReadIdleTimeout = 30 * time.Second
+	}
+	if c.WriteTimeout == 0 {
+		c.WriteTimeout = 10 * time.Second
+	}
+	if c.MalformedBudget == 0 {
+		c.MalformedBudget = 8
 	}
 	return c
 }
@@ -54,6 +83,12 @@ type GatewayCounters struct {
 	// Dropped counts watch requests shed under pressure: serve-queue
 	// full (UDP only — TCP blocks instead) or the UDP in-flight cap.
 	Dropped uint64
+	// Reaped counts TCP connections torn down by a deadline — read-idle
+	// silence or a response write that timed out.
+	Reaped uint64
+	// OverBudget counts TCP connections torn down for exhausting their
+	// malformed-frame budget.
+	OverBudget uint64
 	// Conns is the number of currently live TCP connections.
 	Conns uint64
 }
@@ -130,11 +165,13 @@ type Gateway struct {
 
 	wg sync.WaitGroup // listener loops, conn readers/writers, responders
 
-	received  atomic.Uint64
-	responded atomic.Uint64
-	malformed atomic.Uint64
-	dropped   atomic.Uint64
-	connCount atomic.Uint64
+	received   atomic.Uint64
+	responded  atomic.Uint64
+	malformed  atomic.Uint64
+	dropped    atomic.Uint64
+	reaped     atomic.Uint64
+	overBudget atomic.Uint64
+	connCount  atomic.Uint64
 }
 
 // NewGateway wraps a running serve.Server (and the monitor it serves —
@@ -169,11 +206,13 @@ func NewFleetGateway(resolve TenantResolver, count func() int, cfg GatewayConfig
 // Counters returns a snapshot of the gateway's frame accounting.
 func (g *Gateway) Counters() GatewayCounters {
 	return GatewayCounters{
-		Received:  g.received.Load(),
-		Responded: g.responded.Load(),
-		Malformed: g.malformed.Load(),
-		Dropped:   g.dropped.Load(),
-		Conns:     g.connCount.Load(),
+		Received:   g.received.Load(),
+		Responded:  g.responded.Load(),
+		Malformed:  g.malformed.Load(),
+		Dropped:    g.dropped.Load(),
+		Reaped:     g.reaped.Load(),
+		OverBudget: g.overBudget.Load(),
+		Conns:      g.connCount.Load(),
 	}
 }
 
@@ -212,6 +251,15 @@ func (g *Gateway) ListenTCP(addr string) error {
 	if err != nil {
 		return err
 	}
+	return g.ServeTCP(ln)
+}
+
+// ServeTCP starts the stream accept loop on an externally prepared
+// listener — the seam fault-injection gates use to slide a
+// chaos-wrapped listener under the gateway. The gateway owns ln from
+// here on: Close closes it. ListenTCP is net.Listen followed by
+// ServeTCP.
+func (g *Gateway) ServeTCP(ln net.Listener) error {
 	g.mu.Lock()
 	if g.closed {
 		g.mu.Unlock()
@@ -223,6 +271,14 @@ func (g *Gateway) ListenTCP(addr string) error {
 	g.wg.Add(1)
 	go g.serveTCP(ln)
 	return nil
+}
+
+// isClosed reports whether Close has begun — the accept and UDP read
+// loops use it to tell a shutdown from a transient transport error.
+func (g *Gateway) isClosed() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.closed
 }
 
 // UDPAddr returns the bound UDP address (nil before ListenUDP).
@@ -292,6 +348,10 @@ func (g *Gateway) serveUDP(pc *net.UDPConn) {
 	for {
 		n, raddr, err := pc.ReadFromUDP(buf)
 		if err != nil {
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Temporary() && !g.isClosed() { //nolint:staticcheck // transient datagram errors shouldn't kill the listener
+				continue
+			}
 			return // closed (or unrecoverable): the loop owns no other state
 		}
 		pkt := buf[:n]
@@ -306,9 +366,17 @@ func (g *Gateway) serveUDP(pc *net.UDPConn) {
 		case TypePing:
 			g.writeUDP(pc, raddr, AppendPong(g.getBuf(), h.ID))
 		case TypeStatsReq:
-			g.writeUDP(pc, raddr, g.handleStats(h.ID, payload))
+			frame, bad := g.handleStats(h.ID, payload)
+			if bad {
+				g.malformed.Add(1)
+			}
+			g.writeUDP(pc, raddr, frame)
 		case TypeLearnReq:
-			g.writeUDP(pc, raddr, g.handleLearn(h.ID, payload))
+			frame, bad := g.handleLearn(h.ID, payload)
+			if bad {
+				g.malformed.Add(1)
+			}
+			g.writeUDP(pc, raddr, frame)
 		case TypeWatchReq:
 			g.handleWatchUDP(pc, raddr, h.ID, payload)
 		default:
@@ -382,12 +450,20 @@ func (g *Gateway) writeUDP(pc *net.UDPConn, raddr *net.UDPAddr, frame []byte) {
 
 // --- TCP ---
 
-// serveTCP is the stream accept loop.
+// serveTCP is the stream accept loop. Transient accept failures
+// (EMFILE bursts, aborted handshakes, injected faults) are retried
+// after a short pause instead of silently killing the listener — only
+// shutdown or a persistent transport error ends the loop.
 func (g *Gateway) serveTCP(ln net.Listener) {
 	defer g.wg.Done()
 	for {
 		c, err := ln.Accept()
 		if err != nil {
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Temporary() && !g.isClosed() { //nolint:staticcheck // Temporary is exactly the accept-retry signal
+				time.Sleep(10 * time.Millisecond)
+				continue
+			}
 			return
 		}
 		g.mu.Lock()
@@ -409,52 +485,113 @@ func (g *Gateway) serveTCP(ln net.Listener) {
 // draining the outbound queue, and one short-lived goroutine per
 // in-flight watch awaiting its future. Backpressure is the blocking
 // chain reader → inflight cap / serve queue → TCP flow control.
+//
+// The connection lives under three guards: a read deadline armed before
+// every frame (idle or half-sent conns are reaped, not pinned), a write
+// deadline per response (a client that stops draining is reaped once
+// the write queue stops absorbing), and a malformed-payload budget
+// (framing errors kill the stream outright — a byte stream cannot
+// resync).
 func (g *Gateway) serveConn(c net.Conn) {
 	defer g.wg.Done()
 	out := make(chan []byte, g.cfg.WriteQueue)
 	inflight := make(chan struct{}, g.cfg.MaxInflight)
 	var pending sync.WaitGroup
 
+	// reap records this connection as deadline-killed, once, however
+	// many of its deadlines fire (reader and writer can both time out).
+	var reapedConn atomic.Bool
+	reap := func() {
+		if reapedConn.CompareAndSwap(false, true) {
+			g.reaped.Add(1)
+		}
+	}
+
 	g.wg.Add(1)
+	writerDone := make(chan struct{})
 	go func() { // writer: sole owner of conn writes
 		defer g.wg.Done()
+		defer close(writerDone)
+		dead := false
 		for frame := range out {
-			if _, err := c.Write(frame); err == nil {
-				g.responded.Add(1)
+			if !dead {
+				if g.cfg.WriteTimeout > 0 {
+					c.SetWriteDeadline(time.Now().Add(g.cfg.WriteTimeout))
+				}
+				if _, err := c.Write(frame); err == nil {
+					g.responded.Add(1)
+				} else {
+					// A failed stream write is terminal: close the conn so
+					// the reader unblocks, then keep draining the queue so
+					// producers never block on a dead connection.
+					dead = true
+					var ne net.Error
+					if errors.As(err, &ne) && ne.Timeout() {
+						reap()
+					}
+					c.Close()
+				}
 			}
-			// On write error keep draining so producers never block on a
-			// dead connection; the read side fails on its own and tears
-			// the connection down.
 			g.putBuf(frame)
 		}
 	}()
 
+	badFrames := 0
 	buf := make([]byte, 0, 4096)
+readLoop:
 	for {
+		if g.cfg.ReadIdleTimeout > 0 {
+			c.SetReadDeadline(time.Now().Add(g.cfg.ReadIdleTimeout))
+		}
 		h, payload, err := ReadFrame(c, buf)
 		if err != nil {
 			// A malformed header is an unresyncable stream — count it
-			// and kill the connection. Hangups and transport errors
-			// just end the connection.
+			// and kill the connection. A deadline firing here is the
+			// idle/half-frame reap. Hangups and transport errors just
+			// end the connection.
 			if errors.Is(err, ErrMalformed) {
 				g.malformed.Add(1)
+			}
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				reap()
 			}
 			break
 		}
 		buf = payload[:0]
 		g.received.Add(1)
+		// overBudget charges one malformed-but-framed payload against the
+		// connection and reports when its budget is spent.
+		overBudget := func() bool {
+			g.malformed.Add(1)
+			badFrames++
+			return g.cfg.MalformedBudget > 0 && badFrames >= g.cfg.MalformedBudget
+		}
 		switch h.Type {
 		case TypePing:
 			out <- AppendPong(g.getBuf(), h.ID)
 		case TypeStatsReq:
-			out <- g.handleStats(h.ID, payload)
+			frame, bad := g.handleStats(h.ID, payload)
+			out <- frame
+			if bad && overBudget() {
+				g.overBudget.Add(1)
+				break readLoop
+			}
 		case TypeLearnReq:
-			out <- g.handleLearn(h.ID, payload)
+			frame, bad := g.handleLearn(h.ID, payload)
+			out <- frame
+			if bad && overBudget() {
+				g.overBudget.Add(1)
+				break readLoop
+			}
 		case TypeWatchReq:
 			tenant, shape, data, err := DecodeWatchReq(payload)
 			if err != nil {
-				g.malformed.Add(1)
 				out <- AppendErr(g.getBuf(), h.ID, ErrCodeBadRequest, err.Error())
+				if overBudget() {
+					g.overBudget.Add(1)
+					break readLoop
+				}
 				continue
 			}
 			lane, err := g.resolve(tenant)
@@ -492,10 +629,14 @@ func (g *Gateway) serveConn(c net.Conn) {
 		}
 	}
 	// Teardown: stop reading, let every in-flight verdict flush (their
-	// futures resolve once served — or failed by a server drain), then
-	// release the writer and the connection.
+	// futures resolve once served — or failed by a server drain), wait
+	// for the writer to drain the queue — closing the socket under it
+	// would discard responses already earned — then release the
+	// connection. The wait is bounded: each write carries WriteTimeout,
+	// and a gateway-level Close still closes the socket directly.
 	pending.Wait()
 	close(out)
+	<-writerDone
 	g.mu.Lock()
 	delete(g.conns, c)
 	g.mu.Unlock()
@@ -510,39 +651,41 @@ func (g *Gateway) serveConn(c net.Conn) {
 // update through the lane's Learn (serialized, so epoch observation
 // order matches publication order — and, for registry lanes, so the
 // published epoch lands in the tenant's replication delta log).
-func (g *Gateway) handleLearn(id uint32, payload []byte) []byte {
+// bad reports a payload its codec rejected: the transports count it
+// (and the TCP reader charges it against the connection's budget) —
+// semantic failures like width mismatches are well-formed, not bad.
+func (g *Gateway) handleLearn(id uint32, payload []byte) (frame []byte, bad bool) {
 	tenant, class, pats, err := DecodeLearnReq(payload)
 	if err != nil {
-		g.malformed.Add(1)
-		return AppendErr(g.getBuf(), id, ErrCodeBadRequest, err.Error())
+		return AppendErr(g.getBuf(), id, ErrCodeBadRequest, err.Error()), true
 	}
 	lane, err := g.resolve(tenant)
 	if err != nil {
-		return AppendErr(g.getBuf(), id, ErrCodeUnknownTenant, err.Error())
+		return AppendErr(g.getBuf(), id, ErrCodeUnknownTenant, err.Error()), false
 	}
 	defer lane.Release()
 	if width := len(lane.Monitor().Neurons()); len(pats[0]) != width {
 		return AppendErr(g.getBuf(), id, ErrCodeBadRequest,
-			fmt.Sprintf("patterns have %d bits, monitor watches %d neurons", len(pats[0]), width))
+			fmt.Sprintf("patterns have %d bits, monitor watches %d neurons", len(pats[0]), width)), false
 	}
 	epoch, err := lane.Learn(map[int][]core.Pattern{class: pats})
 	if err != nil {
-		return AppendErr(g.getBuf(), id, ErrCodeBadRequest, err.Error())
+		return AppendErr(g.getBuf(), id, ErrCodeBadRequest, err.Error()), false
 	}
-	return AppendLearnResp(g.getBuf(), id, epoch, len(pats))
+	return AppendLearnResp(g.getBuf(), id, epoch, len(pats)), false
 }
 
 // handleStats decodes a stats request and answers with the addressed
 // tenant's counter block merged with the gateway's frame accounting.
-func (g *Gateway) handleStats(id uint32, payload []byte) []byte {
+// bad as in handleLearn.
+func (g *Gateway) handleStats(id uint32, payload []byte) (frame []byte, bad bool) {
 	tenant, err := DecodeStatsReq(payload)
 	if err != nil {
-		g.malformed.Add(1)
-		return AppendErr(g.getBuf(), id, ErrCodeBadRequest, err.Error())
+		return AppendErr(g.getBuf(), id, ErrCodeBadRequest, err.Error()), true
 	}
 	lane, err := g.resolve(tenant)
 	if err != nil {
-		return AppendErr(g.getBuf(), id, ErrCodeUnknownTenant, err.Error())
+		return AppendErr(g.getBuf(), id, ErrCodeUnknownTenant, err.Error()), false
 	}
 	defer lane.Release()
 	st := StatsFromServe(lane.Server().Stats())
@@ -552,7 +695,7 @@ func (g *Gateway) handleStats(id uint32, payload []byte) []byte {
 	st.GwConns = uint32(g.connCount.Load())
 	st.Tenant = tenant
 	st.Tenants = uint32(g.tenants())
-	return AppendStatsResp(g.getBuf(), id, st)
+	return AppendStatsResp(g.getBuf(), id, st), false
 }
 
 // submitErrFrame maps a Submit/TrySubmit error to its wire error code.
@@ -586,6 +729,12 @@ func (g *Gateway) RegisterMetrics(reg *obs.Registry) {
 	reg.CounterFunc("napmon_gateway_frames_dropped_total",
 		"watch requests shed under pressure (queue full or in-flight cap)",
 		func() uint64 { return g.dropped.Load() })
+	reg.CounterFunc("napmon_gateway_conns_reaped_total",
+		"TCP connections torn down by a read-idle or write deadline",
+		func() uint64 { return g.reaped.Load() })
+	reg.CounterFunc("napmon_gateway_conns_overbudget_total",
+		"TCP connections torn down for exhausting their malformed-frame budget",
+		func() uint64 { return g.overBudget.Load() })
 	reg.GaugeFunc("napmon_gateway_tcp_conns",
 		"live TCP connections",
 		func() float64 { return float64(g.connCount.Load()) })

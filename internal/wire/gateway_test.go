@@ -15,10 +15,11 @@ import (
 	"napmon/internal/tensor"
 )
 
-// toyGatewayParts trains the small 3-class dense network used across
-// the serve tests and wraps it in a server + gateway on loopback
-// ephemeral ports (UDP and TCP).
-func toyGatewayParts(t testing.TB, seed uint64, scfg serve.Config, gcfg GatewayConfig) (*Gateway, *nn.Network, *core.Monitor, []*tensor.Tensor) {
+// toyLane trains the small 3-class dense network used across the serve
+// tests and wraps it in a running server. The caller owns the server's
+// shutdown — tests that count goroutines need to control teardown order
+// themselves.
+func toyLane(t testing.TB, seed uint64, scfg serve.Config) (*serve.Server, *nn.Network, *core.Monitor, []*tensor.Tensor) {
 	t.Helper()
 	r := rng.New(seed)
 	centers := [][4]float64{
@@ -54,6 +55,19 @@ func toyGatewayParts(t testing.TB, seed uint64, scfg serve.Config, gcfg GatewayC
 	if err != nil {
 		t.Fatal(err)
 	}
+	val := gen(32)
+	inputs := make([]*tensor.Tensor, len(val))
+	for i, s := range val {
+		inputs[i] = s.Input
+	}
+	return srv, network, mon, inputs
+}
+
+// toyGatewayParts is toyLane plus a gateway on loopback ephemeral ports
+// (UDP and TCP), with teardown registered on the test.
+func toyGatewayParts(t testing.TB, seed uint64, scfg serve.Config, gcfg GatewayConfig) (*Gateway, *nn.Network, *core.Monitor, []*tensor.Tensor) {
+	t.Helper()
+	srv, network, mon, inputs := toyLane(t, seed, scfg)
 	g := NewGateway(srv, mon, gcfg)
 	if err := g.ListenUDP("127.0.0.1:0"); err != nil {
 		t.Fatal(err)
@@ -69,11 +83,6 @@ func toyGatewayParts(t testing.TB, seed uint64, scfg serve.Config, gcfg GatewayC
 			t.Errorf("server shutdown: %v", err)
 		}
 	})
-	val := gen(32)
-	inputs := make([]*tensor.Tensor, len(val))
-	for i, s := range val {
-		inputs[i] = s.Input
-	}
 	return g, network, mon, inputs
 }
 

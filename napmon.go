@@ -219,6 +219,12 @@ var ErrServerClosed = serve.ErrServerClosed
 // backpressure by waiting.
 var ErrQueueFull = serve.ErrQueueFull
 
+// ErrExpired resolves the Future of a Server.SubmitCtx request whose
+// context was cancelled or deadline-expired while it waited in the
+// pipeline: the server sheds stale requests before spending inference
+// on them (Stats.Expired counts the sheds).
+var ErrExpired = serve.ErrExpired
+
 // Serve starts a streaming serving front end over the network and
 // monitor: requests submitted from any number of goroutines are queued,
 // coalesced into micro-batches (flushed at cfg.MaxBatch or after
